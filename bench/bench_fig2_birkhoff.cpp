@@ -1,0 +1,92 @@
+// Fig. 2 reproduction: Birkhoff's representation in the large.
+//
+// Measures (a) the O(n|E|) direct extraction of meet-irreducibles from
+// reverse vector clocks, (b) cover-degree extraction on the explicit
+// lattice, and (c) the |M(L)| vs |L| gap ("generally exponentially
+// smaller") that makes Algorithm A2 pay off.
+#include <benchmark/benchmark.h>
+
+#include "hbct.h"
+
+namespace hbct {
+namespace {
+
+Computation make_comp(std::int32_t procs, std::int32_t events_per_proc) {
+  GenOptions opt;
+  opt.num_procs = procs;
+  opt.events_per_proc = events_per_proc;
+  opt.p_send = 0.3;
+  opt.seed = 22;
+  return generate_random(opt);
+}
+
+void BM_direct_meet_irreducibles(benchmark::State& state) {
+  const std::int32_t per = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(6, per);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    auto cuts = meet_irreducible_cuts(c);
+    count = cuts.size();
+    benchmark::DoNotOptimize(cuts);
+  }
+  state.counters["M"] = static_cast<double>(count);
+  state.counters["E"] = static_cast<double>(c.total_events());
+}
+BENCHMARK(BM_direct_meet_irreducibles)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_lattice_meet_irreducibles(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(n, 24 / n);
+  auto lat = Lattice::try_build(c, 1u << 22);
+  if (!lat) {
+    state.SkipWithError("lattice exceeds the node cap");
+    return;
+  }
+  std::size_t count = 0;
+  for (auto _ : state) {
+    auto nodes = meet_irreducibles(*lat);
+    count = nodes.size();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["M"] = static_cast<double>(count);
+  state.counters["L"] = static_cast<double>(lat->size());
+}
+BENCHMARK(BM_lattice_meet_irreducibles)->DenseRange(2, 8, 1);
+
+void BM_birkhoff_reconstruction(benchmark::State& state) {
+  // Reconstruct every lattice element from its meet-irreducibles
+  // (Corollary 4), validating the Fig. 2 equations at scale.
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(n, 18 / n);
+  Lattice lat = Lattice::build(c, 1u << 20);
+  std::size_t mismatches = 0;
+  for (auto _ : state) {
+    mismatches = 0;
+    for (NodeId v = 0; v < lat.size(); ++v)
+      mismatches += !(birkhoff_meet_reconstruction(c, lat.cut(v)) == lat.cut(v));
+    benchmark::DoNotOptimize(mismatches);
+  }
+  state.counters["mismatches"] = static_cast<double>(mismatches);
+  state.counters["L"] = static_cast<double>(lat.size());
+}
+BENCHMARK(BM_birkhoff_reconstruction)->DenseRange(2, 6, 1);
+
+void BM_m_vs_l_gap(benchmark::State& state) {
+  // The computational point: |M(L)| = |E| stays linear while |L| explodes.
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = generate_independent(n, 4);
+  auto lat = Lattice::try_build(c, 1u << 22);
+  for (auto _ : state) {
+    auto cuts = meet_irreducible_cuts(c);
+    benchmark::DoNotOptimize(cuts);
+  }
+  state.counters["M"] = static_cast<double>(c.total_events());
+  state.counters["L"] =
+      lat ? static_cast<double>(lat->size()) : -1.0;  // -1: over the cap
+}
+BENCHMARK(BM_m_vs_l_gap)->DenseRange(2, 9, 1);
+
+}  // namespace
+}  // namespace hbct
+
+BENCHMARK_MAIN();

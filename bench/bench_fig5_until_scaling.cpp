@@ -1,0 +1,90 @@
+// Fig. 5 (Algorithm A3) complexity reproduction: E[p U q] in O(n|E|), and
+// the A[p U q] identity at O(n|E|) (Section 7's closing analysis).
+//
+// Sweeps |E| at fixed n and n at fixed |E|; the evals counter should grow
+// linearly in |E| and (sub)linearly in n per event — the log-log slopes are
+// summarized by bench_scaling's regression too.
+#include <benchmark/benchmark.h>
+
+#include "hbct.h"
+
+namespace hbct {
+namespace {
+
+Computation make_comp(std::int32_t procs, std::int32_t events_per_proc,
+                      std::uint64_t seed) {
+  GenOptions opt;
+  opt.num_procs = procs;
+  opt.events_per_proc = events_per_proc;
+  opt.num_vars = 2;
+  opt.p_send = 0.25;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+void BM_eu_events(benchmark::State& state) {
+  const std::int32_t per = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(6, per, 5);
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < 6; ++i) ls.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+  auto p = make_conjunctive(std::move(ls));
+  PredicatePtr q =
+      make_and(all_channels_empty(), PredicatePtr(progress_ge(3, per / 2)));
+  DetectResult last;
+  for (auto _ : state) last = detect_eu(c, *p, *q);
+  state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
+  state.counters["E"] = static_cast<double>(c.total_events());
+}
+BENCHMARK(BM_eu_events)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_eu_procs(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(n, 960 / n, 7);
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < n; ++i) ls.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+  auto p = make_conjunctive(std::move(ls));
+  PredicatePtr q = make_and(all_channels_empty(),
+                            PredicatePtr(progress_ge(0, 960 / n / 2)));
+  DetectResult last;
+  for (auto _ : state) last = detect_eu(c, *p, *q);
+  state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
+}
+BENCHMARK(BM_eu_procs)->DenseRange(2, 10, 2)->Arg(16)->Arg(32);
+
+void BM_au_events(benchmark::State& state) {
+  const std::int32_t per = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(6, per, 9);
+  std::vector<LocalPredicatePtr> ps, qs;
+  for (ProcId i = 0; i < 6; ++i) {
+    ps.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+    qs.push_back(var_cmp(i, "v1", Cmp::kGe, 1));
+  }
+  auto p = make_disjunctive(std::move(ps));
+  auto q = make_disjunctive(std::move(qs));
+  DetectResult last;
+  for (auto _ : state) last = detect_au_disjunctive(c, *p, *q);
+  state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
+  state.counters["E"] = static_cast<double>(c.total_events());
+}
+BENCHMARK(BM_au_events)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_au_procs(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = make_comp(n, 960 / n, 15);
+  std::vector<LocalPredicatePtr> ps, qs;
+  for (ProcId i = 0; i < n; ++i) {
+    ps.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+    qs.push_back(var_cmp(i, "v1", Cmp::kGe, 1));
+  }
+  auto p = make_disjunctive(std::move(ps));
+  auto q = make_disjunctive(std::move(qs));
+  DetectResult last;
+  for (auto _ : state) last = detect_au_disjunctive(c, *p, *q);
+  state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
+}
+BENCHMARK(BM_au_procs)->DenseRange(2, 10, 2)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace hbct
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// The state-explosion motivation (Section 1): how fast |C(E)| grows, and
+// what it costs to build — the quantity every polynomial algorithm in this
+// library avoids.
+#include <benchmark/benchmark.h>
+
+#include "hbct.h"
+
+namespace hbct {
+namespace {
+
+void BM_grid_lattice_build(benchmark::State& state) {
+  // Independent processes: |C(E)| = (k+1)^n, the worst case.
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = generate_independent(n, 4);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    auto lat = Lattice::try_build(c, 1u << 22);
+    if (!lat) {
+      state.SkipWithError("over the node cap");
+      return;
+    }
+    nodes = lat->size();
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["E"] = static_cast<double>(c.total_events());
+}
+BENCHMARK(BM_grid_lattice_build)->DenseRange(2, 8, 1);
+
+void BM_random_lattice_build(benchmark::State& state) {
+  // Messages prune the lattice but growth in n stays exponential.
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  GenOptions opt;
+  opt.num_procs = n;
+  opt.events_per_proc = 6;
+  opt.p_send = 0.3;
+  opt.seed = 123;
+  Computation c = generate_random(opt);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    auto lat = Lattice::try_build(c, 1u << 22);
+    if (!lat) {
+      state.SkipWithError("over the node cap");
+      return;
+    }
+    nodes = lat->size();
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["E"] = static_cast<double>(c.total_events());
+}
+BENCHMARK(BM_random_lattice_build)->DenseRange(2, 9, 1);
+
+void BM_chain_lattice_build(benchmark::State& state) {
+  // The other extreme: fully sequential computations have |E|+1 cuts.
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = generate_chain(n, 6);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    Lattice lat = Lattice::build(c);
+    nodes = lat.size();
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_chain_lattice_build)->DenseRange(2, 9, 1);
+
+void BM_observation_count(benchmark::State& state) {
+  // Number of observations (maximal chains) — the other exponential the
+  // paper's path-based operators quantify over.
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  Computation c = generate_independent(n, 3);
+  std::string count;
+  for (auto _ : state) {
+    Lattice lat = Lattice::build(c, 1u << 22);
+    count = count_maximal_chains(lat).to_string();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetLabel("observations = " + count);
+}
+BENCHMARK(BM_observation_count)->DenseRange(2, 7, 1);
+
+}  // namespace
+}  // namespace hbct
+
+BENCHMARK_MAIN();

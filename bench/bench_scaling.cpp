@@ -1,0 +1,145 @@
+// Complexity regression: measures the empirical log-log slope of each
+// polynomial algorithm's operation count against |E| and n, checking the
+// paper's O(n|E|) claims without relying on wall-clock stability.
+//
+// This binary prints a table of slopes instead of per-iteration timings;
+// slopes near 1.0 over the |E| sweep confirm linear growth.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "hbct.h"
+
+namespace hbct {
+namespace {
+
+Computation make_comp(std::int32_t procs, std::int32_t events_per_proc,
+                      std::uint64_t seed) {
+  GenOptions opt;
+  opt.num_procs = procs;
+  opt.events_per_proc = events_per_proc;
+  opt.num_vars = 2;
+  opt.p_send = 0.25;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+PredicatePtr satisfied_linear(std::int32_t procs) {
+  // Satisfied at every cut (v0 stays within the generator's range and the
+  // channel bound is huge), and linear-but-not-conjunctive, so A1/A2 must
+  // do their full walks rather than exiting early or being special-cased.
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < procs; ++i) ls.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+  return make_and(make_conjunctive(std::move(ls)),
+                  channel_bound_le(0, procs > 1 ? 1 : 0, 1 << 20));
+}
+
+using Detector = std::function<DetectStats(const Computation&, std::int32_t)>;
+
+double events_slope(const Detector& run) {
+  std::vector<double> xs, ys;
+  for (std::int32_t per : {64, 128, 256, 512, 1024, 2048}) {
+    Computation c = make_comp(6, per, 3);
+    const DetectStats st = run(c, 6);
+    xs.push_back(static_cast<double>(c.total_events()));
+    ys.push_back(static_cast<double>(st.predicate_evals + st.cut_steps));
+  }
+  return loglog_slope(xs, ys);
+}
+
+double procs_slope(const Detector& run) {
+  std::vector<double> xs, ys;
+  for (std::int32_t n : {2, 4, 8, 16, 32}) {
+    Computation c = make_comp(n, 2048 / n, 5);
+    const DetectStats st = run(c, n);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(static_cast<double>(st.predicate_evals + st.cut_steps));
+  }
+  return loglog_slope(xs, ys);
+}
+
+struct Row {
+  const char* name;
+  Detector run;
+};
+
+const std::vector<Row>& rows() {
+  static const std::vector<Row> r = {
+      {"EF chase-garg (linear)",
+       [](const Computation& c, std::int32_t n) {
+         DetectStats st;
+         auto p = make_and(
+             make_conjunctive({var_cmp(0, "v0", Cmp::kEq, -1)}),  // never
+             all_channels_empty());
+         least_satisfying_cut(c, *p, st);  // full walk to exhaustion
+         (void)n;
+         return st;
+       }},
+      {"EG A1 (linear)",
+       [](const Computation& c, std::int32_t n) {
+         return detect_eg_linear(c, *satisfied_linear(n)).stats;
+       }},
+      {"AG A2 (linear)",
+       [](const Computation& c, std::int32_t n) {
+         return detect_ag_linear(c, *satisfied_linear(n)).stats;
+       }},
+      {"AF gw-strong (conjunctive)",
+       [](const Computation& c, std::int32_t n) {
+         std::vector<LocalPredicatePtr> ls;
+         for (ProcId i = 0; i < n; ++i)
+           ls.push_back(var_cmp(i, "v0", Cmp::kLe, 4));
+         return detect_af_conjunctive(c, *make_conjunctive(std::move(ls)))
+             .stats;
+       }},
+      {"EU A3 (conj, linear)",
+       [](const Computation& c, std::int32_t n) {
+         std::vector<LocalPredicatePtr> ls;
+         for (ProcId i = 0; i < n; ++i)
+           ls.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+         auto p = make_conjunctive(std::move(ls));
+         PredicatePtr q = make_and(
+             all_channels_empty(),
+             PredicatePtr(progress_ge(0, c.num_events(0) / 2)));
+         return detect_eu(c, *p, *q).stats;
+       }},
+      {"AU identity (disjunctive)",
+       [](const Computation& c, std::int32_t n) {
+         std::vector<LocalPredicatePtr> ps, qs;
+         for (ProcId i = 0; i < n; ++i) {
+           ps.push_back(var_cmp(i, "v0", Cmp::kLe, 9));
+           qs.push_back(var_cmp(i, "v1", Cmp::kGe, 1));
+         }
+         return detect_au_disjunctive(c, *make_disjunctive(std::move(ps)),
+                                      *make_disjunctive(std::move(qs)))
+             .stats;
+       }},
+  };
+  return r;
+}
+
+// Expose the slopes through google-benchmark so the harness run records
+// them; each "iteration" computes the full sweep once.
+void BM_slope_vs_events(benchmark::State& state) {
+  const Row& row = rows()[static_cast<std::size_t>(state.range(0))];
+  double slope = 0;
+  for (auto _ : state) slope = events_slope(row.run);
+  state.counters["loglog_slope"] = slope;
+  state.SetLabel(row.name);
+}
+BENCHMARK(BM_slope_vs_events)->DenseRange(0, 5, 1)->Iterations(1);
+
+void BM_slope_vs_procs(benchmark::State& state) {
+  const Row& row = rows()[static_cast<std::size_t>(state.range(0))];
+  double slope = 0;
+  for (auto _ : state) slope = procs_slope(row.run);
+  state.counters["loglog_slope"] = slope;
+  state.SetLabel(row.name);
+}
+BENCHMARK(BM_slope_vs_procs)->DenseRange(0, 5, 1)->Iterations(1);
+
+}  // namespace
+}  // namespace hbct
+
+BENCHMARK_MAIN();

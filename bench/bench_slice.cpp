@@ -1,0 +1,74 @@
+// Computation slicing cost: building the slice of a regular predicate and
+// answering membership queries from it, vs direct evaluation.
+#include <benchmark/benchmark.h>
+
+#include "hbct.h"
+
+namespace hbct {
+namespace {
+
+Computation make_comp(std::int32_t events_per_proc) {
+  GenOptions opt;
+  opt.num_procs = 6;
+  opt.events_per_proc = events_per_proc;
+  opt.p_send = 0.3;
+  opt.seed = 19;
+  return generate_random(opt);
+}
+
+void BM_slice_build(benchmark::State& state) {
+  Computation c = make_comp(static_cast<std::int32_t>(state.range(0)));
+  PredicatePtr p = all_channels_empty();
+  std::size_t elems = 0;
+  for (auto _ : state) {
+    Slice s = Slice::compute(c, p);
+    elems = s.elements().size();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["elements"] = static_cast<double>(elems);
+  state.counters["E"] = static_cast<double>(c.total_events());
+}
+BENCHMARK(BM_slice_build)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_slice_membership(benchmark::State& state) {
+  Computation c = make_comp(static_cast<std::int32_t>(state.range(0)));
+  PredicatePtr p = all_channels_empty();
+  Slice s = Slice::compute(c, p);
+  const Cut g = c.final_cut();
+  for (auto _ : state) {
+    bool in = s.satisfies(g);
+    benchmark::DoNotOptimize(in);
+  }
+}
+BENCHMARK(BM_slice_membership)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_direct_membership(benchmark::State& state) {
+  Computation c = make_comp(static_cast<std::int32_t>(state.range(0)));
+  PredicatePtr p = all_channels_empty();
+  const Cut g = c.final_cut();
+  for (auto _ : state) {
+    bool in = p->eval(c, g);
+    benchmark::DoNotOptimize(in);
+  }
+}
+BENCHMARK(BM_direct_membership)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_slice_conjunctive(benchmark::State& state) {
+  Computation c = make_comp(static_cast<std::int32_t>(state.range(0)));
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < 6; ++i) ls.push_back(var_cmp(i, "v0", Cmp::kLe, 7));
+  PredicatePtr p = make_conjunctive(std::move(ls));
+  std::size_t elems = 0;
+  for (auto _ : state) {
+    Slice s = Slice::compute(c, p);
+    elems = s.elements().size();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["elements"] = static_cast<double>(elems);
+}
+BENCHMARK(BM_slice_conjunctive)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace hbct
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Interactive debugging session over a recorded trace — the paper's
+// "debugging environment for the happened-before model" in miniature.
+//
+//   $ example_trace_generator dining_deadlocky 3 > run.trace
+//   $ example_debug_repl run.trace
+//   hbct> EF(waitr@P0 == 1 && waitr@P1 == 1 && waitr@P2 == 1 && waitr@P3 == 1)
+//   TRUE  [gw-weak-conjunctive]  witness <...>
+//   hbct> diagram
+//   hbct> stats
+//   hbct> classes cs@P0 == 1 && cs@P1 == 1
+//   hbct> quit
+//
+// Commands: any CTL query, `diagram`, `stats`, `vars`, `classes <state
+// formula>`, `help`, `quit`.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "hbct.h"
+
+using namespace hbct;
+
+namespace {
+
+void help() {
+  std::printf(
+      "commands:\n"
+      "  <ctl query>          evaluate, e.g. EF(x@P0 == 1 && y@P1 > 2)\n"
+      "  classes <formula>    predicate classes + algorithm dispatch map\n"
+      "  diagram              ASCII space-time diagram\n"
+      "  stats                concurrency metrics (height, width, ...)\n"
+      "  vars                 variable names\n"
+      "  help | quit\n");
+}
+
+void run_query(const Computation& c, const std::string& text) {
+  auto r = ctl::evaluate_query(c, text);
+  if (!r.ok) {
+    std::printf("error: %s\n", r.error.c_str());
+    return;
+  }
+  std::printf("%s  [%s, %llu evals]\n", r.result.holds ? "TRUE" : "FALSE",
+              r.algorithm.c_str(),
+              static_cast<unsigned long long>(r.result.stats.predicate_evals));
+  if (r.result.witness_cut)
+    std::printf("  witness cut %s\n", r.result.witness_cut->to_string().c_str());
+  if (!r.result.witness_path.empty()) {
+    std::printf("  witness path:");
+    for (const Cut& g : r.result.witness_path)
+      std::printf(" %s", g.to_string().c_str());
+    std::printf("\n");
+  }
+}
+
+void show_classes(const Computation& c, const std::string& text) {
+  auto parsed = ctl::parse_query(text);
+  if (!parsed.ok) {
+    std::printf("parse error: %s\n", parsed.error.c_str());
+    return;
+  }
+  if (parsed.query.temporal || ctl::contains_temporal(parsed.query.root)) {
+    std::printf("classes applies to state formulas (no temporal ops)\n");
+    return;
+  }
+  const std::string err = ctl::validate_query(c, parsed.query);
+  if (!err.empty()) {
+    std::printf("error: %s\n", err.c_str());
+    return;
+  }
+  auto compiled = ctl::compile_state(parsed.query.p);
+  if (!compiled.ok) {
+    std::printf("compile error: %s\n", compiled.error.c_str());
+    return;
+  }
+  std::printf("%s", to_string(classify(*compiled.pred, c)).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace-file|->\n", argv[0]);
+    return 64;
+  }
+
+  TraceParseResult parsed;
+  if (std::strcmp(argv[1], "-") == 0) {
+    parsed = read_trace(std::cin);
+    // Reopen the terminal for interaction when the trace came from a pipe.
+    if (!std::freopen("/dev/tty", "r", stdin)) {
+      std::fprintf(stderr, "cannot reopen tty for interactive input\n");
+      return 74;
+    }
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 66;
+    }
+    parsed = read_trace(in);
+  }
+  if (!parsed.ok) {
+    std::fprintf(stderr, "trace error: %s\n", parsed.error.c_str());
+    return 65;
+  }
+  const Computation& c = parsed.computation;
+  std::printf("loaded: %d processes, %lld events, %lld messages "
+              "(help for commands)\n",
+              c.num_procs(), static_cast<long long>(c.total_events()),
+              static_cast<long long>(c.num_messages()));
+
+  std::string line;
+  for (;;) {
+    std::printf("hbct> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string cmd(trim(line));
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      help();
+    } else if (cmd == "diagram") {
+      std::printf("%s", render_diagram(c).c_str());
+    } else if (cmd == "stats") {
+      std::printf("%s\n", analyze(c).to_string().c_str());
+    } else if (cmd == "vars") {
+      for (VarId v = 0; v < c.num_vars(); ++v)
+        std::printf("%s ", c.var_name(v).c_str());
+      std::printf("\n");
+    } else if (starts_with(cmd, "classes ")) {
+      show_classes(c, cmd.substr(8));
+    } else {
+      run_query(c, cmd);
+    }
+  }
+  return 0;
+}

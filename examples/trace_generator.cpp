@@ -1,0 +1,64 @@
+// Companion to example_trace_checker: generate workload traces.
+//
+//   $ example_trace_generator <workload> [seed] > out.trace
+//
+// Workloads: token_mutex token_mutex_buggy ra_mutex leader_election
+//            token_ring producer_consumer barrier mixer dining
+//            dining_deadlocky 2pc 2pc_buggy chandy_lamport abp
+//
+// Pipe into the checker:
+//   $ example_trace_generator 2pc_buggy 7 | \
+//     example_trace_checker - 'EF(vote@P1 == 0 && outcome@P1 == 1)'
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hbct.h"
+
+using namespace hbct;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <workload> [seed]\nworkloads: token_mutex "
+                 "token_mutex_buggy ra_mutex leader_election token_ring "
+                 "producer_consumer barrier mixer dining dining_deadlocky "
+                 "2pc 2pc_buggy chandy_lamport abp\n",
+                 argv[0]);
+    return 64;
+  }
+  const std::string kind = argv[1];
+  sim::SimOptions opt;
+  opt.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  sim::Simulator s = [&]() -> sim::Simulator {
+    if (kind == "token_mutex") return sim::make_token_mutex(4, 2, false);
+    if (kind == "token_mutex_buggy") return sim::make_token_mutex(4, 2, true);
+    if (kind == "ra_mutex") return sim::make_ra_mutex(4, 2);
+    if (kind == "leader_election") return sim::make_leader_election(6);
+    if (kind == "token_ring") return sim::make_token_ring(5, 3);
+    if (kind == "producer_consumer")
+      return sim::make_producer_consumer(12, 3);
+    if (kind == "barrier") return sim::make_barrier(4, 4);
+    if (kind == "mixer") return sim::make_random_mixer(4, 15, 2, 0.4);
+    if (kind == "dining") return sim::make_dining_philosophers(4, 2, true);
+    if (kind == "dining_deadlocky")
+      return sim::make_dining_philosophers(4, 2, false);
+    if (kind == "2pc") return sim::make_two_phase_commit(4, 3, 0.3, false);
+    if (kind == "2pc_buggy")
+      return sim::make_two_phase_commit(4, 3, 0.5, true);
+    if (kind == "chandy_lamport") return sim::make_chandy_lamport(4, 12, 5);
+    if (kind == "abp") return sim::make_alternating_bit(8, 0.5);
+    std::fprintf(stderr, "unknown workload '%s'\n", kind.c_str());
+    std::exit(64);
+  }();
+
+  Computation c = std::move(s).run(opt);
+  write_trace(std::cout, c);
+  std::fprintf(stderr, "# %s seed=%llu: %lld events, %lld messages\n",
+               kind.c_str(), static_cast<unsigned long long>(opt.seed),
+               static_cast<long long>(c.total_events()),
+               static_cast<long long>(c.num_messages()));
+  return 0;
+}

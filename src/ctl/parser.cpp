@@ -1,0 +1,413 @@
+#include "ctl/parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace hbct::ctl {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kEnd,
+    kIdent,    // variable names, keywords
+    kInt,
+    kLParen, kRParen, kLBracket, kRBracket,
+    kComma, kAt, kPlus, kMinus,
+    kNot, kAnd, kOr,
+    kCmp,      // one of < <= == != >= >
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::int64_t value = 0;
+  Cmp cmp = Cmp::kEq;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view s) : s_(s) {}
+
+  Token next() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
+      ++i_;
+    Token t;
+    t.pos = i_;
+    if (i_ >= s_.size()) return t;
+    const char c = s_[i_];
+    auto two = [&](char a, char b) {
+      return c == a && i_ + 1 < s_.size() && s_[i_ + 1] == b;
+    };
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i_;
+      while (j < s_.size() && std::isdigit(static_cast<unsigned char>(s_[j])))
+        ++j;
+      t.kind = Token::Kind::kInt;
+      t.text = std::string(s_.substr(i_, j - i_));
+      long long v = 0;
+      parse_int(t.text, v);
+      t.value = v;
+      i_ = j;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) || s_[j] == '_'))
+        ++j;
+      t.kind = Token::Kind::kIdent;
+      t.text = std::string(s_.substr(i_, j - i_));
+      i_ = j;
+      return t;
+    }
+    auto cmp_tok = [&](Cmp op, std::size_t len) {
+      t.kind = Token::Kind::kCmp;
+      t.cmp = op;
+      i_ += len;
+      return t;
+    };
+    if (two('<', '=')) return cmp_tok(Cmp::kLe, 2);
+    if (two('>', '=')) return cmp_tok(Cmp::kGe, 2);
+    if (two('=', '=')) return cmp_tok(Cmp::kEq, 2);
+    if (two('!', '=')) return cmp_tok(Cmp::kNe, 2);
+    if (c == '<') return cmp_tok(Cmp::kLt, 1);
+    if (c == '>') return cmp_tok(Cmp::kGt, 1);
+    if (two('&', '&')) { t.kind = Token::Kind::kAnd; i_ += 2; return t; }
+    if (two('|', '|')) { t.kind = Token::Kind::kOr; i_ += 2; return t; }
+    switch (c) {
+      case '(': t.kind = Token::Kind::kLParen; break;
+      case ')': t.kind = Token::Kind::kRParen; break;
+      case '[': t.kind = Token::Kind::kLBracket; break;
+      case ']': t.kind = Token::Kind::kRBracket; break;
+      case ',': t.kind = Token::Kind::kComma; break;
+      case '@': t.kind = Token::Kind::kAt; break;
+      case '+': t.kind = Token::Kind::kPlus; break;
+      case '-': t.kind = Token::Kind::kMinus; break;
+      case '!': t.kind = Token::Kind::kNot; break;
+      default:
+        t.kind = Token::Kind::kEnd;
+        t.text = std::string(1, c);
+        t.value = -1;  // marks an illegal character
+        break;
+    }
+    ++i_;
+    return t;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : lex_(s) { advance(); }
+
+  ParseResult run() {
+    ParseResult out;
+    Query q;
+    if (!parse_qry(q)) {
+      out.error = err_;
+      return out;
+    }
+    if (cur_.kind != Token::Kind::kEnd || cur_.value == -1) {
+      out.error = fail("unexpected trailing input");
+      return out;
+    }
+    out.ok = true;
+    out.query = std::move(q);
+    return out;
+  }
+
+ private:
+  void advance() { cur_ = lex_.next(); }
+
+  std::string fail(const std::string& msg) {
+    if (err_.empty()) err_ = strfmt("col %zu: %s", cur_.pos + 1, msg.c_str());
+    return err_;
+  }
+
+  bool expect(Token::Kind k, const char* what) {
+    if (cur_.kind != k) {
+      fail(std::string("expected ") + what);
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  bool parse_qry(Query& q) {
+    NodePtr root;
+    if (!parse_or(root)) return false;
+    q.root = root;
+    // When the root is a single temporal operator whose operands are
+    // temporal-free, expose the paper-fragment view for the dispatcher.
+    if (root->kind == Node::Kind::kTemporal &&
+        !contains_temporal(root->children[0]) &&
+        (root->children.size() < 2 || !contains_temporal(root->children[1]))) {
+      q.temporal = true;
+      q.op = root->op;
+      q.p = root->children[0];
+      if (root->children.size() == 2) q.q = root->children[1];
+    } else {
+      q.temporal = false;
+      q.p = root;
+    }
+    return true;
+  }
+
+  // state := and-chain ('||' and-chain)*
+  bool parse_or(NodePtr& out) {
+    NodePtr first;
+    if (!parse_and(first)) return false;
+    std::vector<NodePtr> parts{std::move(first)};
+    while (cur_.kind == Token::Kind::kOr) {
+      advance();
+      NodePtr next;
+      if (!parse_and(next)) return false;
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) {
+      out = std::move(parts[0]);
+      return true;
+    }
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kOr;
+    n->children = std::move(parts);
+    out = std::move(n);
+    return true;
+  }
+
+  bool parse_and(NodePtr& out) {
+    NodePtr first;
+    if (!parse_not(first)) return false;
+    std::vector<NodePtr> parts{std::move(first)};
+    while (cur_.kind == Token::Kind::kAnd) {
+      advance();
+      NodePtr next;
+      if (!parse_not(next)) return false;
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) {
+      out = std::move(parts[0]);
+      return true;
+    }
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kAnd;
+    n->children = std::move(parts);
+    out = std::move(n);
+    return true;
+  }
+
+  bool parse_not(NodePtr& out) {
+    if (cur_.kind == Token::Kind::kNot) {
+      advance();
+      NodePtr inner;
+      if (!parse_not(inner)) return false;
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kNot;
+      n->children.push_back(std::move(inner));
+      out = std::move(n);
+      return true;
+    }
+    return parse_primary(out);
+  }
+
+  bool parse_atom_tail(Atom& a, Sum lhs) {
+    a.lhs = std::move(lhs);
+    if (cur_.kind != Token::Kind::kCmp) {
+      fail("expected comparison operator");
+      return false;
+    }
+    a.op = cur_.cmp;
+    advance();
+    return parse_sum(a.rhs);
+  }
+
+  bool parse_primary(NodePtr& out) {
+    if (cur_.kind == Token::Kind::kLParen) {
+      advance();
+      if (!parse_or(out)) return false;
+      return expect(Token::Kind::kRParen, "')'");
+    }
+    if (cur_.kind == Token::Kind::kIdent) {
+      const std::string id = cur_.text;
+      if (id == "true" || id == "false") {
+        auto n = std::make_shared<Node>();
+        n->kind = id == "true" ? Node::Kind::kTrue : Node::Kind::kFalse;
+        advance();
+        out = std::move(n);
+        return true;
+      }
+      if (id == "channels_empty" || id == "terminated") {
+        auto n = std::make_shared<Node>();
+        n->kind = id == "channels_empty" ? Node::Kind::kChannelsEmpty
+                                         : Node::Kind::kTerminated;
+        advance();
+        out = std::move(n);
+        return true;
+      }
+      if (id == "EF" || id == "AF" || id == "EG" || id == "AG") {
+        advance();
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::kTemporal;
+        n->op = id == "EF"   ? Op::kEF
+                : id == "AF" ? Op::kAF
+                : id == "EG" ? Op::kEG
+                             : Op::kAG;
+        if (!expect(Token::Kind::kLParen, "'('")) return false;
+        NodePtr child;
+        if (!parse_or(child)) return false;
+        if (!expect(Token::Kind::kRParen, "')'")) return false;
+        n->children.push_back(std::move(child));
+        out = std::move(n);
+        return true;
+      }
+      if (id == "E" || id == "A") {
+        advance();
+        if (cur_.kind != Token::Kind::kLBracket) {
+          fail("expected '[' after E/A (or a full variable reference)");
+          return false;
+        }
+        advance();
+        auto n = std::make_shared<Node>();
+        n->kind = Node::Kind::kTemporal;
+        n->op = id == "E" ? Op::kEU : Op::kAU;
+        NodePtr p, q;
+        if (!parse_or(p)) return false;
+        if (cur_.kind != Token::Kind::kIdent || cur_.text != "U") {
+          fail("expected 'U'");
+          return false;
+        }
+        advance();
+        if (!parse_or(q)) return false;
+        if (!expect(Token::Kind::kRBracket, "']'")) return false;
+        n->children.push_back(std::move(p));
+        n->children.push_back(std::move(q));
+        out = std::move(n);
+        return true;
+      }
+      // An atom whose first term starts with this identifier.
+      advance();
+      Term first;
+      if (!parse_term_tail(id, first)) return false;
+      Sum lhs;
+      lhs.terms.emplace_back(1, std::move(first));
+      if (!parse_sum_rest(lhs)) return false;
+      Atom a;
+      if (!parse_atom_tail(a, std::move(lhs))) return false;
+      auto n = std::make_shared<Node>();
+      n->kind = Node::Kind::kAtom;
+      n->atom = std::move(a);
+      out = std::move(n);
+      return true;
+    }
+    // Otherwise an arithmetic atom starting with a number or sign.
+    Sum lhs;
+    if (!parse_sum(lhs)) return false;
+    Atom a;
+    if (!parse_atom_tail(a, std::move(lhs))) return false;
+    auto n = std::make_shared<Node>();
+    n->kind = Node::Kind::kAtom;
+    n->atom = std::move(a);
+    out = std::move(n);
+    return true;
+  }
+
+  bool parse_sum(Sum& out) {
+    int coef = 1;
+    if (cur_.kind == Token::Kind::kMinus) {
+      coef = -1;
+      advance();
+    } else if (cur_.kind == Token::Kind::kPlus) {
+      advance();
+    }
+    Term t;
+    if (!parse_term(t)) return false;
+    out.terms.emplace_back(coef, std::move(t));
+    return parse_sum_rest(out);
+  }
+
+  /// Continues a sum after its first term is already in `out`.
+  bool parse_sum_rest(Sum& out) {
+    while (cur_.kind == Token::Kind::kPlus ||
+           cur_.kind == Token::Kind::kMinus) {
+      const int coef = cur_.kind == Token::Kind::kPlus ? 1 : -1;
+      advance();
+      Term next;
+      if (!parse_term(next)) return false;
+      out.terms.emplace_back(coef, std::move(next));
+    }
+    return true;
+  }
+
+  bool parse_proc_ref(ProcId& out) {
+    // 'P'<int> or a bare integer.
+    if (cur_.kind == Token::Kind::kInt) {
+      out = static_cast<ProcId>(cur_.value);
+      advance();
+      return true;
+    }
+    if (cur_.kind == Token::Kind::kIdent && cur_.text.size() >= 2 &&
+        cur_.text[0] == 'P') {
+      long long v = 0;
+      if (parse_int(std::string_view(cur_.text).substr(1), v)) {
+        out = static_cast<ProcId>(v);
+        advance();
+        return true;
+      }
+    }
+    fail("expected process reference (P<k> or integer)");
+    return false;
+  }
+
+  bool parse_term(Term& out) {
+    if (cur_.kind == Token::Kind::kInt) {
+      out.kind = Term::Kind::kConst;
+      out.value = cur_.value;
+      advance();
+      return true;
+    }
+    if (cur_.kind != Token::Kind::kIdent) {
+      fail("expected term");
+      return false;
+    }
+    const std::string id = cur_.text;
+    advance();
+    return parse_term_tail(id, out);
+  }
+
+  /// Term parsing when the leading identifier has been consumed already.
+  bool parse_term_tail(const std::string& id, Term& out) {
+    if (id == "pos") {
+      if (!expect(Token::Kind::kLParen, "'('")) return false;
+      out.kind = Term::Kind::kPos;
+      if (!parse_proc_ref(out.proc)) return false;
+      return expect(Token::Kind::kRParen, "')'");
+    }
+    if (id == "intransit") {
+      if (!expect(Token::Kind::kLParen, "'('")) return false;
+      out.kind = Term::Kind::kInTransit;
+      if (!parse_proc_ref(out.from)) return false;
+      if (!expect(Token::Kind::kComma, "','")) return false;
+      if (!parse_proc_ref(out.to)) return false;
+      return expect(Token::Kind::kRParen, "')'");
+    }
+    // Variable reference: <name> '@' P<k>.
+    out.kind = Term::Kind::kVar;
+    out.var = id;
+    if (!expect(Token::Kind::kAt, "'@' after variable name")) return false;
+    return parse_proc_ref(out.proc);
+  }
+
+  Lexer lex_;
+  Token cur_;
+  std::string err_;
+};
+
+}  // namespace
+
+ParseResult parse_query(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace hbct::ctl

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the textual CTL fragment.
+//
+// Examples of accepted queries:
+//   EG(x@P0 < 4 && z@P2 < 6)
+//   E[ z@P2 < 6 && x@P0 < 4  U  channels_empty && x@P0 > 1 ]
+//   AG(intransit(0,1) <= 2)
+//   A[ try@P1 == 1 U critical@P1 == 1 ]
+//   x@P0 + x@P1 <= 5
+//
+// Parsing never throws; errors carry the offending position.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ctl/formula.h"
+
+namespace hbct::ctl {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  // "col 12: expected ')'"
+  Query query;        // valid when ok
+};
+
+ParseResult parse_query(std::string_view text);
+
+}  // namespace hbct::ctl

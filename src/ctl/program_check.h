@@ -1,0 +1,48 @@
+// Program-level checking — the footnote of Section 3: "a distributed
+// program P satisfies a CTL formula p if and only if L ⊨ p for each L in P".
+//
+// A program here is anything that produces computations from seeds (in
+// practice: a simulator workload under different schedules). check_program
+// evaluates one query over every produced computation and aggregates:
+// the program satisfies the query iff no run refutes it; refuting seeds are
+// reported so the failing schedule can be replayed and debugged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ctl/compile.h"
+
+namespace hbct::ctl {
+
+struct ProgramCheckResult {
+  /// True when every run satisfied the query.
+  bool holds = true;
+  /// Runs executed (== seeds.size() unless a query error aborted early).
+  std::size_t runs = 0;
+  /// Seeds whose computation refuted the query.
+  std::vector<std::uint64_t> failing_seeds;
+  /// Parse/validation error, if any (empty otherwise; holds is then false).
+  std::string error;
+  /// Aggregated detection work across all runs.
+  DetectStats stats;
+};
+
+/// Evaluates `query` on run(seed) for every seed. The query is parsed once;
+/// validation happens against the first computation (all runs of one
+/// program share the variable/process layout).
+ProgramCheckResult check_program(
+    const std::function<Computation(std::uint64_t)>& run,
+    std::span<const std::uint64_t> seeds, std::string_view query,
+    const DispatchOptions& opt = {});
+
+/// Convenience: seeds 1..n.
+ProgramCheckResult check_program(
+    const std::function<Computation(std::uint64_t)>& run, std::size_t n,
+    std::string_view query, const DispatchOptions& opt = {});
+
+}  // namespace hbct::ctl

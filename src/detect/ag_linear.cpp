@@ -1,0 +1,54 @@
+#include "detect/ag_linear.h"
+
+namespace hbct {
+
+DetectResult detect_ag_linear(const Computation& c, const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "A2-ag-linear";
+  CountingEval eval(p, c, r.stats);
+
+  // Step 1: V = M(L) ∪ {E}.
+  const Cut final = c.final_cut();
+  if (!eval(final)) {
+    r.witness_cut = final;
+    return r;
+  }
+  for (ProcId i = 0; i < c.num_procs(); ++i) {
+    for (EventIndex k = 1; k <= c.num_events(i); ++k) {
+      Cut m = c.meet_irreducible_of(i, k);
+      ++r.stats.cut_steps;
+      if (!eval(m)) {  // Step 2
+        r.witness_cut = std::move(m);
+        return r;
+      }
+    }
+  }
+  r.holds = true;
+  return r;
+}
+
+DetectResult detect_ag_post_linear(const Computation& c, const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "A2-ag-post-linear";
+  CountingEval eval(p, c, r.stats);
+
+  const Cut initial = c.initial_cut();
+  if (!eval(initial)) {
+    r.witness_cut = initial;
+    return r;
+  }
+  for (ProcId i = 0; i < c.num_procs(); ++i) {
+    for (EventIndex k = 1; k <= c.num_events(i); ++k) {
+      Cut j = c.join_irreducible_of(i, k);
+      ++r.stats.cut_steps;
+      if (!eval(j)) {
+        r.witness_cut = std::move(j);
+        return r;
+      }
+    }
+  }
+  r.holds = true;
+  return r;
+}
+
+}  // namespace hbct

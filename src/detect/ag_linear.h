@@ -1,0 +1,25 @@
+// Algorithm A2 (Fig. 1): AG(p) — invariant: p — for linear predicates.
+//
+// By Birkhoff's representation theorem every consistent cut except the final
+// cut is the meet of the meet-irreducible cuts above it (Corollary 4), and
+// for a linear (meet-closed) predicate truth at the meet-irreducibles
+// implies truth at all their meets. So AG(p) ⟺ p holds at every
+// M(e) = E \ up-set(e) and at the final cut: |E| + 1 evaluations. The
+// meet-irreducibles come straight from the reverse vector clocks in O(n|E|)
+// (improving on the O(n^2|E|) slicing route the paper cites).
+//
+// The dual detects post-linear predicates on the join-irreducibles
+// J(e) = down-set(e) plus the initial cut.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace hbct {
+
+/// AG(p) for linear p. On failure witness_cut is a violating cut.
+DetectResult detect_ag_linear(const Computation& c, const Predicate& p);
+
+/// AG(p) for post-linear p (join-irreducibles + initial cut).
+DetectResult detect_ag_post_linear(const Computation& c, const Predicate& p);
+
+}  // namespace hbct

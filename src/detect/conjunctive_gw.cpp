@@ -1,0 +1,190 @@
+#include "detect/conjunctive_gw.h"
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+DetectResult detect_ef_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p) {
+  DetectResult r;
+  r.algorithm = "gw-weak-conjunctive";
+  const std::int32_t n = c.num_procs();
+
+  // first_true[i](x) = least position >= x where conjunct i holds, or -1.
+  auto first_true = [&](ProcId i, EventIndex from) -> EventIndex {
+    for (EventIndex pos = from; pos <= c.num_events(i); ++pos) {
+      ++r.stats.predicate_evals;
+      if (p.eval_local(c, i, pos)) return pos;
+    }
+    return -1;
+  };
+
+  Cut cand(sz(n));
+  for (ProcId i = 0; i < n; ++i) {
+    const EventIndex pos = first_true(i, 0);
+    if (pos < 0) return r;  // conjunct i never holds
+    cand[sz(i)] = pos;
+  }
+
+  // Repair consistency: if the candidate event on process i has seen more
+  // events of process j than cand[j], process j's candidate must advance to
+  // the next true position at or after that clock entry. Each repair strictly
+  // advances one position, so the loop takes at most |E| repairs.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcId i = 0; i < n && !changed; ++i) {
+      if (cand[sz(i)] == 0) continue;
+      const VClock& vc = c.vclock(i, cand[sz(i)]);
+      for (ProcId j = 0; j < n; ++j) {
+        if (j == i || vc[sz(j)] <= cand[sz(j)]) continue;
+        const EventIndex pos = first_true(j, vc[sz(j)]);
+        if (pos < 0) return r;  // no consistent position remains for j
+        ++r.stats.cut_steps;
+        cand[sz(j)] = pos;
+        changed = true;
+        break;
+      }
+    }
+  }
+  HBCT_DASSERT(c.is_consistent(cand));
+  r.holds = true;
+  r.witness_cut = std::move(cand);
+  return r;
+}
+
+namespace {
+
+/// Shared scan: finds a violating (process, position) or reports all-true.
+/// Every local evaluation is counted in st.
+std::optional<std::pair<ProcId, EventIndex>> find_false_position(
+    const Computation& c, const ConjunctivePredicate& p, DetectStats& st) {
+  for (const auto& local : p.locals()) {
+    const ProcId i = local->proc();
+    HBCT_ASSERT_MSG(i < c.num_procs(),
+                    "conjunct references a process outside the computation");
+    for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+      ++st.predicate_evals;
+      if (!local->eval_local(c, pos)) return std::make_pair(i, pos);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DetectResult detect_eg_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p) {
+  DetectResult r;
+  r.algorithm = "eg-conjunctive-scan";
+  if (find_false_position(c, p, r.stats)) return r;
+  r.holds = true;
+  // Any maximal cut sequence is a witness; use the canonical linearization.
+  Cut g = c.initial_cut();
+  r.witness_path.push_back(g);
+  for (const EventId& e : c.linearization()) {
+    ++g[sz(e.proc)];
+    r.witness_path.push_back(g);
+  }
+  return r;
+}
+
+DetectResult detect_ag_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p) {
+  DetectResult r;
+  r.algorithm = "ag-conjunctive-scan";
+  if (auto bad = find_false_position(c, p, r.stats)) {
+    // A consistent cut exhibiting the violation: the least cut placing the
+    // process at the bad position (J(e) for pos >= 1, initial cut else).
+    auto [i, pos] = *bad;
+    r.witness_cut = pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);
+    return r;
+  }
+  r.holds = true;
+  return r;
+}
+
+DetectResult detect_af_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p) {
+  // Garg–Waldecker strong conjunctive detection, reformulated as the search
+  // for an *unavoidable box*: one true-interval X_i = [a_i, b_i] per process
+  // such that for every ordered pair (i, j) entering X_j is forced before
+  // exiting X_i — i.e. (j, a_j) happened-before (i, b_i + 1), with the
+  // boundary conventions a_j == 0 (entered from the start) and b_i == N_i
+  // (exit impossible) counting as forced. Every maximal cut sequence then
+  // passes a cut inside the box, where all conjuncts hold, so AF(p) is true.
+  // Conversely (GW96) if no such box exists some sequence avoids p.
+  //
+  // Greedy search: keep the earliest candidate interval per process; a
+  // violated pair (i, j) can never be fixed by later intervals of j (their
+  // entries only move later, making "entered before exit of X_i" harder),
+  // so advance process i's candidate. O(n^2 * #intervals) clock tests.
+  DetectResult r;
+  r.algorithm = "gw-strong-conjunctive";
+  const std::int32_t n = c.num_procs();
+
+  struct Iv {
+    EventIndex a, b;
+  };
+  std::vector<std::vector<Iv>> ivs(static_cast<std::size_t>(n));
+  for (ProcId i = 0; i < n; ++i) {
+    const LocalPredicate* local = p.local_for(i);
+    if (local == nullptr) {
+      // No conjunct on i: vacuously true everywhere.
+      ivs[static_cast<std::size_t>(i)].push_back(Iv{0, c.num_events(i)});
+      continue;
+    }
+    EventIndex run = -1;
+    for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+      ++r.stats.predicate_evals;
+      const bool t = local->eval_local(c, pos);
+      if (t && run < 0) run = pos;
+      if (!t && run >= 0) {
+        ivs[static_cast<std::size_t>(i)].push_back(Iv{run, pos - 1});
+        run = -1;
+      }
+    }
+    if (run >= 0)
+      ivs[static_cast<std::size_t>(i)].push_back(Iv{run, c.num_events(i)});
+    if (ivs[static_cast<std::size_t>(i)].empty()) return r;  // conjunct never true
+  }
+
+  std::vector<std::size_t> cand(static_cast<std::size_t>(n), 0);
+  auto interval = [&](ProcId i) -> const Iv& {
+    return ivs[static_cast<std::size_t>(i)][cand[static_cast<std::size_t>(i)]];
+  };
+  // Forced "enter X_j before exit X_i" test.
+  auto forced = [&](ProcId i, ProcId j) {
+    const Iv& xi = interval(i);
+    const Iv& xj = interval(j);
+    if (xj.a == 0) return true;                // entered from the start
+    if (xi.b == c.num_events(i)) return true;  // exit impossible
+    return c.vclock(i, xi.b + 1)[static_cast<std::size_t>(j)] >= xj.a;
+  };
+
+  for (;;) {
+    ProcId bad = -1;
+    for (ProcId i = 0; i < n && bad < 0; ++i)
+      for (ProcId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (!forced(i, j)) {
+          bad = i;
+          break;
+        }
+      }
+    if (bad < 0) {
+      r.holds = true;  // unavoidable box found
+      return r;
+    }
+    ++r.stats.cut_steps;
+    if (++cand[static_cast<std::size_t>(bad)] >=
+        ivs[static_cast<std::size_t>(bad)].size())
+      return r;  // process exhausted: no unavoidable box, AF(p) is false
+  }
+}
+
+}  // namespace hbct

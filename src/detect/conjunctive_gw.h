@@ -1,0 +1,43 @@
+// Detection of conjunctive predicates (Garg–Waldecker and consequences).
+//
+//  EF — the weak-conjunctive algorithm: per-process candidate positions
+//       advanced by vector-clock consistency violations until the least
+//       satisfying cut is found. Independent of (and cross-checked against)
+//       the Chase–Garg linear route.
+//  EG/AG — for conjunctive p both collapse to "every conjunct holds at every
+//       local position": any maximal cut sequence drives every process
+//       through every local position, so one false position kills EG; and
+//       every local position occurs in some consistent cut (J(e)), so one
+//       false position kills AG too. O(|E|) local evaluations. This scan is
+//       the O(|E|) step the paper's A3 cites from the slicing literature.
+//  AF — Garg–Waldecker strong conjunctive detection: AF(p) holds iff an
+//       *unavoidable box* of true-intervals exists (one interval per
+//       process, with every pair forced to overlap in every execution).
+//       The disjunctive EG detector is its dual (EG(q) = ¬AF(¬q)).
+#pragma once
+
+#include "detect/detector.h"
+#include "predicate/conjunctive.h"
+
+namespace hbct {
+
+/// EF(p): least cut where every conjunct holds; Garg–Waldecker weak
+/// conjunctive detection. witness_cut = the least satisfying cut.
+DetectResult detect_ef_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p);
+
+/// EG(p) for conjunctive p: all-local-positions scan; witness_path is the
+/// canonical linearization when it holds.
+DetectResult detect_eg_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p);
+
+/// AG(p) for conjunctive p: same scan; witness_cut = J(e) of a violating
+/// local position when it fails.
+DetectResult detect_ag_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p);
+
+/// AF(p) — definitely: p — via the unavoidable-box search (GW96).
+DetectResult detect_af_conjunctive(const Computation& c,
+                                   const ConjunctivePredicate& p);
+
+}  // namespace hbct

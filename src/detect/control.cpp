@@ -1,0 +1,39 @@
+#include "detect/control.h"
+
+#include "detect/eg_linear.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+std::vector<EventId> schedule_from_path(const Computation& c,
+                                        const std::vector<Cut>& path) {
+  std::vector<EventId> out;
+  HBCT_ASSERT_MSG(!path.empty() && path.front() == c.initial_cut(),
+                  "schedule must start at the initial cut");
+  out.reserve(path.size() - 1);
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const Cut& prev = path[k - 1];
+    const Cut& next = path[k];
+    HBCT_ASSERT_MSG(next.total() == prev.total() + 1,
+                    "path steps must add exactly one event");
+    ProcId moved = -1;
+    for (ProcId i = 0; i < c.num_procs(); ++i) {
+      const auto d = next[static_cast<std::size_t>(i)] -
+                     prev[static_cast<std::size_t>(i)];
+      if (d == 0) continue;
+      HBCT_ASSERT_MSG(d == 1 && moved < 0, "path steps must be covers");
+      moved = i;
+    }
+    out.push_back(EventId{moved, next[static_cast<std::size_t>(moved)]});
+  }
+  return out;
+}
+
+std::vector<EventId> control_schedule(const Computation& c,
+                                      const Predicate& p) {
+  DetectResult r = detect_eg_linear(c, p);
+  if (!r.holds) return {};
+  return schedule_from_path(c, r.witness_path);
+}
+
+}  // namespace hbct

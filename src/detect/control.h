@@ -1,0 +1,25 @@
+// Predicate control (the Tarafdar–Garg reading of EG):
+// EG(p) — "controllable: p" — holds exactly when a controller that decides
+// the order of events can keep p true for the whole execution. A1's witness
+// path is that controller's schedule; this helper extracts it as the exact
+// sequence of events to release.
+#pragma once
+
+#include <vector>
+
+#include "detect/detector.h"
+
+namespace hbct {
+
+/// Converts a witness path (consecutive cuts, each extending the previous
+/// by one event) into the event schedule a controller enforces. Aborts if
+/// the path is not a valid cover chain from the initial cut.
+std::vector<EventId> schedule_from_path(const Computation& c,
+                                        const std::vector<Cut>& path);
+
+/// Convenience: EG(p) for linear p, returning the enforcing schedule when
+/// controllable (empty otherwise).
+std::vector<EventId> control_schedule(const Computation& c,
+                                      const Predicate& p);
+
+}  // namespace hbct

@@ -1,0 +1,56 @@
+// Common result types for the detection algorithms.
+//
+// Every detector returns a DetectResult: the verdict, which algorithm ran,
+// operation counts (see util/stats.h) and — where the algorithm naturally
+// produces one — a witness: a satisfying cut for EF, a path of cuts for
+// EG/EU, a violating cut for failed AG.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poset/computation.h"
+#include "poset/cut.h"
+#include "predicate/predicate.h"
+#include "util/stats.h"
+
+namespace hbct {
+
+/// The CTL operators of the paper's fragment.
+enum class Op { kEF, kAF, kEG, kAG, kEU, kAU };
+
+const char* to_string(Op op);
+
+struct DetectResult {
+  bool holds = false;
+  /// Name of the algorithm that produced the verdict ("A1", "chase-garg",
+  /// "brute-eg", ...).
+  std::string algorithm;
+  DetectStats stats;
+  /// EF/A3: the (least) satisfying cut. AG: a violating cut when !holds.
+  std::optional<Cut> witness_cut;
+  /// EG/EU: a sequence of cuts from the initial cut witnessing the verdict
+  /// (empty when not applicable or !holds).
+  std::vector<Cut> witness_path;
+};
+
+/// Predicate evaluation with op counting; all detectors evaluate through
+/// this helper so stats are comparable across algorithms.
+class CountingEval {
+ public:
+  CountingEval(const Predicate& p, const Computation& c, DetectStats& st)
+      : p_(p), c_(c), st_(st) {}
+
+  bool operator()(const Cut& g) const {
+    ++st_.predicate_evals;
+    return p_.eval(c_, g);
+  }
+
+ private:
+  const Predicate& p_;
+  const Computation& c_;
+  DetectStats& st_;
+};
+
+}  // namespace hbct

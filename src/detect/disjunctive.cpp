@@ -1,0 +1,66 @@
+#include "detect/disjunctive.h"
+
+#include <algorithm>
+
+#include "detect/conjunctive_gw.h"
+#include "detect/ef_linear.h"
+#include "predicate/conjunctive.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+DetectResult detect_ef_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p) {
+  DetectResult r;
+  r.algorithm = "ef-disjunctive-scan";
+  for (const auto& local : p.locals()) {
+    const ProcId i = local->proc();
+    if (i >= c.num_procs()) continue;
+    for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+      ++r.stats.predicate_evals;
+      if (local->eval_local(c, pos)) {
+        r.holds = true;
+        r.witness_cut =
+            pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+DetectResult detect_af_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p) {
+  DetectResult r = detect_ef_disjunctive(c, p);
+  r.algorithm = "af-disjunctive = ef (observer-independent)";
+  return r;
+}
+
+DetectResult detect_eg_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p) {
+  // EG(q) = ¬AF(¬q): some path keeps q true everywhere iff the negated
+  // conjunctive predicate does not *definitely* hold (Garg–Waldecker
+  // unavoidable-box search, see detect_af_conjunctive).
+  auto notp = as_conjunctive(p.negate());
+  HBCT_ASSERT(notp);
+  DetectResult inner = detect_af_conjunctive(c, *notp);
+  DetectResult r;
+  r.algorithm = "eg-disjunctive = !af-conjunctive(!p)";
+  r.stats = inner.stats;
+  r.holds = !inner.holds;
+  return r;
+}
+
+DetectResult detect_ag_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p) {
+  auto notp = as_conjunctive(p.negate());
+  HBCT_ASSERT(notp);
+  DetectResult r;
+  r.algorithm = "ag-disjunctive = !ef-conjunctive(!p)";
+  auto bad = least_satisfying_cut(c, *notp, r.stats);
+  r.holds = !bad.has_value();
+  if (bad) r.witness_cut = std::move(*bad);
+  return r;
+}
+
+}  // namespace hbct

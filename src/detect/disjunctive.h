@@ -1,0 +1,40 @@
+// Detection of disjunctive predicates.
+//
+//  EF — position scan: some disjunct holds at some local position (every
+//       local position occurs in a consistent cut).
+//  AF — disjunctive predicates are observer-independent, so AF ⟺ EF.
+//  EG — interval-chain search: a maximal cut sequence on which "some
+//       disjunct always holds" exists iff there is a chain of true-intervals
+//       (maximal runs of positions where one disjunct holds) that starts at
+//       an interval containing position 0, ends at an interval containing a
+//       process's final position, and where the path can switch from holding
+//       interval I = (i, [a,b]) to J = (j, [c,d]) — possible iff event
+//       (j, c) does not causally require event (i, b+1). Reachability is
+//       computed as a fixpoint over per-process hold bounds.
+//  AG — ¬EF(¬p) with ¬p conjunctive (Chase–Garg).
+#pragma once
+
+#include "detect/detector.h"
+#include "predicate/disjunctive.h"
+
+namespace hbct {
+
+/// EF(p) for disjunctive p. witness_cut = least cut J(e) making a disjunct
+/// true (or the initial cut).
+DetectResult detect_ef_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p);
+
+/// AF(p) ⟺ EF(p) (observer independence).
+DetectResult detect_af_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p);
+
+/// EG(p) via the true-interval chain fixpoint. Polynomial in the number of
+/// true-intervals (≤ |E| + n).
+DetectResult detect_eg_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p);
+
+/// AG(p) = ¬EF(¬p) via Chase–Garg on the conjunctive negation.
+DetectResult detect_ag_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p);
+
+}  // namespace hbct

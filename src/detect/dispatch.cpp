@@ -1,0 +1,161 @@
+#include "detect/dispatch.h"
+
+#include <algorithm>
+
+#include "detect/ag_linear.h"
+#include "detect/conjunctive_gw.h"
+#include "detect/disjunctive.h"
+#include "detect/ef_linear.h"
+#include "detect/eg_linear.h"
+#include "detect/until.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
+                          const DispatchOptions& opt) {
+  const ClassSet cls = effective_classes(*p, c);
+  const auto conj = as_conjunctive(p);
+  const auto disj = as_disjunctive(p);
+
+  if (cls & kClassStable) return detect_stable(c, *p, op);
+
+  switch (op) {
+    case Op::kEF:
+      if (disj) return detect_ef_disjunctive(c, *disj);
+      if (conj) return detect_ef_conjunctive(c, *conj);
+      if (cls & kClassLinear) return detect_ef_linear(c, *p);
+      if (cls & kClassPostLinear) return detect_ef_post_linear(c, *p);
+      if (cls & kClassObserverIndependent)
+        return detect_ef_observer_independent(c, *p);
+      break;
+    case Op::kAF:
+      if (disj) return detect_af_disjunctive(c, *disj);
+      if (conj) return detect_af_conjunctive(c, *conj);
+      if (cls & kClassObserverIndependent) {
+        DetectResult r = detect_ef_observer_independent(c, *p);
+        r.algorithm += " (af == ef)";
+        return r;
+      }
+      break;
+    case Op::kEG:
+      if (conj) return detect_eg_conjunctive(c, *conj);
+      if (disj) return detect_eg_disjunctive(c, *disj);
+      if (cls & kClassLinear) return detect_eg_linear(c, *p);
+      if (cls & kClassPostLinear) return detect_eg_post_linear(c, *p);
+      break;
+    case Op::kAG:
+      if (conj) return detect_ag_conjunctive(c, *conj);
+      if (disj) return detect_ag_disjunctive(c, *disj);
+      if (cls & kClassLinear) return detect_ag_linear(c, *p);
+      if (cls & kClassPostLinear) return detect_ag_post_linear(c, *p);
+      break;
+    default:
+      HBCT_ASSERT_MSG(false, "detect_unary called with EU/AU");
+  }
+
+  // Distributive laws before the exponential fallback: EF over top-level
+  // disjunctions and AG over top-level conjunctions recurse into the
+  // operands, keeping e.g. DNF-of-comparisons polynomial.
+  if (op == Op::kEF) {
+    const auto parts = p->disjuncts();
+    if (!parts.empty()) {
+      DetectResult r;
+      r.algorithm = "ef-or-split";
+      for (const auto& part : parts) {
+        DetectResult sub = detect_unary(c, Op::kEF, part, opt);
+        r.stats += sub.stats;
+        if (sub.holds) {
+          r.holds = true;
+          r.witness_cut = std::move(sub.witness_cut);
+          break;
+        }
+      }
+      return r;
+    }
+  }
+  if (op == Op::kAG) {
+    const auto parts = p->conjuncts();
+    if (!parts.empty()) {
+      DetectResult r;
+      r.algorithm = "ag-and-split";
+      r.holds = true;
+      for (const auto& part : parts) {
+        DetectResult sub = detect_unary(c, Op::kAG, part, opt);
+        r.stats += sub.stats;
+        if (!sub.holds) {
+          r.holds = false;
+          r.witness_cut = std::move(sub.witness_cut);
+          break;
+        }
+      }
+      return r;
+    }
+  }
+
+  HBCT_ASSERT_MSG(opt.allow_exponential,
+                  "no polynomial algorithm for this predicate class and "
+                  "exponential fallback is disabled");
+  switch (op) {
+    case Op::kEF: return detect_ef_dfs(c, *p, opt.limits);
+    case Op::kAF: return detect_af_dfs(c, *p, opt.limits);
+    case Op::kEG: return detect_eg_dfs(c, *p, opt.limits);
+    default: return detect_ag_dfs(c, *p, opt.limits);
+  }
+}
+
+}  // namespace
+
+DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
+                    const PredicatePtr& q, const DispatchOptions& opt) {
+  HBCT_ASSERT(p);
+  if (op != Op::kEU && op != Op::kAU) return detect_unary(c, op, p, opt);
+
+  HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
+  if (op == Op::kEU) {
+    const auto conj = as_conjunctive(p);
+    if (conj && (effective_classes(*q, c) & kClassLinear))
+      return detect_eu(c, *conj, *q);
+    // Distribute over a disjunctive second operand:
+    // E[p U (q1 ∨ q2)] = E[p U q1] ∨ E[p U q2].
+    if (conj) {
+      const auto parts = q->disjuncts();
+      if (!parts.empty() &&
+          std::all_of(parts.begin(), parts.end(), [&](const PredicatePtr& s) {
+            return (effective_classes(*s, c) & kClassLinear) != 0;
+          })) {
+        DetectResult r;
+        r.algorithm = "eu-or-split(A3)";
+        for (const auto& part : parts) {
+          DetectResult sub = detect_eu(c, *conj, *part);
+          r.stats += sub.stats;
+          if (sub.holds) {
+            r.holds = true;
+            r.witness_cut = std::move(sub.witness_cut);
+            r.witness_path = std::move(sub.witness_path);
+            break;
+          }
+        }
+        return r;
+      }
+    }
+    HBCT_ASSERT_MSG(opt.allow_exponential,
+                    "E[p U q] needs p conjunctive and q linear for the "
+                    "polynomial algorithm");
+    return detect_eu_dfs(c, *p, *q, opt.limits);
+  }
+
+  const auto dp = as_disjunctive(p);
+  const auto dq = as_disjunctive(q);
+  if (dp && dq) return detect_au_disjunctive(c, *dp, *dq);
+  HBCT_ASSERT_MSG(opt.allow_exponential,
+                  "A[p U q] needs p, q disjunctive for the polynomial "
+                  "algorithm");
+  return detect_au_dfs(c, p, q, opt.limits);
+}
+
+}  // namespace hbct

@@ -1,0 +1,27 @@
+// The front door of the library: class-aware algorithm dispatch.
+//
+// detect() inspects the predicate's effective classes on the given
+// computation (Section 4's taxonomy) and routes to the cheapest applicable
+// algorithm of Table 1, falling back to explicit search for arbitrary
+// predicates. The chosen algorithm is reported in DetectResult::algorithm.
+#pragma once
+
+#include "detect/detector.h"
+#include "detect/stable_oi.h"
+
+namespace hbct {
+
+struct DispatchOptions {
+  /// State cap for the exponential fallbacks.
+  SearchLimits limits;
+  /// When false, detection aborts (assertion) instead of falling back to a
+  /// worst-case-exponential search — useful in latency-bound monitors.
+  bool allow_exponential = true;
+};
+
+/// Detects `op`(p) — or `op`(p, q) for kEU/kAU — on the computation.
+DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
+                    const PredicatePtr& q = nullptr,
+                    const DispatchOptions& opt = {});
+
+}  // namespace hbct

@@ -1,0 +1,70 @@
+#include "detect/ef_linear.h"
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+std::optional<Cut> least_satisfying_cut(const Computation& c,
+                                        const Predicate& p, DetectStats& st,
+                                        const Cut* start) {
+  Cut g = start ? *start : c.initial_cut();
+  HBCT_DASSERT(c.is_consistent(g));
+  CountingEval eval(p, c, st);
+  while (!eval(g)) {
+    const ProcId i = p.forbidden(c, g);
+    HBCT_DASSERT(i >= 0 && i < c.num_procs());
+    if (g[sz(i)] >= c.num_events(i)) return std::nullopt;  // i exhausted
+    // Add the next event of i together with its causal past: the join with
+    // J(e) is the least consistent cut extending g by e.
+    const Cut je = c.join_irreducible_of(i, g[sz(i)] + 1);
+    Cut h = Cut::join(g, je);
+    st.cut_steps += static_cast<std::uint64_t>(h.total() - g.total());
+    g = std::move(h);
+  }
+  return g;
+}
+
+std::optional<Cut> greatest_satisfying_cut(const Computation& c,
+                                           const Predicate& p,
+                                           DetectStats& st, const Cut* start) {
+  Cut g = start ? *start : c.final_cut();
+  HBCT_DASSERT(c.is_consistent(g));
+  CountingEval eval(p, c, st);
+  while (!eval(g)) {
+    const ProcId i = p.forbidden_down(c, g);
+    HBCT_DASSERT(i >= 0 && i < c.num_procs());
+    if (g[sz(i)] <= 0) return std::nullopt;  // i already at the initial state
+    // Remove the last event of i together with its causal future: the meet
+    // with M(e) = E \ up-set(e) is the greatest consistent cut below g not
+    // containing e.
+    const Cut me = c.meet_irreducible_of(i, g[sz(i)]);
+    Cut h = Cut::meet(g, me);
+    st.cut_steps += static_cast<std::uint64_t>(g.total() - h.total());
+    g = std::move(h);
+  }
+  return g;
+}
+
+DetectResult detect_ef_linear(const Computation& c, const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "chase-garg-ef";
+  auto cut = least_satisfying_cut(c, p, r.stats);
+  r.holds = cut.has_value();
+  if (cut) r.witness_cut = std::move(*cut);
+  return r;
+}
+
+DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "chase-garg-ef-dual";
+  auto cut = greatest_satisfying_cut(c, p, r.stats);
+  r.holds = cut.has_value();
+  if (cut) r.witness_cut = std::move(*cut);
+  return r;
+}
+
+}  // namespace hbct

@@ -1,0 +1,37 @@
+// Chase–Garg detection of EF(p) (possibly: p) for linear predicates, and the
+// dual for post-linear predicates.
+//
+// The advancement algorithm walks a single cut from the initial cut upward.
+// Whenever p is false, the linear-advancement oracle names a forbidden
+// process i: no satisfying cut above the current one freezes i, so the next
+// event of i — together with its causal past J(e) — is added. Because the
+// satisfying set of a linear predicate is meet-closed, the walk terminates at
+// the *least* satisfying cut I_p, or proves none exists. O(n|E|) cut work
+// plus one predicate evaluation per advancement.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace hbct {
+
+/// Least consistent cut satisfying linear p, or nullopt. `start` (default:
+/// the initial cut) restricts the search to cuts above `start`; pass J(e)
+/// to compute the slice element J_p(e). Precondition: p is linear on c.
+std::optional<Cut> least_satisfying_cut(const Computation& c,
+                                        const Predicate& p, DetectStats& st,
+                                        const Cut* start = nullptr);
+
+/// Greatest consistent cut satisfying post-linear p (dual walk downward
+/// from the final cut), or nullopt.
+std::optional<Cut> greatest_satisfying_cut(const Computation& c,
+                                           const Predicate& p,
+                                           DetectStats& st,
+                                           const Cut* start = nullptr);
+
+/// EF(p) for linear p; witness_cut = I_p when holds.
+DetectResult detect_ef_linear(const Computation& c, const Predicate& p);
+
+/// EF(p) for post-linear p; witness_cut = greatest satisfying cut.
+DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p);
+
+}  // namespace hbct

@@ -1,0 +1,105 @@
+#include "detect/eg_linear.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace hbct {
+
+DetectResult detect_eg_linear(const Computation& c, const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "A1-eg-linear";
+  CountingEval eval(p, c, r.stats);
+
+  Cut w = c.final_cut();                  // Step 1
+  if (!eval(w)) return r;                 // final cut must satisfy p
+  const Cut initial = c.initial_cut();
+  std::vector<Cut> path;
+  path.push_back(w);
+
+  while (!(w == initial)) {               // Step 2
+    // Step 3: predecessors of W are retreat(W, i) for i in frontier(W);
+    // keep the first one satisfying p (Theorem 2: any choice works).
+    bool found = false;
+    for (ProcId i : c.frontier_procs(w)) {
+      Cut g = c.retreat(w, i);
+      ++r.stats.cut_steps;
+      if (eval(g)) {
+        w = std::move(g);                 // Step 5
+        path.push_back(w);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return r;                 // Step 4: Q empty
+  }
+  r.holds = true;                         // Step 7: initial cut satisfies p
+  std::reverse(path.begin(), path.end());
+  r.witness_path = std::move(path);
+  return r;
+}
+
+DetectResult detect_eg_linear_randomized(const Computation& c,
+                                         const Predicate& p,
+                                         std::uint64_t seed) {
+  DetectResult r;
+  r.algorithm = "A1-eg-linear (randomized choice)";
+  CountingEval eval(p, c, r.stats);
+  Rng rng(seed);
+
+  Cut w = c.final_cut();
+  if (!eval(w)) return r;
+  const Cut initial = c.initial_cut();
+  std::vector<Cut> path;
+  path.push_back(w);
+
+  while (!(w == initial)) {
+    // Q = all predecessors satisfying p; pick one uniformly (Theorem 2).
+    std::vector<Cut> q;
+    for (ProcId i : c.frontier_procs(w)) {
+      Cut g = c.retreat(w, i);
+      ++r.stats.cut_steps;
+      if (eval(g)) q.push_back(std::move(g));
+    }
+    if (q.empty()) return r;
+    w = std::move(q[rng.next_below(q.size())]);
+    path.push_back(w);
+  }
+  r.holds = true;
+  std::reverse(path.begin(), path.end());
+  r.witness_path = std::move(path);
+  return r;
+}
+
+DetectResult detect_eg_post_linear(const Computation& c, const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "A1-eg-post-linear";
+  CountingEval eval(p, c, r.stats);
+
+  Cut w = c.initial_cut();
+  if (!eval(w)) return r;
+  const Cut final = c.final_cut();
+  std::vector<Cut> path;
+  path.push_back(w);
+
+  while (!(w == final)) {
+    bool found = false;
+    for (ProcId i : c.enabled_procs(w)) {
+      Cut g = c.advance(w, i);
+      ++r.stats.cut_steps;
+      if (eval(g)) {
+        w = std::move(g);
+        path.push_back(w);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return r;
+  }
+  r.holds = true;
+  r.witness_path = std::move(path);
+  return r;
+}
+
+}  // namespace hbct

@@ -1,0 +1,226 @@
+#include "detect/stable_oi.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+DetectResult detect_stable(const Computation& c, const Predicate& p, Op op) {
+  DetectResult r;
+  CountingEval eval(p, c, r.stats);
+  switch (op) {
+    case Op::kEF:
+    case Op::kAF: {
+      // Once true, always true: p appears somewhere iff it holds at the end.
+      r.algorithm = "stable-final";
+      Cut final = c.final_cut();
+      r.holds = eval(final);
+      if (r.holds) r.witness_cut = std::move(final);
+      return r;
+    }
+    case Op::kEG:
+    case Op::kAG: {
+      // p at the initial cut stays true along every sequence.
+      r.algorithm = "stable-initial";
+      Cut initial = c.initial_cut();
+      r.holds = eval(initial);
+      if (!r.holds) r.witness_cut = std::move(initial);
+      return r;
+    }
+    default:
+      HBCT_ASSERT_MSG(false, "detect_stable handles EF/AF/EG/AG only");
+  }
+}
+
+DetectResult detect_ef_observer_independent(const Computation& c,
+                                            const Predicate& p) {
+  DetectResult r;
+  r.algorithm = "oi-single-observation";
+  CountingEval eval(p, c, r.stats);
+  Cut g = c.initial_cut();
+  if (eval(g)) {
+    r.holds = true;
+    r.witness_cut = std::move(g);
+    return r;
+  }
+  for (const EventId& e : c.linearization()) {
+    ++g[static_cast<std::size_t>(e.proc)];
+    ++r.stats.cut_steps;
+    if (eval(g)) {
+      r.holds = true;
+      r.witness_cut = std::move(g);
+      return r;
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Iterative DFS over consistent cuts. `expand` decides whether a cut's
+/// successors are explored; `goal` stops the search. Returns the goal cut's
+/// path if found. Sets *aborted when the state cap is hit.
+std::optional<std::vector<Cut>> dfs_cuts(
+    const Computation& c, const SearchLimits& lim, DetectStats& st,
+    const std::function<bool(const Cut&)>& expand,
+    const std::function<bool(const Cut&)>& goal, bool* aborted) {
+  *aborted = false;
+  std::unordered_set<Cut, CutHash> visited;
+  // Stack holds (cut, parent index into `order`) to rebuild paths.
+  struct Frame {
+    Cut cut;
+    std::ptrdiff_t parent;
+  };
+  std::vector<Frame> order;
+  std::vector<std::ptrdiff_t> stack;
+
+  const Cut init = c.initial_cut();
+  if (goal(init)) return std::vector<Cut>{init};
+  if (!expand(init)) return std::nullopt;
+  visited.insert(init);
+  order.push_back(Frame{init, -1});
+  stack.push_back(0);
+
+  while (!stack.empty()) {
+    const std::ptrdiff_t at = stack.back();
+    stack.pop_back();
+    const Cut g = order[static_cast<std::size_t>(at)].cut;
+    for (ProcId i : c.enabled_procs(g)) {
+      Cut h = c.advance(g, i);
+      ++st.cut_steps;
+      if (visited.count(h)) continue;
+      if (goal(h)) {
+        std::vector<Cut> path{std::move(h)};
+        for (std::ptrdiff_t a = at; a >= 0;
+             a = order[static_cast<std::size_t>(a)].parent)
+          path.push_back(order[static_cast<std::size_t>(a)].cut);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      if (!expand(h)) continue;
+      if (visited.size() >= lim.max_states) {
+        *aborted = true;
+        return std::nullopt;
+      }
+      visited.insert(h);
+      order.push_back(Frame{std::move(h), at});
+      stack.push_back(static_cast<std::ptrdiff_t>(order.size()) - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DetectResult detect_ef_dfs(const Computation& c, const Predicate& p,
+                           const SearchLimits& lim) {
+  DetectResult r;
+  r.algorithm = "ef-dfs";
+  CountingEval eval(p, c, r.stats);
+  bool aborted = false;
+  auto path = dfs_cuts(
+      c, lim, r.stats, [](const Cut&) { return true; },
+      [&](const Cut& g) { return eval(g); }, &aborted);
+  if (aborted) r.algorithm += " (aborted)";
+  if (path) {
+    r.holds = true;
+    r.witness_cut = path->back();
+    r.witness_path = std::move(*path);
+  }
+  return r;
+}
+
+DetectResult detect_eg_dfs(const Computation& c, const Predicate& p,
+                           const SearchLimits& lim) {
+  DetectResult r;
+  r.algorithm = "eg-dfs";
+  CountingEval eval(p, c, r.stats);
+  const Cut final = c.final_cut();
+  bool aborted = false;
+  // Explore only the p-true region; succeed on reaching the final cut
+  // (which must itself satisfy p).
+  auto path = dfs_cuts(
+      c, lim, r.stats, [&](const Cut& g) { return eval(g); },
+      [&](const Cut& g) { return g == final && eval(g); }, &aborted);
+  if (aborted) r.algorithm += " (aborted)";
+  if (path) {
+    r.holds = true;
+    r.witness_path = std::move(*path);
+  }
+  return r;
+}
+
+DetectResult detect_ag_dfs(const Computation& c, const Predicate& p,
+                           const SearchLimits& lim) {
+  auto notp = p.negate();
+  DetectResult inner = detect_ef_dfs(c, *notp, lim);
+  DetectResult r;
+  r.algorithm = "ag-dfs = !ef-dfs(!p)";
+  if (inner.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
+  r.stats = inner.stats;
+  r.holds = !inner.holds;
+  if (inner.witness_cut) r.witness_cut = std::move(*inner.witness_cut);
+  return r;
+}
+
+DetectResult detect_af_dfs(const Computation& c, const Predicate& p,
+                           const SearchLimits& lim) {
+  auto notp = p.negate();
+  DetectResult inner = detect_eg_dfs(c, *notp, lim);
+  DetectResult r;
+  r.algorithm = "af-dfs = !eg-dfs(!p)";
+  if (inner.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
+  r.stats = inner.stats;
+  r.holds = !inner.holds;
+  if (inner.holds) r.witness_path = std::move(inner.witness_path);
+  return r;
+}
+
+DetectResult detect_eu_dfs(const Computation& c, const Predicate& p,
+                           const Predicate& q, const SearchLimits& lim) {
+  DetectResult r;
+  r.algorithm = "eu-dfs";
+  CountingEval evp(p, c, r.stats);
+  CountingEval evq(q, c, r.stats);
+  bool aborted = false;
+  auto path = dfs_cuts(
+      c, lim, r.stats, [&](const Cut& g) { return evp(g); },
+      [&](const Cut& g) { return evq(g); }, &aborted);
+  if (aborted) r.algorithm += " (aborted)";
+  if (path) {
+    r.holds = true;
+    r.witness_cut = path->back();
+    r.witness_path = std::move(*path);
+  }
+  return r;
+}
+
+DetectResult detect_au_dfs(const Computation& c, const PredicatePtr& p,
+                           const PredicatePtr& q, const SearchLimits& lim) {
+  DetectResult r;
+  r.algorithm = "au-dfs = !(eg-dfs(!q) | eu-dfs(!q, !p & !q))";
+  auto notq = q->negate();
+  auto notp = p->negate();
+
+  DetectResult eg = detect_eg_dfs(c, *notq, lim);
+  r.stats += eg.stats;
+  if (eg.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
+  if (eg.holds) {
+    r.holds = false;
+    r.witness_path = std::move(eg.witness_path);
+    return r;
+  }
+
+  auto notp_and_notq = make_and(notp, notq);
+  DetectResult eu = detect_eu_dfs(c, *notq, *notp_and_notq, lim);
+  r.stats += eu.stats;
+  if (eu.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
+  r.holds = !eu.holds;
+  if (eu.holds) r.witness_path = std::move(eu.witness_path);
+  return r;
+}
+
+}  // namespace hbct

@@ -1,0 +1,108 @@
+#include "detect/until.h"
+
+#include <algorithm>
+
+#include "detect/conjunctive_gw.h"
+#include "detect/ef_linear.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
+                          const Cut& iq) {
+  DetectResult r;
+  r.algorithm = "A3-eu (given I_q)";
+  HBCT_ASSERT_MSG(c.is_consistent(iq), "I_q must be a consistent cut");
+
+  // Zero-length prefix: q already holds at the initial cut.
+  const Cut initial = c.initial_cut();
+  if (iq == initial) {
+    r.holds = true;
+    r.witness_cut = initial;
+    r.witness_path = {initial};
+    return r;
+  }
+
+  // Step 2 of A3: EG(p) in some sub-computation E' = I_q \ {e},
+  // e in frontier(I_q).
+  for (ProcId i : c.frontier_procs(iq)) {
+    const Cut sub = c.retreat(iq, i);
+    Computation prefix = c.prefix(sub);
+    DetectResult eg = detect_eg_conjunctive(prefix, p);
+    r.stats += eg.stats;
+    ++r.stats.cut_steps;
+    if (eg.holds) {
+      r.holds = true;
+      r.witness_path = std::move(eg.witness_path);
+      r.witness_path.push_back(iq);
+      r.witness_cut = iq;
+      return r;
+    }
+  }
+  return r;
+}
+
+DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
+                       const Predicate& q) {
+  DetectResult r;
+  r.algorithm = "A3-eu";
+  CountingEval evq(q, c, r.stats);
+
+  // Zero-length prefix: q at the initial cut.
+  const Cut initial = c.initial_cut();
+  if (evq(initial)) {
+    r.holds = true;
+    r.witness_cut = initial;
+    r.witness_path = {initial};
+    return r;
+  }
+
+  // Step 1: I_q, the least cut satisfying q (Chase–Garg).
+  auto iq = least_satisfying_cut(c, q, r.stats);
+  if (!iq) return r;
+
+  DetectResult inner = detect_eu_at(c, p, *iq);
+  inner.algorithm = "A3-eu";
+  inner.stats += r.stats;
+  return inner;
+}
+
+DetectResult detect_au_disjunctive(const Computation& c,
+                                   const DisjunctivePredicate& p,
+                                   const DisjunctivePredicate& q) {
+  DetectResult r;
+  r.algorithm = "au-disjunctive = !(eg(!q) | eu(!q, !p & !q))";
+
+  auto notq = as_conjunctive(q.negate());
+  HBCT_ASSERT(notq);
+
+  // EG(¬q): a path on which q never holds refutes A[p U q].
+  DetectResult eg = detect_eg_conjunctive(c, *notq);
+  r.stats += eg.stats;
+  if (eg.holds) {
+    r.holds = false;
+    r.witness_path = std::move(eg.witness_path);  // counterexample path
+    return r;
+  }
+
+  // E[¬q U (¬p ∧ ¬q)]: a path reaching a cut where neither p nor q holds,
+  // with q false all the way, also refutes A[p U q]. ¬p ∧ ¬q is a
+  // conjunction of two conjunctive predicates — conjunctive, hence linear.
+  auto notp = as_conjunctive(p.negate());
+  HBCT_ASSERT(notp);
+  std::vector<LocalPredicatePtr> merged = notp->locals();
+  merged.insert(merged.end(), notq->locals().begin(), notq->locals().end());
+  auto notp_and_notq = make_conjunctive(std::move(merged));
+
+  DetectResult eu = detect_eu(c, *notq, *notp_and_notq);
+  r.stats += eu.stats;
+  r.holds = !eu.holds;
+  if (eu.holds) r.witness_path = std::move(eu.witness_path);  // counterexample
+  return r;
+}
+
+}  // namespace hbct

@@ -1,0 +1,40 @@
+#include "lattice/path_count.h"
+
+namespace hbct {
+
+BigUint count_maximal_chains(const Lattice& lat) {
+  std::vector<BigUint> ways(lat.size());
+  ways[lat.bottom()] = BigUint(1);
+  for (NodeId v : lat.topo_order()) {
+    if (ways[v].is_zero()) continue;
+    for (NodeId s : lat.successors(v)) ways[s] += ways[v];
+  }
+  return ways[lat.top()];
+}
+
+std::vector<BigUint> count_pu_prefixes(
+    const Lattice& lat, const std::function<bool(NodeId)>& p_ok) {
+  std::vector<BigUint> ways(lat.size());
+  ways[lat.bottom()] = BigUint(1);
+  for (NodeId v : lat.topo_order()) {
+    if (ways[v].is_zero()) continue;
+    // Paths may only be extended through v when p holds at v.
+    if (!p_ok(v)) continue;
+    for (NodeId s : lat.successors(v)) ways[s] += ways[v];
+  }
+  return ways;
+}
+
+BigUint count_eu_witnesses(const Lattice& lat,
+                           const std::function<bool(NodeId)>& p_ok,
+                           const std::function<bool(NodeId)>& q_ok,
+                           NodeId target, BigUint* at_target) {
+  const std::vector<BigUint> ways = count_pu_prefixes(lat, p_ok);
+  BigUint total;
+  for (NodeId v = 0; v < lat.size(); ++v)
+    if (q_ok(v)) total += ways[v];
+  if (at_target && target != kNoNode) *at_target = ways[target];
+  return total;
+}
+
+}  // namespace hbct

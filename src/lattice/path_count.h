@@ -1,0 +1,35 @@
+// Counting maximal chains (paths) in the cut lattice.
+//
+// Used by the Fig. 4 reproduction: the paper reports "7 paths which start
+// from the initial cut and satisfy the predicate ... only 2 lead to I_q".
+// Counts explode factorially, so totals use BigUint.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lattice/lattice.h"
+#include "util/biguint.h"
+
+namespace hbct {
+
+/// Number of maximal chains from bottom to top (all interleavings /
+/// observations of the computation).
+BigUint count_maximal_chains(const Lattice& lat);
+
+/// For every node v: the number of paths bottom = G_0 ⊳ … ⊳ G_k = v such
+/// that `p_ok` holds at G_0..G_{k-1} (v itself is unconstrained). This is
+/// the E[p U q] witness-prefix count when summed over q-nodes.
+std::vector<BigUint> count_pu_prefixes(
+    const Lattice& lat, const std::function<bool(NodeId)>& p_ok);
+
+/// Total number of E[p U q] witness prefixes: sum of count_pu_prefixes over
+/// nodes where q holds. Also returns (via out-param) the count at a
+/// specific target node when target != kNoNode.
+BigUint count_eu_witnesses(const Lattice& lat,
+                           const std::function<bool(NodeId)>& p_ok,
+                           const std::function<bool(NodeId)>& q_ok,
+                           NodeId target = kNoNode,
+                           BigUint* at_target = nullptr);
+
+}  // namespace hbct

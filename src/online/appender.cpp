@@ -1,0 +1,133 @@
+#include "online/appender.h"
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+OnlineAppender::OnlineAppender(std::int32_t num_procs) {
+  HBCT_ASSERT(num_procs > 0);
+  const std::size_t n = sz(num_procs);
+  c_.procs_.resize(n);
+  c_.vclocks_.resize(n);
+  c_.initial_.resize(n);
+  c_.values_.resize(n);
+  c_.sends_to_.assign(n, std::vector<std::vector<std::int32_t>>(n));
+  c_.recvs_from_.assign(n, std::vector<std::vector<std::int32_t>>(n));
+  c_.rvclocks_dirty_ = true;
+}
+
+VarId OnlineAppender::var(std::string_view name) {
+  auto it = c_.var_ids_.find(std::string(name));
+  if (it != c_.var_ids_.end()) return it->second;
+  const VarId id = static_cast<VarId>(c_.var_names_.size());
+  c_.var_names_.emplace_back(name);
+  c_.var_ids_.emplace(std::string(name), id);
+  for (ProcId i = 0; i < c_.num_procs(); ++i) {
+    c_.initial_[sz(i)].resize(c_.var_names_.size(), 0);
+    // Backfill a constant-zero history up to the current position.
+    c_.values_[sz(i)].emplace_back(c_.procs_[sz(i)].size() + 1, 0);
+  }
+  return id;
+}
+
+void OnlineAppender::set_initial(ProcId i, VarId v, std::int64_t value) {
+  HBCT_ASSERT_MSG(c_.total_events_ == 0,
+                  "initial values must precede the first event");
+  HBCT_ASSERT(v >= 0 && sz(v) < c_.var_names_.size());
+  c_.initial_[sz(i)][sz(v)] = value;
+  c_.values_[sz(i)][sz(v)][0] = value;
+}
+
+EventId OnlineAppender::append(ProcId i, Event ev, const VClock* extra) {
+  HBCT_ASSERT(i >= 0 && i < c_.num_procs());
+  const std::size_t n = c_.procs_.size();
+  auto& list = c_.procs_[sz(i)];
+
+  // Forward vector clock.
+  VClock vc = list.empty() ? VClock(n) : c_.vclocks_[sz(i)].back();
+  if (extra) vc.merge(*extra);
+  vc[sz(i)] = static_cast<std::int32_t>(list.size()) + 1;
+
+  // Channel prefix counters: every existing table of process i grows by
+  // one; the affected channel's tail is bumped below.
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& st = c_.sends_to_[sz(i)][j];
+    if (!st.empty()) st.push_back(st.back());
+    auto& rt = c_.recvs_from_[sz(i)][j];
+    if (!rt.empty()) rt.push_back(rt.back());
+  }
+  if (ev.kind == EventKind::kSend) {
+    auto& st = c_.sends_to_[sz(i)][sz(ev.peer)];
+    if (st.empty()) st.assign(list.size() + 2, 0);
+    ++st.back();
+    ++c_.num_messages_;
+  } else if (ev.kind == EventKind::kReceive) {
+    auto& rt = c_.recvs_from_[sz(i)][sz(ev.peer)];
+    if (rt.empty()) rt.assign(list.size() + 2, 0);
+    ++rt.back();
+  }
+
+  // Variable timelines carry the previous value forward.
+  for (auto& timeline : c_.values_[sz(i)]) timeline.push_back(timeline.back());
+
+  list.push_back(std::move(ev));
+  c_.vclocks_[sz(i)].push_back(std::move(vc));
+  const EventId id{i, static_cast<EventIndex>(list.size())};
+  c_.linearization_.push_back(id);
+  ++c_.total_events_;
+  c_.rvclocks_dirty_ = true;
+  return id;
+}
+
+EventId OnlineAppender::internal(ProcId i) {
+  return append(i, Event{}, nullptr);
+}
+
+MsgId OnlineAppender::send(ProcId from, ProcId to) {
+  HBCT_ASSERT(to >= 0 && to < c_.num_procs());
+  HBCT_ASSERT_MSG(from != to, "self-messages are not part of the model");
+  const MsgId m = static_cast<MsgId>(msg_src_.size());
+  Event ev;
+  ev.kind = EventKind::kSend;
+  ev.peer = to;
+  ev.msg = m;
+  const EventId id = append(from, std::move(ev), nullptr);
+  msg_src_.push_back(from);
+  msg_dst_.push_back(to);
+  msg_send_index_.push_back(id.index);
+  msg_received_.push_back(false);
+  return m;
+}
+
+EventId OnlineAppender::receive(ProcId to, MsgId m) {
+  HBCT_ASSERT_MSG(m >= 0 && sz(m) < msg_src_.size(), "unknown message");
+  HBCT_ASSERT_MSG(!msg_received_[sz(m)], "message received twice");
+  HBCT_ASSERT_MSG(msg_dst_[sz(m)] == to, "message delivered to wrong process");
+  msg_received_[sz(m)] = true;
+  Event ev;
+  ev.kind = EventKind::kReceive;
+  ev.peer = msg_src_[sz(m)];
+  ev.msg = m;
+  const VClock& send_vc =
+      c_.vclock(msg_src_[sz(m)], msg_send_index_[sz(m)]);
+  return append(to, std::move(ev), &send_vc);
+}
+
+void OnlineAppender::write(ProcId i, VarId v, std::int64_t value) {
+  HBCT_ASSERT(v >= 0 && sz(v) < c_.var_names_.size());
+  auto& list = c_.procs_[sz(i)];
+  HBCT_ASSERT_MSG(!list.empty(), "no event to annotate");
+  list.back().writes.push_back(Assignment{v, value});
+  c_.values_[sz(i)][sz(v)].back() = value;
+}
+
+void OnlineAppender::write(ProcId i, std::string_view name,
+                           std::int64_t value) {
+  write(i, var(name), value);
+}
+
+}  // namespace hbct

@@ -1,0 +1,53 @@
+// Incremental (online) construction of a Computation.
+//
+// The paper closes with "develop efficient on-line versions of our
+// algorithms" as future work; this module is the substrate for that: a
+// Computation that grows one event at a time while keeping every
+// append-friendly table (forward vector clocks, variable timelines,
+// channel prefix counters, linearization) valid after each event, in O(n)
+// amortized per event. Reverse vector clocks depend on the future and are
+// recomputed lazily by Computation when an offline-style query needs them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "poset/computation.h"
+
+namespace hbct {
+
+class OnlineAppender {
+ public:
+  explicit OnlineAppender(std::int32_t num_procs);
+
+  /// Registers a variable (any time; a mid-run registration backfills an
+  /// all-zero history).
+  VarId var(std::string_view name);
+
+  /// Initial values may only be set before the first event.
+  void set_initial(ProcId i, VarId v, std::int64_t value);
+
+  EventId internal(ProcId i);
+  MsgId send(ProcId from, ProcId to);
+  EventId receive(ProcId to, MsgId m);
+
+  /// Applies `var = value` to the most recently appended event of proc i.
+  void write(ProcId i, VarId v, std::int64_t value);
+  void write(ProcId i, std::string_view name, std::int64_t value);
+
+  /// The growing happened-before model. Valid after every append.
+  const Computation& computation() const { return c_; }
+
+  /// The cut of everything observed so far (the current frontier).
+  Cut current_cut() const { return c_.final_cut(); }
+
+ private:
+  EventId append(ProcId i, Event ev, const VClock* extra);
+
+  Computation c_;
+  std::vector<ProcId> msg_src_, msg_dst_;
+  std::vector<EventIndex> msg_send_index_;
+  std::vector<bool> msg_received_;
+};
+
+}  // namespace hbct

@@ -1,0 +1,267 @@
+#include "online/monitor.h"
+
+#include "detect/until.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+OnlineMonitor::OnlineMonitor(std::int32_t num_procs) : app_(num_procs) {}
+
+void OnlineMonitor::internal(ProcId i) {
+  app_.internal(i);
+  on_event(i);
+}
+
+MsgId OnlineMonitor::send(ProcId from, ProcId to) {
+  const MsgId m = app_.send(from, to);
+  on_event(from);
+  return m;
+}
+
+void OnlineMonitor::receive(ProcId to, MsgId m) {
+  app_.receive(to, m);
+  on_event(to);
+}
+
+void OnlineMonitor::write(ProcId i, std::string_view name,
+                          std::int64_t value) {
+  // The freeze rule guarantees no watch has examined the tail position yet,
+  // so the write needs no rewinding.
+  app_.write(i, name, value);
+}
+
+void OnlineMonitor::finish() {
+  if (finished_) return;
+  finished_ = true;
+  on_event(-1);
+}
+
+EventIndex OnlineMonitor::frozen_limit(ProcId i) const {
+  const EventIndex n = app_.computation().num_events(i);
+  if (finished_) return n;
+  // The newest event may still receive writes; position 0 (initial values)
+  // is always frozen because set_initial precedes the first event globally.
+  return n > 0 ? n - 1 : 0;
+}
+
+void OnlineMonitor::on_event(ProcId) {
+  for (auto& w : conj_) step_conj(w);
+  for (auto& w : disj_) step_disj(w);
+  for (auto& w : stable_) step_stable(w);
+  for (auto& w : until_) step_until(w);
+}
+
+void OnlineMonitor::fire(WatchId id, Cut cut, const std::string& what,
+                         bool holds) {
+  WatchFire f;
+  f.watch = id;
+  f.holds = holds;
+  f.cut = std::move(cut);
+  f.at_event = events_seen();
+  f.description = what;
+  pending_.push_back(std::move(f));
+  fired_[sz(id)] = true;
+}
+
+WatchId OnlineMonitor::watch_possibly(ConjunctivePredicatePtr p) {
+  HBCT_ASSERT(p);
+  const std::int32_t n = app_.computation().num_procs();
+  for (const auto& l : p->locals())
+    HBCT_ASSERT_MSG(l->proc() < n, "conjunct references an unknown process");
+  ConjWatch w;
+  w.id = next_id_++;
+  fired_.push_back(false);
+  w.pred = std::move(p);
+  w.violation_of_invariant = false;
+  w.cand.assign(sz(n), -1);
+  w.scan.assign(sz(n), 0);
+  conj_.push_back(std::move(w));
+  step_conj(conj_.back());
+  return conj_.back().id;
+}
+
+WatchId OnlineMonitor::watch_invariant(DisjunctivePredicatePtr p) {
+  HBCT_ASSERT(p);
+  auto notp = as_conjunctive(p->negate());
+  HBCT_ASSERT(notp);
+  const std::int32_t n = app_.computation().num_procs();
+  ConjWatch w;
+  w.id = next_id_++;
+  fired_.push_back(false);
+  w.pred = notp;
+  w.violation_of_invariant = true;
+  w.cand.assign(sz(n), -1);
+  w.scan.assign(sz(n), 0);
+  conj_.push_back(std::move(w));
+  step_conj(conj_.back());
+  return conj_.back().id;
+}
+
+WatchId OnlineMonitor::watch_possibly(DisjunctivePredicatePtr p) {
+  HBCT_ASSERT(p);
+  const std::int32_t n = app_.computation().num_procs();
+  DisjWatch w;
+  w.id = next_id_++;
+  fired_.push_back(false);
+  w.pred = std::move(p);
+  w.scan.assign(sz(n), 0);
+  disj_.push_back(std::move(w));
+  step_disj(disj_.back());
+  return disj_.back().id;
+}
+
+WatchId OnlineMonitor::watch_until(ConjunctivePredicatePtr p,
+                                   PredicatePtr q) {
+  HBCT_ASSERT(p);
+  HBCT_ASSERT(q);
+  UntilWatch w;
+  w.id = next_id_++;
+  fired_.push_back(false);
+  w.p = std::move(p);
+  w.q = std::move(q);
+  w.cand = app_.computation().initial_cut();
+  until_.push_back(std::move(w));
+  step_until(until_.back());
+  return until_.back().id;
+}
+
+WatchId OnlineMonitor::watch_stable(PredicatePtr p) {
+  HBCT_ASSERT(p);
+  StableWatch w;
+  w.id = next_id_++;
+  fired_.push_back(false);
+  w.pred = std::move(p);
+  stable_.push_back(std::move(w));
+  step_stable(stable_.back());
+  return stable_.back().id;
+}
+
+void OnlineMonitor::step_conj(ConjWatch& w) {
+  if (w.done) return;
+  const Computation& c = app_.computation();
+  const std::int32_t n = c.num_procs();
+
+  // Advance any unset candidate through the newly frozen positions.
+  auto advance = [&](ProcId i) {
+    auto& pos = w.scan[sz(i)];
+    while (w.cand[sz(i)] < 0 && pos <= frozen_limit(i)) {
+      if (w.pred->eval_local(c, i, pos)) w.cand[sz(i)] = pos;
+      ++pos;
+    }
+    return w.cand[sz(i)] >= 0;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcId i = 0; i < n; ++i)
+      if (!advance(i)) return;  // waiting for more events on i
+    // All candidates set: repair pairwise consistency (GW weak).
+    for (ProcId i = 0; i < n && !changed; ++i) {
+      if (w.cand[sz(i)] == 0) continue;
+      const VClock& vc = c.vclock(i, w.cand[sz(i)]);
+      for (ProcId j = 0; j < n; ++j) {
+        if (j == i || vc[sz(j)] <= w.cand[sz(j)]) continue;
+        // The candidate of j must move to a true position at or after the
+        // clock demand; restart its scan there.
+        w.scan[sz(j)] = std::max(w.scan[sz(j)], vc[sz(j)]);
+        w.cand[sz(j)] = -1;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  Cut cut(sz(n));
+  for (ProcId i = 0; i < n; ++i) cut[sz(i)] = w.cand[sz(i)];
+  HBCT_DASSERT(c.is_consistent(cut));
+  w.done = true;
+  fire(w.id, std::move(cut),
+       w.violation_of_invariant
+           ? "invariant violated: " + w.pred->describe()
+           : "possibly: " + w.pred->describe());
+}
+
+void OnlineMonitor::step_disj(DisjWatch& w) {
+  if (w.done) return;
+  const Computation& c = app_.computation();
+  for (ProcId i = 0; i < c.num_procs(); ++i) {
+    auto& pos = w.scan[sz(i)];
+    for (; pos <= frozen_limit(i); ++pos) {
+      if (!w.pred->eval_local(c, i, pos)) continue;
+      w.done = true;
+      Cut cut = pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);
+      fire(w.id, std::move(cut), "possibly: " + w.pred->describe());
+      return;
+    }
+  }
+}
+
+void OnlineMonitor::step_stable(StableWatch& w) {
+  if (w.done) return;
+  const Computation& c = app_.computation();
+  // Evaluate on the frozen frontier; stability makes any hit permanent.
+  Cut frontier(static_cast<std::size_t>(c.num_procs()));
+  for (ProcId i = 0; i < c.num_procs(); ++i)
+    frontier[sz(i)] = frozen_limit(i);
+  if (w.pred->eval(c, frontier)) {
+    w.done = true;
+    fire(w.id, frontier, "stable: " + w.pred->describe());
+  }
+}
+
+void OnlineMonitor::step_until(UntilWatch& w) {
+  if (w.done) return;
+  const Computation& c = app_.computation();
+
+  // Resume the Chase–Garg walk toward I_q over the frozen prefix. The walk
+  // is monotone, so work already done never repeats; a forbidden process
+  // exhausted (in frozen positions) suspends the watch until it produces
+  // more events or finish() is called.
+  auto all_frozen = [&](const Cut& g) {
+    for (ProcId i = 0; i < c.num_procs(); ++i)
+      if (g[sz(i)] > frozen_limit(i)) return false;
+    return true;
+  };
+  if (!all_frozen(w.cand)) return;  // a join pulled in a thawing tail: wait
+  while (!w.q->eval(c, w.cand)) {
+    // The very first evaluation handles q(∅) (fires with the empty prefix).
+    const ProcId i = w.q->forbidden(c, w.cand);
+    HBCT_DASSERT(i >= 0 && i < c.num_procs());
+    if (w.cand[sz(i)] >= frozen_limit(i)) return;  // suspended
+    Cut next = Cut::join(w.cand, c.join_irreducible_of(i, w.cand[sz(i)] + 1));
+    if (!all_frozen(next)) {
+      // The causal past of the next event reaches into a mutable tail;
+      // record progress and wait for the tail to freeze.
+      w.cand = std::move(next);
+      return;
+    }
+    w.cand = std::move(next);
+  }
+
+  // I_q is inside the frozen prefix; Theorem 7 decides the verdict from
+  // the events below it — stable under all extensions.
+  DetectResult r = detect_eu_at(c, *w.p, w.cand);
+  w.done = true;
+  fire(w.id, w.cand,
+       (r.holds ? "until holds: E[" : "until refuted: E[") +
+           w.p->describe() + " U " + w.q->describe() + "]",
+       r.holds);
+}
+
+std::vector<WatchFire> OnlineMonitor::poll() {
+  std::vector<WatchFire> out;
+  out.swap(pending_);
+  return out;
+}
+
+bool OnlineMonitor::fired(WatchId w) const {
+  HBCT_ASSERT(w >= 0 && sz(w) < fired_.size());
+  return fired_[sz(w)];
+}
+
+}  // namespace hbct

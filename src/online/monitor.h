@@ -1,0 +1,156 @@
+// Online predicate detection — the paper's "future work" realized for the
+// classes where online algorithms are known:
+//
+//  - possibly(conjunctive): incremental Garg–Waldecker weak detection. The
+//    candidate cut advances as events stream in; the watch fires the moment
+//    the observed prefix contains a satisfying consistent cut, and the
+//    fired cut is the *least* satisfying cut (it never changes later,
+//    because new events only extend the order upward).
+//  - possibly(disjunctive): fire on the first local position satisfying a
+//    disjunct.
+//  - invariant(disjunctive): AG(p) violations are EF(¬p) hits with ¬p
+//    conjunctive — the same incremental machinery, reporting the violating
+//    cut.
+//  - stable predicates: evaluated on the current frontier after each event;
+//    once true they stay true, so the first hit decides EF (= AF).
+//
+// All verdicts are *prefix-stable*: once fired they remain correct for
+// every extension of the computation.
+//
+// Freeze rule: a process's newest event may still receive variable writes
+// (writes are fed after the event, as in the builder API), so watches only
+// evaluate local states up to each process's second-newest event; the tail
+// thaws when the next event of that process arrives, or when finish()
+// declares the stream complete. This keeps every fired verdict valid
+// regardless of how late the writes trail their events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "online/appender.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+
+namespace hbct {
+
+using WatchId = std::int32_t;
+
+struct WatchFire {
+  WatchId watch = -1;
+  /// The verdict this fire reports. Most watches only fire positively;
+  /// until-watches also fire when the verdict becomes definitively false
+  /// (I_q is known and no p-path reaches it — stable under extensions).
+  bool holds = true;
+  /// The cut exhibiting the watched condition (satisfying cut, violating
+  /// cut, I_q for until-watches, or the frontier for stable watches).
+  Cut cut;
+  /// Sequence number of the event (1-based index into the observation)
+  /// whose arrival triggered the fire; 0 when fired at registration.
+  std::int64_t at_event = 0;
+  std::string description;
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(std::int32_t num_procs);
+
+  // ---- Event feed (same contract as OnlineAppender) -----------------------
+  VarId var(std::string_view name) { return app_.var(name); }
+  void set_initial(ProcId i, VarId v, std::int64_t value) {
+    app_.set_initial(i, v, value);
+  }
+  void internal(ProcId i);
+  MsgId send(ProcId from, ProcId to);
+  void receive(ProcId to, MsgId m);
+  /// Writes apply to the latest event of proc i (call before the next
+  /// event of that process, as with OnlineAppender).
+  void write(ProcId i, std::string_view name, std::int64_t value);
+
+  /// Declares the stream complete: no further events or writes. Unfreezes
+  /// the per-process tail events (see below) so every watch reaches its
+  /// final verdict. Idempotent.
+  void finish();
+
+  // ---- Watches -------------------------------------------------------------
+  /// EF(p), p conjunctive. Fires once with the least satisfying cut.
+  WatchId watch_possibly(ConjunctivePredicatePtr p);
+  /// EF(p), p disjunctive. Fires once with a witness cut J(e).
+  WatchId watch_possibly(DisjunctivePredicatePtr p);
+  /// AG(p), p disjunctive: fires on violation with the violating cut.
+  WatchId watch_invariant(DisjunctivePredicatePtr p);
+  /// Stable p: fires when the frontier first satisfies p.
+  WatchId watch_stable(PredicatePtr p);
+
+  /// E[p U q], p conjunctive, q linear: streaming A3. The Chase–Garg walk
+  /// toward I_q resumes as events arrive; once I_q lies inside the observed
+  /// prefix the verdict is decided (Theorem 7 depends only on events below
+  /// I_q) and the watch fires with holds = true or false. Prefix-stable
+  /// both ways.
+  WatchId watch_until(ConjunctivePredicatePtr p, PredicatePtr q);
+
+  /// Drains the fires triggered since the last poll.
+  std::vector<WatchFire> poll();
+
+  /// True when watch `w` has fired (whether or not polled yet).
+  bool fired(WatchId w) const;
+
+  const Computation& computation() const { return app_.computation(); }
+  Cut current_cut() const { return app_.current_cut(); }
+  std::int64_t events_seen() const { return computation().total_events(); }
+
+ private:
+  struct ConjWatch {
+    WatchId id;
+    ConjunctivePredicatePtr pred;
+    bool violation_of_invariant;  // reporting flavor
+    bool done = false;
+    /// Candidate position per process; -1 = no true position found yet.
+    std::vector<EventIndex> cand;
+    /// Next position to test per process.
+    std::vector<EventIndex> scan;
+  };
+  struct DisjWatch {
+    WatchId id;
+    DisjunctivePredicatePtr pred;
+    bool done = false;
+    std::vector<EventIndex> scan;  // next untested position per process
+  };
+  struct StableWatch {
+    WatchId id;
+    PredicatePtr pred;
+    bool done = false;
+  };
+  struct UntilWatch {
+    WatchId id;
+    ConjunctivePredicatePtr p;
+    PredicatePtr q;
+    bool done = false;
+    bool started = false;
+    Cut cand;  // Chase-Garg frontier toward I_q
+  };
+
+  /// Largest local position of proc i whose state can no longer change.
+  EventIndex frozen_limit(ProcId i) const;
+
+  void on_event(ProcId i);
+  void step_conj(ConjWatch& w);
+  void step_disj(DisjWatch& w);
+  void step_stable(StableWatch& w);
+  void step_until(UntilWatch& w);
+  void fire(WatchId id, Cut cut, const std::string& what, bool holds = true);
+
+  OnlineAppender app_;
+  std::vector<ConjWatch> conj_;
+  std::vector<DisjWatch> disj_;
+  std::vector<StableWatch> stable_;
+  std::vector<UntilWatch> until_;
+  std::vector<WatchFire> pending_;
+  std::vector<bool> fired_;
+  WatchId next_id_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hbct

@@ -1,0 +1,142 @@
+#include "poset/analysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+/// Dense event index: events laid out process-major.
+struct Indexer {
+  explicit Indexer(const Computation& c) : offsets(static_cast<std::size_t>(c.num_procs()) + 1, 0) {
+    for (ProcId i = 0; i < c.num_procs(); ++i)
+      offsets[static_cast<std::size_t>(i) + 1] =
+          offsets[static_cast<std::size_t>(i)] + c.num_events(i);
+  }
+  std::size_t of(const EventId& e) const {
+    return offsets[static_cast<std::size_t>(e.proc)] +
+           static_cast<std::size_t>(e.index - 1);
+  }
+  std::vector<std::size_t> offsets;
+};
+
+}  // namespace
+
+std::int32_t computation_height(const Computation& c) {
+  Indexer ix(c);
+  const std::size_t m = static_cast<std::size_t>(c.total_events());
+  std::vector<std::int32_t> h(m, 0);
+  std::int32_t best = 0;
+  // The linearization is a topological order; the direct predecessors of an
+  // event are its process predecessor and (for receives) the send.
+  for (const EventId& eid : c.linearization()) {
+    std::int32_t prev = 0;
+    if (eid.index > 1)
+      prev = h[ix.of(EventId{eid.proc, eid.index - 1})];
+    const Event& ev = c.event(eid);
+    if (ev.kind == EventKind::kReceive) {
+      // Locate the send: the peer process owns it; find via the message id
+      // recorded on the event by scanning that process's events once would
+      // be O(|E|) per receive — instead use the vector clock: the send is
+      // the peer's entry in this event's clock.
+      const ProcId src = ev.peer;
+      const EventIndex send_idx = c.vclock(eid)[static_cast<std::size_t>(src)];
+      HBCT_DASSERT(send_idx >= 1);
+      prev = std::max(prev, h[ix.of(EventId{src, send_idx})]);
+    }
+    h[ix.of(eid)] = prev + 1;
+    best = std::max(best, prev + 1);
+  }
+  return best;
+}
+
+namespace {
+
+/// Kuhn's augmenting-path matching over the transitive comparability
+/// relation e -> f (happened-before), giving the minimum chain cover and,
+/// by Dilworth, the maximum antichain.
+std::int32_t dilworth_width(const Computation& c) {
+  Indexer ix(c);
+  std::vector<EventId> events;
+  events.reserve(static_cast<std::size_t>(c.total_events()));
+  for (ProcId i = 0; i < c.num_procs(); ++i)
+    for (EventIndex k = 1; k <= c.num_events(i); ++k)
+      events.push_back(EventId{i, k});
+  const std::size_t m = events.size();
+
+  std::vector<std::vector<std::uint32_t>> adj(m);
+  for (std::size_t a = 0; a < m; ++a)
+    for (std::size_t b = 0; b < m; ++b)
+      if (a != b && c.happened_before(events[a], events[b]))
+        adj[a].push_back(static_cast<std::uint32_t>(b));
+
+  std::vector<std::int32_t> match_right(m, -1);
+  std::vector<char> used(m, 0);
+  std::function<bool(std::size_t)> try_kuhn = [&](std::size_t a) -> bool {
+    for (std::uint32_t b : adj[a]) {
+      if (used[b]) continue;
+      used[b] = 1;
+      if (match_right[b] < 0 ||
+          try_kuhn(static_cast<std::size_t>(match_right[b]))) {
+        match_right[b] = static_cast<std::int32_t>(a);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::int32_t matching = 0;
+  for (std::size_t a = 0; a < m; ++a) {
+    std::fill(used.begin(), used.end(), 0);
+    matching += try_kuhn(a) ? 1 : 0;
+  }
+  return static_cast<std::int32_t>(m) - matching;
+}
+
+}  // namespace
+
+std::int32_t computation_width(const Computation& c) {
+  if (c.total_events() == 0) return 0;
+  return dilworth_width(c);
+}
+
+ConcurrencyStats analyze(const Computation& c, std::size_t width_limit) {
+  ConcurrencyStats s;
+  s.events = c.total_events();
+  s.messages = c.num_messages();
+  if (s.events == 0) return s;
+  s.height = computation_height(c);
+  s.parallelism = static_cast<double>(s.events) / s.height;
+
+  // Pairwise concurrency count.
+  std::vector<EventId> events;
+  events.reserve(static_cast<std::size_t>(s.events));
+  for (ProcId i = 0; i < c.num_procs(); ++i)
+    for (EventIndex k = 1; k <= c.num_events(i); ++k)
+      events.push_back(EventId{i, k});
+  for (std::size_t a = 0; a < events.size(); ++a)
+    for (std::size_t b = a + 1; b < events.size(); ++b)
+      s.concurrent_pairs += c.concurrent(events[a], events[b]) ? 1 : 0;
+
+  if (static_cast<std::size_t>(s.events) <= width_limit)
+    s.width = dilworth_width(c);
+  return s;
+}
+
+std::string ConcurrencyStats::to_string() const {
+  std::ostringstream os;
+  os << "events=" << events << " messages=" << messages
+     << " height=" << height;
+  if (width >= 0) os << " width=" << width;
+  os << " concurrent_pairs=" << concurrent_pairs << " parallelism=";
+  os.precision(3);
+  os << parallelism;
+  return os.str();
+}
+
+}  // namespace hbct

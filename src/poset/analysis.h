@@ -1,0 +1,47 @@
+// Structural analysis of computations: how much concurrency does a trace
+// actually contain? These metrics drive workload characterization in the
+// benches and the trace_checker's report.
+//
+//  - height:  the longest happened-before chain (critical path length).
+//  - width:   the largest antichain — the maximum number of pairwise
+//             concurrent events — computed exactly via Dilworth's theorem
+//             (width = |E| − maximum matching in the transitive
+//             comparability bipartite graph).
+//  - concurrent_pairs: |{ {e,f} : e ∥ f }|.
+//  - parallelism: |E| / height, the average achievable speedup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "poset/computation.h"
+
+namespace hbct {
+
+struct ConcurrencyStats {
+  std::int64_t events = 0;
+  std::int64_t messages = 0;
+  /// Longest chain (number of events on the critical path). 0 iff empty.
+  std::int32_t height = 0;
+  /// Largest antichain (Dilworth). -1 when skipped (past width_limit).
+  std::int32_t width = -1;
+  /// Number of unordered concurrent event pairs.
+  std::int64_t concurrent_pairs = 0;
+  /// events / height; 0 for empty computations.
+  double parallelism = 0;
+
+  std::string to_string() const;
+};
+
+/// Computes the metrics. The width computation is O(|E|^3) worst case
+/// (Kuhn's matching over the full comparability graph) and is skipped when
+/// |E| exceeds `width_limit`; everything else is O(n|E| + |E|^2).
+ConcurrencyStats analyze(const Computation& c, std::size_t width_limit = 400);
+
+/// Longest happened-before chain only (O(n|E|)).
+std::int32_t computation_height(const Computation& c);
+
+/// Largest antichain only (see analyze for cost).
+std::int32_t computation_width(const Computation& c);
+
+}  // namespace hbct

@@ -1,0 +1,106 @@
+#include "poset/builder.h"
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+ComputationBuilder::ComputationBuilder(std::int32_t num_procs) {
+  HBCT_ASSERT(num_procs > 0);
+  c_.procs_.resize(sz(num_procs));
+  c_.initial_.resize(sz(num_procs));
+}
+
+VarId ComputationBuilder::var(std::string_view name) {
+  auto it = c_.var_ids_.find(std::string(name));
+  if (it != c_.var_ids_.end()) return it->second;
+  const VarId id = static_cast<VarId>(c_.var_names_.size());
+  c_.var_names_.emplace_back(name);
+  c_.var_ids_.emplace(std::string(name), id);
+  for (auto& iv : c_.initial_) iv.resize(c_.var_names_.size(), 0);
+  return id;
+}
+
+void ComputationBuilder::set_initial(ProcId i, VarId v, std::int64_t value) {
+  HBCT_ASSERT(i >= 0 && i < num_procs());
+  HBCT_ASSERT(v >= 0 && sz(v) < c_.var_names_.size());
+  c_.initial_[sz(i)][sz(v)] = value;
+}
+
+EventId ComputationBuilder::append(ProcId i, Event ev) {
+  HBCT_ASSERT(!built_);
+  HBCT_ASSERT(i >= 0 && i < num_procs());
+  auto& list = c_.procs_[sz(i)];
+  list.push_back(std::move(ev));
+  EventId id{i, static_cast<EventIndex>(list.size())};
+  c_.linearization_.push_back(id);
+  return id;
+}
+
+EventId ComputationBuilder::internal(ProcId i) {
+  return append(i, Event{});
+}
+
+MsgId ComputationBuilder::send(ProcId from, ProcId to) {
+  HBCT_ASSERT(to >= 0 && to < num_procs());
+  HBCT_ASSERT_MSG(from != to, "self-messages are not part of the model");
+  const MsgId m = next_msg_++;
+  Event ev;
+  ev.kind = EventKind::kSend;
+  ev.peer = to;
+  ev.msg = m;
+  append(from, std::move(ev));
+  msg_src_.push_back(from);
+  msg_dst_.push_back(to);
+  msg_received_.push_back(false);
+  return m;
+}
+
+EventId ComputationBuilder::receive(ProcId to, MsgId m) {
+  HBCT_ASSERT_MSG(m >= 0 && sz(m) < msg_src_.size(),
+                  "receive of unknown message");
+  HBCT_ASSERT_MSG(!msg_received_[sz(m)], "message received twice");
+  HBCT_ASSERT_MSG(msg_dst_[sz(m)] == to, "message delivered to wrong process");
+  msg_received_[sz(m)] = true;
+  Event ev;
+  ev.kind = EventKind::kReceive;
+  ev.peer = msg_src_[sz(m)];
+  ev.msg = m;
+  return append(to, std::move(ev));
+}
+
+Event& ComputationBuilder::last_event(ProcId i) {
+  HBCT_ASSERT(i >= 0 && i < num_procs());
+  auto& list = c_.procs_[sz(i)];
+  HBCT_ASSERT_MSG(!list.empty(), "no event to annotate");
+  return list.back();
+}
+
+ComputationBuilder& ComputationBuilder::write(ProcId i, VarId v,
+                                              std::int64_t value) {
+  HBCT_ASSERT(v >= 0 && sz(v) < c_.var_names_.size());
+  last_event(i).writes.push_back(Assignment{v, value});
+  return *this;
+}
+
+ComputationBuilder& ComputationBuilder::write(ProcId i, std::string_view name,
+                                              std::int64_t value) {
+  return write(i, var(name), value);
+}
+
+ComputationBuilder& ComputationBuilder::label(ProcId i, std::string_view text) {
+  last_event(i).label = std::string(text);
+  return *this;
+}
+
+Computation ComputationBuilder::build() && {
+  HBCT_ASSERT(!built_);
+  built_ = true;
+  c_.finalize();
+  return std::move(c_);
+}
+
+}  // namespace hbct

@@ -1,0 +1,362 @@
+#include "poset/computation.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+}  // namespace
+
+const Event& Computation::event(ProcId i, EventIndex idx) const {
+  HBCT_DASSERT(i >= 0 && i < num_procs());
+  HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
+  return procs_[sz(i)][sz(idx - 1)];
+}
+
+const VClock& Computation::vclock(ProcId i, EventIndex idx) const {
+  HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
+  return vclocks_[sz(i)][sz(idx - 1)];
+}
+
+const VClock& Computation::reverse_vclock(ProcId i, EventIndex idx) const {
+  HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
+  if (rvclocks_dirty_) compute_rvclocks();
+  return rvclocks_[sz(i)][sz(idx - 1)];
+}
+
+bool Computation::happened_before(EventId e, EventId f) const {
+  if (e.proc == f.proc) return e.index < f.index;
+  // e -> f iff f's clock has seen at least e.index events of e.proc.
+  return vclock(f)[sz(e.proc)] >= e.index;
+}
+
+bool Computation::concurrent(EventId e, EventId f) const {
+  if (e.proc == f.proc) return false;
+  return !happened_before(e, f) && !happened_before(f, e);
+}
+
+std::optional<VarId> Computation::var_id(std::string_view name) const {
+  auto it = var_ids_.find(std::string(name));
+  if (it == var_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Computation::var_name(VarId v) const {
+  HBCT_ASSERT(v >= 0 && v < num_vars());
+  return var_names_[sz(v)];
+}
+
+std::int64_t Computation::value_at(ProcId i, VarId v, EventIndex pos) const {
+  HBCT_DASSERT(i >= 0 && i < num_procs());
+  HBCT_DASSERT(v >= 0 && v < num_vars());
+  HBCT_DASSERT(pos >= 0 && pos <= num_events(i));
+  return values_[sz(i)][sz(v)][sz(pos)];
+}
+
+std::int32_t Computation::in_transit(ProcId from, ProcId to, const Cut& g) const {
+  HBCT_DASSERT(from >= 0 && from < num_procs());
+  HBCT_DASSERT(to >= 0 && to < num_procs());
+  const auto& sends = sends_to_[sz(from)][sz(to)];
+  if (sends.empty()) return 0;
+  const auto& recvs = recvs_from_[sz(to)][sz(from)];
+  const std::int32_t sent = sends[sz(g[sz(from)])];
+  const std::int32_t rcvd = recvs.empty() ? 0 : recvs[sz(g[sz(to)])];
+  HBCT_DASSERT(sent >= rcvd);
+  return sent - rcvd;
+}
+
+std::int64_t Computation::in_transit_total(const Cut& g) const {
+  std::int64_t t = 0;
+  for (ProcId i = 0; i < num_procs(); ++i)
+    for (ProcId j = 0; j < num_procs(); ++j)
+      if (!sends_to_[sz(i)][sz(j)].empty()) t += in_transit(i, j, g);
+  return t;
+}
+
+Cut Computation::final_cut() const {
+  Cut f(sz(num_procs()));
+  for (ProcId i = 0; i < num_procs(); ++i) f[sz(i)] = num_events(i);
+  return f;
+}
+
+bool Computation::is_consistent(const Cut& g) const {
+  HBCT_ASSERT(g.size() == sz(num_procs()));
+  for (ProcId i = 0; i < num_procs(); ++i) {
+    const std::int32_t gi = g[sz(i)];
+    if (gi < 0 || gi > num_events(i)) return false;
+    if (gi == 0) continue;
+    // The last included event of process i must have its causal past in G.
+    const VClock& vc = vclock(i, gi);
+    for (ProcId j = 0; j < num_procs(); ++j)
+      if (vc[sz(j)] > g[sz(j)]) return false;
+  }
+  return true;
+}
+
+bool Computation::enabled(const Cut& g, ProcId i) const {
+  const std::int32_t gi = g[sz(i)];
+  if (gi >= num_events(i)) return false;
+  const VClock& vc = vclock(i, gi + 1);
+  for (ProcId j = 0; j < num_procs(); ++j) {
+    if (j == i) continue;
+    if (vc[sz(j)] > g[sz(j)]) return false;
+  }
+  return true;
+}
+
+bool Computation::removable(const Cut& g, ProcId i) const {
+  const std::int32_t gi = g[sz(i)];
+  if (gi <= 0) return false;
+  // The event e = (i, gi) is maximal in G iff no other process's last
+  // included event has seen it.
+  for (ProcId j = 0; j < num_procs(); ++j) {
+    if (j == i) continue;
+    const std::int32_t gj = g[sz(j)];
+    if (gj == 0) continue;
+    if (vclock(j, gj)[sz(i)] >= gi) return false;
+  }
+  return true;
+}
+
+std::vector<ProcId> Computation::enabled_procs(const Cut& g) const {
+  std::vector<ProcId> out;
+  out.reserve(sz(num_procs()));
+  for (ProcId i = 0; i < num_procs(); ++i)
+    if (enabled(g, i)) out.push_back(i);
+  return out;
+}
+
+std::vector<ProcId> Computation::frontier_procs(const Cut& g) const {
+  std::vector<ProcId> out;
+  out.reserve(sz(num_procs()));
+  for (ProcId i = 0; i < num_procs(); ++i)
+    if (removable(g, i)) out.push_back(i);
+  return out;
+}
+
+Cut Computation::advance(const Cut& g, ProcId i) const {
+  HBCT_DASSERT(enabled(g, i));
+  Cut h = g;
+  ++h[sz(i)];
+  return h;
+}
+
+Cut Computation::retreat(const Cut& g, ProcId i) const {
+  HBCT_DASSERT(removable(g, i));
+  Cut h = g;
+  --h[sz(i)];
+  return h;
+}
+
+Cut Computation::join_irreducible_of(ProcId i, EventIndex idx) const {
+  return Cut(vclock(i, idx).raw());
+}
+
+Cut Computation::meet_irreducible_of(ProcId i, EventIndex idx) const {
+  const VClock& rvc = reverse_vclock(i, idx);
+  Cut m(sz(num_procs()));
+  for (ProcId j = 0; j < num_procs(); ++j)
+    m[sz(j)] = num_events(j) - rvc[sz(j)];
+  return m;
+}
+
+std::optional<EventId> Computation::find_label(std::string_view label) const {
+  for (ProcId i = 0; i < num_procs(); ++i)
+    for (EventIndex k = 1; k <= num_events(i); ++k)
+      if (event(i, k).label == label) return EventId{i, k};
+  return std::nullopt;
+}
+
+Computation Computation::prefix(const Cut& k) const {
+  HBCT_ASSERT_MSG(is_consistent(k), "prefix requires a consistent cut");
+  Computation out;
+  const std::size_t n = sz(num_procs());
+  out.procs_.resize(n);
+  out.var_names_ = var_names_;
+  out.var_ids_ = var_ids_;
+  out.initial_ = initial_;
+  for (ProcId i = 0; i < num_procs(); ++i) {
+    auto& dst = out.procs_[sz(i)];
+    dst.assign(procs_[sz(i)].begin(), procs_[sz(i)].begin() + k[sz(i)]);
+  }
+  // Keep the original linearization restricted to K (still a valid
+  // topological order of the prefix).
+  for (const EventId& e : linearization_)
+    if (e.index <= k[sz(e.proc)]) out.linearization_.push_back(e);
+  out.finalize();
+  return out;
+}
+
+void Computation::finalize() {
+  const std::size_t n = procs_.size();
+  total_events_ = 0;
+  num_messages_ = 0;
+  for (const auto& p : procs_) total_events_ += static_cast<std::int64_t>(p.size());
+  HBCT_ASSERT(static_cast<std::int64_t>(linearization_.size()) == total_events_);
+
+  // --- Vector clocks, following the recorded linearization. Each receive
+  // merges the clock of its matching send, so sends must precede their
+  // receives in the linearization (validated below via send_clock presence).
+  vclocks_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i)
+    vclocks_[i].assign(procs_[i].size(), VClock{});
+  std::unordered_map<MsgId, VClock> send_clock;
+  std::unordered_map<MsgId, EventId> send_event;
+  for (const EventId& eid : linearization_) {
+    const Event& ev = event(eid);
+    VClock vc = eid.index > 1 ? vclock(eid.proc, eid.index - 1)
+                              : VClock(n);
+    if (ev.kind == EventKind::kReceive) {
+      auto it = send_clock.find(ev.msg);
+      HBCT_ASSERT_MSG(it != send_clock.end(),
+                      "receive precedes its send in the linearization");
+      vc.merge(it->second);
+      // Cross-check the peer annotation.
+      HBCT_ASSERT(send_event.at(ev.msg).proc == ev.peer);
+    }
+    vc[sz(eid.proc)] = eid.index;
+    if (ev.kind == EventKind::kSend) {
+      HBCT_ASSERT_MSG(!send_clock.count(ev.msg), "duplicate send msg id");
+      ++num_messages_;
+    }
+    vclocks_[sz(eid.proc)][sz(eid.index - 1)] = vc;
+    if (ev.kind == EventKind::kSend) {
+      send_clock.emplace(ev.msg, vclocks_[sz(eid.proc)][sz(eid.index - 1)]);
+      send_event.emplace(ev.msg, eid);
+    }
+  }
+
+  compute_rvclocks();
+
+  // --- Variable timelines.
+  const std::size_t nv = var_names_.size();
+  initial_.resize(n);
+  for (auto& iv : initial_) iv.resize(nv, 0);
+  values_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i].assign(nv, {});
+    for (std::size_t v = 0; v < nv; ++v) {
+      auto& tl = values_[i][v];
+      tl.resize(procs_[i].size() + 1);
+      tl[0] = initial_[i][v];
+    }
+    for (std::size_t k = 0; k < procs_[i].size(); ++k) {
+      for (std::size_t v = 0; v < nv; ++v)
+        values_[i][v][k + 1] = values_[i][v][k];
+      for (const Assignment& a : procs_[i][k].writes) {
+        HBCT_ASSERT(a.var >= 0 && sz(a.var) < nv);
+        values_[i][sz(a.var)][k + 1] = a.value;
+      }
+    }
+  }
+
+  // --- Channel prefix counters.
+  sends_to_.assign(n, std::vector<std::vector<std::int32_t>>(n));
+  recvs_from_.assign(n, std::vector<std::vector<std::int32_t>>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < procs_[i].size(); ++k) {
+      const Event& ev = procs_[i][k];
+      if (ev.kind == EventKind::kSend) {
+        auto& tab = sends_to_[i][sz(ev.peer)];
+        if (tab.empty()) tab.assign(procs_[i].size() + 1, 0);
+      } else if (ev.kind == EventKind::kReceive) {
+        auto& tab = recvs_from_[i][sz(ev.peer)];
+        if (tab.empty()) tab.assign(procs_[i].size() + 1, 0);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      auto fill = [&](std::vector<std::int32_t>& tab, EventKind kind) {
+        if (tab.empty()) return;
+        for (std::size_t k = 0; k < procs_[i].size(); ++k) {
+          const Event& ev = procs_[i][k];
+          tab[k + 1] = tab[k] + ((ev.kind == kind && sz(ev.peer) == j) ? 1 : 0);
+        }
+      };
+      fill(sends_to_[i][j], EventKind::kSend);
+      fill(recvs_from_[i][j], EventKind::kReceive);
+    }
+  }
+}
+
+void Computation::compute_rvclocks() const {
+  // Reverse vector clocks: process the linearization backwards; a send
+  // merges the reverse clock of its matching receive.
+  const std::size_t n = procs_.size();
+  rvclocks_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i)
+    rvclocks_[i].assign(procs_[i].size(), VClock{});
+  std::unordered_map<MsgId, VClock> recv_rclock;
+  for (auto it = linearization_.rbegin(); it != linearization_.rend(); ++it) {
+    const EventId& eid = *it;
+    const Event& ev = event(eid);
+    // rvc(e)[j] counts events f on j with e <= f; start from the successor
+    // on the same process (if any).
+    VClock rvc = eid.index < num_events(eid.proc)
+                     ? rvclocks_[sz(eid.proc)][sz(eid.index)]
+                     : VClock(n);
+    if (ev.kind == EventKind::kSend) {
+      auto rit = recv_rclock.find(ev.msg);
+      if (rit != recv_rclock.end()) rvc.merge(rit->second);
+      // An unmatched send (receive outside this computation) merges nothing.
+    }
+    rvc[sz(eid.proc)] = num_events(eid.proc) - eid.index + 1;
+    rvclocks_[sz(eid.proc)][sz(eid.index - 1)] = rvc;
+    if (ev.kind == EventKind::kReceive)
+      recv_rclock.emplace(ev.msg, rvclocks_[sz(eid.proc)][sz(eid.index - 1)]);
+  }
+  rvclocks_dirty_ = false;
+}
+
+void Computation::validate() const {
+  const std::size_t n = procs_.size();
+  // Linearization covers every event exactly once and respects both process
+  // order and send-before-receive.
+  std::vector<EventIndex> seen(n, 0);
+  std::unordered_map<MsgId, bool> sent;
+  for (const EventId& eid : linearization_) {
+    HBCT_ASSERT(eid.proc >= 0 && sz(eid.proc) < n);
+    HBCT_ASSERT(eid.index == seen[sz(eid.proc)] + 1);
+    seen[sz(eid.proc)] = eid.index;
+    const Event& ev = event(eid);
+    if (ev.kind == EventKind::kSend) {
+      HBCT_ASSERT(ev.msg != kNoMsg);
+      HBCT_ASSERT(!sent.count(ev.msg));
+      sent[ev.msg] = true;
+      HBCT_ASSERT(ev.peer >= 0 && sz(ev.peer) < n);
+    } else if (ev.kind == EventKind::kReceive) {
+      HBCT_ASSERT(sent.count(ev.msg));
+      HBCT_ASSERT(ev.peer >= 0 && sz(ev.peer) < n);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    HBCT_ASSERT(seen[i] == static_cast<EventIndex>(procs_[i].size()));
+
+  // Clock sanity: vc(e)[proc(e)] == index(e); clocks strictly increase along
+  // a process; rvc(e)[proc(e)] counts the suffix.
+  for (ProcId i = 0; i < num_procs(); ++i) {
+    for (EventIndex k = 1; k <= num_events(i); ++k) {
+      HBCT_ASSERT(vclock(i, k)[sz(i)] == k);
+      HBCT_ASSERT(reverse_vclock(i, k)[sz(i)] == num_events(i) - k + 1);
+      if (k > 1) HBCT_ASSERT(vclock(i, k - 1).before(vclock(i, k)));
+      // J(e) and M(e) must be consistent cuts.
+      HBCT_ASSERT(is_consistent(join_irreducible_of(i, k)));
+      HBCT_ASSERT(is_consistent(meet_irreducible_of(i, k)));
+    }
+  }
+  HBCT_ASSERT(is_consistent(initial_cut()));
+  HBCT_ASSERT(is_consistent(final_cut()));
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kInternal: return "internal";
+    case EventKind::kSend: return "send";
+    case EventKind::kReceive: return "recv";
+  }
+  return "?";
+}
+
+}  // namespace hbct

@@ -1,0 +1,171 @@
+// Computation: an immutable happened-before model (E, ->) of one execution
+// of a distributed program, plus the cut geometry every detection algorithm
+// in this library is built on.
+//
+// The structure is finalized once (by ComputationBuilder) and then read-only:
+// vector clocks, reverse vector clocks, per-variable state timelines and
+// channel prefix counters are all precomputed so that the predicate
+// detectors' inner loops are O(n) or O(1) per step, matching the cost model
+// used in the paper's complexity claims.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "poset/cut.h"
+#include "poset/event.h"
+#include "poset/vclock.h"
+
+namespace hbct {
+
+class ComputationBuilder;
+
+class Computation {
+ public:
+  Computation() = default;
+
+  // ---- Shape -------------------------------------------------------------
+
+  std::int32_t num_procs() const { return static_cast<std::int32_t>(procs_.size()); }
+  EventIndex num_events(ProcId i) const {
+    return static_cast<EventIndex>(procs_[static_cast<std::size_t>(i)].size());
+  }
+  /// |E| — total number of events across all processes.
+  std::int64_t total_events() const { return total_events_; }
+  std::int64_t num_messages() const { return num_messages_; }
+
+  /// Event payload; `idx` is 1-based.
+  const Event& event(ProcId i, EventIndex idx) const;
+  const Event& event(EventId e) const { return event(e.proc, e.index); }
+
+  /// Fidge-Mattern clock of the event (1-based idx).
+  const VClock& vclock(ProcId i, EventIndex idx) const;
+  const VClock& vclock(EventId e) const { return vclock(e.proc, e.index); }
+
+  /// Reverse clock: rvc(e)[j] = |{f on process j : e -> f or e == f}|.
+  /// This is the vector clock of `e` in the computation with all edges
+  /// reversed; it yields the meet-irreducible cuts M(e) = E \ up-set(e).
+  /// Reverse clocks depend on the whole suffix of the computation, so
+  /// online appends (OnlineAppender) invalidate them; they are recomputed
+  /// lazily on first use (not thread-safe against concurrent appends).
+  const VClock& reverse_vclock(ProcId i, EventIndex idx) const;
+
+  // ---- Order between events ----------------------------------------------
+
+  /// Lamport's happened-before: e -> f.
+  bool happened_before(EventId e, EventId f) const;
+  /// Neither e -> f nor f -> e (and e != f).
+  bool concurrent(EventId e, EventId f) const;
+
+  // ---- Variables -----------------------------------------------------------
+
+  /// Id of a registered variable name, or nullopt.
+  std::optional<VarId> var_id(std::string_view name) const;
+  std::int32_t num_vars() const { return static_cast<std::int32_t>(var_names_.size()); }
+  const std::string& var_name(VarId v) const;
+
+  /// Value of variable v on process i after the first `pos` events of i
+  /// (pos = 0 gives the initial value).
+  std::int64_t value_at(ProcId i, VarId v, EventIndex pos) const;
+
+  /// Convenience: value of variable v on process i in global state G.
+  std::int64_t value_in(ProcId i, VarId v, const Cut& g) const {
+    return value_at(i, v, g[static_cast<std::size_t>(i)]);
+  }
+
+  // ---- Channels ------------------------------------------------------------
+
+  /// Number of messages sent from `from` to `to` that are in transit in G
+  /// (sent within G, not yet received within G). G must be consistent.
+  std::int32_t in_transit(ProcId from, ProcId to, const Cut& g) const;
+  /// Total number of in-transit messages in G over all channels.
+  std::int64_t in_transit_total(const Cut& g) const;
+  bool all_channels_empty(const Cut& g) const { return in_transit_total(g) == 0; }
+
+  // ---- Cut geometry --------------------------------------------------------
+
+  Cut initial_cut() const { return Cut(static_cast<std::size_t>(num_procs())); }
+  Cut final_cut() const;
+
+  /// Downward-closure (consistency) test, O(n^2).
+  bool is_consistent(const Cut& g) const;
+
+  /// True when the next event of process i can be appended to G keeping it
+  /// consistent (its whole causal past is inside G). O(n).
+  bool enabled(const Cut& g, ProcId i) const;
+  /// True when the last included event of process i is maximal in G, i.e.
+  /// removing it keeps G consistent. O(n).
+  bool removable(const Cut& g, ProcId i) const;
+
+  /// Processes whose next event is enabled in G (successors of G in the
+  /// lattice are exactly the cuts advance(G, i) for these i).
+  std::vector<ProcId> enabled_procs(const Cut& g) const;
+  /// frontier(G): processes owning a maximal event of G (predecessors of G
+  /// in the lattice are exactly retreat(G, i) for these i).
+  std::vector<ProcId> frontier_procs(const Cut& g) const;
+
+  Cut advance(const Cut& g, ProcId i) const;
+  Cut retreat(const Cut& g, ProcId i) const;
+
+  /// J(e): the least consistent cut containing event e (its vector clock
+  /// read as a cut). The J(e) are exactly the join-irreducible lattice
+  /// elements.
+  Cut join_irreducible_of(ProcId i, EventIndex idx) const;
+  /// M(e) = E \ up-set(e). The M(e) are exactly the meet-irreducible
+  /// lattice elements.
+  Cut meet_irreducible_of(ProcId i, EventIndex idx) const;
+
+  // ---- Whole-computation helpers -------------------------------------------
+
+  /// One valid observation (topological order) of all events: the order in
+  /// which events were appended at build time.
+  const std::vector<EventId>& linearization() const { return linearization_; }
+
+  /// The sub-computation induced by the (consistent) prefix K: process i
+  /// keeps its first K[i] events. Message sends whose receive falls outside
+  /// K remain unmatched (the message stays in transit forever).
+  Computation prefix(const Cut& k) const;
+
+  /// Find an event by its label; nullopt if absent or ambiguous labels exist
+  /// (first match wins).
+  std::optional<EventId> find_label(std::string_view label) const;
+
+  /// Exhaustive internal-invariant check (clock correctness, message
+  /// matching, linearization validity). Aborts on violation; test helper.
+  void validate() const;
+
+ private:
+  friend class ComputationBuilder;
+  friend class OnlineAppender;
+
+  void finalize();            // computes clocks and tables (builder path)
+  void compute_rvclocks() const;  // (re)derives the reverse clocks
+
+  std::vector<std::vector<Event>> procs_;
+  std::vector<std::vector<VClock>> vclocks_;
+  mutable std::vector<std::vector<VClock>> rvclocks_;
+  mutable bool rvclocks_dirty_ = true;
+  std::vector<EventId> linearization_;
+
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, VarId> var_ids_;
+  /// values_[i][v][pos] = value of var v on proc i after pos events.
+  std::vector<std::vector<std::vector<std::int64_t>>> values_;
+  /// initial_[i][v]
+  std::vector<std::vector<std::int64_t>> initial_;
+
+  /// sends_to_[i][j][k] = #sends from i to j among the first k events of i.
+  /// Empty inner vector = no traffic on that channel.
+  std::vector<std::vector<std::vector<std::int32_t>>> sends_to_;
+  /// recvs_from_[j][i][k] = #receives at j from i among the first k events.
+  std::vector<std::vector<std::vector<std::int32_t>>> recvs_from_;
+
+  std::int64_t total_events_ = 0;
+  std::int64_t num_messages_ = 0;
+};
+
+}  // namespace hbct

@@ -1,0 +1,73 @@
+#include "poset/diagram.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace hbct {
+
+namespace {
+
+std::string event_text(const Computation& c, const EventId& eid,
+                       const DiagramOptions& opt) {
+  const Event& ev = c.event(eid);
+  std::ostringstream os;
+  if (opt.show_labels && !ev.label.empty())
+    os << ev.label;
+  else
+    os << "e" << eid.index;
+  switch (ev.kind) {
+    case EventKind::kInternal:
+      break;
+    case EventKind::kSend:
+      os << ":S->P" << ev.peer << "(m" << ev.msg << ")";
+      break;
+    case EventKind::kReceive:
+      os << ":R<-P" << ev.peer << "(m" << ev.msg << ")";
+      break;
+  }
+  if (opt.show_writes)
+    for (const Assignment& a : ev.writes)
+      os << " " << c.var_name(a.var) << "=" << a.value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_diagram(const Computation& c, const DiagramOptions& opt) {
+  const std::size_t n = static_cast<std::size_t>(c.num_procs());
+  // One column per linearization slot keeps causal order visually
+  // left-to-right; each column is as wide as its (single) cell.
+  const std::int64_t total =
+      std::min<std::int64_t>(c.total_events(), opt.max_events);
+
+  std::vector<std::vector<std::string>> cells(
+      n, std::vector<std::string>(static_cast<std::size_t>(total)));
+  std::vector<std::size_t> col_width(static_cast<std::size_t>(total), 0);
+  for (std::int64_t t = 0; t < total; ++t) {
+    const EventId& eid = c.linearization()[static_cast<std::size_t>(t)];
+    std::string text = event_text(c, eid, opt);
+    col_width[static_cast<std::size_t>(t)] = text.size();
+    cells[static_cast<std::size_t>(eid.proc)][static_cast<std::size_t>(t)] =
+        std::move(text);
+  }
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n; ++i) {
+    os << strfmt("P%-2zu |", i);
+    for (std::int64_t t = 0; t < total; ++t) {
+      const std::string& cell = cells[i][static_cast<std::size_t>(t)];
+      os << " " << cell
+         << std::string(col_width[static_cast<std::size_t>(t)] - cell.size(),
+                        ' ');
+    }
+    os << "\n";
+  }
+  if (total < c.total_events())
+    os << "... (" << (c.total_events() - total) << " more events)\n";
+  return os.str();
+}
+
+}  // namespace hbct

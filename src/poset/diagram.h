@@ -1,0 +1,33 @@
+// ASCII space-time diagrams of computations — the debugging-environment
+// view: one lane per process, events in program order, message edges and
+// variable writes annotated.
+//
+//   P0 | e1:S->P1(m0) x=2   e2 x=3
+//   P1 | f1:S->P2(m1)       f2:R<-P0(m0)
+//   P2 | g1:R<-P1(m1) z=6
+//
+// Lanes are column-aligned by a global linearization so the left-to-right
+// order of any two causally related events reflects happened-before.
+#pragma once
+
+#include <string>
+
+#include "poset/computation.h"
+
+namespace hbct {
+
+struct DiagramOptions {
+  /// Include variable writes on each event.
+  bool show_writes = true;
+  /// Include event labels when present.
+  bool show_labels = true;
+  /// Hard cap on rendered events (rendering a million-event trace as text
+  /// helps no one); the diagram is truncated with a marker beyond it.
+  std::int64_t max_events = 2000;
+};
+
+/// Renders the computation as an ASCII space-time diagram.
+std::string render_diagram(const Computation& c,
+                           const DiagramOptions& opt = {});
+
+}  // namespace hbct

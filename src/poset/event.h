@@ -1,0 +1,67 @@
+// Event identity and payload for the happened-before model.
+//
+// A distributed computation (E, ->) consists of n sequential processes whose
+// events are totally ordered within a process and related across processes by
+// message send/receive pairs (Lamport's happened-before relation). Events on
+// process i are numbered 1..num_events(i); position 0 denotes the initial
+// local state before any event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbct {
+
+/// Process index, 0-based.
+using ProcId = std::int32_t;
+
+/// Event index within a process, 1-based (0 = "before the first event").
+using EventIndex = std::int32_t;
+
+/// Global variable id assigned by the Computation's variable registry.
+/// Variables are per-process: `x` on P0 and `x` on P1 are distinct slots but
+/// share one VarId for the name `x`.
+using VarId = std::int32_t;
+
+/// Message identity; pairs one send event with one receive event.
+using MsgId = std::int32_t;
+
+constexpr MsgId kNoMsg = -1;
+
+/// Identifies one event in a computation.
+struct EventId {
+  ProcId proc = 0;
+  EventIndex index = 0;  // 1-based
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+enum class EventKind : std::uint8_t { kInternal, kSend, kReceive };
+
+/// One variable assignment performed by an event.
+struct Assignment {
+  VarId var = 0;
+  std::int64_t value = 0;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+/// Payload of an event. Vector clocks are stored in a parallel structure in
+/// Computation (struct-of-arrays keeps the clock table contiguous).
+struct Event {
+  EventKind kind = EventKind::kInternal;
+  /// For kSend: destination process. For kReceive: source process.
+  ProcId peer = -1;
+  /// Message matched by this send/receive; kNoMsg for internal events.
+  MsgId msg = kNoMsg;
+  /// Variable updates applied when this event executes.
+  std::vector<Assignment> writes;
+  /// Optional human-readable label ("e1", "cs_enter"); used by trace IO and
+  /// the figure reconstructions.
+  std::string label;
+};
+
+const char* to_string(EventKind k);
+
+}  // namespace hbct

@@ -1,0 +1,95 @@
+#include "poset/generate.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "poset/builder.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace hbct {
+
+Computation generate_random(const GenOptions& opt) {
+  HBCT_ASSERT(opt.num_procs > 0);
+  HBCT_ASSERT(opt.events_per_proc >= 0);
+  Rng rng(opt.seed);
+  ComputationBuilder b(opt.num_procs);
+
+  std::vector<VarId> vars;
+  vars.reserve(static_cast<std::size_t>(opt.num_vars));
+  for (std::int32_t v = 0; v < opt.num_vars; ++v)
+    vars.push_back(b.var(strfmt("v%d", v)));
+  for (ProcId i = 0; i < opt.num_procs; ++i)
+    for (VarId v : vars)
+      b.set_initial(i, v, rng.next_in(opt.value_lo, opt.value_hi));
+
+  std::vector<std::int32_t> quota(static_cast<std::size_t>(opt.num_procs),
+                                  opt.events_per_proc);
+  // pending[j] = messages already sent to process j, not yet received.
+  std::vector<std::deque<MsgId>> pending(static_cast<std::size_t>(opt.num_procs));
+  std::int64_t remaining =
+      static_cast<std::int64_t>(opt.num_procs) * opt.events_per_proc;
+
+  auto maybe_write = [&](ProcId i) {
+    if (!vars.empty() && rng.next_bool(opt.p_write)) {
+      VarId v = vars[rng.next_below(vars.size())];
+      b.write(i, v, rng.next_in(opt.value_lo, opt.value_hi));
+    }
+  };
+
+  while (remaining > 0) {
+    // Pick a process with remaining quota, uniformly.
+    ProcId i;
+    do {
+      i = static_cast<ProcId>(rng.next_below(static_cast<std::uint64_t>(opt.num_procs)));
+    } while (quota[static_cast<std::size_t>(i)] == 0);
+
+    auto& inbox = pending[static_cast<std::size_t>(i)];
+    if (!inbox.empty() && rng.next_bool(opt.p_recv)) {
+      std::size_t pick = opt.fifo ? 0 : rng.next_below(inbox.size());
+      MsgId m = inbox[pick];
+      inbox.erase(inbox.begin() + static_cast<std::ptrdiff_t>(pick));
+      b.receive(i, m);
+    } else if (opt.num_procs > 1 && rng.next_bool(opt.p_send)) {
+      ProcId to;
+      do {
+        to = static_cast<ProcId>(
+            rng.next_below(static_cast<std::uint64_t>(opt.num_procs)));
+      } while (to == i);
+      MsgId m = b.send(i, to);
+      pending[static_cast<std::size_t>(to)].push_back(m);
+    } else {
+      b.internal(i);
+    }
+    maybe_write(i);
+    --quota[static_cast<std::size_t>(i)];
+    --remaining;
+  }
+  return std::move(b).build();
+}
+
+Computation generate_independent(std::int32_t num_procs,
+                                 std::int32_t events_per_proc) {
+  ComputationBuilder b(num_procs);
+  for (ProcId i = 0; i < num_procs; ++i)
+    for (std::int32_t k = 0; k < events_per_proc; ++k) b.internal(i);
+  return std::move(b).build();
+}
+
+Computation generate_chain(std::int32_t num_procs,
+                           std::int32_t events_per_proc) {
+  ComputationBuilder b(num_procs);
+  MsgId link = kNoMsg;
+  for (ProcId i = 0; i < num_procs; ++i) {
+    if (link != kNoMsg) b.receive(i, link);
+    const std::int32_t internals =
+        events_per_proc - (i > 0 ? 1 : 0) - (i + 1 < num_procs ? 1 : 0);
+    for (std::int32_t k = 0; k < internals; ++k) b.internal(i);
+    if (i + 1 < num_procs) link = b.send(i, i + 1);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace hbct

@@ -1,0 +1,50 @@
+// Synthetic computation generators for tests and benchmarks.
+//
+// The property-test suite relies on generate_random() producing a broad
+// distribution of shapes: mostly-sequential, mostly-concurrent, message-heavy
+// and message-free computations all appear at different option settings.
+#pragma once
+
+#include <cstdint>
+
+#include "poset/computation.h"
+
+namespace hbct {
+
+struct GenOptions {
+  std::int32_t num_procs = 3;
+  /// Exact number of events generated on each process.
+  std::int32_t events_per_proc = 8;
+  /// Probability that a quota-remaining step emits a send.
+  double p_send = 0.25;
+  /// Probability that a step consumes a deliverable pending message.
+  double p_recv = 0.35;
+  /// Number of distinct variables written by events (named "v0", "v1", ...).
+  std::int32_t num_vars = 2;
+  /// Probability that an event writes one variable.
+  double p_write = 0.7;
+  std::int64_t value_lo = 0;
+  std::int64_t value_hi = 9;
+  /// Deliver messages of one channel in FIFO order (delivery choice only;
+  /// the model itself never assumes FIFO).
+  bool fifo = true;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random valid computation per the options. Deterministic in
+/// `seed`. Unreceived messages may remain in transit at the final cut.
+Computation generate_random(const GenOptions& opt);
+
+/// Generates a computation with no messages at all: the lattice of cuts is
+/// the full grid (worst-case state explosion), used by the lattice-size
+/// benches and the NP-hardness reductions' building block.
+Computation generate_independent(std::int32_t num_procs,
+                                 std::int32_t events_per_proc);
+
+/// Generates a fully sequential computation: each process i's first event
+/// receives a message sent by process i-1's last event. The lattice is a
+/// chain; the smallest-possible lattice for the event count.
+Computation generate_chain(std::int32_t num_procs,
+                           std::int32_t events_per_proc);
+
+}  // namespace hbct

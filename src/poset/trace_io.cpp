@@ -1,0 +1,226 @@
+#include "poset/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "poset/builder.h"
+#include "util/string_util.h"
+
+namespace hbct {
+
+namespace {
+
+void write_event_tail(std::ostream& os, const Computation& c, const Event& ev) {
+  if (!ev.label.empty()) os << " label=" << ev.label;
+  for (const Assignment& a : ev.writes)
+    os << " " << c.var_name(a.var) << "=" << a.value;
+  os << "\n";
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Computation& c) {
+  os << "hbct-trace v1\n";
+  os << "procs " << c.num_procs() << "\n";
+  for (VarId v = 0; v < c.num_vars(); ++v) os << "var " << c.var_name(v) << "\n";
+  for (ProcId i = 0; i < c.num_procs(); ++i)
+    for (VarId v = 0; v < c.num_vars(); ++v) {
+      const std::int64_t init = c.value_at(i, v, 0);
+      if (init != 0) os << "init " << i << " " << c.var_name(v) << " " << init << "\n";
+    }
+  for (const EventId& eid : c.linearization()) {
+    const Event& ev = c.event(eid);
+    os << "ev " << eid.proc << " ";
+    switch (ev.kind) {
+      case EventKind::kInternal:
+        os << "internal";
+        break;
+      case EventKind::kSend:
+        os << "send " << ev.peer << " " << ev.msg;
+        break;
+      case EventKind::kReceive:
+        os << "recv " << ev.msg;
+        break;
+    }
+    write_event_tail(os, c, ev);
+  }
+  os << "end\n";
+}
+
+std::string trace_to_string(const Computation& c) {
+  std::ostringstream os;
+  write_trace(os, c);
+  return os.str();
+}
+
+namespace {
+
+struct Parser {
+  std::istream& is;
+  int lineno = 0;
+  std::string err;
+
+  bool fail(const std::string& msg) {
+    if (err.empty()) err = strfmt("line %d: %s", lineno, msg.c_str());
+    return false;
+  }
+};
+
+// Parses trailing "label=..." / "name=value" tokens onto the last event.
+bool parse_annotations(Parser& p, ComputationBuilder& b, ProcId proc,
+                       const std::vector<std::string>& toks, std::size_t first) {
+  for (std::size_t t = first; t < toks.size(); ++t) {
+    const std::string& tok = toks[t];
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      return p.fail("expected key=value annotation, got '" + tok + "'");
+    std::string key = tok.substr(0, eq);
+    std::string val = tok.substr(eq + 1);
+    if (key == "label") {
+      b.label(proc, val);
+    } else {
+      long long value = 0;
+      if (!parse_int(val, value))
+        return p.fail("bad integer in assignment '" + tok + "'");
+      b.write(proc, key, value);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceParseResult read_trace(std::istream& is) {
+  TraceParseResult out;
+  Parser p{is, 0, {}};
+  std::string line;
+
+  auto next_tokens = [&](std::vector<std::string>& toks) -> bool {
+    while (std::getline(p.is, line)) {
+      ++p.lineno;
+      std::string_view body = trim(line);
+      auto hash = body.find('#');
+      if (hash != std::string_view::npos) body = trim(body.substr(0, hash));
+      if (body.empty()) continue;
+      toks.clear();
+      for (auto& t : split(body, ' '))
+        if (!t.empty()) toks.push_back(std::move(t));
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> toks;
+  if (!next_tokens(toks) || toks.size() != 2 || toks[0] != "hbct-trace" ||
+      toks[1] != "v1") {
+    out.error = "missing 'hbct-trace v1' header";
+    return out;
+  }
+  if (!next_tokens(toks) || toks.size() != 2 || toks[0] != "procs") {
+    out.error = strfmt("line %d: expected 'procs <n>'", p.lineno);
+    return out;
+  }
+  long long n = 0;
+  if (!parse_int(toks[1], n) || n <= 0 || n > 1 << 20) {
+    out.error = strfmt("line %d: bad process count", p.lineno);
+    return out;
+  }
+
+  ComputationBuilder b(static_cast<std::int32_t>(n));
+  struct MsgInfo {
+    MsgId id;
+    ProcId dst;
+    bool received;
+  };
+  std::unordered_map<long long, MsgInfo> msg_map;  // file msg id -> builder msg
+  bool saw_end = false;
+
+  while (next_tokens(toks)) {
+    const std::string& kw = toks[0];
+    if (kw == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kw == "var") {
+      if (toks.size() != 2) { p.fail("expected 'var <name>'"); break; }
+      b.var(toks[1]);
+      continue;
+    }
+    if (kw == "init") {
+      long long proc = 0, value = 0;
+      if (toks.size() != 4 || !parse_int(toks[1], proc) ||
+          !parse_int(toks[3], value) || proc < 0 || proc >= n) {
+        p.fail("expected 'init <proc> <var> <value>'");
+        break;
+      }
+      b.set_initial(static_cast<ProcId>(proc), b.var(toks[2]), value);
+      continue;
+    }
+    if (kw == "ev") {
+      long long proc = 0;
+      if (toks.size() < 3 || !parse_int(toks[1], proc) || proc < 0 || proc >= n) {
+        p.fail("expected 'ev <proc> <kind> ...'");
+        break;
+      }
+      const ProcId pi = static_cast<ProcId>(proc);
+      const std::string& kind = toks[2];
+      std::size_t first_ann = 3;
+      if (kind == "internal") {
+        b.internal(pi);
+      } else if (kind == "send") {
+        long long to = 0, mid = 0;
+        if (toks.size() < 5 || !parse_int(toks[3], to) ||
+            !parse_int(toks[4], mid) || to < 0 || to >= n || to == proc) {
+          p.fail("expected 'ev <proc> send <to> <msg-id>'");
+          break;
+        }
+        if (msg_map.count(mid)) { p.fail("duplicate msg id"); break; }
+        msg_map[mid] =
+            MsgInfo{b.send(pi, static_cast<ProcId>(to)),
+                    static_cast<ProcId>(to), false};
+        first_ann = 5;
+      } else if (kind == "recv") {
+        long long mid = 0;
+        if (toks.size() < 4 || !parse_int(toks[3], mid)) {
+          p.fail("expected 'ev <proc> recv <msg-id>'");
+          break;
+        }
+        auto it = msg_map.find(mid);
+        if (it == msg_map.end()) { p.fail("recv before matching send"); break; }
+        if (it->second.received) { p.fail("message received twice"); break; }
+        if (it->second.dst != pi) { p.fail("recv on wrong process"); break; }
+        it->second.received = true;
+        b.receive(pi, it->second.id);
+        first_ann = 4;
+      } else {
+        p.fail("unknown event kind '" + kind + "'");
+        break;
+      }
+      if (!parse_annotations(p, b, pi, toks, first_ann)) break;
+      continue;
+    }
+    p.fail("unknown record '" + kw + "'");
+    break;
+  }
+
+  if (!p.err.empty()) {
+    out.error = p.err;
+    return out;
+  }
+  if (!saw_end) {
+    out.error = "missing 'end' record";
+    return out;
+  }
+  out.computation = std::move(b).build();
+  out.ok = true;
+  return out;
+}
+
+TraceParseResult trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace hbct

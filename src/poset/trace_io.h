@@ -1,0 +1,40 @@
+// Text trace format for computations.
+//
+// Traces serialize the canonical linearization; reading a trace rebuilds the
+// identical computation (vector clocks are recomputed, not stored). Format,
+// one record per line, '#' starts a comment:
+//
+//   hbct-trace v1
+//   procs <n>
+//   var <name>                      # order defines VarId
+//   init <proc> <var-name> <value>
+//   ev <proc> internal [label=<text>] [<var-name>=<value> ...]
+//   ev <proc> send <to-proc> <msg-id> [label=...] [writes...]
+//   ev <proc> recv <msg-id> [label=...] [writes...]
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "poset/computation.h"
+
+namespace hbct {
+
+/// Serializes `c` in hbct-trace v1 format.
+void write_trace(std::ostream& os, const Computation& c);
+std::string trace_to_string(const Computation& c);
+
+/// Result of parsing a trace.
+struct TraceParseResult {
+  bool ok = false;
+  std::string error;       // first error, with line number
+  Computation computation; // valid only when ok
+};
+
+/// Parses an hbct-trace v1 stream. Never throws; malformed input is
+/// reported in `error`.
+TraceParseResult read_trace(std::istream& is);
+TraceParseResult trace_from_string(const std::string& text);
+
+}  // namespace hbct

@@ -1,0 +1,34 @@
+#include "poset/vclock.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+void VClock::merge(const VClock& o) {
+  HBCT_ASSERT(size() == o.size());
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    c_[i] = std::max(c_[i], o.c_[i]);
+}
+
+bool VClock::leq(const VClock& o) const {
+  HBCT_ASSERT(size() == o.size());
+  for (std::size_t i = 0; i < c_.size(); ++i)
+    if (c_[i] > o.c_[i]) return false;
+  return true;
+}
+
+std::string VClock::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (i) os << ",";
+    os << c_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace hbct

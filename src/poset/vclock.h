@@ -1,0 +1,47 @@
+// Fidge-Mattern vector clocks.
+//
+// VC(e)[j] = number of events on process j that happened-before-or-equal e.
+// Happened-before between events reduces to componentwise comparison:
+//   e -> f  iff  VC(e) != VC(f) and VC(e)[i] <= VC(f)[i] for all i.
+// For events we use the cheaper process-local test (see Computation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbct {
+
+class VClock {
+ public:
+  VClock() = default;
+  explicit VClock(std::size_t n) : c_(n, 0) {}
+  explicit VClock(std::vector<std::int32_t> c) : c_(std::move(c)) {}
+
+  std::size_t size() const { return c_.size(); }
+  std::int32_t operator[](std::size_t i) const { return c_[i]; }
+  std::int32_t& operator[](std::size_t i) { return c_[i]; }
+
+  /// Componentwise max with `o` (message-receive merge).
+  void merge(const VClock& o);
+
+  /// this <= o componentwise.
+  bool leq(const VClock& o) const;
+
+  /// Strictly happened-before: leq and not equal.
+  bool before(const VClock& o) const { return leq(o) && c_ != o.c_; }
+
+  /// Neither clock dominates: the events are concurrent.
+  bool concurrent(const VClock& o) const { return !leq(o) && !o.leq(*this); }
+
+  const std::vector<std::int32_t>& raw() const { return c_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const VClock&, const VClock&) = default;
+
+ private:
+  std::vector<std::int32_t> c_;
+};
+
+}  // namespace hbct

@@ -1,0 +1,120 @@
+#include "predicate/channel.h"
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace hbct {
+
+namespace {
+
+class ChannelBoundLe final : public Predicate {
+ public:
+  ChannelBoundLe(ProcId from, ProcId to, std::int32_t k)
+      : from_(from), to_(to), k_(k) {}
+
+  bool eval(const Computation& c, const Cut& g) const override {
+    return c.in_transit(from_, to_, g) <= k_;
+  }
+  ClassSet classes(const Computation&) const override {
+    return close_classes(kClassRegular);
+  }
+  std::string describe() const override {
+    return strfmt("intransit(%d->%d) <= %d", from_, to_, k_);
+  }
+  // Too many messages in flight: with the receiver frozen the count can only
+  // grow, so the receiver is the forbidden process.
+  ProcId forbidden(const Computation&, const Cut&) const override {
+    return to_;
+  }
+  // Dually, with the sender frozen while retreating, receives can only be
+  // undone, so the count can only grow: the sender must retreat.
+  ProcId forbidden_down(const Computation&, const Cut&) const override {
+    return from_;
+  }
+  PredicatePtr negate() const override {
+    return channel_bound_ge(from_, to_, k_ + 1);
+  }
+
+ private:
+  ProcId from_, to_;
+  std::int32_t k_;
+};
+
+class ChannelBoundGe final : public Predicate {
+ public:
+  ChannelBoundGe(ProcId from, ProcId to, std::int32_t k)
+      : from_(from), to_(to), k_(k) {}
+
+  bool eval(const Computation& c, const Cut& g) const override {
+    return c.in_transit(from_, to_, g) >= k_;
+  }
+  ClassSet classes(const Computation&) const override {
+    return close_classes(kClassRegular);
+  }
+  std::string describe() const override {
+    return strfmt("intransit(%d->%d) >= %d", from_, to_, k_);
+  }
+  ProcId forbidden(const Computation&, const Cut&) const override {
+    return from_;
+  }
+  ProcId forbidden_down(const Computation&, const Cut&) const override {
+    return to_;
+  }
+  PredicatePtr negate() const override {
+    return channel_bound_le(from_, to_, k_ - 1);
+  }
+
+ private:
+  ProcId from_, to_;
+  std::int32_t k_;
+};
+
+class AllChannelsEmpty final : public Predicate {
+ public:
+  bool eval(const Computation& c, const Cut& g) const override {
+    return c.in_transit_total(g) == 0;
+  }
+  ClassSet classes(const Computation&) const override {
+    // Intersection of the regular per-channel predicates; a sublattice.
+    return close_classes(kClassRegular);
+  }
+  std::string describe() const override { return "channels_empty"; }
+
+  ProcId forbidden(const Computation& c, const Cut& g) const override {
+    // Some channel (i -> j) has traffic; j must receive it.
+    for (ProcId i = 0; i < c.num_procs(); ++i)
+      for (ProcId j = 0; j < c.num_procs(); ++j)
+        if (i != j && c.in_transit(i, j, g) > 0) return j;
+    HBCT_ASSERT_MSG(false, "forbidden() called on satisfied predicate");
+  }
+
+  ProcId forbidden_down(const Computation& c, const Cut& g) const override {
+    for (ProcId i = 0; i < c.num_procs(); ++i)
+      for (ProcId j = 0; j < c.num_procs(); ++j)
+        if (i != j && c.in_transit(i, j, g) > 0) return i;
+    HBCT_ASSERT_MSG(false, "forbidden_down() called on satisfied predicate");
+  }
+
+ private:
+};
+
+}  // namespace
+
+PredicatePtr channel_bound_le(ProcId from, ProcId to, std::int32_t k) {
+  HBCT_ASSERT(k >= -1);  // k == -1 is the constant-false bound
+  return std::make_shared<ChannelBoundLe>(from, to, k);
+}
+
+PredicatePtr channel_bound_ge(ProcId from, ProcId to, std::int32_t k) {
+  return std::make_shared<ChannelBoundGe>(from, to, k);
+}
+
+PredicatePtr channel_empty(ProcId from, ProcId to) {
+  return channel_bound_le(from, to, 0);
+}
+
+PredicatePtr all_channels_empty() {
+  return std::make_shared<AllChannelsEmpty>();
+}
+
+}  // namespace hbct

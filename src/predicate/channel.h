@@ -1,0 +1,29 @@
+// Monotonic channel predicates.
+//
+// The number of messages in transit on a channel (i -> j) at cut G is
+// sends_i(G) - recvs_j(G), a difference of two counters that are
+// non-decreasing over local time. Bounds on such differences form regular
+// predicates (closed under both meet and join of cuts), giving them both
+// Chase–Garg advancement oracles. "Channels are empty" is the q-part of the
+// paper's Fig. 4 example.
+#pragma once
+
+#include "predicate/predicate.h"
+
+namespace hbct {
+
+/// in_transit(from, to) <= k. Regular. Advancing: the receiver must make
+/// progress; retreating: the sender must un-send.
+PredicatePtr channel_bound_le(ProcId from, ProcId to, std::int32_t k);
+
+/// in_transit(from, to) >= k. Regular. Advancing: the sender must make
+/// progress; retreating: the receiver must un-receive.
+PredicatePtr channel_bound_ge(ProcId from, ProcId to, std::int32_t k);
+
+/// in_transit(from, to) == 0.
+PredicatePtr channel_empty(ProcId from, ProcId to);
+
+/// Every channel of the computation is empty. Regular.
+PredicatePtr all_channels_empty();
+
+}  // namespace hbct

@@ -1,0 +1,55 @@
+#include "predicate/classify.h"
+
+#include <sstream>
+
+namespace hbct {
+
+ClassReport classify(const Predicate& p, const Computation& c) {
+  ClassReport r;
+  r.holds_initially = p.eval(c, c.initial_cut());
+  r.classes = effective_classes(p, c);
+  const ClassSet s = r.classes;
+
+  auto pick = [&](const char* stable_alg, const char* oi_alg,
+                  const char* linear_alg, const char* postlinear_alg,
+                  const char* fallback) -> std::string {
+    if ((s & kClassStable) && stable_alg) return stable_alg;
+    if ((s & kClassLinear) && linear_alg) return linear_alg;
+    if ((s & kClassPostLinear) && postlinear_alg) return postlinear_alg;
+    if ((s & kClassObserverIndependent) && oi_alg) return oi_alg;
+    return fallback;
+  };
+
+  r.ef = pick("stable: p(final) (O(n))", "single observation scan (O(n|E|))",
+              "Chase-Garg advancement (O(n^2|E|))",
+              nullptr, "explicit lattice (exponential)");
+  r.af = pick("stable: p(final) (O(n))", "single observation scan (O(n|E|))",
+              nullptr, nullptr,
+              (s & kClassConjunctive)
+                  ? "Garg-Waldecker strong conjunctive (O(n^2|E|))"
+                  : "explicit lattice (exponential)");
+  r.eg = pick("stable: p(initial) (O(n))", nullptr,
+              "A1 backward walk (O(n^2|E|)) [this paper]", nullptr,
+              (s & kClassObserverIndependent)
+                  ? "explicit lattice (exponential; NP-complete, Thm 5)"
+                  : "explicit lattice (exponential)");
+  r.ag = pick("stable: p(initial) (O(n))", nullptr,
+              "A2 meet-irreducibles (O(n|E|) evals) [this paper]", nullptr,
+              (s & kClassObserverIndependent)
+                  ? "explicit lattice (exponential; co-NP-complete, Thm 6)"
+                  : "explicit lattice (exponential)");
+  return r;
+}
+
+std::string to_string(const ClassReport& r) {
+  std::ostringstream os;
+  os << "classes: " << classes_to_string(r.classes)
+     << (r.holds_initially ? " (holds initially)" : "") << "\n"
+     << "  EF -> " << r.ef << "\n"
+     << "  AF -> " << r.af << "\n"
+     << "  EG -> " << r.eg << "\n"
+     << "  AG -> " << r.ag << "\n";
+  return os.str();
+}
+
+}  // namespace hbct

@@ -1,0 +1,25 @@
+// Classification report: which detection algorithms apply to a predicate on
+// a given computation.
+#pragma once
+
+#include <string>
+
+#include "predicate/predicate.h"
+
+namespace hbct {
+
+struct ClassReport {
+  ClassSet classes = 0;      // effective_classes (closure + holds-initially)
+  bool holds_initially = false;
+  /// Per-operator dispatch summary, e.g. "EF: Chase-Garg linear (O(n|E|))".
+  std::string ef, af, eg, ag;
+};
+
+/// Computes the effective classes of `p` on `c` and the algorithm each CTL
+/// operator would dispatch to (mirrors detect/dispatch.cpp).
+ClassReport classify(const Predicate& p, const Computation& c);
+
+/// Multi-line human-readable rendering of the report.
+std::string to_string(const ClassReport& r);
+
+}  // namespace hbct

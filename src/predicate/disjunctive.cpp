@@ -1,0 +1,108 @@
+#include "predicate/disjunctive.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "predicate/conjunctive.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+LocalPredicatePtr or_locals(ProcId proc, std::vector<LocalPredicatePtr> parts) {
+  if (parts.size() == 1) return parts[0];
+  std::ostringstream desc;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) desc << " || ";
+    desc << parts[i]->describe();
+  }
+  return std::make_shared<LocalPredicate>(
+      proc,
+      [parts = std::move(parts)](const Computation& c, EventIndex pos) {
+        for (const auto& l : parts)
+          if (l->eval_local(c, pos)) return true;
+        return false;
+      },
+      desc.str());
+}
+
+}  // namespace
+
+DisjunctivePredicate::DisjunctivePredicate(
+    std::vector<LocalPredicatePtr> locals) {
+  HBCT_ASSERT(!locals.empty());
+  std::map<ProcId, std::vector<LocalPredicatePtr>> by_proc;
+  ProcId max_proc = 0;
+  for (auto& l : locals) {
+    HBCT_ASSERT(l);
+    max_proc = std::max(max_proc, l->proc());
+    by_proc[l->proc()].push_back(std::move(l));
+  }
+  slot_.assign(static_cast<std::size_t>(max_proc) + 1, -1);
+  for (auto& [proc, parts] : by_proc) {
+    slot_[static_cast<std::size_t>(proc)] =
+        static_cast<std::int32_t>(locals_.size());
+    locals_.push_back(or_locals(proc, std::move(parts)));
+  }
+}
+
+const LocalPredicate* DisjunctivePredicate::local_for(ProcId i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= slot_.size()) return nullptr;
+  const std::int32_t s = slot_[static_cast<std::size_t>(i)];
+  return s < 0 ? nullptr : locals_[static_cast<std::size_t>(s)].get();
+}
+
+bool DisjunctivePredicate::eval_local(const Computation& c, ProcId i,
+                                      EventIndex pos) const {
+  const LocalPredicate* l = local_for(i);
+  return l != nullptr && l->eval_local(c, pos);
+}
+
+bool DisjunctivePredicate::eval(const Computation& c, const Cut& g) const {
+  for (const auto& l : locals_)
+    if (l->eval(c, g)) return true;
+  return false;
+}
+
+std::string DisjunctivePredicate::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    if (i) os << " || ";
+    os << locals_[i]->describe();
+  }
+  return os.str();
+}
+
+PredicatePtr DisjunctivePredicate::negate() const {
+  std::vector<LocalPredicatePtr> neg;
+  neg.reserve(locals_.size());
+  for (const auto& l : locals_) {
+    auto n = std::dynamic_pointer_cast<const LocalPredicate>(l->negate());
+    HBCT_ASSERT(n);
+    neg.push_back(std::move(n));
+  }
+  return std::make_shared<ConjunctivePredicate>(std::move(neg));
+}
+
+DisjunctivePredicatePtr make_disjunctive(
+    std::vector<LocalPredicatePtr> locals) {
+  return std::make_shared<DisjunctivePredicate>(std::move(locals));
+}
+
+DisjunctivePredicatePtr as_disjunctive(const PredicatePtr& p) {
+  if (auto d = std::dynamic_pointer_cast<const DisjunctivePredicate>(p))
+    return d;
+  if (auto l = std::dynamic_pointer_cast<const LocalPredicate>(p))
+    return make_disjunctive({l});
+  if (auto k = p->as_constant()) {
+    const bool v = *k;
+    return make_disjunctive({std::make_shared<LocalPredicate>(
+        0, [v](const Computation&, EventIndex) { return v; },
+        v ? "true" : "false")});
+  }
+  return nullptr;
+}
+
+}  // namespace hbct

@@ -1,0 +1,108 @@
+#include "predicate/local.h"
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace hbct {
+
+const char* to_string(Cmp op) {
+  switch (op) {
+    case Cmp::kLt: return "<";
+    case Cmp::kLe: return "<=";
+    case Cmp::kEq: return "==";
+    case Cmp::kNe: return "!=";
+    case Cmp::kGe: return ">=";
+    case Cmp::kGt: return ">";
+  }
+  return "?";
+}
+
+bool cmp_eval(Cmp op, std::int64_t lhs, std::int64_t rhs) {
+  switch (op) {
+    case Cmp::kLt: return lhs < rhs;
+    case Cmp::kLe: return lhs <= rhs;
+    case Cmp::kEq: return lhs == rhs;
+    case Cmp::kNe: return lhs != rhs;
+    case Cmp::kGe: return lhs >= rhs;
+    case Cmp::kGt: return lhs > rhs;
+  }
+  return false;
+}
+
+namespace {
+
+Cmp negate_cmp(Cmp op) {
+  switch (op) {
+    case Cmp::kLt: return Cmp::kGe;
+    case Cmp::kLe: return Cmp::kGt;
+    case Cmp::kEq: return Cmp::kNe;
+    case Cmp::kNe: return Cmp::kEq;
+    case Cmp::kGe: return Cmp::kLt;
+    case Cmp::kGt: return Cmp::kLe;
+  }
+  return Cmp::kEq;
+}
+
+}  // namespace
+
+LocalPredicate::LocalPredicate(
+    ProcId proc, std::function<bool(const Computation&, EventIndex)> fn,
+    std::string desc)
+    : proc_(proc), fn_(std::move(fn)), desc_(std::move(desc)) {
+  HBCT_ASSERT(proc_ >= 0);
+  HBCT_ASSERT(fn_);
+}
+
+PredicatePtr LocalPredicate::negate() const {
+  const ProcId proc = proc_;
+  auto fn = fn_;
+  return std::make_shared<LocalPredicate>(
+      proc,
+      [fn](const Computation& c, EventIndex pos) { return !fn(c, pos); },
+      "!(" + desc_ + ")");
+}
+
+LocalPredicatePtr var_cmp(ProcId proc, std::string var, Cmp op,
+                          std::int64_t rhs) {
+  std::string desc = strfmt("%s@P%d %s %lld", var.c_str(), proc,
+                            to_string(op), static_cast<long long>(rhs));
+  return std::make_shared<LocalPredicate>(
+      proc,
+      [proc, var = std::move(var), op, rhs](const Computation& c,
+                                            EventIndex pos) {
+        auto v = c.var_id(var);
+        HBCT_ASSERT_MSG(v.has_value(), "predicate references unknown variable");
+        return cmp_eval(op, c.value_at(proc, *v, pos), rhs);
+      },
+      std::move(desc));
+}
+
+LocalPredicatePtr progress_ge(ProcId proc, EventIndex k) {
+  return std::make_shared<LocalPredicate>(
+      proc,
+      [k](const Computation&, EventIndex pos) { return pos >= k; },
+      strfmt("progress@P%d >= %d", proc, k));
+}
+
+LocalPredicatePtr pos_cmp(ProcId proc, Cmp op, std::int64_t k) {
+  return std::make_shared<LocalPredicate>(
+      proc,
+      [op, k](const Computation&, EventIndex pos) {
+        return cmp_eval(op, pos, k);
+      },
+      strfmt("pos@P%d %s %lld", proc, to_string(op),
+             static_cast<long long>(k)));
+}
+
+LocalPredicatePtr local_table(ProcId proc, std::vector<bool> truth,
+                              std::string desc) {
+  return std::make_shared<LocalPredicate>(
+      proc,
+      [truth = std::move(truth)](const Computation&, EventIndex pos) {
+        HBCT_ASSERT(pos >= 0 && static_cast<std::size_t>(pos) < truth.size());
+        return truth[static_cast<std::size_t>(pos)];
+      },
+      std::move(desc));
+}
+
+}  // namespace hbct

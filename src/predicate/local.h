@@ -1,0 +1,77 @@
+// Local predicates: truth depends on the state of one process only.
+//
+// A local predicate is simultaneously conjunctive (one conjunct) and
+// disjunctive (one disjunct), hence also regular, linear, post-linear and
+// observer-independent by the containments of Section 4.
+#pragma once
+
+#include <functional>
+
+#include "predicate/predicate.h"
+
+namespace hbct {
+
+/// Comparison operators for variable predicates.
+enum class Cmp { kLt, kLe, kEq, kNe, kGe, kGt };
+
+const char* to_string(Cmp op);
+bool cmp_eval(Cmp op, std::int64_t lhs, std::int64_t rhs);
+
+class LocalPredicate final : public Predicate {
+ public:
+  /// fn(c, pos) evaluates on the local state of `proc` after `pos` events.
+  LocalPredicate(ProcId proc,
+                 std::function<bool(const Computation&, EventIndex)> fn,
+                 std::string desc);
+
+  ProcId proc() const { return proc_; }
+
+  /// Local evaluation, bypassing the cut.
+  bool eval_local(const Computation& c, EventIndex pos) const {
+    return fn_(c, pos);
+  }
+
+  bool eval(const Computation& c, const Cut& g) const override {
+    return fn_(c, g[static_cast<std::size_t>(proc_)]);
+  }
+  ClassSet classes(const Computation&) const override {
+    return close_classes(kClassLocal);
+  }
+  std::string describe() const override { return desc_; }
+
+  /// For a false local predicate the owning process must advance.
+  ProcId forbidden(const Computation&, const Cut&) const override {
+    return proc_;
+  }
+  /// Dually, going down, the owning process must retreat.
+  ProcId forbidden_down(const Computation&, const Cut&) const override {
+    return proc_;
+  }
+
+  PredicatePtr negate() const override;
+
+ private:
+  ProcId proc_;
+  std::function<bool(const Computation&, EventIndex)> fn_;
+  std::string desc_;
+};
+
+using LocalPredicatePtr = std::shared_ptr<const LocalPredicate>;
+
+/// "variable <op> constant" on one process, e.g. var_cmp(0, "x", Cmp::kLt, 4)
+/// reads as: x on P0 is less than 4.
+LocalPredicatePtr var_cmp(ProcId proc, std::string var, Cmp op,
+                          std::int64_t rhs);
+
+/// "process i has executed at least k events" (local progress predicate).
+LocalPredicatePtr progress_ge(ProcId proc, EventIndex k);
+
+/// "number of events executed by process i <op> k".
+LocalPredicatePtr pos_cmp(ProcId proc, Cmp op, std::int64_t k);
+
+/// Local predicate from an explicit truth table over positions 0..N_i
+/// (used by the NP-reduction gadgets and tests).
+LocalPredicatePtr local_table(ProcId proc, std::vector<bool> truth,
+                              std::string desc);
+
+}  // namespace hbct

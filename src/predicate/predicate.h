@@ -1,0 +1,145 @@
+// Predicate interface and the predicate-class taxonomy of Section 4.
+//
+// A predicate is a boolean function of a global state (consistent cut). The
+// paper's detection algorithms exploit *structure*: which lattice-theoretic
+// class the set of satisfying cuts falls into. We track classes as a bitmask
+// with the paper's containments applied as closure rules:
+//
+//   local ⇒ conjunctive, disjunctive        (a single conjunct/disjunct)
+//   conjunctive ⇒ regular                    (min of positions is one of them)
+//   regular ⇒ linear, post-linear            (sublattice = both semilattices)
+//   disjunctive ⇒ observer-independent
+//   stable ⇒ observer-independent
+//
+// Classes may depend on the computation (e.g. Σx_i ≥ k is post-linear only
+// when every x_i is non-decreasing over time), hence classes() takes the
+// computation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poset/computation.h"
+#include "poset/cut.h"
+
+namespace hbct {
+
+using ClassSet = std::uint32_t;
+
+enum : ClassSet {
+  kClassLocal = 1u << 0,
+  kClassConjunctive = 1u << 1,
+  kClassDisjunctive = 1u << 2,
+  kClassStable = 1u << 3,
+  kClassObserverIndependent = 1u << 4,
+  kClassLinear = 1u << 5,
+  kClassPostLinear = 1u << 6,
+  kClassRegular = 1u << 7,
+};
+
+/// Applies the containment rules until fixpoint.
+ClassSet close_classes(ClassSet s);
+
+/// Human-readable list, e.g. "conjunctive,regular,linear,post-linear".
+std::string classes_to_string(ClassSet s);
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+class Predicate : public std::enable_shared_from_this<Predicate> {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Truth value at consistent cut g.
+  virtual bool eval(const Computation& c, const Cut& g) const = 0;
+
+  /// Structural classes of this predicate for computation c, already
+  /// closure-saturated. A predicate that holds at the initial cut is
+  /// additionally observer-independent (the NP-reduction's trick); callers
+  /// wanting that refinement use effective_classes() below.
+  virtual ClassSet classes(const Computation& c) const = 0;
+
+  /// One-line description for diagnostics ("x@P0 < 4 && empty(1,2)").
+  virtual std::string describe() const = 0;
+
+  /// Linear-advancement oracle (Chase–Garg). Precondition: !eval(c, g) and
+  /// classes(c) contains kClassLinear. Returns a process i such that no
+  /// cut H ⊇ g with H[i] == g[i] satisfies the predicate: every satisfying
+  /// cut above g contains the next event of i.
+  virtual ProcId forbidden(const Computation& c, const Cut& g) const;
+
+  /// Post-linear dual. Precondition: !eval(c, g) and classes(c) contains
+  /// kClassPostLinear. Returns i such that no H ⊆ g with H[i] == g[i]
+  /// satisfies the predicate: we must retreat process i.
+  virtual ProcId forbidden_down(const Computation& c, const Cut& g) const;
+
+  /// Negation. The default wraps in a generic Not (classes mostly lost);
+  /// structured predicates override to keep De-Morgan structure
+  /// (¬disjunctive = conjunctive etc.), which the AU algorithm requires.
+  virtual PredicatePtr negate() const;
+
+  /// The constant value of this predicate, if it is one (make_true /
+  /// make_false). Lets as_conjunctive / as_disjunctive fold constants into
+  /// structured form, e.g. so E[true U q] dispatches to A3.
+  virtual std::optional<bool> as_constant() const { return std::nullopt; }
+
+  /// For a top-level disjunction (make_or result that stayed generic):
+  /// its disjuncts; empty otherwise. The dispatcher uses the distributive
+  /// laws EF(∨ p_i) = ∨ EF(p_i) and E[p U ∨ q_i] = ∨ E[p U q_i] to keep
+  /// DNF-shaped predicates out of the exponential fallback.
+  virtual std::vector<PredicatePtr> disjuncts() const { return {}; }
+
+  /// Dually, a top-level conjunction's conjuncts (AG(∧ p_i) = ∧ AG(p_i)).
+  virtual std::vector<PredicatePtr> conjuncts() const { return {}; }
+};
+
+/// classes(c) refined with the "holds initially ⇒ observer-independent"
+/// rule (costs one eval of the initial cut).
+ClassSet effective_classes(const Predicate& p, const Computation& c);
+
+// ---- Trivial predicates ----------------------------------------------------
+
+/// Constant true/false; member of every class.
+PredicatePtr make_true();
+PredicatePtr make_false();
+
+// ---- Generic combinators ---------------------------------------------------
+
+/// p ∧ q. Class algebra: conjunctive∧conjunctive = conjunctive,
+/// linear∧linear = linear (with a forbidden oracle delegating to a false
+/// conjunct), regular∧regular = regular, stable∧stable = stable,
+/// post-linear∧post-linear = post-linear.
+PredicatePtr make_and(std::vector<PredicatePtr> children);
+PredicatePtr make_and(PredicatePtr a, PredicatePtr b);
+
+/// p ∨ q. Class algebra: disjunctive∨disjunctive = disjunctive,
+/// stable∨stable = stable.
+PredicatePtr make_or(std::vector<PredicatePtr> children);
+PredicatePtr make_or(PredicatePtr a, PredicatePtr b);
+
+/// ¬p with De Morgan pushed into structured predicates when possible.
+PredicatePtr make_not(PredicatePtr p);
+
+// ---- Escape hatches ---------------------------------------------------------
+
+/// Wraps an arbitrary cut function with a user-asserted class set.
+/// The property-test suite uses this to inject ground-truth-checked
+/// predicates; misuse (claiming a class the predicate does not have) voids
+/// detector guarantees, exactly as in the paper's model.
+PredicatePtr make_asserted(
+    std::function<bool(const Computation&, const Cut&)> fn, ClassSet classes,
+    std::string description);
+
+/// Stable predicate from a cut function (classes stable + OI).
+PredicatePtr make_stable(std::function<bool(const Computation&, const Cut&)> fn,
+                         std::string description);
+
+/// "Every process has executed all its events" — the canonical stable
+/// predicate (termination).
+PredicatePtr make_terminated();
+
+}  // namespace hbct

@@ -1,0 +1,154 @@
+#include "predicate/relational.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/string_util.h"
+
+namespace hbct {
+
+bool is_nondecreasing(const Computation& c, ProcId proc,
+                      std::string_view var) {
+  auto v = c.var_id(var);
+  if (!v) return true;  // never written: constant
+  for (EventIndex k = 1; k <= c.num_events(proc); ++k)
+    if (c.value_at(proc, *v, k) < c.value_at(proc, *v, k - 1)) return false;
+  return true;
+}
+
+bool is_nonincreasing(const Computation& c, ProcId proc,
+                      std::string_view var) {
+  auto v = c.var_id(var);
+  if (!v) return true;
+  for (EventIndex k = 1; k <= c.num_events(proc); ++k)
+    if (c.value_at(proc, *v, k) > c.value_at(proc, *v, k - 1)) return false;
+  return true;
+}
+
+namespace {
+
+std::int64_t term_value(const Computation& c, const VarRef& t, const Cut& g) {
+  auto v = c.var_id(t.var);
+  HBCT_ASSERT_MSG(v.has_value(), "relational predicate references unknown variable");
+  return c.value_in(t.proc, *v, g);
+}
+
+bool all_nondecreasing(const Computation& c, const std::vector<VarRef>& ts) {
+  for (const VarRef& t : ts)
+    if (!is_nondecreasing(c, t.proc, t.var)) return false;
+  return true;
+}
+
+std::string terms_desc(const std::vector<VarRef>& ts) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (i) os << " + ";
+    os << ts[i].var << "@P" << ts[i].proc;
+  }
+  return os.str();
+}
+
+class SumLe final : public Predicate {
+ public:
+  SumLe(std::vector<VarRef> terms, std::int64_t k)
+      : terms_(std::move(terms)), k_(k) {
+    HBCT_ASSERT(!terms_.empty());
+  }
+  bool eval(const Computation& c, const Cut& g) const override {
+    std::int64_t s = 0;
+    for (const VarRef& t : terms_) s += term_value(c, t, g);
+    return s <= k_;
+  }
+  ClassSet classes(const Computation& c) const override {
+    // With non-decreasing terms the satisfying set is down-closed, hence
+    // meet-closed, hence linear — but not join-closed in general.
+    return all_nondecreasing(c, terms_) ? close_classes(kClassLinear) : 0;
+  }
+  std::string describe() const override {
+    return terms_desc(terms_) + strfmt(" <= %lld", static_cast<long long>(k_));
+  }
+  ProcId forbidden(const Computation&, const Cut&) const override {
+    // Down-closed and false at g: no cut above g satisfies the predicate at
+    // all, so every process is forbidden; report the first term's owner.
+    return terms_[0].proc;
+  }
+
+ private:
+  std::vector<VarRef> terms_;
+  std::int64_t k_;
+};
+
+class SumGe final : public Predicate {
+ public:
+  SumGe(std::vector<VarRef> terms, std::int64_t k)
+      : terms_(std::move(terms)), k_(k) {
+    HBCT_ASSERT(!terms_.empty());
+  }
+  bool eval(const Computation& c, const Cut& g) const override {
+    std::int64_t s = 0;
+    for (const VarRef& t : terms_) s += term_value(c, t, g);
+    return s >= k_;
+  }
+  ClassSet classes(const Computation& c) const override {
+    // With non-decreasing terms the satisfying set is up-closed, hence
+    // join-closed, hence post-linear.
+    return all_nondecreasing(c, terms_) ? close_classes(kClassPostLinear) : 0;
+  }
+  std::string describe() const override {
+    return terms_desc(terms_) + strfmt(" >= %lld", static_cast<long long>(k_));
+  }
+  ProcId forbidden_down(const Computation&, const Cut&) const override {
+    // Up-closed and false at g: nothing below g satisfies it either.
+    return terms_[0].proc;
+  }
+
+ private:
+  std::vector<VarRef> terms_;
+  std::int64_t k_;
+};
+
+class DiffLe final : public Predicate {
+ public:
+  DiffLe(VarRef a, VarRef b, std::int64_t k)
+      : a_(std::move(a)), b_(std::move(b)), k_(k) {}
+  bool eval(const Computation& c, const Cut& g) const override {
+    return term_value(c, a_, g) - term_value(c, b_, g) <= k_;
+  }
+  ClassSet classes(const Computation& c) const override {
+    const bool mono = is_nondecreasing(c, a_.proc, a_.var) &&
+                      is_nondecreasing(c, b_.proc, b_.var);
+    return mono ? close_classes(kClassRegular) : 0;
+  }
+  std::string describe() const override {
+    return strfmt("%s@P%d - %s@P%d <= %lld", a_.var.c_str(), a_.proc,
+                  b_.var.c_str(), b_.proc, static_cast<long long>(k_));
+  }
+  // a - b too large: freezing b's owner keeps b fixed while a can only grow,
+  // so b's owner must advance. Dually a's owner must retreat.
+  ProcId forbidden(const Computation&, const Cut&) const override {
+    return b_.proc;
+  }
+  ProcId forbidden_down(const Computation&, const Cut&) const override {
+    return a_.proc;
+  }
+
+ private:
+  VarRef a_, b_;
+  std::int64_t k_;
+};
+
+}  // namespace
+
+PredicatePtr sum_le(std::vector<VarRef> terms, std::int64_t k) {
+  return std::make_shared<SumLe>(std::move(terms), k);
+}
+
+PredicatePtr sum_ge(std::vector<VarRef> terms, std::int64_t k) {
+  return std::make_shared<SumGe>(std::move(terms), k);
+}
+
+PredicatePtr diff_le(VarRef a, VarRef b, std::int64_t k) {
+  return std::make_shared<DiffLe>(std::move(a), std::move(b), k);
+}
+
+}  // namespace hbct

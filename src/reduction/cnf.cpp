@@ -1,0 +1,115 @@
+#include "reduction/cnf.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+void clause_to_stream(std::ostringstream& os, const Clause& c,
+                      const char* op) {
+  os << "(";
+  for (std::size_t i = 0; i < c.lits.size(); ++i) {
+    if (i) os << op;
+    if (c.lits[i].neg) os << "!";
+    os << "x" << c.lits[i].var;
+  }
+  os << ")";
+}
+
+Clause random_clause(std::int32_t num_vars, std::int32_t k, Rng& rng) {
+  HBCT_ASSERT(k <= num_vars);
+  Clause c;
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(num_vars));
+  for (std::int32_t v = 0; v < num_vars; ++v)
+    pool[static_cast<std::size_t>(v)] = v;
+  rng.shuffle(pool);
+  for (std::int32_t i = 0; i < k; ++i)
+    c.lits.push_back(Lit{pool[static_cast<std::size_t>(i)], rng.next_bool()});
+  return c;
+}
+
+}  // namespace
+
+bool Cnf::eval(const std::vector<bool>& assignment) const {
+  HBCT_ASSERT(assignment.size() == static_cast<std::size_t>(num_vars));
+  for (const Clause& c : clauses) {
+    bool sat = false;
+    for (const Lit& l : c.lits)
+      if (assignment[static_cast<std::size_t>(l.var)] != l.neg) {
+        sat = true;
+        break;
+      }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string Cnf::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i) os << " & ";
+    clause_to_stream(os, clauses[i], " | ");
+  }
+  return os.str();
+}
+
+Cnf Cnf::random(std::int32_t num_vars, std::int32_t num_clauses,
+                std::int32_t k, Rng& rng) {
+  Cnf f;
+  f.num_vars = num_vars;
+  f.clauses.reserve(static_cast<std::size_t>(num_clauses));
+  for (std::int32_t i = 0; i < num_clauses; ++i)
+    f.clauses.push_back(random_clause(num_vars, k, rng));
+  return f;
+}
+
+bool Dnf::eval(const std::vector<bool>& assignment) const {
+  HBCT_ASSERT(assignment.size() == static_cast<std::size_t>(num_vars));
+  for (const Clause& t : terms) {
+    bool sat = true;
+    for (const Lit& l : t.lits)
+      if (assignment[static_cast<std::size_t>(l.var)] == l.neg) {
+        sat = false;
+        break;
+      }
+    if (sat) return true;
+  }
+  return false;
+}
+
+std::string Dnf::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i) os << " | ";
+    clause_to_stream(os, terms[i], " & ");
+  }
+  return os.str();
+}
+
+Cnf Dnf::negation_cnf() const {
+  Cnf f;
+  f.num_vars = num_vars;
+  f.clauses.reserve(terms.size());
+  for (const Clause& t : terms) {
+    Clause c;
+    c.lits.reserve(t.lits.size());
+    for (const Lit& l : t.lits) c.lits.push_back(Lit{l.var, !l.neg});
+    f.clauses.push_back(std::move(c));
+  }
+  return f;
+}
+
+Dnf Dnf::random(std::int32_t num_vars, std::int32_t num_terms, std::int32_t k,
+                Rng& rng) {
+  Dnf f;
+  f.num_vars = num_vars;
+  f.terms.reserve(static_cast<std::size_t>(num_terms));
+  for (std::int32_t i = 0; i < num_terms; ++i)
+    f.terms.push_back(random_clause(num_vars, k, rng));
+  return f;
+}
+
+}  // namespace hbct

@@ -1,0 +1,53 @@
+// Boolean formulas in clausal form, for the Section 6 hardness gadgets.
+//
+// CNF drives the SAT→EG reduction (Theorem 5); DNF drives the
+// TAUTOLOGY→AG reduction (Theorem 6) — DNF tautology is the canonical
+// co-NP-complete problem, and ¬DNF is a CNF whose unsatisfiability our DPLL
+// solver decides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hbct {
+
+struct Lit {
+  std::int32_t var = 0;  // 0-based
+  bool neg = false;
+};
+
+/// A clause: disjunction of literals in CNF, conjunction (a term) in DNF.
+struct Clause {
+  std::vector<Lit> lits;
+};
+
+struct Cnf {
+  std::int32_t num_vars = 0;
+  std::vector<Clause> clauses;
+
+  bool eval(const std::vector<bool>& assignment) const;
+  std::string to_string() const;
+
+  /// Uniform random k-CNF.
+  static Cnf random(std::int32_t num_vars, std::int32_t num_clauses,
+                    std::int32_t k, Rng& rng);
+};
+
+struct Dnf {
+  std::int32_t num_vars = 0;
+  std::vector<Clause> terms;
+
+  bool eval(const std::vector<bool>& assignment) const;
+  std::string to_string() const;
+
+  /// ¬dnf as a CNF (negate every literal; terms become clauses).
+  Cnf negation_cnf() const;
+
+  static Dnf random(std::int32_t num_vars, std::int32_t num_terms,
+                    std::int32_t k, Rng& rng);
+};
+
+}  // namespace hbct

@@ -1,0 +1,110 @@
+#include "reduction/dpll.h"
+
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+enum : std::int8_t { kUnset = -1, kFalse = 0, kTrue = 1 };
+
+struct Solver {
+  const Cnf& f;
+  std::vector<std::int8_t> value;
+  DpllStats stats;
+
+  explicit Solver(const Cnf& cnf)
+      : f(cnf), value(static_cast<std::size_t>(cnf.num_vars), kUnset) {}
+
+  bool lit_true(const Lit& l) const {
+    const std::int8_t v = value[static_cast<std::size_t>(l.var)];
+    return v != kUnset && (v == kTrue) != l.neg;
+  }
+  bool lit_false(const Lit& l) const {
+    const std::int8_t v = value[static_cast<std::size_t>(l.var)];
+    return v != kUnset && (v == kTrue) == l.neg;
+  }
+
+  /// Unit propagation over all clauses; returns false on conflict, records
+  /// assigned vars in `trail`.
+  bool propagate(std::vector<std::int32_t>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : f.clauses) {
+        const Lit* unit = nullptr;
+        bool sat = false;
+        std::int32_t unset = 0;
+        for (const Lit& l : c.lits) {
+          if (lit_true(l)) {
+            sat = true;
+            break;
+          }
+          if (!lit_false(l)) {
+            ++unset;
+            unit = &l;
+          }
+        }
+        if (sat) continue;
+        if (unset == 0) return false;  // conflict
+        if (unset == 1) {
+          value[static_cast<std::size_t>(unit->var)] =
+              unit->neg ? kFalse : kTrue;
+          trail.push_back(unit->var);
+          ++stats.propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool solve() {
+    std::vector<std::int32_t> trail;
+    if (!propagate(trail)) {
+      undo(trail);
+      return false;
+    }
+    std::int32_t pick = -1;
+    for (std::int32_t v = 0; v < f.num_vars; ++v)
+      if (value[static_cast<std::size_t>(v)] == kUnset) {
+        pick = v;
+        break;
+      }
+    if (pick < 0) return true;  // fully assigned, no conflict
+    for (const std::int8_t b : {kTrue, kFalse}) {
+      ++stats.decisions;
+      value[static_cast<std::size_t>(pick)] = b;
+      if (solve()) return true;  // a failing recursive call undoes its trail
+      value[static_cast<std::size_t>(pick)] = kUnset;
+    }
+    undo(trail);
+    return false;
+  }
+
+  void undo(const std::vector<std::int32_t>& trail) {
+    for (std::int32_t v : trail) value[static_cast<std::size_t>(v)] = kUnset;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<bool>> dpll_solve(const Cnf& f, DpllStats* stats) {
+  // An empty clause is trivially unsatisfiable; the solver handles it via
+  // the conflict path, but guard num_vars == 0 with non-empty clauses.
+  Solver s(f);
+  const bool sat = s.solve();
+  if (stats) *stats = s.stats;
+  if (!sat) return std::nullopt;
+  std::vector<bool> out(static_cast<std::size_t>(f.num_vars));
+  for (std::int32_t v = 0; v < f.num_vars; ++v)
+    out[static_cast<std::size_t>(v)] =
+        s.value[static_cast<std::size_t>(v)] == kTrue;  // kUnset -> false
+  return out;
+}
+
+bool dnf_tautology(const Dnf& f, DpllStats* stats) {
+  return !dpll_solve(f.negation_cnf(), stats).has_value();
+}
+
+}  // namespace hbct

@@ -1,0 +1,24 @@
+// A compact DPLL SAT solver: the independent oracle the hardness benches
+// cross-check the reduction pipeline against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "reduction/cnf.h"
+
+namespace hbct {
+
+struct DpllStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+};
+
+/// Satisfying assignment of `f`, or nullopt when unsatisfiable.
+std::optional<std::vector<bool>> dpll_solve(const Cnf& f,
+                                            DpllStats* stats = nullptr);
+
+/// DNF tautology via ¬f unsatisfiability.
+bool dnf_tautology(const Dnf& f, DpllStats* stats = nullptr);
+
+}  // namespace hbct

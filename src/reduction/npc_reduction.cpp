@@ -1,0 +1,69 @@
+#include "reduction/npc_reduction.h"
+
+#include "poset/builder.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+/// Assignment encoded by a cut: variable process i at position 0 means
+/// x_i = true, at position 1 means false.
+bool var_true_at(const Cut& g, std::int32_t var) {
+  return g[static_cast<std::size_t>(var)] == 0;
+}
+
+Computation gadget_computation(std::int32_t num_vars,
+                               std::int32_t extra_events) {
+  ComputationBuilder b(num_vars + 1);
+  for (ProcId i = 0; i < num_vars; ++i)
+    b.internal(i);  // the single true -> false flip event of variable i
+  for (std::int32_t k = 0; k < extra_events; ++k)
+    b.internal(num_vars);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Reduction reduce_sat_to_eg(const Cnf& f) {
+  Reduction r;
+  const std::int32_t m = f.num_vars;
+  // Extra process: true (pos 0) -> false (pos 1) -> true (pos 2).
+  r.computation = gadget_computation(m, 2);
+  Cnf formula = f;
+  r.predicate = make_asserted(
+      [formula, m](const Computation&, const Cut& g) {
+        const std::int32_t xpos = g[static_cast<std::size_t>(m)];
+        const bool x_extra = xpos == 0 || xpos == 2;
+        if (x_extra) return true;
+        std::vector<bool> assignment(static_cast<std::size_t>(m));
+        for (std::int32_t v = 0; v < m; ++v)
+          assignment[static_cast<std::size_t>(v)] = var_true_at(g, v);
+        return formula.eval(assignment);
+      },
+      // Holds at the initial cut (x_{m+1} = true), hence observer-
+      // independent — which effective_classes() also discovers on its own.
+      kClassObserverIndependent, "P = cnf(x1..xm) | x_extra");
+  return r;
+}
+
+Reduction reduce_tautology_to_ag(const Dnf& f) {
+  Reduction r;
+  const std::int32_t m = f.num_vars;
+  // Extra process: true (pos 0) -> false (pos 1).
+  r.computation = gadget_computation(m, 1);
+  Dnf formula = f;
+  r.predicate = make_asserted(
+      [formula, m](const Computation&, const Cut& g) {
+        const bool x_extra = g[static_cast<std::size_t>(m)] == 0;
+        if (x_extra) return true;
+        std::vector<bool> assignment(static_cast<std::size_t>(m));
+        for (std::int32_t v = 0; v < m; ++v)
+          assignment[static_cast<std::size_t>(v)] = var_true_at(g, v);
+        return formula.eval(assignment);
+      },
+      kClassObserverIndependent, "P = dnf(x1..xm) | x_extra");
+  return r;
+}
+
+}  // namespace hbct

@@ -1,0 +1,33 @@
+// The Fig. 3 gadgets: SAT → (computation, observer-independent predicate,
+// EG) and DNF-TAUTOLOGY → (computation, OI predicate, AG).
+//
+// Gadget (a): one process per variable x_1..x_m with a single event
+// (position 0 = true, position 1 = false), plus a process for x_{m+1} that
+// starts true, goes false, and returns true (two events). The predicate is
+// P = p ∨ x_{m+1}. P holds initially, so it is observer-independent, and
+// EG(P) holds iff p is satisfiable: every maximal cut sequence must pass
+// through x_{m+1} = false, where P collapses to p at the cut's variable
+// assignment.
+//
+// Gadget (b): the extra process starts true and ends false (one event).
+// AG(P) holds iff p holds under every assignment, i.e. p is a tautology.
+#pragma once
+
+#include "poset/computation.h"
+#include "predicate/predicate.h"
+#include "reduction/cnf.h"
+
+namespace hbct {
+
+struct Reduction {
+  Computation computation;
+  PredicatePtr predicate;  // P = p ∨ x_{m+1}; observer-independent
+};
+
+/// Theorem 5 gadget: EG(P) on the result ⟺ f satisfiable.
+Reduction reduce_sat_to_eg(const Cnf& f);
+
+/// Theorem 6 gadget: AG(P) on the result ⟺ f a tautology.
+Reduction reduce_tautology_to_ag(const Dnf& f);
+
+}  // namespace hbct

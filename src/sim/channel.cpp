@@ -1,0 +1,14 @@
+#include "sim/channel.h"
+
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+InFlight Channel::take(std::size_t index) {
+  HBCT_ASSERT(index < q_.size());
+  InFlight m = std::move(q_[index]);
+  q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(index));
+  return m;
+}
+
+}  // namespace hbct::sim

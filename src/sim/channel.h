@@ -1,0 +1,45 @@
+// In-flight message tracking for the simulator.
+//
+// One Channel instance models the directed link (src -> dst): messages are
+// buffered between the send event and the delivery decision of the
+// scheduler. Delivery order is FIFO or arbitrary (the happened-before model
+// itself makes no FIFO assumption; the flag only shapes which computations
+// get generated).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "poset/event.h"
+
+namespace hbct::sim {
+
+/// Application payload carried by a simulated message.
+struct Message {
+  std::int64_t type = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+};
+
+struct InFlight {
+  MsgId id = kNoMsg;  // builder message id
+  ProcId from = -1;
+  Message payload;
+};
+
+class Channel {
+ public:
+  void push(InFlight m) { q_.push_back(std::move(m)); }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  /// Removes and returns the message at `index` (0 = oldest; FIFO delivery
+  /// always passes 0).
+  InFlight take(std::size_t index);
+
+ private:
+  std::deque<InFlight> q_;
+};
+
+}  // namespace hbct::sim

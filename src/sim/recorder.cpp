@@ -1,0 +1,59 @@
+#include "sim/recorder.h"
+
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+void Recorder::begin_scope(ProcId i) {
+  scope_proc_ = i;
+  have_current_ = false;
+  had_event_ = false;
+}
+
+void Recorder::begin_receive_scope(ProcId i, MsgId m) {
+  begin_scope(i);
+  builder_.receive(i, m);
+  have_current_ = true;
+  had_event_ = true;
+}
+
+void Recorder::ensure_event() {
+  HBCT_ASSERT_MSG(scope_proc_ >= 0, "recorder used outside a callback scope");
+  if (!have_current_) {
+    builder_.internal(scope_proc_);
+    have_current_ = true;
+    had_event_ = true;
+  }
+}
+
+MsgId Recorder::record_send(ProcId to) {
+  HBCT_ASSERT(scope_proc_ >= 0);
+  const MsgId m = builder_.send(scope_proc_, to);
+  have_current_ = true;
+  had_event_ = true;
+  return m;
+}
+
+void Recorder::record_write(std::string_view var, std::int64_t value) {
+  ensure_event();
+  builder_.write(scope_proc_, var, value);
+}
+
+void Recorder::record_internal() {
+  HBCT_ASSERT(scope_proc_ >= 0);
+  builder_.internal(scope_proc_);
+  have_current_ = true;
+  had_event_ = true;
+}
+
+void Recorder::record_label(std::string_view text) {
+  ensure_event();
+  builder_.label(scope_proc_, text);
+}
+
+void Recorder::set_initial(ProcId i, std::string_view var,
+                           std::int64_t value) {
+  builder_.set_initial(i, builder_.var(var), value);
+}
+
+}  // namespace hbct::sim

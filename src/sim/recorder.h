@@ -1,0 +1,57 @@
+// Event recording layer: turns callback-driven process behavior into the
+// events of a Computation.
+//
+// Within one callback invocation the recorder maintains a "current event":
+// variable writes attach to it; the delivery that triggered a receive
+// callback is the initial current event; each send starts a new current
+// event; a write with no current event materializes an internal event.
+#pragma once
+
+#include <string_view>
+
+#include "poset/builder.h"
+#include "sim/channel.h"
+
+namespace hbct::sim {
+
+class Recorder {
+ public:
+  explicit Recorder(std::int32_t num_procs) : builder_(num_procs) {}
+
+  /// Begins a callback scope for process i with no current event.
+  void begin_scope(ProcId i);
+  /// Begins a scope whose current event is the receive of `m`.
+  void begin_receive_scope(ProcId i, MsgId m);
+
+  /// Records a send event (becomes the current event); returns the message
+  /// id for channel bookkeeping.
+  MsgId record_send(ProcId to);
+
+  /// Attaches a variable write to the current event, materializing an
+  /// internal event if there is none.
+  void record_write(std::string_view var, std::int64_t value);
+
+  /// Records a bare internal event (becomes the current event).
+  void record_internal();
+
+  /// Attaches a label to the current event (materializing one if needed).
+  void record_label(std::string_view text);
+
+  /// True when the current scope has produced at least one event.
+  bool scope_had_event() const { return had_event_; }
+
+  void set_initial(ProcId i, std::string_view var, std::int64_t value);
+
+  ComputationBuilder& builder() { return builder_; }
+  Computation finish() && { return std::move(builder_).build(); }
+
+ private:
+  void ensure_event();
+
+  ComputationBuilder builder_;
+  ProcId scope_proc_ = -1;
+  bool have_current_ = false;
+  bool had_event_ = false;
+};
+
+}  // namespace hbct::sim

@@ -1,0 +1,47 @@
+#include "sim/scheduler.h"
+
+namespace hbct::sim {
+
+Action Scheduler::pick(
+    const std::vector<std::pair<ProcId, ProcId>>& deliverable,
+    const std::vector<ProcId>& steppable) {
+  Action a;
+  const std::size_t total = deliverable.size() + steppable.size();
+  if (total == 0) return a;
+
+  auto deliver_at = [&](std::size_t i) {
+    a.kind = Action::Kind::kDeliver;
+    a.from = deliverable[i].first;
+    a.proc = deliverable[i].second;
+    return a;
+  };
+  auto step_at = [&](std::size_t i) {
+    a.kind = Action::Kind::kStep;
+    a.proc = steppable[i];
+    return a;
+  };
+
+  switch (kind_) {
+    case SchedulerKind::kRandom: {
+      const std::size_t i = rng_.next_below(total);
+      return i < deliverable.size() ? deliver_at(i)
+                                    : step_at(i - deliverable.size());
+    }
+    case SchedulerKind::kRoundRobin: {
+      // Cycle through all actions deterministically.
+      const std::size_t i = rr_++ % total;
+      return i < deliverable.size() ? deliver_at(i)
+                                    : step_at(i - deliverable.size());
+    }
+    case SchedulerKind::kDelayBiased: {
+      // Prefer steps; deliver only occasionally (or when forced), keeping
+      // messages in transit for long stretches.
+      if (!steppable.empty() && (deliverable.empty() || !rng_.next_bool(0.15)))
+        return step_at(rng_.next_below(steppable.size()));
+      return deliver_at(rng_.next_below(deliverable.size()));
+    }
+  }
+  return a;
+}
+
+}  // namespace hbct::sim

@@ -1,0 +1,45 @@
+// Scheduling policies for the simulator.
+//
+// The scheduler repeatedly picks one enabled action: deliver a pending
+// message to some process, or give a non-idle process a spontaneous step.
+// Policies shape the generated computation: kRandom interleaves heavily,
+// kRoundRobin produces regular interleavings, kDelayBiased starves
+// deliveries so channels stay full (useful for channel-predicate tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poset/event.h"
+#include "util/rng.h"
+
+namespace hbct::sim {
+
+enum class SchedulerKind { kRandom, kRoundRobin, kDelayBiased };
+
+struct Action {
+  enum class Kind { kNone, kDeliver, kStep };
+  Kind kind = Kind::kNone;
+  ProcId proc = -1;   // receiver (kDeliver) or stepper (kStep)
+  ProcId from = -1;   // sender (kDeliver)
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerKind kind, std::uint64_t seed)
+      : kind_(kind), rng_(seed) {}
+
+  /// Picks one action. `deliverable` lists (from, to) channel pairs with
+  /// pending messages; `steppable` lists processes willing to step.
+  Action pick(const std::vector<std::pair<ProcId, ProcId>>& deliverable,
+              const std::vector<ProcId>& steppable);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  SchedulerKind kind_;
+  Rng rng_;
+  std::size_t rr_ = 0;  // round-robin cursor
+};
+
+}  // namespace hbct::sim

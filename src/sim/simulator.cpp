@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+std::int32_t Context::num_procs() const { return sim_->num_procs(); }
+
+void Context::send(ProcId to, const Message& m) {
+  HBCT_ASSERT(to >= 0 && to < sim_->num_procs());
+  HBCT_ASSERT_MSG(to != self_, "self-messages are not part of the model");
+  const MsgId id = sim_->recorder_->record_send(to);
+  sim_->chan_[static_cast<std::size_t>(self_)][static_cast<std::size_t>(to)]
+      .push(InFlight{id, self_, m});
+}
+
+void Context::set(std::string_view var, std::int64_t value) {
+  sim_->recorder_->record_write(var, value);
+}
+
+void Context::internal() { sim_->recorder_->record_internal(); }
+
+void Context::label(std::string_view text) {
+  sim_->recorder_->record_label(text);
+}
+
+Rng& Context::rng() { return sim_->sched_->rng(); }
+
+Simulator::Simulator(std::int32_t num_procs)
+    : num_procs_(num_procs),
+      procs_(static_cast<std::size_t>(num_procs)),
+      recorder_(std::make_unique<Recorder>(num_procs)),
+      chan_(static_cast<std::size_t>(num_procs),
+            std::vector<Channel>(static_cast<std::size_t>(num_procs))) {
+  HBCT_ASSERT(num_procs > 0);
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_process(ProcId i, std::unique_ptr<Process> p) {
+  HBCT_ASSERT(i >= 0 && i < num_procs_);
+  HBCT_ASSERT(p);
+  procs_[static_cast<std::size_t>(i)] = std::move(p);
+}
+
+void Simulator::set_initial(ProcId i, std::string_view var,
+                            std::int64_t value) {
+  recorder_->set_initial(i, var, value);
+}
+
+Computation Simulator::run(const SimOptions& opt) && {
+  for (ProcId i = 0; i < num_procs_; ++i)
+    HBCT_ASSERT_MSG(procs_[static_cast<std::size_t>(i)] != nullptr,
+                    "every process needs a behavior before run()");
+  sched_ = std::make_unique<Scheduler>(opt.scheduler, opt.seed);
+  fifo_ = opt.fifo;
+  actions_ = 0;
+
+  for (ProcId i = 0; i < num_procs_; ++i) {
+    Context ctx(this, i);
+    recorder_->begin_scope(i);
+    procs_[static_cast<std::size_t>(i)]->start(ctx);
+  }
+
+  std::vector<std::pair<ProcId, ProcId>> deliverable;
+  std::vector<ProcId> steppable;
+  while (actions_ < opt.max_actions) {
+    deliverable.clear();
+    steppable.clear();
+    for (ProcId from = 0; from < num_procs_; ++from)
+      for (ProcId to = 0; to < num_procs_; ++to)
+        if (!chan_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)]
+                 .empty())
+          deliverable.emplace_back(from, to);
+    for (ProcId i = 0; i < num_procs_; ++i)
+      if (procs_[static_cast<std::size_t>(i)]->wants_step())
+        steppable.push_back(i);
+
+    const Action a = sched_->pick(deliverable, steppable);
+    if (a.kind == Action::Kind::kNone) break;  // quiescent
+    ++actions_;
+
+    Context ctx(this, a.proc);
+    Process& proc = *procs_[static_cast<std::size_t>(a.proc)];
+    if (a.kind == Action::Kind::kDeliver) {
+      Channel& ch = chan_[static_cast<std::size_t>(a.from)]
+                         [static_cast<std::size_t>(a.proc)];
+      const std::size_t pick =
+          fifo_ ? 0
+                : static_cast<std::size_t>(sched_->rng().next_below(ch.size()));
+      InFlight m = ch.take(pick);
+      recorder_->begin_receive_scope(a.proc, m.id);
+      proc.receive(ctx, m.from, m.payload);
+    } else {
+      recorder_->begin_scope(a.proc);
+      proc.step(ctx);
+      // A step that records no event and still wants more steps would
+      // livelock; the max_actions cap bounds the damage either way.
+    }
+  }
+  return std::move(*recorder_).finish();
+}
+
+}  // namespace hbct::sim

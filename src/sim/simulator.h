@@ -1,0 +1,120 @@
+// Discrete-event message-passing simulator.
+//
+// The simulator is the "distributed program" substrate of this repository:
+// the paper assumes an observed execution of n asynchronous message-passing
+// processes, and this module produces such executions from small protocol
+// implementations (see sim/workloads/). The output is a Computation — the
+// happened-before model — ready for predicate detection.
+//
+// Model restrictions mirror Section 2: no shared memory, no global clock,
+// reliable channels (no loss, duplication or corruption), no FIFO
+// assumption (delivery order is a scheduler choice).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "poset/computation.h"
+#include "sim/channel.h"
+#include "sim/recorder.h"
+#include "sim/scheduler.h"
+
+namespace hbct::sim {
+
+class Simulator;
+
+/// Capabilities handed to process callbacks. Every mutation is recorded as
+/// part of the happened-before model (see Recorder for the event rules).
+class Context {
+ public:
+  ProcId self() const { return self_; }
+  std::int32_t num_procs() const;
+
+  /// Sends a message; records a send event.
+  void send(ProcId to, const Message& m);
+  /// Writes a local variable; attaches to the current event.
+  void set(std::string_view var, std::int64_t value);
+  /// Records a bare internal event.
+  void internal();
+  /// Labels the current event (for trace readability and tests).
+  void label(std::string_view text);
+
+  /// Deterministic per-simulation randomness.
+  Rng& rng();
+
+ private:
+  friend class Simulator;
+  Context(Simulator* sim, ProcId self) : sim_(sim), self_(self) {}
+  Simulator* sim_;
+  ProcId self_;
+};
+
+/// A simulated process: a deterministic state machine driven by message
+/// deliveries and spontaneous steps.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Called once before any scheduling; may emit initial events.
+  virtual void start(Context&) {}
+
+  /// A message from `from` has been delivered; the invocation is the
+  /// receive event.
+  virtual void receive(Context&, ProcId from, const Message& m) = 0;
+
+  /// Spontaneous step opportunity; only called while wants_step() is true.
+  virtual void step(Context&) {}
+
+  /// True when the process wants spontaneous steps scheduled.
+  virtual bool wants_step() const { return false; }
+};
+
+struct SimOptions {
+  SchedulerKind scheduler = SchedulerKind::kRandom;
+  std::uint64_t seed = 1;
+  /// FIFO per-channel delivery; false delivers in random order.
+  bool fifo = true;
+  /// Hard cap on scheduled actions (guards against livelocked protocols).
+  std::int64_t max_actions = 1 << 20;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::int32_t num_procs);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&&) noexcept = default;
+  Simulator& operator=(Simulator&&) noexcept = default;
+
+  std::int32_t num_procs() const { return num_procs_; }
+
+  /// Installs the behavior of process i (required for every process).
+  void set_process(ProcId i, std::unique_ptr<Process> p);
+
+  /// Declares a variable's initial value on process i.
+  void set_initial(ProcId i, std::string_view var, std::int64_t value);
+
+  /// Runs the protocol to quiescence (no deliverable message, no process
+  /// wanting a step) and returns the recorded computation. Consumes the
+  /// simulator.
+  Computation run(const SimOptions& opt) &&;
+
+  /// Actions executed by the last run (for throughput benches).
+  std::int64_t actions_executed() const { return actions_; }
+
+ private:
+  friend class Context;
+
+  std::int32_t num_procs_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::unique_ptr<Recorder> recorder_;
+  std::vector<std::vector<Channel>> chan_;  // chan_[from][to]
+  std::unique_ptr<Scheduler> sched_;
+  bool fifo_ = true;
+  std::int64_t actions_ = 0;
+};
+
+}  // namespace hbct::sim

@@ -1,0 +1,88 @@
+// Ready-made protocol workloads for the simulator.
+//
+// Each factory wires a Simulator with the protocol's processes and initial
+// variable values; run it with the SimOptions of your choice. The variables
+// each workload exposes are listed per factory — they are what the example
+// programs and benches write predicates against.
+#pragma once
+
+#include "sim/simulator.h"
+
+namespace hbct::sim {
+
+/// Token-based mutual exclusion on a ring. Variables per process:
+///   try (1 while trying), cs (1 while in the critical section).
+/// The token makes `rounds` full circulations. With `inject_violation`,
+/// process n-1 once enters the critical section without holding the token —
+/// the bug EF(cs_i && cs_j) is designed to catch.
+Simulator make_token_mutex(std::int32_t n, std::int32_t rounds,
+                           bool inject_violation);
+
+/// Ricart–Agrawala mutual exclusion; every process performs `rounds`
+/// critical sections. Variables: try, cs, reqs (requests seen).
+Simulator make_ra_mutex(std::int32_t n, std::int32_t rounds);
+
+/// Chang–Roberts leader election on a unidirectional ring with distinct
+/// uids = process index + 1. Variables: leader (0 until known), elected
+/// (1 on the winner once elected).
+Simulator make_leader_election(std::int32_t n);
+
+/// Plain token ring: the token circulates `rounds` times; each hop
+/// increments the local variable work. Produces chain-like computations.
+Simulator make_token_ring(std::int32_t n, std::int32_t rounds);
+
+/// Credit-windowed producer/consumer between P0 (producer) and P1
+/// (consumer). Variables: produced@P0, consumed@P1, acked@P0.
+/// Invariant by construction: produced - consumed <= window.
+Simulator make_producer_consumer(std::int32_t items, std::int32_t window);
+
+/// Coordinator-based barrier: P0 coordinates n-1 workers through `phases`
+/// phases. Variables: phase on every worker (coordinator keeps phase too).
+/// Invariant: |phase_i - phase_j| <= 1 for workers i, j.
+Simulator make_barrier(std::int32_t n, std::int32_t phases);
+
+/// Unstructured random traffic: every process performs `steps` spontaneous
+/// actions (writes to v0..v{vars-1} and random sends); receives also write.
+/// The property-test workhorse. Deterministic given the run seed.
+Simulator make_random_mixer(std::int32_t n, std::int32_t steps,
+                            std::int32_t vars, double send_prob);
+
+/// Alternating-bit protocol between sender P0 and receiver P1 with
+/// seed-driven retransmission (duplicates in flight). Variables — sender:
+/// sent, confirmed, retransmits; receiver: delivered, dups. Safety by
+/// construction: delivered increments by one per fresh item, duplicates are
+/// absorbed.
+Simulator make_alternating_bit(std::int32_t items, double p_retransmit);
+
+/// Two-phase commit: P0 coordinates n-1 participants through `txns`
+/// transactions. Participant i votes no on transaction t when
+/// (seed-derived) chance says so; the coordinator commits only on unanimous
+/// yes. Variables — coordinator: decision (+1 commit / -1 abort / 0 none),
+/// txn; participants: vote (1/0), decided, outcome (+1/-1/0).
+/// With `presumed_commit_bug`, the coordinator ignores a single no vote
+/// once — committing a transaction a participant rejected.
+Simulator make_two_phase_commit(std::int32_t n, std::int32_t txns,
+                                double p_vote_no, bool presumed_commit_bug);
+
+/// Chandy–Lamport snapshot over a ring of workers: each process increments
+/// its counter x and passes work messages along the ring; P0 initiates a
+/// marker-based global snapshot mid-run. Variables: x (app state), snapped
+/// (1 once the local state is recorded), snap_x (the recorded value),
+/// chan_rec (messages recorded as in-transit). The snapshot events carry
+/// the label "snapshot"; the recorded cut is provably consistent (the
+/// Chandy–Lamport theorem) — see tests/test_snapshot.cpp. Requires FIFO
+/// delivery.
+Simulator make_chandy_lamport(std::int32_t n, std::int32_t work_steps,
+                              std::int32_t snapshot_after);
+
+/// Dining philosophers over message-passing: 2n processes (philosophers
+/// P0..P{n-1}, fork managers P{n}..P{2n-1}); each philosopher eats `meals`
+/// times. With `ordered_forks` the last philosopher acquires its forks in
+/// reverse order (the classic deadlock-free fix); without it, the run may
+/// deadlock — every philosopher holding its left fork and waiting for the
+/// right one. Philosopher variables: waitl, waitr, eating, meals (remaining).
+/// Fork variables: busy.
+Simulator make_dining_philosophers(std::int32_t n, std::int32_t meals,
+                                   bool ordered_forks);
+
+}  // namespace hbct::sim

@@ -1,0 +1,108 @@
+// Alternating-bit protocol with timeout-driven retransmission.
+//
+// The sender transmits item k tagged with bit k mod 2 and, while waiting
+// for the matching acknowledgement, may retransmit (a seed-driven "timeout"
+// stands in for loss, which reliable channels cannot exhibit — duplicates
+// are the interesting hazard here). The receiver delivers a DATA message
+// only when its bit matches the expected bit, acknowledging every copy.
+// Safety to detect: delivery happens exactly once per item and in order.
+#include "sim/workloads.h"
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kData = 1;  // a = bit, b = item number
+constexpr std::int64_t kAck = 2;   // a = bit
+
+class AbpSender final : public Process {
+ public:
+  AbpSender(std::int32_t items, double p_retransmit)
+      : items_(items), p_retransmit_(p_retransmit) {}
+
+  void step(Context& ctx) override {
+    if (item_ > items_) return;
+    if (!awaiting_) {
+      awaiting_ = true;
+      transmit(ctx);
+      return;
+    }
+    // Timeout path: duplicate the in-flight item.
+    if (ctx.rng().next_bool(p_retransmit_)) {
+      ctx.set("retransmits", ++retransmits_);
+      transmit(ctx);
+    } else {
+      ctx.internal();  // idle tick while waiting
+    }
+  }
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    HBCT_ASSERT(m.type == kAck);
+    if (!awaiting_ || m.a != bit_) return;  // stale ack: ignore
+    awaiting_ = false;
+    ctx.set("confirmed", item_);
+    bit_ ^= 1;
+    ++item_;
+  }
+
+  bool wants_step() const override { return item_ <= items_; }
+
+ private:
+  void transmit(Context& ctx) {
+    Message d;
+    d.type = kData;
+    d.a = bit_;
+    d.b = item_;
+    ctx.send(1, d);
+    ctx.set("sent", item_);
+  }
+
+  std::int32_t items_;
+  double p_retransmit_;
+  std::int64_t item_ = 1;
+  std::int64_t bit_ = 0;
+  std::int64_t retransmits_ = 0;
+  bool awaiting_ = false;
+};
+
+class AbpReceiver final : public Process {
+ public:
+  void receive(Context& ctx, ProcId from, const Message& m) override {
+    HBCT_ASSERT(m.type == kData);
+    if (m.a == expected_) {
+      // Fresh item: deliver exactly once, in order.
+      HBCT_ASSERT(m.b == delivered_ + 1);
+      ctx.set("delivered", ++delivered_);
+      expected_ ^= 1;
+    } else {
+      ctx.set("dups", ++dups_);  // duplicate of an already-delivered item
+    }
+    Message ack;
+    ack.type = kAck;
+    ack.a = m.a;
+    ctx.send(from, ack);
+  }
+
+ private:
+  std::int64_t expected_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t dups_ = 0;
+};
+
+}  // namespace
+
+Simulator make_alternating_bit(std::int32_t items, double p_retransmit) {
+  HBCT_ASSERT(items >= 1);
+  Simulator sim(2);
+  sim.set_initial(0, "sent", 0);
+  sim.set_initial(0, "confirmed", 0);
+  sim.set_initial(0, "retransmits", 0);
+  sim.set_initial(1, "delivered", 0);
+  sim.set_initial(1, "dups", 0);
+  sim.set_process(0, std::make_unique<AbpSender>(items, p_retransmit));
+  sim.set_process(1, std::make_unique<AbpReceiver>());
+  return sim;
+}
+
+}  // namespace hbct::sim

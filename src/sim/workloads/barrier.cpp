@@ -1,0 +1,76 @@
+// Coordinator-based barrier synchronization (see sim/workloads.h).
+#include "sim/workloads.h"
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kArrive = 1;
+constexpr std::int64_t kRelease = 2;
+
+class Coordinator final : public Process {
+ public:
+  Coordinator(std::int32_t n, std::int32_t phases)
+      : n_(n), phases_(phases) {}
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    HBCT_ASSERT(m.type == kArrive);
+    if (++arrived_ < n_ - 1) return;
+    arrived_ = 0;
+    ++phase_;
+    ctx.set("phase", phase_);
+    ctx.label("release");
+    if (phase_ > phases_) return;  // workers stop after the last release
+    Message rel;
+    rel.type = kRelease;
+    rel.a = phase_;
+    for (ProcId j = 1; j < n_; ++j) ctx.send(j, rel);
+  }
+
+ private:
+  std::int32_t n_, phases_;
+  std::int32_t arrived_ = 0;
+  std::int64_t phase_ = 0;
+};
+
+class Worker final : public Process {
+ public:
+  explicit Worker(std::int32_t phases) : phases_(phases) {}
+
+  void start(Context& ctx) override {
+    // Arrive at the first barrier immediately.
+    Message m;
+    m.type = kArrive;
+    ctx.send(0, m);
+  }
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    HBCT_ASSERT(m.type == kRelease);
+    phase_ = m.a;
+    ctx.set("phase", phase_);
+    if (phase_ < phases_) {
+      Message arr;
+      arr.type = kArrive;
+      ctx.send(0, arr);
+    }
+  }
+
+ private:
+  std::int32_t phases_;
+  std::int64_t phase_ = 0;
+};
+
+}  // namespace
+
+Simulator make_barrier(std::int32_t n, std::int32_t phases) {
+  HBCT_ASSERT(n >= 2);
+  Simulator sim(n);
+  for (ProcId i = 0; i < n; ++i) sim.set_initial(i, "phase", 0);
+  sim.set_process(0, std::make_unique<Coordinator>(n, phases));
+  for (ProcId i = 1; i < n; ++i)
+    sim.set_process(i, std::make_unique<Worker>(phases));
+  return sim;
+}
+
+}  // namespace hbct::sim

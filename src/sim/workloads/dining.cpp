@@ -1,0 +1,139 @@
+// Dining philosophers (see sim/workloads.h).
+//
+// Forks are resource-manager processes: REQUEST is granted immediately when
+// the fork is free, otherwise queued until RELEASE. A philosopher acquires
+// its two forks one at a time — first the "left" (its own index) then the
+// "right" (index+1 mod n) — which permits the classic circular-wait
+// deadlock unless the acquisition order is broken for one philosopher.
+#include <deque>
+
+#include "sim/workloads.h"
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kRequest = 1;
+constexpr std::int64_t kGrant = 2;
+constexpr std::int64_t kRelease = 3;
+
+class Philosopher final : public Process {
+ public:
+  Philosopher(ProcId self, std::int32_t n, std::int32_t meals, bool reversed)
+      : self_(self), n_(n), meals_(meals), reversed_(reversed) {}
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    HBCT_ASSERT(m.type == kGrant);
+    if (state_ == State::kWaitFirst) {
+      ctx.set("waitl", 0);
+      ctx.set("waitr", 1);
+      state_ = State::kWaitSecond;
+      Message req;
+      req.type = kRequest;
+      ctx.send(second_fork(), req);
+    } else {
+      HBCT_ASSERT(state_ == State::kWaitSecond);
+      ctx.set("waitr", 0);
+      ctx.set("eating", 1);
+      ctx.label("eats");
+      state_ = State::kEating;
+    }
+  }
+
+  void step(Context& ctx) override {
+    if (state_ == State::kThinking && meals_ > 0) {
+      state_ = State::kWaitFirst;
+      ctx.set("waitl", 1);
+      Message req;
+      req.type = kRequest;
+      ctx.send(first_fork(), req);
+      return;
+    }
+    if (state_ == State::kEating) {
+      --meals_;
+      state_ = State::kThinking;
+      ctx.set("eating", 0);
+      ctx.set("meals", meals_);
+      Message rel;
+      rel.type = kRelease;
+      ctx.send(first_fork(), rel);
+      ctx.send(second_fork(), rel);
+    }
+  }
+
+  bool wants_step() const override {
+    return state_ == State::kEating ||
+           (state_ == State::kThinking && meals_ > 0);
+  }
+
+ private:
+  ProcId left_fork() const { return n_ + self_; }
+  ProcId right_fork() const { return n_ + (self_ + 1) % n_; }
+  ProcId first_fork() const { return reversed_ ? right_fork() : left_fork(); }
+  ProcId second_fork() const { return reversed_ ? left_fork() : right_fork(); }
+
+  enum class State { kThinking, kWaitFirst, kWaitSecond, kEating };
+  ProcId self_;
+  std::int32_t n_;
+  std::int32_t meals_;
+  bool reversed_;
+  State state_ = State::kThinking;
+};
+
+class Fork final : public Process {
+ public:
+  void receive(Context& ctx, ProcId from, const Message& m) override {
+    if (m.type == kRequest) {
+      if (busy_) {
+        queue_.push_back(from);
+        return;
+      }
+      busy_ = true;
+      ctx.set("busy", 1);
+      Message grant;
+      grant.type = kGrant;
+      ctx.send(from, grant);
+      return;
+    }
+    HBCT_ASSERT(m.type == kRelease);
+    if (!queue_.empty()) {
+      const ProcId next = queue_.front();
+      queue_.pop_front();
+      Message grant;
+      grant.type = kGrant;
+      ctx.send(next, grant);  // stays busy, new owner
+      ctx.set("busy", 1);
+    } else {
+      busy_ = false;
+      ctx.set("busy", 0);
+    }
+  }
+
+ private:
+  bool busy_ = false;
+  std::deque<ProcId> queue_;
+};
+
+}  // namespace
+
+Simulator make_dining_philosophers(std::int32_t n, std::int32_t meals,
+                                   bool ordered_forks) {
+  HBCT_ASSERT(n >= 2);
+  Simulator sim(2 * n);
+  for (ProcId i = 0; i < n; ++i) {
+    sim.set_initial(i, "waitl", 0);
+    sim.set_initial(i, "waitr", 0);
+    sim.set_initial(i, "eating", 0);
+    sim.set_initial(i, "meals", meals);
+    const bool reversed = ordered_forks && i == n - 1;
+    sim.set_process(i, std::make_unique<Philosopher>(i, n, meals, reversed));
+  }
+  for (ProcId f = n; f < 2 * n; ++f) {
+    sim.set_initial(f, "busy", 0);
+    sim.set_process(f, std::make_unique<Fork>());
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

@@ -1,0 +1,72 @@
+// Chang–Roberts leader election on a unidirectional ring.
+//
+// Every process sends its uid clockwise. A process forwards uids larger
+// than its own, swallows smaller ones, and declares itself leader when its
+// own uid returns. The winner then circulates an ELECTED announcement.
+#include "sim/workloads.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kUid = 1;
+constexpr std::int64_t kElected = 2;
+
+class CrProc final : public Process {
+ public:
+  CrProc(ProcId self, std::int32_t n) : self_(self), n_(n) {}
+
+  void start(Context& ctx) override {
+    Message m;
+    m.type = kUid;
+    m.a = uid();
+    ctx.send(next(), m);
+    ctx.label("send_uid");
+  }
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    if (m.type == kUid) {
+      if (m.a > uid()) {
+        ctx.send(next(), m);  // forward the stronger candidate
+      } else if (m.a == uid()) {
+        // Our uid survived the full circle: we are the leader.
+        ctx.set("leader", uid());
+        ctx.set("elected", 1);
+        ctx.label("becomes_leader");
+        Message ann;
+        ann.type = kElected;
+        ann.a = uid();
+        ctx.send(next(), ann);
+      }
+      // Smaller uids are swallowed (no event beyond the receive).
+      return;
+    }
+    if (m.type == kElected && m.a != uid()) {
+      ctx.set("leader", m.a);
+      ctx.label("learns_leader");
+      ctx.send(next(), m);
+    }
+    // The announcement stops when it reaches the leader again.
+  }
+
+ private:
+  std::int64_t uid() const { return self_ + 1; }
+  ProcId next() const { return (self_ + 1) % n_; }
+
+  ProcId self_;
+  std::int32_t n_;
+};
+
+}  // namespace
+
+Simulator make_leader_election(std::int32_t n) {
+  Simulator sim(n);
+  for (ProcId i = 0; i < n; ++i) {
+    sim.set_initial(i, "leader", 0);
+    sim.set_initial(i, "elected", 0);
+    sim.set_process(i, std::make_unique<CrProc>(i, n));
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

@@ -1,0 +1,114 @@
+// Ricart–Agrawala mutual exclusion (see sim/workloads.h).
+//
+// Classic permission-based algorithm: to enter the critical section a
+// process timestamps a REQUEST, broadcasts it, and waits for a REPLY from
+// every other process. A process receiving a REQUEST replies immediately
+// unless it is requesting with a smaller (timestamp, id) pair, in which
+// case the reply is deferred until it leaves its own critical section.
+#include <vector>
+
+#include "sim/workloads.h"
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kRequest = 1;
+constexpr std::int64_t kReply = 2;
+
+class RaProc final : public Process {
+ public:
+  RaProc(ProcId self, std::int32_t n, std::int32_t rounds)
+      : self_(self), n_(n), rounds_left_(rounds) {}
+
+  void receive(Context& ctx, ProcId from, const Message& m) override {
+    clock_ = std::max(clock_, m.a) + 1;
+    if (m.type == kRequest) {
+      ctx.set("reqs", ++reqs_seen_);
+      // Defer while in the critical section, or while waiting with a
+      // smaller (timestamp, id) request of our own.
+      const bool mine_wins =
+          state_ == State::kInCs ||
+          (state_ == State::kWaiting &&
+           (my_ts_ < m.a || (my_ts_ == m.a && self_ < from)));
+      if (mine_wins) {
+        deferred_.push_back(from);
+      } else {
+        Message reply;
+        reply.type = kReply;
+        reply.a = clock_;
+        ctx.send(from, reply);
+      }
+      return;
+    }
+    HBCT_ASSERT(m.type == kReply);
+    if (state_ == State::kWaiting && ++replies_ == n_ - 1) {
+      state_ = State::kInCs;
+      ctx.set("try", 0);
+      ctx.set("cs", 1);
+      ctx.label("cs_enter");
+    }
+  }
+
+  void step(Context& ctx) override {
+    if (state_ == State::kIdle && rounds_left_ > 0) {
+      --rounds_left_;
+      state_ = State::kWaiting;
+      replies_ = 0;
+      my_ts_ = ++clock_;
+      ctx.set("try", 1);
+      Message req;
+      req.type = kRequest;
+      req.a = my_ts_;
+      for (ProcId j = 0; j < n_; ++j)
+        if (j != self_) ctx.send(j, req);
+      if (n_ == 1) {  // degenerate single-process system
+        state_ = State::kInCs;
+        ctx.set("try", 0);
+        ctx.set("cs", 1);
+      }
+      return;
+    }
+    if (state_ == State::kInCs) {
+      state_ = State::kIdle;
+      ctx.set("cs", 0);
+      Message reply;
+      reply.type = kReply;
+      reply.a = ++clock_;
+      for (ProcId j : deferred_) ctx.send(j, reply);
+      deferred_.clear();
+    }
+  }
+
+  bool wants_step() const override {
+    return state_ == State::kInCs || (state_ == State::kIdle && rounds_left_ > 0);
+  }
+
+ private:
+  enum class State { kIdle, kWaiting, kInCs };
+  ProcId self_;
+  std::int32_t n_;
+  std::int32_t rounds_left_;
+  State state_ = State::kIdle;
+  std::int32_t replies_ = 0;
+  std::int64_t clock_ = 0;
+  std::int64_t my_ts_ = 0;
+  std::int64_t reqs_seen_ = 0;
+  std::vector<ProcId> deferred_;
+};
+
+}  // namespace
+
+Simulator make_ra_mutex(std::int32_t n, std::int32_t rounds) {
+  Simulator sim(n);
+  for (ProcId i = 0; i < n; ++i) {
+    sim.set_initial(i, "try", 0);
+    sim.set_initial(i, "cs", 0);
+    sim.set_initial(i, "reqs", 0);
+    sim.set_process(i, std::make_unique<RaProc>(i, n, rounds));
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

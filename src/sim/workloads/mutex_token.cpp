@@ -1,0 +1,105 @@
+// Token-based mutual exclusion (see sim/workloads.h).
+#include "sim/workloads.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kToken = 1;
+
+class TokenMutexProc final : public Process {
+ public:
+  TokenMutexProc(ProcId self, std::int32_t n, bool starts_with_token,
+                 std::int64_t hop_budget, bool faulty)
+      : self_(self),
+        n_(n),
+        has_token_(starts_with_token),
+        hops_left_(hop_budget),
+        faulty_(faulty) {}
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    if (m.type != kToken) return;
+    has_token_ = true;
+    hops_left_ = m.a;
+    ctx.set("has_token", 1);
+  }
+
+  void step(Context& ctx) override {
+    if (faulty_ && !has_token_) {
+      // Injected bug: one rogue critical section without the token.
+      faulty_ = false;
+      ctx.set("cs", 1);
+      ctx.label("rogue_cs_enter");
+      phase_ = Phase::kRogueExit;
+      return;
+    }
+    if (phase_ == Phase::kRogueExit) {
+      ctx.set("cs", 0);
+      phase_ = Phase::kIdle;
+      return;
+    }
+    if (!has_token_) return;
+    switch (phase_) {
+      case Phase::kIdle:
+        ctx.set("try", 1);
+        phase_ = Phase::kTrying;
+        break;
+      case Phase::kTrying:
+        ctx.set("try", 0);
+        ctx.set("cs", 1);
+        ctx.label("cs_enter");
+        phase_ = Phase::kInCs;
+        break;
+      case Phase::kInCs:
+        ctx.set("cs", 0);
+        phase_ = Phase::kDone;
+        break;
+      case Phase::kDone: {
+        has_token_ = false;
+        ctx.set("has_token", 0);
+        phase_ = Phase::kIdle;
+        if (hops_left_ > 0) {
+          Message m;
+          m.type = kToken;
+          m.a = hops_left_ - 1;
+          ctx.send((self_ + 1) % n_, m);
+        }
+        break;
+      }
+      case Phase::kRogueExit:
+        break;  // handled above
+    }
+  }
+
+  bool wants_step() const override {
+    return has_token_ || faulty_ || phase_ == Phase::kRogueExit;
+  }
+
+ private:
+  enum class Phase { kIdle, kTrying, kInCs, kDone, kRogueExit };
+  ProcId self_;
+  std::int32_t n_;
+  bool has_token_;
+  std::int64_t hops_left_;
+  bool faulty_;
+  Phase phase_ = Phase::kIdle;
+};
+
+}  // namespace
+
+Simulator make_token_mutex(std::int32_t n, std::int32_t rounds,
+                           bool inject_violation) {
+  Simulator sim(n);
+  const std::int64_t hops = static_cast<std::int64_t>(n) * rounds - 1;
+  for (ProcId i = 0; i < n; ++i) {
+    sim.set_initial(i, "try", 0);
+    sim.set_initial(i, "cs", 0);
+    sim.set_initial(i, "has_token", i == 0 ? 1 : 0);
+    sim.set_process(i, std::make_unique<TokenMutexProc>(
+                           i, n, /*starts_with_token=*/i == 0, hops,
+                           /*faulty=*/inject_violation && i == n - 1));
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

@@ -1,0 +1,73 @@
+// Credit-windowed producer/consumer (see sim/workloads.h).
+//
+// The producer may have at most `window` unacknowledged items outstanding,
+// which enforces the bounded-buffer invariant produced - consumed <= window
+// (a regular predicate: a difference of monotone counters).
+#include "sim/workloads.h"
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kItem = 1;
+constexpr std::int64_t kAck = 2;
+
+class Producer final : public Process {
+ public:
+  Producer(std::int32_t items, std::int32_t window)
+      : items_(items), window_(window) {}
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    HBCT_ASSERT(m.type == kAck);
+    ctx.set("acked", ++acked_);
+  }
+
+  void step(Context& ctx) override {
+    if (produced_ >= items_ || produced_ - acked_ >= window_) return;
+    ++produced_;
+    Message m;
+    m.type = kItem;
+    m.a = produced_;
+    ctx.send(1, m);
+    ctx.set("produced", produced_);
+  }
+
+  bool wants_step() const override {
+    return produced_ < items_ && produced_ - acked_ < window_;
+  }
+
+ private:
+  std::int64_t items_, window_;
+  std::int64_t produced_ = 0, acked_ = 0;
+};
+
+class Consumer final : public Process {
+ public:
+  void receive(Context& ctx, ProcId from, const Message& m) override {
+    HBCT_ASSERT(m.type == kItem);
+    ctx.set("consumed", ++consumed_);
+    Message ack;
+    ack.type = kAck;
+    ack.a = m.a;
+    ctx.send(from, ack);
+  }
+
+ private:
+  std::int64_t consumed_ = 0;
+};
+
+}  // namespace
+
+Simulator make_producer_consumer(std::int32_t items, std::int32_t window) {
+  HBCT_ASSERT(window > 0);
+  Simulator sim(2);
+  sim.set_initial(0, "produced", 0);
+  sim.set_initial(0, "acked", 0);
+  sim.set_initial(1, "consumed", 0);
+  sim.set_process(0, std::make_unique<Producer>(items, window));
+  sim.set_process(1, std::make_unique<Consumer>());
+  return sim;
+}
+
+}  // namespace hbct::sim

@@ -1,0 +1,72 @@
+// Unstructured random traffic generator (see sim/workloads.h).
+#include "sim/workloads.h"
+#include "util/string_util.h"
+
+namespace hbct::sim {
+
+namespace {
+
+class MixerProc final : public Process {
+ public:
+  MixerProc(ProcId self, std::int32_t n, std::int32_t steps,
+            std::int32_t vars, double send_prob)
+      : self_(self), n_(n), steps_left_(steps), vars_(vars),
+        send_prob_(send_prob) {}
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    // Record the payload into a random variable.
+    if (vars_ > 0)
+      ctx.set(var_name(ctx.rng().next_below(
+                  static_cast<std::uint64_t>(vars_))),
+              m.a);
+  }
+
+  void step(Context& ctx) override {
+    if (steps_left_ <= 0) return;
+    --steps_left_;
+    Rng& rng = ctx.rng();
+    if (n_ > 1 && rng.next_bool(send_prob_)) {
+      ProcId to;
+      do {
+        to = static_cast<ProcId>(rng.next_below(static_cast<std::uint64_t>(n_)));
+      } while (to == self_);
+      Message m;
+      m.a = rng.next_in(0, 9);
+      ctx.send(to, m);
+    } else if (vars_ > 0) {
+      ctx.set(var_name(rng.next_below(static_cast<std::uint64_t>(vars_))),
+              rng.next_in(0, 9));
+    } else {
+      ctx.internal();
+    }
+  }
+
+  bool wants_step() const override { return steps_left_ > 0; }
+
+ private:
+  static std::string var_name(std::uint64_t v) {
+    return strfmt("v%llu", static_cast<unsigned long long>(v));
+  }
+
+  ProcId self_;
+  std::int32_t n_;
+  std::int32_t steps_left_;
+  std::int32_t vars_;
+  double send_prob_;
+};
+
+}  // namespace
+
+Simulator make_random_mixer(std::int32_t n, std::int32_t steps,
+                            std::int32_t vars, double send_prob) {
+  Simulator sim(n);
+  for (ProcId i = 0; i < n; ++i) {
+    for (std::int32_t v = 0; v < vars; ++v)
+      sim.set_initial(i, strfmt("v%d", v), 0);
+    sim.set_process(i,
+                    std::make_unique<MixerProc>(i, n, steps, vars, send_prob));
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

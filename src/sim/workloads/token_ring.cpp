@@ -1,0 +1,55 @@
+// Plain token ring (see sim/workloads.h).
+#include "sim/workloads.h"
+
+namespace hbct::sim {
+
+namespace {
+
+class TokenRingProc final : public Process {
+ public:
+  TokenRingProc(ProcId self, std::int32_t n, bool starts, std::int64_t hops)
+      : self_(self), n_(n), holds_(starts), hops_left_(hops) {}
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    holds_ = true;
+    hops_left_ = m.a;
+    ctx.set("work", ++work_);
+  }
+
+  void step(Context& ctx) override {
+    if (!holds_) return;
+    holds_ = false;
+    if (hops_left_ > 0) {
+      Message m;
+      m.a = hops_left_ - 1;
+      ctx.send((self_ + 1) % n_, m);
+    } else {
+      ctx.set("done", 1);
+    }
+  }
+
+  bool wants_step() const override { return holds_; }
+
+ private:
+  ProcId self_;
+  std::int32_t n_;
+  bool holds_;
+  std::int64_t hops_left_;
+  std::int64_t work_ = 0;
+};
+
+}  // namespace
+
+Simulator make_token_ring(std::int32_t n, std::int32_t rounds) {
+  Simulator sim(n);
+  const std::int64_t hops = static_cast<std::int64_t>(n) * rounds - 1;
+  for (ProcId i = 0; i < n; ++i) {
+    sim.set_initial(i, "work", i == 0 ? 1 : 0);
+    sim.set_initial(i, "done", 0);
+    sim.set_process(i,
+                    std::make_unique<TokenRingProc>(i, n, i == 0, hops));
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

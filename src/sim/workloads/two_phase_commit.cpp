@@ -1,0 +1,117 @@
+// Two-phase commit (see sim/workloads.h).
+#include "sim/workloads.h"
+#include "util/assert.h"
+
+namespace hbct::sim {
+
+namespace {
+
+constexpr std::int64_t kPrepare = 1;
+constexpr std::int64_t kVote = 2;     // a = txn, b = 1 yes / 0 no
+constexpr std::int64_t kCommit = 3;   // a = txn
+constexpr std::int64_t kAbort = 4;    // a = txn
+
+class Coordinator final : public Process {
+ public:
+  Coordinator(std::int32_t n, std::int32_t txns, bool faulty)
+      : n_(n), txns_(txns), faulty_(faulty) {}
+
+  void step(Context& ctx) override {
+    if (phase_ != Phase::kIdle || txn_ >= txns_) return;
+    ++txn_;
+    phase_ = Phase::kCollecting;
+    yes_ = 0;
+    no_ = 0;
+    ctx.set("txn", txn_);
+    ctx.set("decision", 0);
+    ctx.label("prepare");
+    Message m;
+    m.type = kPrepare;
+    m.a = txn_;
+    for (ProcId j = 1; j < n_; ++j) ctx.send(j, m);
+  }
+
+  void receive(Context& ctx, ProcId /*from*/, const Message& m) override {
+    HBCT_ASSERT(m.type == kVote);
+    HBCT_ASSERT(m.a == txn_);
+    bool yes = m.b != 0;
+    if (!yes && faulty_ && !bug_used_) {
+      // Injected fault: one no vote is dropped on the floor, once.
+      bug_used_ = true;
+      yes = true;
+    }
+    yes ? ++yes_ : ++no_;
+    if (yes_ + no_ < n_ - 1) return;
+    phase_ = Phase::kIdle;
+    const bool commit = no_ == 0;
+    ctx.set("decision", commit ? 1 : -1);
+    ctx.label(commit ? "commit" : "abort");
+    Message d;
+    d.type = commit ? kCommit : kAbort;
+    d.a = txn_;
+    for (ProcId j = 1; j < n_; ++j) ctx.send(j, d);
+  }
+
+  bool wants_step() const override {
+    return phase_ == Phase::kIdle && txn_ < txns_;
+  }
+
+ private:
+  enum class Phase { kIdle, kCollecting };
+  std::int32_t n_, txns_;
+  bool faulty_;
+  bool bug_used_ = false;
+  Phase phase_ = Phase::kIdle;
+  std::int64_t txn_ = 0;
+  std::int32_t yes_ = 0, no_ = 0;
+};
+
+class Participant final : public Process {
+ public:
+  explicit Participant(double p_vote_no) : p_vote_no_(p_vote_no) {}
+
+  void receive(Context& ctx, ProcId from, const Message& m) override {
+    if (m.type == kPrepare) {
+      const bool no = ctx.rng().next_bool(p_vote_no_);
+      ctx.set("vote", no ? 0 : 1);
+      ctx.set("decided", 0);
+      ctx.set("outcome", 0);
+      Message v;
+      v.type = kVote;
+      v.a = m.a;
+      v.b = no ? 0 : 1;
+      ctx.send(from, v);
+      return;
+    }
+    HBCT_ASSERT(m.type == kCommit || m.type == kAbort);
+    ctx.set("decided", 1);
+    ctx.set("dtxn", m.a);  // which transaction this outcome refers to
+    ctx.set("outcome", m.type == kCommit ? 1 : -1);
+    ctx.label(m.type == kCommit ? "commits" : "aborts");
+  }
+
+ private:
+  double p_vote_no_;
+};
+
+}  // namespace
+
+Simulator make_two_phase_commit(std::int32_t n, std::int32_t txns,
+                                double p_vote_no, bool presumed_commit_bug) {
+  HBCT_ASSERT(n >= 2);
+  Simulator sim(n);
+  sim.set_initial(0, "txn", 0);
+  sim.set_initial(0, "decision", 0);
+  sim.set_process(0, std::make_unique<Coordinator>(n, txns,
+                                                   presumed_commit_bug));
+  for (ProcId i = 1; i < n; ++i) {
+    sim.set_initial(i, "vote", 1);
+    sim.set_initial(i, "decided", 0);
+    sim.set_initial(i, "dtxn", 0);
+    sim.set_initial(i, "outcome", 0);
+    sim.set_process(i, std::make_unique<Participant>(p_vote_no));
+  }
+  return sim;
+}
+
+}  // namespace hbct::sim

@@ -1,0 +1,37 @@
+// Lightweight always-on assertion machinery for hbct.
+//
+// HBCT_ASSERT checks an invariant in every build type (detection algorithms
+// are cheap relative to the cost of silently returning a wrong verdict in a
+// debugging tool). HBCT_DASSERT compiles away in NDEBUG builds and is meant
+// for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hbct {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "hbct assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hbct
+
+#define HBCT_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::hbct::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HBCT_ASSERT_MSG(expr, msg)                                 \
+  do {                                                             \
+    if (!(expr)) ::hbct::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HBCT_DASSERT(expr) ((void)0)
+#else
+#define HBCT_DASSERT(expr) HBCT_ASSERT(expr)
+#endif

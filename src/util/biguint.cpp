@@ -1,0 +1,99 @@
+#include "util/biguint.h"
+
+#include <algorithm>
+
+namespace hbct {
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v) {
+    limbs_.push_back(static_cast<std::uint32_t>(v));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  }
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& o) {
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry + limbs_[i] +
+                      (i < o.limbs_.size() ? o.limbs_[i] : 0u);
+    limbs_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  if (carry) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::mul_small(std::uint64_t m) {
+  if (m == 0 || limbs_.empty()) {
+    limbs_.clear();
+    return *this;
+  }
+  // Multiply by a 64-bit scalar as two 32-bit halves to keep carries simple.
+  const std::uint32_t lo = static_cast<std::uint32_t>(m);
+  const std::uint32_t hi = static_cast<std::uint32_t>(m >> 32);
+  BigUint result;
+  result.limbs_.assign(limbs_.size() + 2, 0);
+  auto addat = [&](std::size_t pos, std::uint64_t v) {
+    while (v) {
+      if (pos >= result.limbs_.size()) result.limbs_.push_back(0);
+      std::uint64_t s = result.limbs_[pos] + (v & 0xffffffffull);
+      result.limbs_[pos] = static_cast<std::uint32_t>(s);
+      v = (v >> 32) + (s >> 32);
+      ++pos;
+    }
+  };
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    addat(i, static_cast<std::uint64_t>(limbs_[i]) * lo);
+    if (hi) addat(i + 1, static_cast<std::uint64_t>(limbs_[i]) * hi);
+  }
+  result.trim();
+  *this = std::move(result);
+  return *this;
+}
+
+std::uint64_t BigUint::to_u64(bool* fits) const {
+  if (fits) *fits = limbs_.size() <= 2;
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() >= 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::string BigUint::to_string() const {
+  if (limbs_.empty()) return "0";
+  // Repeated division by 1e9.
+  std::vector<std::uint32_t> work(limbs_.rbegin(), limbs_.rend());  // big-endian
+  std::string out;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    std::vector<std::uint32_t> q;
+    q.reserve(work.size());
+    for (std::uint32_t limb : work) {
+      std::uint64_t cur = (rem << 32) | limb;
+      q.push_back(static_cast<std::uint32_t>(cur / 1000000000ull));
+      rem = cur % 1000000000ull;
+    }
+    while (!q.empty() && q.front() == 0) q.erase(q.begin());
+    std::string chunk = std::to_string(rem);
+    if (!q.empty()) chunk = std::string(9 - chunk.size(), '0') + chunk;
+    out = chunk + out;
+    work = std::move(q);
+  }
+  return out;
+}
+
+bool operator<(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size();
+  for (std::size_t i = a.limbs_.size(); i-- > 0;)
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  return false;
+}
+
+}  // namespace hbct

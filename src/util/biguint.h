@@ -1,0 +1,38 @@
+// Arbitrary-precision unsigned integers, just large enough for lattice
+// path-counting: the number of maximal chains of a cut lattice grows
+// factorially in |E|, overflowing 64 bits already for ~20 concurrent events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbct {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  BigUint& operator+=(const BigUint& o);
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+
+  BigUint& mul_small(std::uint64_t m);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Value as uint64 if it fits, otherwise nullopt-like flag via `fits`.
+  std::uint64_t to_u64(bool* fits = nullptr) const;
+
+  std::string to_string() const;  // decimal
+
+  friend bool operator==(const BigUint&, const BigUint&) = default;
+  friend bool operator<(const BigUint& a, const BigUint& b);
+
+ private:
+  void trim();
+  // Base 2^32 little-endian limbs; empty = 0.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace hbct

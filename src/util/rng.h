@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation for workload generators,
+// schedulers and property tests.
+//
+// We carry our own xoshiro256** implementation instead of <random> engines so
+// that (a) streams are reproducible across standard libraries and platforms,
+// and (b) the state is tiny and cheap to fork per process / per test case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hbct {
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm), seeded via
+/// splitmix64. Deterministic for a given seed on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Fork an independent generator (jump via reseeding with a drawn value).
+  Rng fork();
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hbct

@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+DetectStats& DetectStats::operator+=(const DetectStats& o) {
+  predicate_evals += o.predicate_evals;
+  cut_steps += o.cut_steps;
+  lattice_nodes += o.lattice_nodes;
+  lattice_edges += o.lattice_edges;
+  return *this;
+}
+
+std::string DetectStats::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const DetectStats& s) {
+  os << "{evals=" << s.predicate_evals << " steps=" << s.cut_steps;
+  if (s.lattice_nodes) os << " nodes=" << s.lattice_nodes;
+  if (s.lattice_edges) os << " edges=" << s.lattice_edges;
+  return os << "}";
+}
+
+Summary Summary::of(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " med=" << median
+     << " mean=" << mean << " max=" << max << " sd=" << stddev;
+  return os.str();
+}
+
+double loglog_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  HBCT_ASSERT(x.size() == y.size());
+  HBCT_ASSERT(x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;  // skip degenerate points
+    double lx = std::log(x[i]), ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++m;
+  }
+  HBCT_ASSERT(m >= 2);
+  const double dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  HBCT_ASSERT(denom != 0);
+  return (dm * sxy - sx * sy) / denom;
+}
+
+}  // namespace hbct

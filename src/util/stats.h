@@ -1,0 +1,47 @@
+// Operation-counting statistics for detection algorithms.
+//
+// Wall-clock timing on a shared single-core box is noisy; the complexity
+// claims in the paper (O(n|E|) etc.) are therefore additionally validated by
+// counting the algorithms' basic operations: cut advancements, predicate
+// evaluations, and lattice nodes touched. Every detector fills a DetectStats.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hbct {
+
+/// Counters describing the work one detection run performed.
+struct DetectStats {
+  /// Number of predicate (or local-predicate) evaluations performed.
+  std::uint64_t predicate_evals = 0;
+  /// Number of cut advancements / retreats (events added or removed).
+  std::uint64_t cut_steps = 0;
+  /// Number of explicit lattice nodes materialized (brute force only).
+  std::uint64_t lattice_nodes = 0;
+  /// Number of lattice edges traversed (brute force only).
+  std::uint64_t lattice_edges = 0;
+
+  DetectStats& operator+=(const DetectStats& o);
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const DetectStats& s);
+
+/// Simple descriptive statistics over a sample of doubles (bench reporting).
+struct Summary {
+  double min = 0, max = 0, mean = 0, median = 0, stddev = 0;
+  std::size_t count = 0;
+
+  static Summary of(std::vector<double> samples);
+  std::string to_string() const;
+};
+
+/// Least-squares slope of log(y) vs log(x): the empirical complexity
+/// exponent. Used by benches to check e.g. that A1's work grows linearly in
+/// |E| (slope ~= 1) while the lattice baseline grows polynomially or worse.
+double loglog_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace hbct

@@ -1,0 +1,63 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hbct {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_int(std::string_view s, long long& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::string tmp(s);
+  char* end = nullptr;
+  long long v = std::strtoll(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size()) return false;
+  out = v;
+  return true;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    va_end(ap2);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace hbct

@@ -1,0 +1,25 @@
+// Small string helpers shared by the trace reader and the CTL parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbct {
+
+/// Split on a single-character delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a decimal integer; returns false on any trailing garbage.
+bool parse_int(std::string_view s, long long& out);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hbct

@@ -1,0 +1,182 @@
+// Tests for the concurrency-analysis module (height / Dilworth width /
+// concurrent pairs) and the ASCII diagram renderer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "poset/analysis.h"
+#include "poset/builder.h"
+#include "poset/diagram.h"
+#include "poset/generate.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+TEST(Analysis, IndependentGrid) {
+  Computation c = generate_independent(3, 4);
+  ConcurrencyStats s = analyze(c);
+  EXPECT_EQ(s.events, 12);
+  EXPECT_EQ(s.height, 4);   // longest chain = one process's events
+  EXPECT_EQ(s.width, 3);    // one event per process
+  // Pairs on different processes are all concurrent: 3 choose 2 * 4 * 4.
+  EXPECT_EQ(s.concurrent_pairs, 3 * 16);
+  EXPECT_DOUBLE_EQ(s.parallelism, 3.0);
+}
+
+TEST(Analysis, ChainComputation) {
+  Computation c = generate_chain(3, 4);
+  ConcurrencyStats s = analyze(c);
+  EXPECT_EQ(s.events, 12);
+  EXPECT_EQ(s.height, 12);  // total order
+  EXPECT_EQ(s.width, 1);
+  EXPECT_EQ(s.concurrent_pairs, 0);
+}
+
+TEST(Analysis, EmptyComputation) {
+  ComputationBuilder b(2);
+  Computation c = std::move(b).build();
+  ConcurrencyStats s = analyze(c);
+  EXPECT_EQ(s.height, 0);
+  EXPECT_EQ(s.events, 0);
+  EXPECT_DOUBLE_EQ(s.parallelism, 0);
+}
+
+TEST(Analysis, MessageCreatesChain) {
+  // P0: a, b(send); P1: c(recv), d — height = a,b,c,d = 4.
+  ComputationBuilder b(2);
+  b.internal(0);
+  MsgId m = b.send(0, 1);
+  b.receive(1, m);
+  b.internal(1);
+  Computation c = std::move(b).build();
+  EXPECT_EQ(computation_height(c), 4);
+  EXPECT_EQ(computation_width(c), 1);  // fully ordered
+}
+
+TEST(Analysis, WidthSkippedBeyondLimit) {
+  Computation c = generate_independent(3, 5);
+  ConcurrencyStats s = analyze(c, /*width_limit=*/5);
+  EXPECT_EQ(s.width, -1);
+  EXPECT_GT(s.height, 0);
+}
+
+/// Brute-force max antichain by subset enumeration (small inputs).
+std::int32_t brute_width(const Computation& c) {
+  std::vector<EventId> ev;
+  for (ProcId i = 0; i < c.num_procs(); ++i)
+    for (EventIndex k = 1; k <= c.num_events(i); ++k)
+      ev.push_back(EventId{i, k});
+  const std::size_t m = ev.size();
+  std::int32_t best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
+    bool anti = true;
+    for (std::size_t a = 0; a < m && anti; ++a)
+      for (std::size_t b = a + 1; b < m && anti; ++b)
+        if ((mask >> a & 1) && (mask >> b & 1))
+          anti = c.concurrent(ev[a], ev[b]);
+    if (anti) best = std::max(best, __builtin_popcount(mask));
+  }
+  return best;
+}
+
+/// Brute-force longest chain.
+std::int32_t brute_height(const Computation& c) {
+  std::vector<EventId> ev;
+  for (ProcId i = 0; i < c.num_procs(); ++i)
+    for (EventIndex k = 1; k <= c.num_events(i); ++k)
+      ev.push_back(EventId{i, k});
+  // Longest path by Bellman-Ford-style relaxation (order-independent).
+  std::vector<std::int32_t> h(ev.size(), 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < ev.size(); ++b)
+      for (std::size_t a = 0; a < ev.size(); ++a)
+        if (c.happened_before(ev[a], ev[b]) && h[b] < h[a] + 1) {
+          h[b] = h[a] + 1;
+          changed = true;
+        }
+  }
+  std::int32_t best = ev.empty() ? 0 : 1;
+  for (std::int32_t v : h) best = std::max(best, v);
+  return best;
+}
+
+class AnalysisProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisProperty, MatchesBruteForceOnSmallComputations) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;  // 12 events: 2^12 subsets is fine
+  opt.p_send = 0.4;
+  opt.seed = GetParam();
+  Computation c = generate_random(opt);
+  EXPECT_EQ(computation_height(c), brute_height(c));
+  EXPECT_EQ(computation_width(c), brute_width(c));
+}
+
+TEST_P(AnalysisProperty, MirskyAndDilworthBounds) {
+  GenOptions opt;
+  opt.num_procs = 4;
+  opt.events_per_proc = 5;
+  opt.seed = GetParam() + 100;
+  Computation c = generate_random(opt);
+  ConcurrencyStats s = analyze(c);
+  // chains * antichains bound: height * width >= |E|.
+  ASSERT_GE(s.width, 1);
+  EXPECT_GE(static_cast<std::int64_t>(s.height) * s.width, s.events);
+  EXPECT_LE(s.width, 4);   // at most one event per process
+  EXPECT_GE(s.height, 5);  // at least one process's chain
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Diagram, RendersLanesAndMessages) {
+  ComputationBuilder b(2);
+  VarId x = b.var("x");
+  b.internal(0);
+  b.write(0, x, 1);
+  b.label(0, "boot");
+  MsgId m = b.send(0, 1);
+  b.receive(1, m);
+  Computation c = std::move(b).build();
+
+  const std::string d = render_diagram(c);
+  EXPECT_NE(d.find("P0"), std::string::npos);
+  EXPECT_NE(d.find("P1"), std::string::npos);
+  EXPECT_NE(d.find("boot"), std::string::npos);
+  EXPECT_NE(d.find("x=1"), std::string::npos);
+  EXPECT_NE(d.find("S->P1(m0)"), std::string::npos);
+  EXPECT_NE(d.find("R<-P0(m0)"), std::string::npos);
+  // Column alignment: send appears before its receive.
+  EXPECT_LT(d.find("S->P1"), d.find("R<-P0"));
+}
+
+TEST(Diagram, TruncatesLargeTraces) {
+  Computation c = generate_independent(2, 100);
+  DiagramOptions opt;
+  opt.max_events = 10;
+  const std::string d = render_diagram(c, opt);
+  EXPECT_NE(d.find("more events"), std::string::npos);
+}
+
+TEST(Diagram, OptionsSuppressAnnotations) {
+  ComputationBuilder b(1);
+  VarId x = b.var("x");
+  b.internal(0);
+  b.write(0, x, 7);
+  b.label(0, "lbl");
+  Computation c = std::move(b).build();
+  DiagramOptions opt;
+  opt.show_writes = false;
+  opt.show_labels = false;
+  const std::string d = render_diagram(c, opt);
+  EXPECT_EQ(d.find("x=7"), std::string::npos);
+  EXPECT_EQ(d.find("lbl"), std::string::npos);
+  EXPECT_NE(d.find("e1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hbct

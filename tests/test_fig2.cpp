@@ -1,0 +1,110 @@
+// Reproduction of Fig. 2: a 2-process computation, its lattice, the
+// meet-irreducible elements (filled circles) and the Birkhoff meets quoted
+// in the text: X = ⊓{E1, E2, E3, F3} and Y = ⊓{E3, F3}.
+//
+// The figure's image is not part of the source text; we reconstruct the
+// computation from the quoted equations. Writing Ei = M(e_i) and
+// Fi = M(f_i), the element X lies below exactly {E1,E2,E3,F3}, which by
+// Birkhoff's correspondence pins X = E \ {e1,e2,e3,f3} = {f1, f2}, i.e. the
+// cut <0,2>; similarly Y = {e1,e2,f1,f2} = <2,2>. A 2x3-event computation
+// with a single message f2 -> e3 makes both cuts consistent and reproduces
+// the quoted meets exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lattice/irreducible.h"
+#include "lattice/lattice.h"
+#include "poset/builder.h"
+
+namespace hbct {
+namespace {
+
+Computation fig2_computation() {
+  ComputationBuilder b(2);
+  b.internal(0);
+  b.label(0, "e1");
+  b.internal(0);
+  b.label(0, "e2");
+  b.internal(1);
+  b.label(1, "f1");
+  MsgId m = b.send(1, 0);
+  b.label(1, "f2");
+  b.receive(0, m);
+  b.label(0, "e3");
+  b.internal(1);
+  b.label(1, "f3");
+  return std::move(b).build();
+}
+
+TEST(Fig2, LatticeShape) {
+  Computation c = fig2_computation();
+  c.validate();
+  Lattice lat = Lattice::build(c);
+  // Constraint: e3 needs f2, i.e. a = 3 requires b >= 2. 16 - 2 = 14 cuts.
+  EXPECT_EQ(lat.size(), 14u);
+  EXPECT_EQ(c.total_events(), 6);
+}
+
+TEST(Fig2, MeetIrreduciblesAreTheSixEventComplements) {
+  Computation c = fig2_computation();
+  Lattice lat = Lattice::build(c);
+  // One meet-irreducible per event (the filled circles).
+  auto mirr = meet_irreducibles(lat);
+  EXPECT_EQ(mirr.size(), 6u);
+  std::set<std::vector<std::int32_t>> got;
+  for (NodeId v : mirr) got.insert(lat.cut(v).raw());
+  std::set<std::vector<std::int32_t>> expect = {
+      {0, 3},  // E1 = M(e1) = E \ {e1,e2,e3}
+      {1, 3},  // E2 = M(e2)
+      {2, 3},  // E3 = M(e3)
+      {2, 0},  // F1 = M(f1) = E \ {f1,f2,f3,e3}
+      {2, 1},  // F2 = M(f2)
+      {3, 2},  // F3 = M(f3)
+  };
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Fig2, QuotedBirkhoffMeets) {
+  Computation c = fig2_computation();
+  const Cut e1m = c.meet_irreducible_of(0, 1);
+  const Cut e2m = c.meet_irreducible_of(0, 2);
+  const Cut e3m = c.meet_irreducible_of(0, 3);
+  const Cut f3m = c.meet_irreducible_of(1, 3);
+
+  // X = ⊓{E1, E2, E3, F3} = {f1, f2}.
+  Cut x = Cut::meet(Cut::meet(e1m, e2m), Cut::meet(e3m, f3m));
+  EXPECT_EQ(x, Cut({0, 2}));
+  // Y = ⊓{E3, F3} = {e1, e2, f1, f2}.
+  Cut y = Cut::meet(e3m, f3m);
+  EXPECT_EQ(y, Cut({2, 2}));
+  // Both are consistent cuts of the lattice, as the figure shows.
+  EXPECT_TRUE(c.is_consistent(x));
+  EXPECT_TRUE(c.is_consistent(y));
+
+  // And X is exactly the set of meet-irreducibles above it (Corollary 4):
+  EXPECT_EQ(birkhoff_meet_reconstruction(c, x), x);
+  EXPECT_EQ(birkhoff_join_reconstruction(c, y), y);
+}
+
+TEST(Fig2, EveryElementIsMeetOfIrreduciblesAboveIt) {
+  Computation c = fig2_computation();
+  Lattice lat = Lattice::build(c);
+  for (NodeId v = 0; v < lat.size(); ++v)
+    EXPECT_EQ(birkhoff_meet_reconstruction(c, lat.cut(v)), lat.cut(v));
+}
+
+TEST(Fig2, IrreduciblesAreExponentiallyFewerThanLattice) {
+  // The computational point of Birkhoff's theorem (Section 5): |M(L)| = |E|
+  // while |L| grows exponentially. Scale Fig. 2's shape up.
+  ComputationBuilder b(4);
+  for (ProcId i = 0; i < 4; ++i)
+    for (int k = 0; k < 4; ++k) b.internal(i);
+  Computation c = std::move(b).build();
+  Lattice lat = Lattice::build(c);
+  EXPECT_EQ(lat.size(), 625u);  // 5^4
+  EXPECT_EQ(meet_irreducible_cuts(c).size(), 16u);  // |E|
+}
+
+}  // namespace
+}  // namespace hbct

@@ -1,0 +1,83 @@
+// CTL identities validated on the explicit lattice — this is the sanity net
+// under the brute-force oracle itself (Section 3's abbreviations).
+#include <gtest/gtest.h>
+
+#include "detect/brute_force.h"
+#include "poset/generate.h"
+#include "predicate/local.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+class CtlIdentities : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CtlIdentities, HoldNodewiseOnRandomLattices) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.seed = GetParam();
+  Computation c = generate_random(opt);
+  LatticeChecker chk(c);
+  Rng rng(GetParam() * 3 + 7);
+
+  for (int round = 0; round < 4; ++round) {
+    auto p = var_cmp(static_cast<ProcId>(rng.next_below(3)),
+                     rng.next_bool() ? "v0" : "v1",
+                     static_cast<Cmp>(rng.next_below(6)), rng.next_in(0, 5));
+    auto q = var_cmp(static_cast<ProcId>(rng.next_below(3)),
+                     rng.next_bool() ? "v0" : "v1",
+                     static_cast<Cmp>(rng.next_below(6)), rng.next_in(0, 5));
+    const auto lp = chk.label(*p);
+    const auto lq = chk.label(*q);
+    const std::vector<char> ltrue(chk.lattice().size(), 1);
+
+    auto negate = [&](std::vector<char> v) {
+      for (auto& x : v) x = !x;
+      return v;
+    };
+
+    // EF(p) == E[true U p], AF(p) == A[true U p].
+    EXPECT_EQ(chk.ef(lp), chk.eu(ltrue, lp));
+    EXPECT_EQ(chk.af(lp), chk.au(ltrue, lp));
+    // EG(p) == !AF(!p), AG(p) == !EF(!p).
+    EXPECT_EQ(chk.eg(lp), negate(chk.af(negate(lp))));
+    EXPECT_EQ(chk.ag(lp), negate(chk.ef(negate(lp))));
+    // A[p U q] == !(EG(!q) | E[!q U (!p & !q)]).
+    std::vector<char> notp = negate(lp), notq = negate(lq);
+    std::vector<char> conj(chk.lattice().size());
+    for (NodeId v = 0; v < chk.lattice().size(); ++v)
+      conj[v] = notp[v] && notq[v];
+    std::vector<char> rhs_eg = chk.eg(notq);
+    std::vector<char> rhs_eu = chk.eu(notq, conj);
+    std::vector<char> rhs(chk.lattice().size());
+    for (NodeId v = 0; v < chk.lattice().size(); ++v)
+      rhs[v] = !(rhs_eg[v] || rhs_eu[v]);
+    EXPECT_EQ(chk.au(lp, lq), rhs);
+
+    // Monotonicity of path quantifiers: AG ⊆ EG ⊆ (p at node);
+    // AG ⊆ AF, EG ⊆ EF, AF ⊆ EF.
+    const auto ag = chk.ag(lp), eg = chk.eg(lp), af = chk.af(lp),
+               ef = chk.ef(lp);
+    for (NodeId v = 0; v < chk.lattice().size(); ++v) {
+      EXPECT_LE(ag[v], eg[v]);
+      EXPECT_LE(eg[v], lp[v]);
+      EXPECT_LE(ag[v], af[v]);
+      EXPECT_LE(af[v], ef[v]);
+      EXPECT_LE(eg[v], ef[v]);
+      EXPECT_LE(lp[v], ef[v]);
+    }
+    // At the top (final cut) all four collapse to p.
+    const NodeId top = chk.lattice().top();
+    EXPECT_EQ(ag[top], lp[top]);
+    EXPECT_EQ(eg[top], lp[top]);
+    EXPECT_EQ(af[top], lp[top]);
+    EXPECT_EQ(ef[top], lp[top]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtlIdentities,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace hbct

@@ -1,0 +1,199 @@
+// Tests for the explicit lattice: enumeration, Hasse structure, meet/join,
+// irreducibles (cover-degree vs the direct O(n|E|) extraction), Birkhoff
+// reconstruction, and path counting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lattice/irreducible.h"
+#include "lattice/lattice.h"
+#include "lattice/path_count.h"
+#include "poset/builder.h"
+#include "poset/generate.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+std::uint64_t binom(std::uint64_t n, std::uint64_t k) {
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+  return r;
+}
+
+TEST(Lattice, IndependentGridHasProductSize) {
+  // With no messages the lattice is the full grid of positions.
+  Computation c = generate_independent(3, 3);
+  Lattice lat = Lattice::build(c);
+  EXPECT_EQ(lat.size(), 4u * 4 * 4);
+  // Grid edge count: positions with one coordinate advanceable.
+  EXPECT_EQ(lat.num_edges(), 3u * 3 * 16);
+}
+
+TEST(Lattice, ChainComputationIsAChain) {
+  Computation c = generate_chain(3, 3);
+  Lattice lat = Lattice::build(c);
+  EXPECT_EQ(lat.size(), static_cast<std::size_t>(c.total_events() + 1));
+  for (NodeId v = 0; v < lat.size(); ++v)
+    EXPECT_LE(lat.successors(v).size(), 1u);
+}
+
+TEST(Lattice, EveryNodeConsistentAndEdgesAreCovers) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.seed = 5;
+  Computation c = generate_random(opt);
+  Lattice lat = Lattice::build(c);
+  for (NodeId v = 0; v < lat.size(); ++v) {
+    EXPECT_TRUE(c.is_consistent(lat.cut(v)));
+    for (NodeId s : lat.successors(v)) {
+      EXPECT_EQ(lat.cut(s).total(), lat.cut(v).total() + 1);
+      EXPECT_TRUE(lat.cut(v).subset_of(lat.cut(s)));
+      // Predecessor lists mirror successor lists.
+      auto preds = lat.predecessors(s);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), v), preds.end());
+    }
+  }
+  EXPECT_EQ(lat.cut(lat.bottom()), c.initial_cut());
+  EXPECT_EQ(lat.cut(lat.top()), c.final_cut());
+}
+
+TEST(Lattice, MeetJoinAgreeWithCutOps) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.seed = 7;
+  Computation c = generate_random(opt);
+  Lattice lat = Lattice::build(c);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    NodeId a = static_cast<NodeId>(rng.next_below(lat.size()));
+    NodeId b = static_cast<NodeId>(rng.next_below(lat.size()));
+    EXPECT_EQ(lat.cut(lat.meet(a, b)),
+              Cut::meet(lat.cut(a), lat.cut(b)));
+    EXPECT_EQ(lat.cut(lat.join(a, b)),
+              Cut::join(lat.cut(a), lat.cut(b)));
+  }
+}
+
+TEST(Lattice, TryBuildHonorsCap) {
+  Computation c = generate_independent(4, 4);  // 5^4 = 625 cuts
+  EXPECT_FALSE(Lattice::try_build(c, 100).has_value());
+  auto lat = Lattice::try_build(c, 1000);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(lat->size(), 625u);
+}
+
+TEST(Lattice, NodeOfRejectsInconsistentCut) {
+  ComputationBuilder b(2);
+  MsgId m = b.send(0, 1);
+  b.receive(1, m);
+  Computation c = std::move(b).build();
+  Lattice lat = Lattice::build(c);
+  EXPECT_EQ(lat.node_of(Cut({0, 1})), kNoNode);
+  EXPECT_NE(lat.node_of(Cut({1, 1})), kNoNode);
+}
+
+// ---- Irreducibles: the heart of Algorithm A2 -------------------------------
+
+class IrreducibleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrreducibleProperty, DirectExtractionMatchesCoverDegree) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.p_send = 0.3;
+  opt.seed = GetParam();
+  Computation c = generate_random(opt);
+  Lattice lat = Lattice::build(c);
+
+  // Cover-degree definition on the explicit lattice.
+  auto as_cut_set = [&](const std::vector<NodeId>& nodes) {
+    std::set<std::vector<std::int32_t>> s;
+    for (NodeId v : nodes) s.insert(lat.cut(v).raw());
+    return s;
+  };
+  auto as_raw_set = [&](const std::vector<Cut>& cuts) {
+    std::set<std::vector<std::int32_t>> s;
+    for (const Cut& g : cuts) s.insert(g.raw());
+    return s;
+  };
+
+  EXPECT_EQ(as_cut_set(meet_irreducibles(lat)),
+            as_raw_set(meet_irreducible_cuts(c)));
+  EXPECT_EQ(as_cut_set(join_irreducibles(lat)),
+            as_raw_set(join_irreducible_cuts(c)));
+
+  // |M(L)| == |E| (events and meet-irreducibles are in bijection).
+  EXPECT_EQ(meet_irreducible_cuts(c).size(),
+            static_cast<std::size_t>(c.total_events()));
+  EXPECT_EQ(as_raw_set(meet_irreducible_cuts(c)).size(),
+            static_cast<std::size_t>(c.total_events()));
+}
+
+TEST_P(IrreducibleProperty, BirkhoffReconstructionIsIdentity) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.seed = GetParam() + 1000;
+  Computation c = generate_random(opt);
+  Lattice lat = Lattice::build(c);
+  const Cut final = c.final_cut();
+  for (NodeId v = 0; v < lat.size(); ++v) {
+    const Cut& g = lat.cut(v);
+    // Corollary 4: g = meet of the meet-irreducibles above it (except the
+    // final cut, whose meet over the empty set is the top itself).
+    EXPECT_EQ(birkhoff_meet_reconstruction(c, g), g);
+    // Dually with join-irreducibles (except the initial cut).
+    EXPECT_EQ(birkhoff_join_reconstruction(c, g), g);
+    (void)final;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrreducibleProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ---- Path counting ----------------------------------------------------------
+
+TEST(PathCount, GridChainCountIsMultinomial) {
+  // 2 processes with a and b events: C(a+b, a) maximal chains.
+  Computation c = generate_independent(2, 4);
+  Lattice lat = Lattice::build(c);
+  bool fits = false;
+  EXPECT_EQ(count_maximal_chains(lat).to_u64(&fits), binom(8, 4));
+  EXPECT_TRUE(fits);
+}
+
+TEST(PathCount, ChainHasExactlyOnePath) {
+  Computation c = generate_chain(4, 2);
+  Lattice lat = Lattice::build(c);
+  EXPECT_EQ(count_maximal_chains(lat).to_string(), "1");
+}
+
+TEST(PathCount, ThreeProcGridMultinomial) {
+  Computation c = generate_independent(3, 2);
+  Lattice lat = Lattice::build(c);
+  // 6! / (2! 2! 2!) = 90.
+  bool fits = false;
+  EXPECT_EQ(count_maximal_chains(lat).to_u64(&fits), 90u);
+}
+
+TEST(PathCount, EuWitnessCountingRespectsPredicates) {
+  // 2x2 grid; p blocks the cut <2,0>; q holds at <2,1> only.
+  Computation c = generate_independent(2, 2);
+  Lattice lat = Lattice::build(c);
+  auto p_ok = [&](NodeId v) { return !(lat.cut(v) == Cut({2, 0})); };
+  auto q_ok = [&](NodeId v) { return lat.cut(v) == Cut({2, 1}); };
+  const NodeId target = lat.node_of(Cut({2, 1}));
+  BigUint at_target;
+  BigUint total = count_eu_witnesses(lat, p_ok, q_ok, target, &at_target);
+  // Paths to <2,1> avoiding <2,0> as an interior cut: sequences of R/U moves
+  // RRU, RUR, URR minus those passing through <2,0> interior (RRU) = 2.
+  EXPECT_EQ(total.to_string(), "2");
+  EXPECT_EQ(at_target.to_string(), "2");
+}
+
+}  // namespace
+}  // namespace hbct

@@ -1,0 +1,165 @@
+// Tests for computation slicing (regular predicates).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "detect/brute_force.h"
+#include "poset/generate.h"
+#include "predicate/channel.h"
+#include "predicate/conjunctive.h"
+#include "predicate/local.h"
+#include "slice/slicer.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+Computation comp(std::uint64_t seed) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.p_send = 0.35;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+class SliceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SliceProperty, MembershipMatchesDirectEvaluation) {
+  Computation c = comp(GetParam());
+  Rng rng(GetParam() * 97);
+  LatticeChecker chk(c);
+
+  std::vector<PredicatePtr> regs = {
+      make_conjunctive({var_cmp(0, "v0", Cmp::kLe, 4),
+                        var_cmp(1, "v1", Cmp::kGe, 1)}),
+      all_channels_empty(),
+      channel_bound_le(0, 1, 0),
+      make_conjunctive(
+          {var_cmp(static_cast<ProcId>(rng.next_below(3)), "v0", Cmp::kEq,
+                   rng.next_in(0, 5))}),
+  };
+  for (const auto& p : regs) {
+    Slice s = Slice::compute(c, p);
+    const auto labels = chk.label(*p);
+    for (NodeId v = 0; v < chk.lattice().size(); ++v) {
+      EXPECT_EQ(s.satisfies(chk.lattice().cut(v)), labels[v] != 0)
+          << p->describe() << " at " << chk.lattice().cut(v).to_string();
+    }
+  }
+}
+
+TEST_P(SliceProperty, LeastAndGreatestBracketSatisfyingSet) {
+  Computation c = comp(GetParam() + 40);
+  LatticeChecker chk(c);
+  auto p = make_conjunctive({var_cmp(0, "v0", Cmp::kLe, 4),
+                             var_cmp(2, "v1", Cmp::kLe, 4)});
+  Slice s = Slice::compute(c, p);
+  const auto labels = chk.label(*p);
+  bool any = false;
+  for (NodeId v = 0; v < chk.lattice().size(); ++v) {
+    if (!labels[v]) continue;
+    any = true;
+    ASSERT_FALSE(s.empty());
+    EXPECT_TRUE(s.least()->subset_of(chk.lattice().cut(v)));
+    EXPECT_TRUE(chk.lattice().cut(v).subset_of(*s.greatest()));
+  }
+  EXPECT_EQ(any, !s.empty());
+  if (!s.empty()) {
+    EXPECT_TRUE(p->eval(c, *s.least()));
+    EXPECT_TRUE(p->eval(c, *s.greatest()));
+  }
+}
+
+TEST_P(SliceProperty, ElementsAreSatisfyingAndJoinDense) {
+  Computation c = comp(GetParam() + 80);
+  LatticeChecker chk(c);
+  auto p = make_conjunctive({var_cmp(1, "v0", Cmp::kGe, 1)});
+  Slice s = Slice::compute(c, p);
+  if (s.empty()) return;
+  // Every slice element satisfies p; every satisfying cut is a join of
+  // slice elements below it.
+  for (const Cut& e : s.elements()) EXPECT_TRUE(p->eval(c, e));
+  const auto labels = chk.label(*p);
+  for (NodeId v = 0; v < chk.lattice().size(); ++v) {
+    if (!labels[v]) continue;
+    const Cut& g = chk.lattice().cut(v);
+    if (g.total() == 0) continue;
+    Cut acc(g.size());
+    for (const Cut& e : s.elements())
+      if (e.subset_of(g)) acc = Cut::join(acc, e);
+    EXPECT_EQ(acc, g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class SliceEnumeration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SliceEnumeration, MatchesBruteForceSatisfyingSet) {
+  Computation c = comp(GetParam() + 200);
+  LatticeChecker chk(c);
+  std::vector<PredicatePtr> regs = {
+      all_channels_empty(),
+      make_conjunctive({var_cmp(0, "v0", Cmp::kLe, 4),
+                        var_cmp(2, "v1", Cmp::kGe, 1)}),
+      channel_bound_le(0, 1, 1),
+  };
+  for (const auto& p : regs) {
+    Slice s = Slice::compute(c, p);
+    auto cuts = s.enumerate_satisfying();
+    ASSERT_TRUE(cuts.has_value());
+    // The enumeration equals the brute-force satisfying set exactly.
+    std::set<std::vector<std::int32_t>> got, expect;
+    for (const Cut& g : *cuts) got.insert(g.raw());
+    const auto labels = chk.label(*p);
+    for (NodeId v = 0; v < chk.lattice().size(); ++v)
+      if (labels[v]) expect.insert(chk.lattice().cut(v).raw());
+    EXPECT_EQ(got, expect) << p->describe();
+    // Ascending-cardinality order, no duplicates.
+    EXPECT_EQ(got.size(), cuts->size());
+    for (std::size_t i = 1; i < cuts->size(); ++i)
+      EXPECT_LE((*cuts)[i - 1].total(), (*cuts)[i].total());
+  }
+}
+
+TEST_P(SliceEnumeration, CapReturnsNullopt) {
+  Computation c = comp(GetParam() + 300);
+  auto p = make_conjunctive({var_cmp(0, "v0", Cmp::kGe, -10)});  // all cuts
+  Slice s = Slice::compute(c, p);
+  EXPECT_FALSE(s.enumerate_satisfying(3).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceEnumeration,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Slice, EmptySliceWhenUnsatisfiable) {
+  Computation c = comp(1);
+  auto p = make_conjunctive({var_cmp(0, "v0", Cmp::kGt, 100)});
+  Slice s = Slice::compute(c, p);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.satisfies(c.initial_cut()));
+  EXPECT_FALSE(s.satisfies(c.final_cut()));
+  EXPECT_TRUE(s.elements().empty());
+}
+
+TEST(Slice, InitialCutMembership) {
+  Computation c = comp(2);
+  auto p = make_conjunctive({var_cmp(0, "v0", Cmp::kGe, -100)});  // always
+  Slice s = Slice::compute(c, p);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(*s.least(), c.initial_cut());
+  EXPECT_TRUE(s.satisfies(c.initial_cut()));
+  EXPECT_EQ(*s.greatest(), c.final_cut());
+}
+
+TEST(Slice, StatsAreAccounted) {
+  Computation c = comp(3);
+  auto p = all_channels_empty();
+  Slice s = Slice::compute(c, p);
+  EXPECT_GT(s.stats().predicate_evals, 0u);
+}
+
+}  // namespace
+}  // namespace hbct

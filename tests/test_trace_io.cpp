@@ -1,0 +1,129 @@
+// Tests for the text trace format: round-trips and error reporting.
+#include <gtest/gtest.h>
+
+#include "poset/generate.h"
+#include "poset/trace_io.h"
+
+namespace hbct {
+namespace {
+
+TEST(TraceIo, RoundTripRandomComputations) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GenOptions opt;
+    opt.num_procs = 3 + static_cast<std::int32_t>(seed % 3);
+    opt.events_per_proc = 6;
+    opt.seed = seed;
+    Computation a = generate_random(opt);
+    const std::string text = trace_to_string(a);
+
+    TraceParseResult parsed = trace_from_string(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const Computation& b = parsed.computation;
+    b.validate();
+
+    ASSERT_EQ(a.num_procs(), b.num_procs());
+    ASSERT_EQ(a.total_events(), b.total_events());
+    ASSERT_EQ(a.num_messages(), b.num_messages());
+    // Same events, clocks, and variable timelines.
+    for (ProcId i = 0; i < a.num_procs(); ++i) {
+      ASSERT_EQ(a.num_events(i), b.num_events(i));
+      for (EventIndex k = 1; k <= a.num_events(i); ++k) {
+        EXPECT_EQ(a.vclock(i, k), b.vclock(i, k));
+        EXPECT_EQ(a.event(i, k).kind, b.event(i, k).kind);
+      }
+      for (VarId v = 0; v < a.num_vars(); ++v)
+        for (EventIndex k = 0; k <= a.num_events(i); ++k)
+          EXPECT_EQ(a.value_at(i, v, k),
+                    b.value_at(i, *b.var_id(a.var_name(v)), k));
+    }
+    // Idempotence: serializing the parse is byte-identical.
+    EXPECT_EQ(trace_to_string(b), text);
+  }
+}
+
+TEST(TraceIo, PreservesLabelsAndInitials) {
+  const std::string text =
+      "hbct-trace v1\n"
+      "procs 2\n"
+      "var x\n"
+      "init 0 x 5\n"
+      "ev 0 internal label=boot x=7\n"
+      "ev 0 send 1 0\n"
+      "ev 1 recv 0 x=9\n"
+      "end\n";
+  auto r = trace_from_string(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  const Computation& c = r.computation;
+  EXPECT_EQ(c.value_at(0, 0, 0), 5);
+  EXPECT_EQ(c.value_at(0, 0, 1), 7);
+  EXPECT_EQ(c.value_at(1, 0, 1), 9);
+  ASSERT_TRUE(c.find_label("boot").has_value());
+  EXPECT_EQ(trace_to_string(c), text);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "hbct-trace v1\n"
+      "# a comment\n"
+      "procs 1\n"
+      "\n"
+      "ev 0 internal   # trailing comment\n"
+      "end\n";
+  auto r = trace_from_string(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.computation.total_events(), 1);
+}
+
+struct BadTraceCase {
+  const char* name;
+  const char* text;
+  const char* expect_substr;
+};
+
+class TraceIoErrors : public ::testing::TestWithParam<BadTraceCase> {};
+
+TEST_P(TraceIoErrors, ReportsError) {
+  auto r = trace_from_string(GetParam().text);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find(GetParam().expect_substr), std::string::npos)
+      << "actual error: " << r.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TraceIoErrors,
+    ::testing::Values(
+        BadTraceCase{"no_header", "procs 2\nend\n", "header"},
+        BadTraceCase{"bad_procs", "hbct-trace v1\nprocs x\nend\n",
+                     "process count"},
+        BadTraceCase{"missing_end", "hbct-trace v1\nprocs 1\n", "end"},
+        BadTraceCase{"recv_before_send",
+                     "hbct-trace v1\nprocs 2\nev 1 recv 7\nend\n",
+                     "before matching send"},
+        BadTraceCase{"double_recv",
+                     "hbct-trace v1\nprocs 2\nev 0 send 1 3\nev 1 recv 3\n"
+                     "ev 1 recv 3\nend\n",
+                     "received twice"},
+        BadTraceCase{"wrong_dst",
+                     "hbct-trace v1\nprocs 3\nev 0 send 1 3\nev 2 recv 3\n"
+                     "end\n",
+                     "wrong process"},
+        BadTraceCase{"self_send",
+                     "hbct-trace v1\nprocs 2\nev 0 send 0 1\nend\n",
+                     "send"},
+        BadTraceCase{"bad_proc_index",
+                     "hbct-trace v1\nprocs 2\nev 5 internal\nend\n", "ev"},
+        BadTraceCase{"dup_msg_id",
+                     "hbct-trace v1\nprocs 3\nev 0 send 1 3\nev 0 send 2 3\n"
+                     "end\n",
+                     "duplicate"},
+        BadTraceCase{"garbage_record",
+                     "hbct-trace v1\nprocs 1\nfoo bar\nend\n", "unknown"},
+        BadTraceCase{"bad_assignment",
+                     "hbct-trace v1\nprocs 1\nev 0 internal x=abc\nend\n",
+                     "bad integer"}),
+    [](const ::testing::TestParamInfo<BadTraceCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hbct
