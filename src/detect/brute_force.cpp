@@ -1,6 +1,10 @@
 #include "detect/brute_force.h"
 
+#include <atomic>
+
+#include "detect/parallel.h"
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace hbct {
 
@@ -11,11 +15,19 @@ LatticeChecker::LatticeChecker(Lattice lattice) : lat_(std::move(lattice)) {}
 
 std::vector<char> LatticeChecker::label(const Predicate& p,
                                         DetectStats* st) const {
+  // The per-node evaluations are independent; the sweep fans out across the
+  // pool when asked to. The eval count is exact either way (every node is
+  // evaluated exactly once), so stats stay identical across parallelism.
   std::vector<char> out(lat_.size());
-  for (NodeId v = 0; v < lat_.size(); ++v) {
-    out[v] = p.eval(lat_.computation(), lat_.cut(v)) ? 1 : 0;
-    if (st) ++st->predicate_evals;
+  const auto eval_node = [&](std::size_t v) {
+    out[v] = p.eval(lat_.computation(), lat_.cut(static_cast<NodeId>(v))) ? 1 : 0;
+  };
+  if (parallelism_ == 1) {
+    for (std::size_t v = 0; v < lat_.size(); ++v) eval_node(v);
+  } else {
+    ThreadPool::shared().parallel_for(lat_.size(), eval_node, parallelism_);
   }
+  if (st) st->predicate_evals += lat_.size();
   return out;
 }
 
@@ -156,34 +168,62 @@ BruteClassCheck brute_check_classes(const LatticeChecker& chk,
                                     const Predicate& p) {
   const Lattice& lat = chk.lattice();
   const std::vector<char> lp = chk.label(p);
+  const std::size_t par = chk.parallelism();
 
   BruteClassCheck out;
   std::vector<NodeId> sat;
   for (NodeId v = 0; v < lat.size(); ++v)
     if (lp[v]) sat.push_back(v);
 
-  out.linear = true;
-  out.post_linear = true;
-  for (std::size_t a = 0; a < sat.size(); ++a) {
-    for (std::size_t b = a + 1; b < sat.size(); ++b) {
-      if (out.linear && !lp[lat.meet(sat[a], sat[b])]) out.linear = false;
-      if (out.post_linear && !lp[lat.join(sat[a], sat[b])])
-        out.post_linear = false;
-      if (!out.linear && !out.post_linear) break;
+  // The O(S^2) semilattice sweep fans out by row. The flags only ever move
+  // true -> false, and a row is skipped only once both are already false,
+  // so the outcome equals the sequential double loop for any schedule.
+  std::atomic<bool> linear{true}, post_linear{true};
+  const auto check_row = [&](std::size_t a) {
+    bool lin = linear.load(std::memory_order_relaxed);
+    bool post = post_linear.load(std::memory_order_relaxed);
+    for (std::size_t b = a + 1; b < sat.size() && (lin || post); ++b) {
+      if (lin && !lp[lat.meet(sat[a], sat[b])]) {
+        linear.store(false, std::memory_order_relaxed);
+        lin = false;
+      }
+      if (post && !lp[lat.join(sat[a], sat[b])]) {
+        post_linear.store(false, std::memory_order_relaxed);
+        post = false;
+      }
     }
-    if (!out.linear && !out.post_linear) break;
+  };
+  if (par == 1) {
+    for (std::size_t a = 0; a < sat.size(); ++a) {
+      if (!linear.load(std::memory_order_relaxed) &&
+          !post_linear.load(std::memory_order_relaxed))
+        break;
+      check_row(a);
+    }
+  } else if (!sat.empty()) {
+    ThreadPool::shared().parallel_for(sat.size(), check_row, par);
   }
+  out.linear = linear.load(std::memory_order_relaxed);
+  out.post_linear = post_linear.load(std::memory_order_relaxed);
   out.regular = out.linear && out.post_linear;
 
-  out.stable = true;
-  for (NodeId v = 0; v < lat.size() && out.stable; ++v) {
-    if (!lp[v]) continue;
-    for (NodeId s : lat.successors(v))
+  std::atomic<bool> stable{true};
+  const auto check_node = [&](std::size_t v) {
+    if (!lp[v]) return;
+    for (NodeId s : lat.successors(static_cast<NodeId>(v)))
       if (!lp[s]) {
-        out.stable = false;
-        break;
+        stable.store(false, std::memory_order_relaxed);
+        return;
       }
+  };
+  if (par == 1) {
+    for (std::size_t v = 0;
+         v < lat.size() && stable.load(std::memory_order_relaxed); ++v)
+      check_node(v);
+  } else {
+    ThreadPool::shared().parallel_for(lat.size(), check_node, par);
   }
+  out.stable = stable.load(std::memory_order_relaxed);
 
   out.observer_independent =
       chk.ef(lp)[lat.bottom()] == chk.af(lp)[lat.bottom()];

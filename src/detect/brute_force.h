@@ -24,6 +24,13 @@ class LatticeChecker {
 
   const Lattice& lattice() const { return lat_; }
 
+  /// Fan-out width for the per-node sweeps (label() and the class checks):
+  /// 1 = sequential (default), 0 = one per shared-pool worker. Labels,
+  /// verdicts and stats are identical for every value; the operator
+  /// labelings themselves stay sequential (they walk the topo order).
+  void set_parallelism(std::size_t p) { parallelism_ = p; }
+  std::size_t parallelism() const { return parallelism_; }
+
   /// Per-node truth labels of a state predicate.
   std::vector<char> label(const Predicate& p, DetectStats* st = nullptr) const;
 
@@ -44,6 +51,7 @@ class LatticeChecker {
 
  private:
   Lattice lat_;
+  std::size_t parallelism_ = 1;
 };
 
 /// Ground-truth membership of a predicate's satisfying set in the

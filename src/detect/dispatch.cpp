@@ -7,6 +7,7 @@
 #include "detect/disjunctive.h"
 #include "detect/ef_linear.h"
 #include "detect/eg_linear.h"
+#include "detect/parallel.h"
 #include "detect/until.h"
 #include "predicate/conjunctive.h"
 #include "predicate/disjunctive.h"
@@ -60,20 +61,26 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
 
   // Distributive laws before the exponential fallback: EF over top-level
   // disjunctions and AG over top-level conjunctions recurse into the
-  // operands, keeping e.g. DNF-of-comparisons polynomial.
+  // operands, keeping e.g. DNF-of-comparisons polynomial. The operand
+  // detections are independent, so they are the unit of parallelism;
+  // nested fan-outs stay sequential.
   if (op == Op::kEF) {
     const auto parts = p->disjuncts();
     if (!parts.empty()) {
       DetectResult r;
       r.algorithm = "ef-or-split";
-      for (const auto& part : parts) {
-        DetectResult sub = detect_unary(c, Op::kEF, part, opt);
-        r.stats += sub.stats;
-        if (sub.holds) {
-          r.holds = true;
-          r.witness_cut = std::move(sub.witness_cut);
-          break;
-        }
+      DispatchOptions sub_opt = opt;
+      sub_opt.parallelism = 1;
+      FirstMatch m = detect_first_match(
+          opt.parallelism, parts.size(),
+          [&](std::size_t i) {
+            return detect_unary(c, Op::kEF, parts[i], sub_opt);
+          },
+          [](const DetectResult& sub) { return sub.holds; }, r.stats);
+      if (m.found()) {
+        r.holds = true;
+        r.witness_cut = std::move(m.result.witness_cut);
+        r.witness_path = std::move(m.result.witness_path);
       }
       return r;
     }
@@ -83,16 +90,16 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
     if (!parts.empty()) {
       DetectResult r;
       r.algorithm = "ag-and-split";
-      r.holds = true;
-      for (const auto& part : parts) {
-        DetectResult sub = detect_unary(c, Op::kAG, part, opt);
-        r.stats += sub.stats;
-        if (!sub.holds) {
-          r.holds = false;
-          r.witness_cut = std::move(sub.witness_cut);
-          break;
-        }
-      }
+      DispatchOptions sub_opt = opt;
+      sub_opt.parallelism = 1;
+      FirstMatch m = detect_first_match(
+          opt.parallelism, parts.size(),
+          [&](std::size_t i) {
+            return detect_unary(c, Op::kAG, parts[i], sub_opt);
+          },
+          [](const DetectResult& sub) { return !sub.holds; }, r.stats);
+      r.holds = !m.found();
+      if (m.found()) r.witness_cut = std::move(m.result.witness_cut);
       return r;
     }
   }
@@ -119,7 +126,7 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
   if (op == Op::kEU) {
     const auto conj = as_conjunctive(p);
     if (conj && (effective_classes(*q, c) & kClassLinear))
-      return detect_eu(c, *conj, *q);
+      return detect_eu(c, *conj, *q, opt.parallelism);
     // Distribute over a disjunctive second operand:
     // E[p U (q1 ∨ q2)] = E[p U q1] ∨ E[p U q2].
     if (conj) {
@@ -130,15 +137,14 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
           })) {
         DetectResult r;
         r.algorithm = "eu-or-split(A3)";
-        for (const auto& part : parts) {
-          DetectResult sub = detect_eu(c, *conj, *part);
-          r.stats += sub.stats;
-          if (sub.holds) {
-            r.holds = true;
-            r.witness_cut = std::move(sub.witness_cut);
-            r.witness_path = std::move(sub.witness_path);
-            break;
-          }
+        FirstMatch m = detect_first_match(
+            opt.parallelism, parts.size(),
+            [&](std::size_t i) { return detect_eu(c, *conj, *parts[i]); },
+            [](const DetectResult& sub) { return sub.holds; }, r.stats);
+        if (m.found()) {
+          r.holds = true;
+          r.witness_cut = std::move(m.result.witness_cut);
+          r.witness_path = std::move(m.result.witness_path);
         }
         return r;
       }
@@ -151,7 +157,7 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
 
   const auto dp = as_disjunctive(p);
   const auto dq = as_disjunctive(q);
-  if (dp && dq) return detect_au_disjunctive(c, *dp, *dq);
+  if (dp && dq) return detect_au_disjunctive(c, *dp, *dq, opt.parallelism);
   HBCT_ASSERT_MSG(opt.allow_exponential,
                   "A[p U q] needs p, q disjunctive for the polynomial "
                   "algorithm");

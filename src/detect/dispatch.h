@@ -17,6 +17,13 @@ struct DispatchOptions {
   /// When false, detection aborts (assertion) instead of falling back to a
   /// worst-case-exponential search — useful in latency-bound monitors.
   bool allow_exponential = true;
+  /// Number of branches evaluated concurrently in the independent fan-outs
+  /// (the or-/and-splits, A3's frontier sweep, AU's two refuters). 1 =
+  /// sequential (default); 0 = one branch per shared-pool worker. The
+  /// verdict, witnesses and operation counts are identical for every value:
+  /// fan-outs resolve to the lowest-index winning branch — never the first
+  /// finisher — and speculative work past the winner is discarded.
+  std::size_t parallelism = 1;
 };
 
 /// Detects `op`(p) — or `op`(p, q) for kEU/kAU — on the computation.

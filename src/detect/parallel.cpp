@@ -1,0 +1,77 @@
+#include "detect/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace hbct {
+
+std::size_t resolve_parallelism(std::size_t parallelism) {
+  return parallelism != 0 ? parallelism : ThreadPool::shared().size();
+}
+
+FirstMatch detect_first_match(
+    std::size_t parallelism, std::size_t count,
+    const std::function<DetectResult(std::size_t)>& eval,
+    const std::function<bool(const DetectResult&)>& hit, DetectStats& stats) {
+  FirstMatch out;
+  if (count == 0) return out;
+  std::size_t par = parallelism == 1 ? 1 : resolve_parallelism(parallelism);
+  par = std::min(par, count);
+  if (par <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      DetectResult r = eval(i);
+      stats += r.stats;
+      if (hit(r)) {
+        out.index = i;
+        out.result = std::move(r);
+        break;
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::optional<DetectResult>> results(count);
+  std::atomic<std::size_t> winner{FirstMatch::npos};
+  CancelToken cancel;
+  ThreadPool::shared().parallel_for(
+      count,
+      [&](std::size_t i) {
+        // A hit at an index no greater than i supersedes this branch.
+        if (i >= winner.load(std::memory_order_acquire)) return;
+        DetectResult r = eval(i);
+        if (hit(r)) {
+          std::size_t cur = winner.load(std::memory_order_acquire);
+          while (i < cur && !winner.compare_exchange_weak(
+                                cur, i, std::memory_order_acq_rel))
+            ;
+          // Branch 0 winning cannot be superseded: stop claiming work.
+          if (i == 0) cancel.cancel();
+        }
+        results[i] = std::move(r);
+      },
+      par, /*chunk=*/1, &cancel);
+
+  // Merge what the sequential early-exit loop would have accounted:
+  // branches 0..winner, everything when nothing hit. No branch below the
+  // winner can have been skipped — skipping requires a hit at an index no
+  // greater than the skipped one, which would itself be a lower winner.
+  const std::size_t win = winner.load(std::memory_order_acquire);
+  const std::size_t merged_end = win == FirstMatch::npos ? count : win + 1;
+  for (std::size_t i = 0; i < merged_end; ++i) {
+    HBCT_ASSERT_MSG(results[i].has_value(),
+                    "branch at or below the winner was skipped");
+    stats += results[i]->stats;
+  }
+  if (win != FirstMatch::npos) {
+    out.index = win;
+    out.result = std::move(*results[win]);
+  }
+  return out;
+}
+
+}  // namespace hbct

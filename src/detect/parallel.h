@@ -1,0 +1,47 @@
+// Deterministic parallel fan-out for the detection algorithms.
+//
+// Every independent fan-out in the detection stack — the dispatcher's
+// or-/and-splits, A3's per-frontier-event EG sweep, AU's two refuters — has
+// the same shape: evaluate N independent branches and commit to the LOWEST-
+// indexed branch that "hits", accounting exactly the work a sequential
+// early-exit loop would have done. detect_first_match runs that shape either
+// inline (parallelism <= 1) or on ThreadPool::shared(), with identical
+// results either way: the winner is selected by index, not by finish order,
+// and only the stats of branches the sequential loop would have evaluated
+// (0..winner, or all of them when nothing hits) are merged. Work done
+// speculatively past the winner is discarded, so DetectResult — verdict,
+// witnesses, *and* operation counts — is bit-identical across parallelism
+// levels. Each branch fills its own DetectStats and the merge happens at
+// join, so no counter is ever shared between threads.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "detect/detector.h"
+
+namespace hbct {
+
+/// Resolves a parallelism knob: 0 means one branch per shared-pool worker
+/// (hardware concurrency, floor 4), any other value is taken literally.
+std::size_t resolve_parallelism(std::size_t parallelism);
+
+/// Outcome of a first-match fan-out: the lowest hitting branch, or none.
+struct FirstMatch {
+  static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+  std::size_t index = npos;
+  DetectResult result;  // the winning branch's result; valid iff found()
+  bool found() const { return index != npos; }
+};
+
+/// Evaluates eval(i) for i in [0, count) looking for the lowest index whose
+/// result satisfies `hit`, sequentially (parallelism <= 1, early exit at the
+/// winner) or concurrently on the shared pool. `eval` must be thread-safe
+/// for parallelism != 1. Branch stats are merged into `stats` exactly as the
+/// sequential loop would: branches 0..winner inclusive, all when no hit.
+FirstMatch detect_first_match(
+    std::size_t parallelism, std::size_t count,
+    const std::function<DetectResult(std::size_t)>& eval,
+    const std::function<bool(const DetectResult&)>& hit, DetectStats& stats);
+
+}  // namespace hbct

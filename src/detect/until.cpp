@@ -4,16 +4,13 @@
 
 #include "detect/conjunctive_gw.h"
 #include "detect/ef_linear.h"
+#include "detect/parallel.h"
 #include "util/assert.h"
 
 namespace hbct {
 
-namespace {
-std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
-}  // namespace
-
 DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
-                          const Cut& iq) {
+                          const Cut& iq, std::size_t parallelism) {
   DetectResult r;
   r.algorithm = "A3-eu (given I_q)";
   HBCT_ASSERT_MSG(c.is_consistent(iq), "I_q must be a consistent cut");
@@ -28,26 +25,31 @@ DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
   }
 
   // Step 2 of A3: EG(p) in some sub-computation E' = I_q \ {e},
-  // e in frontier(I_q).
-  for (ProcId i : c.frontier_procs(iq)) {
-    const Cut sub = c.retreat(iq, i);
-    Computation prefix = c.prefix(sub);
-    DetectResult eg = detect_eg_conjunctive(prefix, p);
-    r.stats += eg.stats;
-    ++r.stats.cut_steps;
-    if (eg.holds) {
-      r.holds = true;
-      r.witness_path = std::move(eg.witness_path);
-      r.witness_path.push_back(iq);
-      r.witness_cut = iq;
-      return r;
-    }
+  // e in frontier(I_q). The sub-computations are independent, so the sweep
+  // fans out across the pool, committing to the lowest frontier index that
+  // succeeds.
+  const std::vector<ProcId> frontier = c.frontier_procs(iq);
+  FirstMatch m = detect_first_match(
+      parallelism, frontier.size(),
+      [&](std::size_t k) {
+        const Cut sub = c.retreat(iq, frontier[k]);
+        Computation prefix = c.prefix(sub);
+        DetectResult eg = detect_eg_conjunctive(prefix, p);
+        ++eg.stats.cut_steps;  // the retreat that formed this sub-computation
+        return eg;
+      },
+      [](const DetectResult& eg) { return eg.holds; }, r.stats);
+  if (m.found()) {
+    r.holds = true;
+    r.witness_path = std::move(m.result.witness_path);
+    r.witness_path.push_back(iq);
+    r.witness_cut = iq;
   }
   return r;
 }
 
 DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
-                       const Predicate& q) {
+                       const Predicate& q, std::size_t parallelism) {
   DetectResult r;
   r.algorithm = "A3-eu";
   CountingEval evq(q, c, r.stats);
@@ -65,7 +67,7 @@ DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
   auto iq = least_satisfying_cut(c, q, r.stats);
   if (!iq) return r;
 
-  DetectResult inner = detect_eu_at(c, p, *iq);
+  DetectResult inner = detect_eu_at(c, p, *iq, parallelism);
   inner.algorithm = "A3-eu";
   inner.stats += r.stats;
   return inner;
@@ -73,35 +75,35 @@ DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
 
 DetectResult detect_au_disjunctive(const Computation& c,
                                    const DisjunctivePredicate& p,
-                                   const DisjunctivePredicate& q) {
+                                   const DisjunctivePredicate& q,
+                                   std::size_t parallelism) {
   DetectResult r;
   r.algorithm = "au-disjunctive = !(eg(!q) | eu(!q, !p & !q))";
 
   auto notq = as_conjunctive(q.negate());
   HBCT_ASSERT(notq);
 
-  // EG(¬q): a path on which q never holds refutes A[p U q].
-  DetectResult eg = detect_eg_conjunctive(c, *notq);
-  r.stats += eg.stats;
-  if (eg.holds) {
-    r.holds = false;
-    r.witness_path = std::move(eg.witness_path);  // counterexample path
-    return r;
-  }
-
-  // E[¬q U (¬p ∧ ¬q)]: a path reaching a cut where neither p nor q holds,
-  // with q false all the way, also refutes A[p U q]. ¬p ∧ ¬q is a
+  // The two refuters are independent; run them as a (tiny) fan-out.
+  // Branch 0 — EG(¬q): a path on which q never holds refutes A[p U q].
+  // Branch 1 — E[¬q U (¬p ∧ ¬q)]: a path reaching a cut where neither p nor
+  // q holds, with q false all the way, also refutes A[p U q]. ¬p ∧ ¬q is a
   // conjunction of two conjunctive predicates — conjunctive, hence linear.
-  auto notp = as_conjunctive(p.negate());
-  HBCT_ASSERT(notp);
-  std::vector<LocalPredicatePtr> merged = notp->locals();
-  merged.insert(merged.end(), notq->locals().begin(), notq->locals().end());
-  auto notp_and_notq = make_conjunctive(std::move(merged));
+  FirstMatch m = detect_first_match(
+      parallelism, 2,
+      [&](std::size_t k) {
+        if (k == 0) return detect_eg_conjunctive(c, *notq);
+        auto notp = as_conjunctive(p.negate());
+        HBCT_ASSERT(notp);
+        std::vector<LocalPredicatePtr> merged = notp->locals();
+        merged.insert(merged.end(), notq->locals().begin(),
+                      notq->locals().end());
+        auto notp_and_notq = make_conjunctive(std::move(merged));
+        return detect_eu(c, *notq, *notp_and_notq);
+      },
+      [](const DetectResult& sub) { return sub.holds; }, r.stats);
 
-  DetectResult eu = detect_eu(c, *notq, *notp_and_notq);
-  r.stats += eu.stats;
-  r.holds = !eu.holds;
-  if (eu.holds) r.witness_path = std::move(eu.witness_path);  // counterexample
+  r.holds = !m.found();
+  if (m.found()) r.witness_path = std::move(m.result.witness_path);
   return r;
 }
 

@@ -17,7 +17,7 @@ OnlineAppender::OnlineAppender(std::int32_t num_procs) {
   c_.values_.resize(n);
   c_.sends_to_.assign(n, std::vector<std::vector<std::int32_t>>(n));
   c_.recvs_from_.assign(n, std::vector<std::vector<std::int32_t>>(n));
-  c_.rvclocks_dirty_ = true;
+  c_.rvcache_.dirty.store(true, std::memory_order_release);
 }
 
 VarId OnlineAppender::var(std::string_view name) {
@@ -79,7 +79,7 @@ EventId OnlineAppender::append(ProcId i, Event ev, const VClock* extra) {
   const EventId id{i, static_cast<EventIndex>(list.size())};
   c_.linearization_.push_back(id);
   ++c_.total_events_;
-  c_.rvclocks_dirty_ = true;
+  c_.rvcache_.dirty.store(true, std::memory_order_release);
   return id;
 }
 

@@ -1,6 +1,7 @@
 #include "poset/computation.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/assert.h"
 
@@ -23,8 +24,15 @@ const VClock& Computation::vclock(ProcId i, EventIndex idx) const {
 
 const VClock& Computation::reverse_vclock(ProcId i, EventIndex idx) const {
   HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
-  if (rvclocks_dirty_) compute_rvclocks();
-  return rvclocks_[sz(i)][sz(idx - 1)];
+  if (rvcache_.dirty.load(std::memory_order_acquire)) {
+    // Double-checked: concurrent readers (parallel detection branches) may
+    // race to refresh after an online append. The mutex is global — refresh
+    // is rare and the fast path above stays lock-free.
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lk(mu);
+    if (rvcache_.dirty.load(std::memory_order_relaxed)) compute_rvclocks();
+  }
+  return rvcache_.clocks[sz(i)][sz(idx - 1)];
 }
 
 bool Computation::happened_before(EventId e, EventId f) const {
@@ -285,9 +293,9 @@ void Computation::compute_rvclocks() const {
   // Reverse vector clocks: process the linearization backwards; a send
   // merges the reverse clock of its matching receive.
   const std::size_t n = procs_.size();
-  rvclocks_.assign(n, {});
+  rvcache_.clocks.assign(n, {});
   for (std::size_t i = 0; i < n; ++i)
-    rvclocks_[i].assign(procs_[i].size(), VClock{});
+    rvcache_.clocks[i].assign(procs_[i].size(), VClock{});
   std::unordered_map<MsgId, VClock> recv_rclock;
   for (auto it = linearization_.rbegin(); it != linearization_.rend(); ++it) {
     const EventId& eid = *it;
@@ -295,7 +303,7 @@ void Computation::compute_rvclocks() const {
     // rvc(e)[j] counts events f on j with e <= f; start from the successor
     // on the same process (if any).
     VClock rvc = eid.index < num_events(eid.proc)
-                     ? rvclocks_[sz(eid.proc)][sz(eid.index)]
+                     ? rvcache_.clocks[sz(eid.proc)][sz(eid.index)]
                      : VClock(n);
     if (ev.kind == EventKind::kSend) {
       auto rit = recv_rclock.find(ev.msg);
@@ -303,11 +311,11 @@ void Computation::compute_rvclocks() const {
       // An unmatched send (receive outside this computation) merges nothing.
     }
     rvc[sz(eid.proc)] = num_events(eid.proc) - eid.index + 1;
-    rvclocks_[sz(eid.proc)][sz(eid.index - 1)] = rvc;
+    rvcache_.clocks[sz(eid.proc)][sz(eid.index - 1)] = rvc;
     if (ev.kind == EventKind::kReceive)
-      recv_rclock.emplace(ev.msg, rvclocks_[sz(eid.proc)][sz(eid.index - 1)]);
+      recv_rclock.emplace(ev.msg, rvcache_.clocks[sz(eid.proc)][sz(eid.index - 1)]);
   }
-  rvclocks_dirty_ = false;
+  rvcache_.dirty.store(false, std::memory_order_release);
 }
 
 void Computation::validate() const {

@@ -9,6 +9,7 @@
 // used in the paper's complexity claims.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -145,10 +146,38 @@ class Computation {
   void finalize();            // computes clocks and tables (builder path)
   void compute_rvclocks() const;  // (re)derives the reverse clocks
 
+  /// Reverse-clock cache: recomputed lazily after OnlineAppender
+  /// invalidates it, with double-checked locking so the parallel detection
+  /// fan-outs can share one Computation race-free. The wrapper restores the
+  /// copy/move semantics std::atomic deletes, keeping Computation a value
+  /// type.
+  struct RvClockCache {
+    std::vector<std::vector<VClock>> clocks;
+    std::atomic<bool> dirty{true};
+
+    RvClockCache() = default;
+    RvClockCache(const RvClockCache& o)
+        : clocks(o.clocks), dirty(o.dirty.load(std::memory_order_acquire)) {}
+    RvClockCache(RvClockCache&& o) noexcept
+        : clocks(std::move(o.clocks)),
+          dirty(o.dirty.load(std::memory_order_acquire)) {}
+    RvClockCache& operator=(const RvClockCache& o) {
+      clocks = o.clocks;
+      dirty.store(o.dirty.load(std::memory_order_acquire),
+                  std::memory_order_release);
+      return *this;
+    }
+    RvClockCache& operator=(RvClockCache&& o) noexcept {
+      clocks = std::move(o.clocks);
+      dirty.store(o.dirty.load(std::memory_order_acquire),
+                  std::memory_order_release);
+      return *this;
+    }
+  };
+
   std::vector<std::vector<Event>> procs_;
   std::vector<std::vector<VClock>> vclocks_;
-  mutable std::vector<std::vector<VClock>> rvclocks_;
-  mutable bool rvclocks_dirty_ = true;
+  mutable RvClockCache rvcache_;
   std::vector<EventId> linearization_;
 
   std::vector<std::string> var_names_;

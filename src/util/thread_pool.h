@@ -1,19 +1,36 @@
 // Minimal work-stealing-free thread pool used to parallelize embarrassingly
 // parallel sweeps: the brute-force lattice checker over seeds in property
-// tests, and per-instance fan-out in benches. The pool follows the usual
-// HPC idiom of explicit parallelism (cf. MPI/OpenMP programming model): the
-// caller decides the decomposition; the pool only runs closures.
+// tests, per-instance fan-out in benches, and the detection stack's branch
+// fan-outs (detect/parallel.h). The pool follows the usual HPC idiom of
+// explicit parallelism (cf. MPI/OpenMP programming model): the caller decides
+// the decomposition; the pool only runs closures.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace hbct {
+
+/// Cooperative cancellation for parallel_for: iterations poll the token and
+/// stop being claimed once it is cancelled. Cancellation is advisory — an
+/// iteration already running completes normally.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 class ThreadPool {
  public:
@@ -24,19 +41,47 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task for asynchronous execution.
+  /// Enqueue a task for asynchronous execution. A throwing task does not
+  /// kill its worker: the first exception is captured and rethrown by the
+  /// next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. This is a *global* wait
+  /// over all submit() callers — two threads waiting concurrently block on
+  /// each other's tasks. parallel_for does not have this restriction: it
+  /// waits only on its own batch. Rethrows the first exception thrown by a
+  /// submitted task since the previous wait_idle().
   void wait_idle();
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Run fn(i) for i in [0, count) across the pool and wait. If the pool has
-  /// a single worker the calls are executed inline (deterministic order).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  /// Run fn(i) for i in [0, count) across the pool plus the calling thread,
+  /// then wait for this call's own batch only (concurrent parallel_for
+  /// callers do not block on each other's work). Iterations are claimed in
+  /// contiguous chunks off a shared atomic cursor, so per-iteration cost far
+  /// below the cost of a queue operation does not thrash the queue mutex.
+  /// The first exception thrown by fn cancels the remaining chunks and is
+  /// rethrown here once the batch drains.
+  ///
+  /// `max_parallelism` caps the number of participating threads (0 = all
+  /// workers + caller). `chunk` fixes the claim granularity (0 = automatic).
+  /// `cancel`, when given, is polled before every iteration; once cancelled
+  /// no further iteration starts. If the pool has a single worker, or
+  /// max_parallelism <= 1, the calls execute inline in index order.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t max_parallelism = 0, std::size_t chunk = 0,
+                    CancelToken* cancel = nullptr);
+
+  /// Process-wide pool shared by the parallel detection paths. Sized
+  /// max(4, hardware_concurrency) so those paths exercise real concurrency
+  /// even on single-core CI boxes (the branches are compute-short and the
+  /// oversubscription is harmless).
+  static ThreadPool& shared();
 
  private:
+  struct Batch;
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -46,6 +91,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr submit_error_;
 };
 
 }  // namespace hbct

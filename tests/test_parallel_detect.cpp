@@ -1,0 +1,213 @@
+// Sequential-vs-parallel equivalence: DispatchOptions::parallelism must not
+// change any observable output — verdict, chosen algorithm, witness cut,
+// witness path, or operation counts. The parallel fan-outs resolve to the
+// lowest-index winning branch and merge exactly the stats the sequential
+// early-exit loop would have accumulated, so equality here is exact, not
+// merely semantic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "detect/brute_force.h"
+#include "detect/dispatch.h"
+#include "detect/until.h"
+#include "poset/generate.h"
+#include "predicate/channel.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "predicate/relational.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+Computation random_comp(std::uint64_t seed, std::int32_t procs = 3,
+                        std::int32_t events = 4) {
+  GenOptions opt;
+  opt.num_procs = procs;
+  opt.events_per_proc = events;
+  opt.num_vars = 2;
+  opt.p_send = 0.3;
+  opt.p_recv = 0.35;
+  opt.value_lo = 0;
+  opt.value_hi = 5;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+LocalPredicatePtr random_local(Rng& rng, std::int32_t procs) {
+  const ProcId p = static_cast<ProcId>(rng.next_below(procs));
+  const char* var = rng.next_bool() ? "v0" : "v1";
+  const Cmp op = static_cast<Cmp>(rng.next_below(6));
+  const std::int64_t k = rng.next_in(0, 5);
+  return var_cmp(p, var, op, k);
+}
+
+ConjunctivePredicatePtr random_conjunctive(Rng& rng, std::int32_t procs) {
+  std::vector<LocalPredicatePtr> ls;
+  const std::size_t m = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < m; ++i) ls.push_back(random_local(rng, procs));
+  return make_conjunctive(std::move(ls));
+}
+
+DisjunctivePredicatePtr random_disjunctive(Rng& rng, std::int32_t procs) {
+  std::vector<LocalPredicatePtr> ls;
+  const std::size_t m = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < m; ++i) ls.push_back(random_local(rng, procs));
+  return make_disjunctive(std::move(ls));
+}
+
+PredicatePtr random_linear(Rng& rng, std::int32_t procs) {
+  switch (rng.next_below(4)) {
+    case 0:
+      return random_conjunctive(rng, procs);
+    case 1:
+      return channel_bound_le(static_cast<ProcId>(rng.next_below(procs)),
+                              static_cast<ProcId>(rng.next_below(procs)),
+                              static_cast<std::int32_t>(rng.next_below(2)));
+    case 2:
+      return all_channels_empty();
+    default:
+      return make_and(PredicatePtr(random_conjunctive(rng, procs)),
+                      all_channels_empty());
+  }
+}
+
+/// Or-of-conjunctives: routes through the dispatcher's ef-or-split (and the
+/// eu-or-split when used as an until target).
+PredicatePtr random_dnf(Rng& rng, std::int32_t procs) {
+  std::vector<PredicatePtr> ds;
+  const std::size_t m = 2 + rng.next_below(3);
+  for (std::size_t i = 0; i < m; ++i)
+    ds.push_back(PredicatePtr(random_conjunctive(rng, procs)));
+  return make_or(std::move(ds));
+}
+
+/// And-of-disjunctives: routes through the dispatcher's ag-and-split.
+PredicatePtr random_cnf(Rng& rng, std::int32_t procs) {
+  std::vector<PredicatePtr> cs;
+  const std::size_t m = 2 + rng.next_below(3);
+  for (std::size_t i = 0; i < m; ++i)
+    cs.push_back(PredicatePtr(random_disjunctive(rng, procs)));
+  return make_and(std::move(cs));
+}
+
+void expect_identical(const DetectResult& seq, const DetectResult& par,
+                      const std::string& what) {
+  EXPECT_EQ(seq.holds, par.holds) << what;
+  EXPECT_EQ(seq.algorithm, par.algorithm) << what;
+  EXPECT_EQ(seq.witness_cut, par.witness_cut) << what;
+  EXPECT_EQ(seq.witness_path, par.witness_path) << what;
+  EXPECT_EQ(seq.stats.predicate_evals, par.stats.predicate_evals) << what;
+  EXPECT_EQ(seq.stats.cut_steps, par.stats.cut_steps) << what;
+  EXPECT_EQ(seq.stats.lattice_nodes, par.stats.lattice_nodes) << what;
+  EXPECT_EQ(seq.stats.lattice_edges, par.stats.lattice_edges) << what;
+}
+
+/// Runs detect() at parallelism 1, 4, and 0 (= pool width) and demands
+/// bit-identical results.
+void check_all_widths(const Computation& c, Op op, const PredicatePtr& p,
+                      const PredicatePtr& q = nullptr) {
+  DispatchOptions seq_opt;
+  seq_opt.parallelism = 1;
+  const DetectResult seq = detect(c, op, p, q, seq_opt);
+  for (std::size_t par : {std::size_t{4}, std::size_t{0}}) {
+    DispatchOptions par_opt;
+    par_opt.parallelism = par;
+    const DetectResult r = detect(c, op, p, q, par_opt);
+    expect_identical(seq, r,
+                     std::string(to_string(op)) + " " + p->describe() +
+                         (q ? " U " + q->describe() : std::string()) +
+                         " @ par=" + std::to_string(par));
+  }
+}
+
+class ParallelDetect : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelDetect, OrSplitAllOperators) {
+  Rng rng(GetParam() * 101 + 7);
+  Computation c = random_comp(GetParam() + 900);
+  for (int round = 0; round < 3; ++round) {
+    PredicatePtr dnf = random_dnf(rng, c.num_procs());
+    for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG})
+      check_all_widths(c, op, dnf);
+  }
+}
+
+TEST_P(ParallelDetect, AndSplitAllOperators) {
+  Rng rng(GetParam() * 103 + 11);
+  Computation c = random_comp(GetParam() + 950);
+  for (int round = 0; round < 3; ++round) {
+    PredicatePtr cnf = random_cnf(rng, c.num_procs());
+    for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG})
+      check_all_widths(c, op, cnf);
+  }
+}
+
+TEST_P(ParallelDetect, UntilA3FrontierSweep) {
+  Rng rng(GetParam() * 107 + 13);
+  Computation c = random_comp(GetParam() + 1000);
+  for (int round = 0; round < 3; ++round) {
+    PredicatePtr p = PredicatePtr(random_conjunctive(rng, c.num_procs()));
+    PredicatePtr q = random_linear(rng, c.num_procs());
+    check_all_widths(c, Op::kEU, p, q);
+  }
+}
+
+TEST_P(ParallelDetect, UntilOrSplitTarget) {
+  Rng rng(GetParam() * 109 + 17);
+  Computation c = random_comp(GetParam() + 1050);
+  for (int round = 0; round < 2; ++round) {
+    PredicatePtr p = PredicatePtr(random_conjunctive(rng, c.num_procs()));
+    PredicatePtr q = random_dnf(rng, c.num_procs());
+    check_all_widths(c, Op::kEU, p, q);
+  }
+}
+
+TEST_P(ParallelDetect, AuTwoRefuters) {
+  Rng rng(GetParam() * 113 + 19);
+  Computation c = random_comp(GetParam() + 1100);
+  for (int round = 0; round < 3; ++round) {
+    PredicatePtr p = PredicatePtr(random_disjunctive(rng, c.num_procs()));
+    PredicatePtr q = PredicatePtr(random_disjunctive(rng, c.num_procs()));
+    check_all_widths(c, Op::kAU, p, q);
+  }
+}
+
+TEST_P(ParallelDetect, SingleClassPredicatesUnaffected) {
+  // Non-split paths must also be invariant under the knob (it is simply
+  // never consulted), covering the dispatcher pass-throughs.
+  Rng rng(GetParam() * 127 + 23);
+  Computation c = random_comp(GetParam() + 1150);
+  PredicatePtr p = PredicatePtr(random_conjunctive(rng, c.num_procs()));
+  for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG})
+    check_all_widths(c, op, p);
+}
+
+TEST_P(ParallelDetect, LatticeCheckerLabelAndClasses) {
+  Rng rng(GetParam() * 131 + 29);
+  Computation c = random_comp(GetParam() + 1200);
+  LatticeChecker seq(c), par(c);
+  par.set_parallelism(4);
+  for (int round = 0; round < 3; ++round) {
+    PredicatePtr p = rng.next_bool()
+                         ? PredicatePtr(random_conjunctive(rng, c.num_procs()))
+                         : PredicatePtr(random_disjunctive(rng, c.num_procs()));
+    DetectStats st_seq, st_par;
+    EXPECT_EQ(seq.label(*p, &st_seq), par.label(*p, &st_par)) << p->describe();
+    EXPECT_EQ(st_seq.predicate_evals, st_par.predicate_evals);
+    const BruteClassCheck a = brute_check_classes(seq, *p);
+    const BruteClassCheck b = brute_check_classes(par, *p);
+    EXPECT_EQ(a.linear, b.linear) << p->describe();
+    EXPECT_EQ(a.post_linear, b.post_linear) << p->describe();
+    EXPECT_EQ(a.regular, b.regular) << p->describe();
+    EXPECT_EQ(a.stable, b.stable) << p->describe();
+    EXPECT_EQ(a.observer_independent, b.observer_independent) << p->describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDetect,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace hbct
