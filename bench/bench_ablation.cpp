@@ -41,7 +41,7 @@ void BM_a1_greedy(benchmark::State& state) {
   DetectResult last;
   for (auto _ : state) last = detect_eg_linear(c, *p);
   state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
-  state.SetLabel(last.holds ? "true" : "false");
+  state.SetLabel(last.holds() ? "true" : "false");
 }
 BENCHMARK(BM_a1_greedy)->Arg(128)->Arg(1024);
 
@@ -52,7 +52,7 @@ void BM_a1_randomized(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) last = detect_eg_linear_randomized(c, *p, seed++);
   state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
-  state.SetLabel(last.holds ? "true" : "false");
+  state.SetLabel(last.holds() ? "true" : "false");
 }
 BENCHMARK(BM_a1_randomized)->Arg(128)->Arg(1024);
 
@@ -116,7 +116,7 @@ void BM_eu_a3(benchmark::State& state) {
   DetectResult last;
   for (auto _ : state) last = detect_eu(c, *p, *q);
   state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
-  state.SetLabel(last.holds ? "true" : "false");
+  state.SetLabel(last.holds() ? "true" : "false");
 }
 BENCHMARK(BM_eu_a3)->Arg(8)->Arg(16)->Arg(32);
 
@@ -130,7 +130,7 @@ void BM_eu_dfs(benchmark::State& state) {
   DetectResult last;
   for (auto _ : state) last = detect_eu_dfs(c, *p, *q);
   state.counters["evals"] = static_cast<double>(last.stats.predicate_evals);
-  state.SetLabel(last.holds ? "true" : "false");
+  state.SetLabel(last.holds() ? "true" : "false");
 }
 BENCHMARK(BM_eu_dfs)->Arg(8)->Arg(16)->Arg(32);
 

@@ -37,7 +37,7 @@ void report(benchmark::State& state, const DetectResult& r,
             std::int64_t total_events) {
   state.counters["evals"] = static_cast<double>(r.stats.predicate_evals);
   state.counters["E"] = static_cast<double>(total_events);
-  state.SetLabel(r.algorithm + (r.holds ? " -> true" : " -> false"));
+  state.SetLabel(r.algorithm + (r.holds() ? " -> true" : " -> false"));
 }
 
 // ---- |E| sweep at n = 6 ------------------------------------------------------

@@ -33,7 +33,7 @@ void BM_eg_oi_unsat(benchmark::State& state) {
   DetectResult last;
   for (auto _ : state) last = detect_eg_dfs(r.computation, *r.predicate);
   state.counters["cut_steps"] = static_cast<double>(last.stats.cut_steps);
-  state.SetLabel(last.holds ? "SAT (bug!)" : "UNSAT");
+  state.SetLabel(last.holds() ? "SAT (bug!)" : "UNSAT");
 }
 BENCHMARK(BM_eg_oi_unsat)->DenseRange(4, 16, 2);
 
@@ -43,7 +43,7 @@ void BM_ag_oi_tautology(benchmark::State& state) {
   DetectResult last;
   for (auto _ : state) last = detect_ag_dfs(r.computation, *r.predicate);
   state.counters["cut_steps"] = static_cast<double>(last.stats.cut_steps);
-  state.SetLabel(last.holds ? "tautology" : "refutable (bug!)");
+  state.SetLabel(last.holds() ? "tautology" : "refutable (bug!)");
 }
 BENCHMARK(BM_ag_oi_tautology)->DenseRange(4, 16, 2);
 
@@ -56,7 +56,7 @@ void BM_eg_oi_random3sat(benchmark::State& state) {
   DetectResult last;
   for (auto _ : state) last = detect_eg_dfs(r.computation, *r.predicate);
   state.counters["cut_steps"] = static_cast<double>(last.stats.cut_steps);
-  state.SetLabel(last.holds ? "SAT" : "UNSAT");
+  state.SetLabel(last.holds() ? "SAT" : "UNSAT");
 }
 BENCHMARK(BM_eg_oi_random3sat)->DenseRange(4, 14, 2);
 

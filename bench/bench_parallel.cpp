@@ -46,7 +46,7 @@ const Computation& lattice_workload() {
 void report(benchmark::State& state, const DetectResult& r) {
   state.counters["evals"] = static_cast<double>(r.stats.predicate_evals);
   state.counters["steps"] = static_cast<double>(r.stats.cut_steps);
-  state.SetLabel(r.algorithm + (r.holds ? " -> true" : " -> false"));
+  state.SetLabel(r.algorithm + (r.holds() ? " -> true" : " -> false"));
 }
 
 /// Wide DNF whose disjuncts each force a full conjunctive scan: the

@@ -41,7 +41,7 @@ void run_query(const Computation& c, const std::string& text) {
     std::printf("error: %s\n", r.error.c_str());
     return;
   }
-  std::printf("%s  [%s, %llu evals]\n", r.result.holds ? "TRUE" : "FALSE",
+  std::printf("%s  [%s, %llu evals]\n", r.result.holds() ? "TRUE" : "FALSE",
               r.algorithm.c_str(),
               static_cast<unsigned long long>(r.result.stats.predicate_evals));
   if (r.result.witness_cut)

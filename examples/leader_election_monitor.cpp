@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     agree.push_back(var_cmp(i, "leader", Cmp::kEq, n));
   DetectResult af = detect(c, Op::kAF, make_conjunctive(agree));
   std::printf("AF(all leader == %d): %s  [%s, %llu evals]\n", n,
-              af.holds ? "holds" : "FAILS", af.algorithm.c_str(),
+              af.holds() ? "holds" : "FAILS", af.algorithm.c_str(),
               static_cast<unsigned long long>(af.stats.predicate_evals));
 
   // Sanity invariant: a process believes 0 (unknown) or n (the max uid).
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   for (ProcId i = 0; i < n && invariant; ++i) {
     auto sane = make_or(PredicatePtr(var_cmp(i, "leader", Cmp::kEq, 0)),
                         PredicatePtr(var_cmp(i, "leader", Cmp::kEq, n)));
-    invariant = detect(c, Op::kAG, sane).holds;
+    invariant = detect(c, Op::kAG, sane).holds();
   }
   std::printf("AG(leader in {0, %d}) on every process: %s\n", n,
               invariant ? "holds" : "FAILS");
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     for (ProcId j = i + 1; j < n && unique; ++j) {
       auto two = make_conjunctive({var_cmp(i, "elected", Cmp::kEq, 1),
                                    var_cmp(j, "elected", Cmp::kEq, 1)});
-      unique = !detect(c, Op::kEF, two).holds;
+      unique = !detect(c, Op::kEF, two).holds();
     }
   std::printf("no two self-declared leaders ever: %s\n",
               unique ? "holds" : "FAILS");
@@ -61,6 +61,6 @@ int main(int argc, char** argv) {
   auto r = ctl::evaluate_query(
       c, strfmt("EF(elected@P%d == 1)", n - 1));
   std::printf("%s -> %s\n", strfmt("EF(elected@P%d == 1)", n - 1).c_str(),
-              r.ok && r.result.holds ? "true" : "false");
+              r.ok && r.result.holds() ? "true" : "false");
   return 0;
 }

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
   DetectResult eg = detect_eg_dfs(r.computation, *r.predicate);
   std::printf("EG(P) search: %s after exploring %llu cut transitions\n",
-              eg.holds ? "satisfiable" : "unsatisfiable",
+              eg.holds() ? "satisfiable" : "unsatisfiable",
               static_cast<unsigned long long>(eg.stats.cut_steps));
 
   DpllStats ds;
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
               model ? "satisfiable" : "unsatisfiable",
               static_cast<unsigned long long>(ds.decisions),
               static_cast<unsigned long long>(ds.propagations));
-  if (eg.holds != model.has_value()) {
+  if (eg.holds() != model.has_value()) {
     std::printf("REDUCTION MISMATCH — this is a bug\n");
     return 1;
   }
@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
   DetectResult ag = detect_ag_dfs(rt.computation, *rt.predicate);
   const bool taut = dnf_tautology(g);
   std::printf("\nrandom 2-DNF: AG(P) says %s, DPLL says %s — %s\n",
-              ag.holds ? "tautology" : "refutable",
+              ag.holds() ? "tautology" : "refutable",
               taut ? "tautology" : "refutable",
-              ag.holds == taut ? "agree" : "MISMATCH");
-  return ag.holds == taut ? 0 : 1;
+              ag.holds() == taut ? "agree" : "MISMATCH");
+  return ag.holds() == taut ? 0 : 1;
 }

@@ -51,7 +51,7 @@ int check(const Computation& c, const char* query) {
     return 2;
   }
   std::printf("%-50s  %-5s  [%s, %llu evals]\n", query,
-              r.result.holds ? "TRUE" : "FALSE", r.algorithm.c_str(),
+              r.result.holds() ? "TRUE" : "FALSE", r.algorithm.c_str(),
               static_cast<unsigned long long>(r.result.stats.predicate_evals));
   if (r.result.witness_cut)
     std::printf("  witness cut: %s\n",
@@ -64,7 +64,7 @@ int check(const Computation& c, const char* query) {
     if (show < r.result.witness_path.size()) std::printf(" ...");
     std::printf("\n");
   }
-  return r.result.holds ? 0 : 1;
+  return r.result.holds() ? 0 : 1;
 }
 
 }  // namespace

@@ -316,12 +316,12 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
   // Outside the paper's fragment (nested temporal operators, or boolean
   // structure over temporal subformulas): evaluate on the explicit lattice.
   if (!q.temporal && q.root && contains_temporal(q.root)) {
-    auto lat = Lattice::try_build(c, opt.limits.max_states);
+    auto lat = Lattice::try_build(c, opt.budget.max_states);
     if (!lat) {
       out.error = strfmt(
           "nested temporal formula needs the explicit lattice, which "
           "exceeds %zu cuts on this computation",
-          opt.limits.max_states);
+          opt.budget.max_states);
       return out;
     }
     LatticeChecker chk(std::move(*lat));
@@ -330,7 +330,7 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
     st.lattice_edges = chk.lattice().num_edges();
     const auto labels = eval_node_on_lattice(chk, q.root, st);
     out.ok = true;
-    out.result.holds = labels[chk.lattice().bottom()] != 0;
+    out.result.verdict = verdict_of(labels[chk.lattice().bottom()] != 0);
     out.result.algorithm = "lattice-nested-ctl";
     out.result.stats = st;
     out.algorithm = out.result.algorithm;
@@ -345,7 +345,7 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
   if (!q.temporal) {
     out.ok = true;
     out.result.algorithm = "state-eval(initial)";
-    out.result.holds = p.pred->eval(c, c.initial_cut());
+    out.result.verdict = verdict_of(p.pred->eval(c, c.initial_cut()));
     ++out.result.stats.predicate_evals;
     out.algorithm = out.result.algorithm;
     return out;

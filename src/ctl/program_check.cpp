@@ -25,7 +25,9 @@ ProgramCheckResult check_program(
     }
     ++out.runs;
     out.stats += r.result.stats;
-    if (!r.result.holds) {
+    if (r.result.verdict == Verdict::kUnknown) {
+      out.unknown_seeds.push_back(seed);
+    } else if (r.result.verdict == Verdict::kFails) {
       out.holds = false;
       out.failing_seeds.push_back(seed);
     }

@@ -20,12 +20,16 @@
 namespace hbct::ctl {
 
 struct ProgramCheckResult {
-  /// True when every run satisfied the query.
+  /// True when every run satisfied the query. A run whose detection was cut
+  /// short by the budget (kUnknown) does NOT refute the query, but is
+  /// reported in unknown_seeds so the caller can retry with a larger budget.
   bool holds = true;
   /// Runs executed (== seeds.size() unless a query error aborted early).
   std::size_t runs = 0;
   /// Seeds whose computation refuted the query.
   std::vector<std::uint64_t> failing_seeds;
+  /// Seeds whose detection exhausted its budget before reaching a verdict.
+  std::vector<std::uint64_t> unknown_seeds;
   /// Parse/validation error, if any (empty otherwise; holds is then false).
   std::string error;
   /// Aggregated detection work across all runs.

@@ -2,14 +2,18 @@
 
 namespace hbct {
 
-DetectResult detect_ag_linear(const Computation& c, const Predicate& p) {
+DetectResult detect_ag_linear(const Computation& c, const Predicate& p,
+                              const Budget& budget) {
   DetectResult r;
   r.algorithm = "A2-ag-linear";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
 
   // Step 1: V = M(L) ∪ {E}.
+  if (!t.ok()) return mark_bounded(r, t);
   const Cut final = c.final_cut();
   if (!eval(final)) {
+    if (t.exceeded()) return mark_bounded(r, t);
     r.witness_cut = final;
     return r;
   }
@@ -18,22 +22,28 @@ DetectResult detect_ag_linear(const Computation& c, const Predicate& p) {
       Cut m = c.meet_irreducible_of(i, k);
       ++r.stats.cut_steps;
       if (!eval(m)) {  // Step 2
+        if (t.exceeded()) return mark_bounded(r, t);
         r.witness_cut = std::move(m);
         return r;
       }
     }
   }
-  r.holds = true;
+  r.verdict = Verdict::kHolds;
   return r;
 }
 
-DetectResult detect_ag_post_linear(const Computation& c, const Predicate& p) {
+DetectResult detect_ag_post_linear(const Computation& c,
+                                   const Predicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "A2-ag-post-linear";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
 
+  if (!t.ok()) return mark_bounded(r, t);
   const Cut initial = c.initial_cut();
   if (!eval(initial)) {
+    if (t.exceeded()) return mark_bounded(r, t);
     r.witness_cut = initial;
     return r;
   }
@@ -42,12 +52,13 @@ DetectResult detect_ag_post_linear(const Computation& c, const Predicate& p) {
       Cut j = c.join_irreducible_of(i, k);
       ++r.stats.cut_steps;
       if (!eval(j)) {
+        if (t.exceeded()) return mark_bounded(r, t);
         r.witness_cut = std::move(j);
         return r;
       }
     }
   }
-  r.holds = true;
+  r.verdict = Verdict::kHolds;
   return r;
 }
 

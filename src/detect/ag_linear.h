@@ -17,9 +17,12 @@
 namespace hbct {
 
 /// AG(p) for linear p. On failure witness_cut is a violating cut.
-DetectResult detect_ag_linear(const Computation& c, const Predicate& p);
+DetectResult detect_ag_linear(const Computation& c, const Predicate& p,
+                              const Budget& budget = {});
 
 /// AG(p) for post-linear p (join-irreducibles + initial cut).
-DetectResult detect_ag_post_linear(const Computation& c, const Predicate& p);
+DetectResult detect_ag_post_linear(const Computation& c,
+                                   const Predicate& p,
+                                   const Budget& budget = {});
 
 }  // namespace hbct

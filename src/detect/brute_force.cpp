@@ -140,12 +140,23 @@ std::vector<char> LatticeChecker::au(const std::vector<char>& p,
 }
 
 DetectResult LatticeChecker::detect(Op op, const Predicate& p,
-                                    const Predicate* q) const {
+                                    const Predicate* q,
+                                    const Budget& budget) const {
   DetectResult r;
   r.algorithm = "lattice-brute-force";
   r.stats.lattice_nodes = lat_.size();
   r.stats.lattice_edges = lat_.num_edges();
+  // Bounds are probed at sweep boundaries only: the per-node sweeps may fan
+  // out across the pool, and a mid-sweep trip point would depend on the
+  // schedule. Boundary checks keep Verdict/BoundReason parallelism-invariant.
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
+  if (lat_.size() > t.budget().max_states) {
+    t.trip(BoundReason::kStateCap);
+    return mark_bounded(r, t);
+  }
   const std::vector<char> lp = label(p, &r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
   std::vector<char> res;
   switch (op) {
     case Op::kEF: res = ef(lp); break;
@@ -156,11 +167,14 @@ DetectResult LatticeChecker::detect(Op op, const Predicate& p,
     case Op::kAU: {
       HBCT_ASSERT_MSG(q != nullptr, "EU/AU require a second predicate");
       const std::vector<char> lq = label(*q, &r.stats);
+      if (!t.ok()) return mark_bounded(r, t);
       res = op == Op::kEU ? eu(lp, lq) : au(lp, lq);
       break;
     }
   }
-  r.holds = res[lat_.bottom()] != 0;
+  // The answer is fully established at this point; like a found witness, it
+  // stays definite even if a deadline expires between here and the return.
+  r.verdict = verdict_of(res[lat_.bottom()] != 0);
   return r;
 }
 

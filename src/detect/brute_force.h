@@ -46,8 +46,12 @@ class LatticeChecker {
 
   /// Verdict at the initial cut; the DetectResult records the lattice size
   /// in stats.lattice_nodes/edges. `q` is required for kEU/kAU.
-  DetectResult detect(Op op, const Predicate& p,
-                      const Predicate* q = nullptr) const;
+  /// The budget is probed at deterministic sweep boundaries (before work
+  /// starts, after each labeling pass), so Verdict and BoundReason do not
+  /// depend on the parallelism of the per-node sweeps. A lattice larger
+  /// than budget.max_states yields kUnknown/kStateCap up front.
+  DetectResult detect(Op op, const Predicate& p, const Predicate* q = nullptr,
+                      const Budget& budget = {}) const;
 
  private:
   Lattice lat_;

@@ -1,0 +1,46 @@
+#include "detect/budget.h"
+
+#include "detect/detector.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kHolds: return "holds";
+    case Verdict::kFails: return "fails";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+const char* to_string(BoundReason r) {
+  switch (r) {
+    case BoundReason::kNone: return "none";
+    case BoundReason::kStateCap: return "state-cap";
+    case BoundReason::kStepBudget: return "step-budget";
+    case BoundReason::kDeadline: return "deadline";
+    case BoundReason::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool DetectResult::holds() const {
+  HBCT_ASSERT_MSG(verdict != Verdict::kUnknown,
+                  "DetectResult::holds() read on an indefinite verdict; "
+                  "check definite() or inspect verdict/bound instead");
+  return verdict == Verdict::kHolds;
+}
+
+DetectResult& mark_bounded(DetectResult& r, BoundReason why) {
+  HBCT_DASSERT(why != BoundReason::kNone);
+  r.verdict = Verdict::kUnknown;
+  r.bound = why;
+  return r;
+}
+
+DetectResult& mark_bounded(DetectResult& r, const BudgetTracker& t) {
+  return mark_bounded(r, t.reason());
+}
+
+}  // namespace hbct

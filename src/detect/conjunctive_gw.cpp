@@ -9,14 +9,19 @@ std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
 }  // namespace
 
 DetectResult detect_ef_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p) {
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "gw-weak-conjunctive";
+  BudgetTracker t(budget, r.stats);
   const std::int32_t n = c.num_procs();
+  if (!t.ok()) return mark_bounded(r, t);
 
   // first_true[i](x) = least position >= x where conjunct i holds, or -1.
+  // -2 reports a tripped budget mid-scan.
   auto first_true = [&](ProcId i, EventIndex from) -> EventIndex {
     for (EventIndex pos = from; pos <= c.num_events(i); ++pos) {
+      if (!t.ok()) return -2;
       ++r.stats.predicate_evals;
       if (p.eval_local(c, i, pos)) return pos;
     }
@@ -26,6 +31,7 @@ DetectResult detect_ef_conjunctive(const Computation& c,
   Cut cand(sz(n));
   for (ProcId i = 0; i < n; ++i) {
     const EventIndex pos = first_true(i, 0);
+    if (pos == -2) return mark_bounded(r, t);
     if (pos < 0) return r;  // conjunct i never holds
     cand[sz(i)] = pos;
   }
@@ -43,6 +49,7 @@ DetectResult detect_ef_conjunctive(const Computation& c,
       for (ProcId j = 0; j < n; ++j) {
         if (j == i || vc[sz(j)] <= cand[sz(j)]) continue;
         const EventIndex pos = first_true(j, vc[sz(j)]);
+        if (pos == -2) return mark_bounded(r, t);
         if (pos < 0) return r;  // no consistent position remains for j
         ++r.stats.cut_steps;
         cand[sz(j)] = pos;
@@ -52,7 +59,7 @@ DetectResult detect_ef_conjunctive(const Computation& c,
     }
   }
   HBCT_DASSERT(c.is_consistent(cand));
-  r.holds = true;
+  r.verdict = Verdict::kHolds;
   r.witness_cut = std::move(cand);
   return r;
 }
@@ -60,14 +67,18 @@ DetectResult detect_ef_conjunctive(const Computation& c,
 namespace {
 
 /// Shared scan: finds a violating (process, position) or reports all-true.
-/// Every local evaluation is counted in st.
+/// Every local evaluation is counted in st. Returns nullopt with the
+/// tracker tripped when the budget ran out mid-scan (callers must check
+/// before treating nullopt as "all positions true").
 std::optional<std::pair<ProcId, EventIndex>> find_false_position(
-    const Computation& c, const ConjunctivePredicate& p, DetectStats& st) {
+    const Computation& c, const ConjunctivePredicate& p, DetectStats& st,
+    BudgetTracker& t) {
   for (const auto& local : p.locals()) {
     const ProcId i = local->proc();
     HBCT_ASSERT_MSG(i < c.num_procs(),
                     "conjunct references a process outside the computation");
     for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+      if (!t.ok()) return std::nullopt;
       ++st.predicate_evals;
       if (!local->eval_local(c, pos)) return std::make_pair(i, pos);
     }
@@ -78,11 +89,15 @@ std::optional<std::pair<ProcId, EventIndex>> find_false_position(
 }  // namespace
 
 DetectResult detect_eg_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p) {
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "eg-conjunctive-scan";
-  if (find_false_position(c, p, r.stats)) return r;
-  r.holds = true;
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
+  if (find_false_position(c, p, r.stats, t)) return r;
+  if (t.exceeded()) return mark_bounded(r, t);
+  r.verdict = Verdict::kHolds;
   // Any maximal cut sequence is a witness; use the canonical linearization.
   Cut g = c.initial_cut();
   r.witness_path.push_back(g);
@@ -94,22 +109,27 @@ DetectResult detect_eg_conjunctive(const Computation& c,
 }
 
 DetectResult detect_ag_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p) {
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "ag-conjunctive-scan";
-  if (auto bad = find_false_position(c, p, r.stats)) {
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
+  if (auto bad = find_false_position(c, p, r.stats, t)) {
     // A consistent cut exhibiting the violation: the least cut placing the
     // process at the bad position (J(e) for pos >= 1, initial cut else).
     auto [i, pos] = *bad;
     r.witness_cut = pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);
     return r;
   }
-  r.holds = true;
+  if (t.exceeded()) return mark_bounded(r, t);
+  r.verdict = Verdict::kHolds;
   return r;
 }
 
 DetectResult detect_af_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p) {
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget) {
   // Garg–Waldecker strong conjunctive detection, reformulated as the search
   // for an *unavoidable box*: one true-interval X_i = [a_i, b_i] per process
   // such that for every ordered pair (i, j) entering X_j is forced before
@@ -125,7 +145,9 @@ DetectResult detect_af_conjunctive(const Computation& c,
   // so advance process i's candidate. O(n^2 * #intervals) clock tests.
   DetectResult r;
   r.algorithm = "gw-strong-conjunctive";
+  BudgetTracker t(budget, r.stats);
   const std::int32_t n = c.num_procs();
+  if (!t.ok()) return mark_bounded(r, t);
 
   struct Iv {
     EventIndex a, b;
@@ -140,10 +162,11 @@ DetectResult detect_af_conjunctive(const Computation& c,
     }
     EventIndex run = -1;
     for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+      if (!t.ok()) return mark_bounded(r, t);
       ++r.stats.predicate_evals;
-      const bool t = local->eval_local(c, pos);
-      if (t && run < 0) run = pos;
-      if (!t && run >= 0) {
+      const bool tr = local->eval_local(c, pos);
+      if (tr && run < 0) run = pos;
+      if (!tr && run >= 0) {
         ivs[static_cast<std::size_t>(i)].push_back(Iv{run, pos - 1});
         run = -1;
       }
@@ -167,6 +190,7 @@ DetectResult detect_af_conjunctive(const Computation& c,
   };
 
   for (;;) {
+    if (!t.ok()) return mark_bounded(r, t);
     ProcId bad = -1;
     for (ProcId i = 0; i < n && bad < 0; ++i)
       for (ProcId j = 0; j < n; ++j) {
@@ -177,7 +201,7 @@ DetectResult detect_af_conjunctive(const Computation& c,
         }
       }
     if (bad < 0) {
-      r.holds = true;  // unavoidable box found
+      r.verdict = Verdict::kHolds;  // unavoidable box found
       return r;
     }
     ++r.stats.cut_steps;

@@ -24,20 +24,24 @@ namespace hbct {
 /// EF(p): least cut where every conjunct holds; Garg–Waldecker weak
 /// conjunctive detection. witness_cut = the least satisfying cut.
 DetectResult detect_ef_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p);
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 /// EG(p) for conjunctive p: all-local-positions scan; witness_path is the
 /// canonical linearization when it holds.
 DetectResult detect_eg_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p);
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 /// AG(p) for conjunctive p: same scan; witness_cut = J(e) of a violating
 /// local position when it fails.
 DetectResult detect_ag_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p);
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 /// AF(p) — definitely: p — via the unavoidable-box search (GW96).
 DetectResult detect_af_conjunctive(const Computation& c,
-                                   const ConjunctivePredicate& p);
+                                   const ConjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 }  // namespace hbct

@@ -32,7 +32,7 @@ std::vector<EventId> schedule_from_path(const Computation& c,
 std::vector<EventId> control_schedule(const Computation& c,
                                       const Predicate& p) {
   DetectResult r = detect_eg_linear(c, p);
-  if (!r.holds) return {};
+  if (r.verdict != Verdict::kHolds) return {};
   return schedule_from_path(c, r.witness_path);
 }
 

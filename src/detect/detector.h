@@ -1,15 +1,17 @@
 // Common result types for the detection algorithms.
 //
-// Every detector returns a DetectResult: the verdict, which algorithm ran,
-// operation counts (see util/stats.h) and — where the algorithm naturally
-// produces one — a witness: a satisfying cut for EF, a path of cuts for
-// EG/EU, a violating cut for failed AG.
+// Every detector returns a DetectResult: a three-valued verdict (budgeted
+// detections may come back kUnknown, see detect/budget.h), which algorithm
+// ran, operation counts (see util/stats.h) and — where the algorithm
+// naturally produces one — a witness: a satisfying cut for EF, a path of
+// cuts for EG/EU, a violating cut for failed AG.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "detect/budget.h"
 #include "poset/computation.h"
 #include "poset/cut.h"
 #include "predicate/predicate.h"
@@ -23,26 +25,51 @@ enum class Op { kEF, kAF, kEG, kAG, kEU, kAU };
 const char* to_string(Op op);
 
 struct DetectResult {
-  bool holds = false;
+  /// The three-valued verdict. kUnknown only ever appears together with a
+  /// BoundReason in `bound`, and never contradicts the unbudgeted verdict.
+  Verdict verdict = Verdict::kFails;
+  /// The bound that stopped the detection when verdict == kUnknown; kNone
+  /// for definite verdicts.
+  BoundReason bound = BoundReason::kNone;
   /// Name of the algorithm that produced the verdict ("A1", "chase-garg",
   /// "brute-eg", ...).
   std::string algorithm;
   DetectStats stats;
-  /// EF/A3: the (least) satisfying cut. AG: a violating cut when !holds.
+  /// EF/A3: the (least) satisfying cut. AG: a violating cut when kFails.
+  /// Under a budget, any best-effort witness found before the bound hit.
   std::optional<Cut> witness_cut;
   /// EG/EU: a sequence of cuts from the initial cut witnessing the verdict
-  /// (empty when not applicable or !holds).
+  /// (empty when not applicable or not kHolds).
   std::vector<Cut> witness_path;
+
+  bool definite() const { return verdict != Verdict::kUnknown; }
+  /// Deprecated two-valued accessor; defined only for definite verdicts
+  /// (asserts on kUnknown). Prefer inspecting `verdict` directly.
+  bool holds() const;
 };
 
+/// Sets verdict = kUnknown with the given reason (must not be kNone).
+DetectResult& mark_bounded(DetectResult& r, BoundReason why);
+DetectResult& mark_bounded(DetectResult& r, const BudgetTracker& t);
+
 /// Predicate evaluation with op counting; all detectors evaluate through
-/// this helper so stats are comparable across algorithms.
+/// this helper so stats are comparable across algorithms. An optional
+/// BudgetTracker turns every evaluation into a budget checkpoint: once the
+/// tracker has tripped, evaluation is refused (returns false without
+/// calling the predicate). Detectors must therefore consult the tracker
+/// before concluding anything definite from a false evaluation.
 class CountingEval {
  public:
-  CountingEval(const Predicate& p, const Computation& c, DetectStats& st)
-      : p_(p), c_(c), st_(st) {}
+  CountingEval(const Predicate& p, const Computation& c, DetectStats& st,
+               BudgetTracker* budget = nullptr)
+      : p_(p),
+        c_(c),
+        st_(st),
+        budget_(budget != nullptr && budget->polls_evals() ? budget
+                                                           : nullptr) {}
 
   bool operator()(const Cut& g) const {
+    if (budget_ != nullptr && !budget_->ok()) return false;
     ++st_.predicate_evals;
     return p_.eval(c_, g);
   }
@@ -51,6 +78,7 @@ class CountingEval {
   const Predicate& p_;
   const Computation& c_;
   DetectStats& st_;
+  BudgetTracker* budget_;
 };
 
 }  // namespace hbct

@@ -10,16 +10,20 @@
 namespace hbct {
 
 DetectResult detect_ef_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p) {
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "ef-disjunctive-scan";
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
   for (const auto& local : p.locals()) {
     const ProcId i = local->proc();
     if (i >= c.num_procs()) continue;
     for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+      if (!t.ok()) return mark_bounded(r, t);
       ++r.stats.predicate_evals;
       if (local->eval_local(c, pos)) {
-        r.holds = true;
+        r.verdict = Verdict::kHolds;
         r.witness_cut =
             pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);
         return r;
@@ -30,35 +34,41 @@ DetectResult detect_ef_disjunctive(const Computation& c,
 }
 
 DetectResult detect_af_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p) {
-  DetectResult r = detect_ef_disjunctive(c, p);
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget) {
+  DetectResult r = detect_ef_disjunctive(c, p, budget);
   r.algorithm = "af-disjunctive = ef (observer-independent)";
   return r;
 }
 
 DetectResult detect_eg_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p) {
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget) {
   // EG(q) = ¬AF(¬q): some path keeps q true everywhere iff the negated
   // conjunctive predicate does not *definitely* hold (Garg–Waldecker
   // unavoidable-box search, see detect_af_conjunctive).
   auto notp = as_conjunctive(p.negate());
   HBCT_ASSERT(notp);
-  DetectResult inner = detect_af_conjunctive(c, *notp);
+  DetectResult inner = detect_af_conjunctive(c, *notp, budget);
   DetectResult r;
   r.algorithm = "eg-disjunctive = !af-conjunctive(!p)";
   r.stats = inner.stats;
-  r.holds = !inner.holds;
+  r.verdict = negate(inner.verdict);
+  r.bound = inner.bound;
   return r;
 }
 
 DetectResult detect_ag_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p) {
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget) {
   auto notp = as_conjunctive(p.negate());
   HBCT_ASSERT(notp);
   DetectResult r;
   r.algorithm = "ag-disjunctive = !ef-conjunctive(!p)";
-  auto bad = least_satisfying_cut(c, *notp, r.stats);
-  r.holds = !bad.has_value();
+  BudgetTracker t(budget, r.stats);
+  auto bad = least_satisfying_cut(c, *notp, r.stats, nullptr, &t);
+  if (t.exceeded()) return mark_bounded(r, t);
+  r.verdict = verdict_of(!bad.has_value());
   if (bad) r.witness_cut = std::move(*bad);
   return r;
 }

@@ -22,19 +22,23 @@ namespace hbct {
 /// EF(p) for disjunctive p. witness_cut = least cut J(e) making a disjunct
 /// true (or the initial cut).
 DetectResult detect_ef_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p);
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 /// AF(p) ⟺ EF(p) (observer independence).
 DetectResult detect_af_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p);
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 /// EG(p) via the true-interval chain fixpoint. Polynomial in the number of
 /// true-intervals (≤ |E| + n).
 DetectResult detect_eg_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p);
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 /// AG(p) = ¬EF(¬p) via Chase–Garg on the conjunctive negation.
 DetectResult detect_ag_disjunctive(const Computation& c,
-                                   const DisjunctivePredicate& p);
+                                   const DisjunctivePredicate& p,
+                                   const Budget& budget = {});
 
 }  // namespace hbct

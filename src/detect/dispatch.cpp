@@ -17,43 +17,56 @@ namespace hbct {
 
 namespace {
 
+/// The polynomial route is refused (allow_exponential = false): report the
+/// refused exploration as an indefinite verdict rather than asserting.
+DetectResult refuse_exponential(const char* algorithm) {
+  DetectResult r;
+  r.algorithm = algorithm;
+  r.verdict = Verdict::kUnknown;
+  r.bound = BoundReason::kStateCap;
+  return r;
+}
+
 DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
                           const DispatchOptions& opt) {
   const ClassSet cls = effective_classes(*p, c);
   const auto conj = as_conjunctive(p);
   const auto disj = as_disjunctive(p);
 
-  if (cls & kClassStable) return detect_stable(c, *p, op);
+  if (cls & kClassStable) return detect_stable(c, *p, op, opt.budget);
 
   switch (op) {
     case Op::kEF:
-      if (disj) return detect_ef_disjunctive(c, *disj);
-      if (conj) return detect_ef_conjunctive(c, *conj);
-      if (cls & kClassLinear) return detect_ef_linear(c, *p);
-      if (cls & kClassPostLinear) return detect_ef_post_linear(c, *p);
+      if (disj) return detect_ef_disjunctive(c, *disj, opt.budget);
+      if (conj) return detect_ef_conjunctive(c, *conj, opt.budget);
+      if (cls & kClassLinear) return detect_ef_linear(c, *p, opt.budget);
+      if (cls & kClassPostLinear)
+        return detect_ef_post_linear(c, *p, opt.budget);
       if (cls & kClassObserverIndependent)
-        return detect_ef_observer_independent(c, *p);
+        return detect_ef_observer_independent(c, *p, opt.budget);
       break;
     case Op::kAF:
-      if (disj) return detect_af_disjunctive(c, *disj);
-      if (conj) return detect_af_conjunctive(c, *conj);
+      if (disj) return detect_af_disjunctive(c, *disj, opt.budget);
+      if (conj) return detect_af_conjunctive(c, *conj, opt.budget);
       if (cls & kClassObserverIndependent) {
-        DetectResult r = detect_ef_observer_independent(c, *p);
+        DetectResult r = detect_ef_observer_independent(c, *p, opt.budget);
         r.algorithm += " (af == ef)";
         return r;
       }
       break;
     case Op::kEG:
-      if (conj) return detect_eg_conjunctive(c, *conj);
-      if (disj) return detect_eg_disjunctive(c, *disj);
-      if (cls & kClassLinear) return detect_eg_linear(c, *p);
-      if (cls & kClassPostLinear) return detect_eg_post_linear(c, *p);
+      if (conj) return detect_eg_conjunctive(c, *conj, opt.budget);
+      if (disj) return detect_eg_disjunctive(c, *disj, opt.budget);
+      if (cls & kClassLinear) return detect_eg_linear(c, *p, opt.budget);
+      if (cls & kClassPostLinear)
+        return detect_eg_post_linear(c, *p, opt.budget);
       break;
     case Op::kAG:
-      if (conj) return detect_ag_conjunctive(c, *conj);
-      if (disj) return detect_ag_disjunctive(c, *disj);
-      if (cls & kClassLinear) return detect_ag_linear(c, *p);
-      if (cls & kClassPostLinear) return detect_ag_post_linear(c, *p);
+      if (conj) return detect_ag_conjunctive(c, *conj, opt.budget);
+      if (disj) return detect_ag_disjunctive(c, *disj, opt.budget);
+      if (cls & kClassLinear) return detect_ag_linear(c, *p, opt.budget);
+      if (cls & kClassPostLinear)
+        return detect_ag_post_linear(c, *p, opt.budget);
       break;
     default:
       HBCT_ASSERT_MSG(false, "detect_unary called with EU/AU");
@@ -76,11 +89,19 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
           [&](std::size_t i) {
             return detect_unary(c, Op::kEF, parts[i], sub_opt);
           },
-          [](const DetectResult& sub) { return sub.holds; }, r.stats);
+          [](const DetectResult& sub) {
+            return sub.verdict == Verdict::kHolds;
+          },
+          r.stats);
       if (m.found()) {
-        r.holds = true;
+        // A witnessed disjunct is definite even if an earlier branch ran
+        // out of budget (Kleene disjunction with a definite true operand).
+        r.verdict = Verdict::kHolds;
         r.witness_cut = std::move(m.result.witness_cut);
         r.witness_path = std::move(m.result.witness_path);
+      } else if (m.bound != BoundReason::kNone) {
+        r.verdict = Verdict::kUnknown;
+        r.bound = m.bound;
       }
       return r;
     }
@@ -97,21 +118,37 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
           [&](std::size_t i) {
             return detect_unary(c, Op::kAG, parts[i], sub_opt);
           },
-          [](const DetectResult& sub) { return !sub.holds; }, r.stats);
-      r.holds = !m.found();
-      if (m.found()) r.witness_cut = std::move(m.result.witness_cut);
+          [](const DetectResult& sub) {
+            return sub.verdict == Verdict::kFails;
+          },
+          r.stats);
+      if (m.found()) {
+        // A definite counterexample refutes the conjunction outright.
+        r.verdict = Verdict::kFails;
+        r.witness_cut = std::move(m.result.witness_cut);
+      } else if (m.bound != BoundReason::kNone) {
+        r.verdict = Verdict::kUnknown;
+        r.bound = m.bound;
+      } else {
+        r.verdict = Verdict::kHolds;
+      }
       return r;
     }
   }
 
-  HBCT_ASSERT_MSG(opt.allow_exponential,
-                  "no polynomial algorithm for this predicate class and "
-                  "exponential fallback is disabled");
+  if (!opt.allow_exponential) {
+    switch (op) {
+      case Op::kEF: return refuse_exponential("ef-dfs (refused)");
+      case Op::kAF: return refuse_exponential("af-dfs (refused)");
+      case Op::kEG: return refuse_exponential("eg-dfs (refused)");
+      default: return refuse_exponential("ag-dfs (refused)");
+    }
+  }
   switch (op) {
-    case Op::kEF: return detect_ef_dfs(c, *p, opt.limits);
-    case Op::kAF: return detect_af_dfs(c, *p, opt.limits);
-    case Op::kEG: return detect_eg_dfs(c, *p, opt.limits);
-    default: return detect_ag_dfs(c, *p, opt.limits);
+    case Op::kEF: return detect_ef_dfs(c, *p, opt.budget);
+    case Op::kAF: return detect_af_dfs(c, *p, opt.budget);
+    case Op::kEG: return detect_eg_dfs(c, *p, opt.budget);
+    default: return detect_ag_dfs(c, *p, opt.budget);
   }
 }
 
@@ -126,7 +163,7 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
   if (op == Op::kEU) {
     const auto conj = as_conjunctive(p);
     if (conj && (effective_classes(*q, c) & kClassLinear))
-      return detect_eu(c, *conj, *q, opt.parallelism);
+      return detect_eu(c, *conj, *q, opt.parallelism, opt.budget);
     // Distribute over a disjunctive second operand:
     // E[p U (q1 ∨ q2)] = E[p U q1] ∨ E[p U q2].
     if (conj) {
@@ -139,29 +176,34 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
         r.algorithm = "eu-or-split(A3)";
         FirstMatch m = detect_first_match(
             opt.parallelism, parts.size(),
-            [&](std::size_t i) { return detect_eu(c, *conj, *parts[i]); },
-            [](const DetectResult& sub) { return sub.holds; }, r.stats);
+            [&](std::size_t i) {
+              return detect_eu(c, *conj, *parts[i], 1, opt.budget);
+            },
+            [](const DetectResult& sub) {
+              return sub.verdict == Verdict::kHolds;
+            },
+            r.stats);
         if (m.found()) {
-          r.holds = true;
+          r.verdict = Verdict::kHolds;
           r.witness_cut = std::move(m.result.witness_cut);
           r.witness_path = std::move(m.result.witness_path);
+        } else if (m.bound != BoundReason::kNone) {
+          r.verdict = Verdict::kUnknown;
+          r.bound = m.bound;
         }
         return r;
       }
     }
-    HBCT_ASSERT_MSG(opt.allow_exponential,
-                    "E[p U q] needs p conjunctive and q linear for the "
-                    "polynomial algorithm");
-    return detect_eu_dfs(c, *p, *q, opt.limits);
+    if (!opt.allow_exponential) return refuse_exponential("eu-dfs (refused)");
+    return detect_eu_dfs(c, *p, *q, opt.budget);
   }
 
   const auto dp = as_disjunctive(p);
   const auto dq = as_disjunctive(q);
-  if (dp && dq) return detect_au_disjunctive(c, *dp, *dq, opt.parallelism);
-  HBCT_ASSERT_MSG(opt.allow_exponential,
-                  "A[p U q] needs p, q disjunctive for the polynomial "
-                  "algorithm");
-  return detect_au_dfs(c, p, q, opt.limits);
+  if (dp && dq)
+    return detect_au_disjunctive(c, *dp, *dq, opt.parallelism, opt.budget);
+  if (!opt.allow_exponential) return refuse_exponential("au-dfs (refused)");
+  return detect_au_dfs(c, p, q, opt.budget);
 }
 
 }  // namespace hbct

@@ -12,17 +12,25 @@
 namespace hbct {
 
 struct DispatchOptions {
-  /// State cap for the exponential fallbacks.
-  SearchLimits limits;
-  /// When false, detection aborts (assertion) instead of falling back to a
-  /// worst-case-exponential search — useful in latency-bound monitors.
+  /// Resource bounds honoured by every algorithm on the route: state cap
+  /// for the exponential fallbacks, work budget (cut steps + predicate
+  /// evaluations), wall-clock deadline and cooperative cancellation. A
+  /// tripped bound yields Verdict::kUnknown with the BoundReason set —
+  /// never a definite verdict that was not actually established.
+  Budget budget;
+  /// When false, a predicate with no polynomial algorithm yields kUnknown
+  /// (BoundReason::kStateCap — the state exploration was refused) instead
+  /// of falling back to a worst-case-exponential search — useful in
+  /// latency-bound monitors.
   bool allow_exponential = true;
   /// Number of branches evaluated concurrently in the independent fan-outs
   /// (the or-/and-splits, A3's frontier sweep, AU's two refuters). 1 =
   /// sequential (default); 0 = one branch per shared-pool worker. The
   /// verdict, witnesses and operation counts are identical for every value:
   /// fan-outs resolve to the lowest-index winning branch — never the first
-  /// finisher — and speculative work past the winner is discarded.
+  /// finisher — and speculative work past the winner is discarded. Each
+  /// branch is metered against its own copy of the budget, so Verdict and
+  /// BoundReason are also identical for every value.
   std::size_t parallelism = 1;
 };
 

@@ -10,11 +10,14 @@ std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
 
 std::optional<Cut> least_satisfying_cut(const Computation& c,
                                         const Predicate& p, DetectStats& st,
-                                        const Cut* start) {
+                                        const Cut* start,
+                                        BudgetTracker* budget) {
   Cut g = start ? *start : c.initial_cut();
   HBCT_DASSERT(c.is_consistent(g));
-  CountingEval eval(p, c, st);
+  CountingEval eval(p, c, st, budget);
+  if (budget != nullptr && !budget->ok()) return std::nullopt;
   while (!eval(g)) {
+    if (budget != nullptr && budget->exceeded()) return std::nullopt;
     const ProcId i = p.forbidden(c, g);
     HBCT_DASSERT(i >= 0 && i < c.num_procs());
     if (g[sz(i)] >= c.num_events(i)) return std::nullopt;  // i exhausted
@@ -24,17 +27,21 @@ std::optional<Cut> least_satisfying_cut(const Computation& c,
     Cut h = Cut::join(g, je);
     st.cut_steps += static_cast<std::uint64_t>(h.total() - g.total());
     g = std::move(h);
+    if (budget != nullptr && !budget->ok()) return std::nullopt;
   }
   return g;
 }
 
 std::optional<Cut> greatest_satisfying_cut(const Computation& c,
                                            const Predicate& p,
-                                           DetectStats& st, const Cut* start) {
+                                           DetectStats& st, const Cut* start,
+                                           BudgetTracker* budget) {
   Cut g = start ? *start : c.final_cut();
   HBCT_DASSERT(c.is_consistent(g));
-  CountingEval eval(p, c, st);
+  CountingEval eval(p, c, st, budget);
+  if (budget != nullptr && !budget->ok()) return std::nullopt;
   while (!eval(g)) {
+    if (budget != nullptr && budget->exceeded()) return std::nullopt;
     const ProcId i = p.forbidden_down(c, g);
     HBCT_DASSERT(i >= 0 && i < c.num_procs());
     if (g[sz(i)] <= 0) return std::nullopt;  // i already at the initial state
@@ -45,24 +52,31 @@ std::optional<Cut> greatest_satisfying_cut(const Computation& c,
     Cut h = Cut::meet(g, me);
     st.cut_steps += static_cast<std::uint64_t>(g.total() - h.total());
     g = std::move(h);
+    if (budget != nullptr && !budget->ok()) return std::nullopt;
   }
   return g;
 }
 
-DetectResult detect_ef_linear(const Computation& c, const Predicate& p) {
+DetectResult detect_ef_linear(const Computation& c, const Predicate& p,
+                              const Budget& budget) {
   DetectResult r;
   r.algorithm = "chase-garg-ef";
-  auto cut = least_satisfying_cut(c, p, r.stats);
-  r.holds = cut.has_value();
+  BudgetTracker t(budget, r.stats);
+  auto cut = least_satisfying_cut(c, p, r.stats, nullptr, &t);
+  if (t.exceeded()) return mark_bounded(r, t);
+  r.verdict = verdict_of(cut.has_value());
   if (cut) r.witness_cut = std::move(*cut);
   return r;
 }
 
-DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p) {
+DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "chase-garg-ef-dual";
-  auto cut = greatest_satisfying_cut(c, p, r.stats);
-  r.holds = cut.has_value();
+  BudgetTracker t(budget, r.stats);
+  auto cut = greatest_satisfying_cut(c, p, r.stats, nullptr, &t);
+  if (t.exceeded()) return mark_bounded(r, t);
+  r.verdict = verdict_of(cut.has_value());
   if (cut) r.witness_cut = std::move(*cut);
   return r;
 }

@@ -17,21 +17,27 @@ namespace hbct {
 /// Least consistent cut satisfying linear p, or nullopt. `start` (default:
 /// the initial cut) restricts the search to cuts above `start`; pass J(e)
 /// to compute the slice element J_p(e). Precondition: p is linear on c.
+/// An optional BudgetTracker bounds the walk: a nullopt return with the
+/// tracker tripped means the walk was cut short, not that no cut exists.
 std::optional<Cut> least_satisfying_cut(const Computation& c,
                                         const Predicate& p, DetectStats& st,
-                                        const Cut* start = nullptr);
+                                        const Cut* start = nullptr,
+                                        BudgetTracker* budget = nullptr);
 
 /// Greatest consistent cut satisfying post-linear p (dual walk downward
-/// from the final cut), or nullopt.
+/// from the final cut), or nullopt. Budget semantics as above.
 std::optional<Cut> greatest_satisfying_cut(const Computation& c,
                                            const Predicate& p,
                                            DetectStats& st,
-                                           const Cut* start = nullptr);
+                                           const Cut* start = nullptr,
+                                           BudgetTracker* budget = nullptr);
 
 /// EF(p) for linear p; witness_cut = I_p when holds.
-DetectResult detect_ef_linear(const Computation& c, const Predicate& p);
+DetectResult detect_ef_linear(const Computation& c, const Predicate& p,
+                              const Budget& budget = {});
 
 /// EF(p) for post-linear p; witness_cut = greatest satisfying cut.
-DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p);
+DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p,
+                                   const Budget& budget = {});
 
 }  // namespace hbct

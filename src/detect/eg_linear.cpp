@@ -7,13 +7,19 @@
 
 namespace hbct {
 
-DetectResult detect_eg_linear(const Computation& c, const Predicate& p) {
+DetectResult detect_eg_linear(const Computation& c, const Predicate& p,
+                              const Budget& budget) {
   DetectResult r;
   r.algorithm = "A1-eg-linear";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
 
+  if (!t.ok()) return mark_bounded(r, t);
   Cut w = c.final_cut();                  // Step 1
-  if (!eval(w)) return r;                 // final cut must satisfy p
+  if (!eval(w)) {                         // final cut must satisfy p
+    if (t.exceeded()) return mark_bounded(r, t);
+    return r;
+  }
   const Cut initial = c.initial_cut();
   std::vector<Cut> path;
   path.push_back(w);
@@ -31,10 +37,11 @@ DetectResult detect_eg_linear(const Computation& c, const Predicate& p) {
         found = true;
         break;
       }
+      if (t.exceeded()) return mark_bounded(r, t);
     }
     if (!found) return r;                 // Step 4: Q empty
   }
-  r.holds = true;                         // Step 7: initial cut satisfies p
+  r.verdict = Verdict::kHolds;            // Step 7: initial cut satisfies p
   std::reverse(path.begin(), path.end());
   r.witness_path = std::move(path);
   return r;
@@ -42,14 +49,20 @@ DetectResult detect_eg_linear(const Computation& c, const Predicate& p) {
 
 DetectResult detect_eg_linear_randomized(const Computation& c,
                                          const Predicate& p,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed,
+                                         const Budget& budget) {
   DetectResult r;
   r.algorithm = "A1-eg-linear (randomized choice)";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
   Rng rng(seed);
 
+  if (!t.ok()) return mark_bounded(r, t);
   Cut w = c.final_cut();
-  if (!eval(w)) return r;
+  if (!eval(w)) {
+    if (t.exceeded()) return mark_bounded(r, t);
+    return r;
+  }
   const Cut initial = c.initial_cut();
   std::vector<Cut> path;
   path.push_back(w);
@@ -60,25 +73,34 @@ DetectResult detect_eg_linear_randomized(const Computation& c,
     for (ProcId i : c.frontier_procs(w)) {
       Cut g = c.retreat(w, i);
       ++r.stats.cut_steps;
-      if (eval(g)) q.push_back(std::move(g));
+      const bool hit = eval(g);
+      if (t.exceeded()) return mark_bounded(r, t);
+      if (hit) q.push_back(std::move(g));
     }
     if (q.empty()) return r;
     w = std::move(q[rng.next_below(q.size())]);
     path.push_back(w);
   }
-  r.holds = true;
+  r.verdict = Verdict::kHolds;
   std::reverse(path.begin(), path.end());
   r.witness_path = std::move(path);
   return r;
 }
 
-DetectResult detect_eg_post_linear(const Computation& c, const Predicate& p) {
+DetectResult detect_eg_post_linear(const Computation& c,
+                                   const Predicate& p,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "A1-eg-post-linear";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
 
+  if (!t.ok()) return mark_bounded(r, t);
   Cut w = c.initial_cut();
-  if (!eval(w)) return r;
+  if (!eval(w)) {
+    if (t.exceeded()) return mark_bounded(r, t);
+    return r;
+  }
   const Cut final = c.final_cut();
   std::vector<Cut> path;
   path.push_back(w);
@@ -94,10 +116,11 @@ DetectResult detect_eg_post_linear(const Computation& c, const Predicate& p) {
         found = true;
         break;
       }
+      if (t.exceeded()) return mark_bounded(r, t);
     }
     if (!found) return r;
   }
-  r.holds = true;
+  r.verdict = Verdict::kHolds;
   r.witness_path = std::move(path);
   return r;
 }

@@ -16,10 +16,13 @@
 namespace hbct {
 
 /// EG(p) for linear p. witness_path (bottom → top) filled when holds.
-DetectResult detect_eg_linear(const Computation& c, const Predicate& p);
+DetectResult detect_eg_linear(const Computation& c, const Predicate& p,
+                             const Budget& budget = {});
 
 /// EG(p) for post-linear p: the same walk upward from the initial cut.
-DetectResult detect_eg_post_linear(const Computation& c, const Predicate& p);
+DetectResult detect_eg_post_linear(const Computation& c,
+                                  const Predicate& p,
+                                  const Budget& budget = {});
 
 /// A1 with the next cut chosen uniformly at random among all satisfying
 /// predecessors instead of the first one. Theorem 2 guarantees the verdict
@@ -28,6 +31,7 @@ DetectResult detect_eg_post_linear(const Computation& c, const Predicate& p);
 /// predecessor (ablation bench).
 DetectResult detect_eg_linear_randomized(const Computation& c,
                                          const Predicate& p,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         const Budget& budget = {});
 
 }  // namespace hbct

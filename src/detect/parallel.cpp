@@ -26,6 +26,7 @@ FirstMatch detect_first_match(
     for (std::size_t i = 0; i < count; ++i) {
       DetectResult r = eval(i);
       stats += r.stats;
+      if (out.bound == BoundReason::kNone) out.bound = r.bound;
       if (hit(r)) {
         out.index = i;
         out.result = std::move(r);
@@ -66,6 +67,7 @@ FirstMatch detect_first_match(
     HBCT_ASSERT_MSG(results[i].has_value(),
                     "branch at or below the winner was skipped");
     stats += results[i]->stats;
+    if (out.bound == BoundReason::kNone) out.bound = results[i]->bound;
   }
   if (win != FirstMatch::npos) {
     out.index = win;

@@ -31,6 +31,13 @@ struct FirstMatch {
   static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
   std::size_t index = npos;
   DetectResult result;  // the winning branch's result; valid iff found()
+  /// Bound reason of the lowest-indexed merged branch that ran out of budget
+  /// (kNone when every merged branch completed). When !found() and
+  /// bound != kNone, some branch was inconclusive, so "no branch hit" is NOT
+  /// a definite negative — callers must degrade to Verdict::kUnknown.
+  /// Deterministic across parallelism levels: only branches the sequential
+  /// early-exit loop would have evaluated are considered.
+  BoundReason bound = BoundReason::kNone;
   bool found() const { return index != npos; }
 };
 

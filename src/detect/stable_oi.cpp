@@ -1,6 +1,7 @@
 #include "detect/stable_oi.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -8,17 +9,21 @@
 
 namespace hbct {
 
-DetectResult detect_stable(const Computation& c, const Predicate& p, Op op) {
+DetectResult detect_stable(const Computation& c, const Predicate& p, Op op,
+                           const Budget& budget) {
   DetectResult r;
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
   switch (op) {
     case Op::kEF:
     case Op::kAF: {
       // Once true, always true: p appears somewhere iff it holds at the end.
       r.algorithm = "stable-final";
       Cut final = c.final_cut();
-      r.holds = eval(final);
-      if (r.holds) r.witness_cut = std::move(final);
+      const bool hit = eval(final);
+      if (t.exceeded()) return mark_bounded(r, t);
+      r.verdict = verdict_of(hit);
+      if (hit) r.witness_cut = std::move(final);
       return r;
     }
     case Op::kEG:
@@ -26,8 +31,10 @@ DetectResult detect_stable(const Computation& c, const Predicate& p, Op op) {
       // p at the initial cut stays true along every sequence.
       r.algorithm = "stable-initial";
       Cut initial = c.initial_cut();
-      r.holds = eval(initial);
-      if (!r.holds) r.witness_cut = std::move(initial);
+      const bool hit = eval(initial);
+      if (t.exceeded()) return mark_bounded(r, t);
+      r.verdict = verdict_of(hit);
+      if (!hit) r.witness_cut = std::move(initial);
       return r;
     }
     default:
@@ -36,24 +43,28 @@ DetectResult detect_stable(const Computation& c, const Predicate& p, Op op) {
 }
 
 DetectResult detect_ef_observer_independent(const Computation& c,
-                                            const Predicate& p) {
+                                            const Predicate& p,
+                                            const Budget& budget) {
   DetectResult r;
   r.algorithm = "oi-single-observation";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
   Cut g = c.initial_cut();
   if (eval(g)) {
-    r.holds = true;
+    r.verdict = Verdict::kHolds;
     r.witness_cut = std::move(g);
     return r;
   }
+  if (t.exceeded()) return mark_bounded(r, t);
   for (const EventId& e : c.linearization()) {
     ++g[static_cast<std::size_t>(e.proc)];
     ++r.stats.cut_steps;
     if (eval(g)) {
-      r.holds = true;
+      r.verdict = Verdict::kHolds;
       r.witness_cut = std::move(g);
       return r;
     }
+    if (t.exceeded()) return mark_bounded(r, t);
   }
   return r;
 }
@@ -62,12 +73,13 @@ namespace {
 
 /// Iterative DFS over consistent cuts. `expand` decides whether a cut's
 /// successors are explored; `goal` stops the search. Returns the goal cut's
-/// path if found. Sets *aborted when the state cap is hit.
+/// path if found. All four bounds (state cap, work budget, deadline,
+/// cancellation) abort through the tracker: a nullopt return with
+/// t.exceeded() means the search is inconclusive, not exhausted.
 std::optional<std::vector<Cut>> dfs_cuts(
-    const Computation& c, const SearchLimits& lim, DetectStats& st,
+    const Computation& c, BudgetTracker& t, DetectStats& st,
     const std::function<bool(const Cut&)>& expand,
-    const std::function<bool(const Cut&)>& goal, bool* aborted) {
-  *aborted = false;
+    const std::function<bool(const Cut&)>& goal) {
   std::unordered_set<Cut, CutHash> visited;
   // Stack holds (cut, parent index into `order`) to rebuild paths.
   struct Frame {
@@ -77,9 +89,12 @@ std::optional<std::vector<Cut>> dfs_cuts(
   std::vector<Frame> order;
   std::vector<std::ptrdiff_t> stack;
 
+  if (!t.ok()) return std::nullopt;
   const Cut init = c.initial_cut();
   if (goal(init)) return std::vector<Cut>{init};
+  if (t.exceeded()) return std::nullopt;
   if (!expand(init)) return std::nullopt;
+  if (t.exceeded()) return std::nullopt;
   visited.insert(init);
   order.push_back(Frame{init, -1});
   stack.push_back(0);
@@ -91,6 +106,7 @@ std::optional<std::vector<Cut>> dfs_cuts(
     for (ProcId i : c.enabled_procs(g)) {
       Cut h = c.advance(g, i);
       ++st.cut_steps;
+      if (!t.ok()) return std::nullopt;
       if (visited.count(h)) continue;
       if (goal(h)) {
         std::vector<Cut> path{std::move(h)};
@@ -100,9 +116,13 @@ std::optional<std::vector<Cut>> dfs_cuts(
         std::reverse(path.begin(), path.end());
         return path;
       }
-      if (!expand(h)) continue;
-      if (visited.size() >= lim.max_states) {
-        *aborted = true;
+      if (t.exceeded()) return std::nullopt;
+      if (!expand(h)) {
+        if (t.exceeded()) return std::nullopt;
+        continue;
+      }
+      if (visited.size() >= t.budget().max_states) {
+        t.trip(BoundReason::kStateCap);
         return std::nullopt;
       }
       visited.insert(h);
@@ -116,110 +136,123 @@ std::optional<std::vector<Cut>> dfs_cuts(
 }  // namespace
 
 DetectResult detect_ef_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim) {
+                           const Budget& budget) {
   DetectResult r;
   r.algorithm = "ef-dfs";
-  CountingEval eval(p, c, r.stats);
-  bool aborted = false;
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
   auto path = dfs_cuts(
-      c, lim, r.stats, [](const Cut&) { return true; },
-      [&](const Cut& g) { return eval(g); }, &aborted);
-  if (aborted) r.algorithm += " (aborted)";
+      c, t, r.stats, [](const Cut&) { return true; },
+      [&](const Cut& g) { return eval(g); });
   if (path) {
-    r.holds = true;
+    // A found witness is definite regardless of any bound tripped later.
+    r.verdict = Verdict::kHolds;
     r.witness_cut = path->back();
     r.witness_path = std::move(*path);
+    return r;
   }
+  if (t.exceeded()) return mark_bounded(r, t);
   return r;
 }
 
 DetectResult detect_eg_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim) {
+                           const Budget& budget) {
   DetectResult r;
   r.algorithm = "eg-dfs";
-  CountingEval eval(p, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval eval(p, c, r.stats, &t);
   const Cut final = c.final_cut();
-  bool aborted = false;
   // Explore only the p-true region; succeed on reaching the final cut
   // (which must itself satisfy p).
   auto path = dfs_cuts(
-      c, lim, r.stats, [&](const Cut& g) { return eval(g); },
-      [&](const Cut& g) { return g == final && eval(g); }, &aborted);
-  if (aborted) r.algorithm += " (aborted)";
+      c, t, r.stats, [&](const Cut& g) { return eval(g); },
+      [&](const Cut& g) { return g == final && eval(g); });
   if (path) {
-    r.holds = true;
+    r.verdict = Verdict::kHolds;
     r.witness_path = std::move(*path);
+    return r;
   }
+  if (t.exceeded()) return mark_bounded(r, t);
   return r;
 }
 
 DetectResult detect_ag_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim) {
+                           const Budget& budget) {
   auto notp = p.negate();
-  DetectResult inner = detect_ef_dfs(c, *notp, lim);
+  DetectResult inner = detect_ef_dfs(c, *notp, budget);
   DetectResult r;
   r.algorithm = "ag-dfs = !ef-dfs(!p)";
-  if (inner.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
   r.stats = inner.stats;
-  r.holds = !inner.holds;
+  // Kleene negation: an inconclusive inner search must never flip into a
+  // definite verdict (an aborted EF(¬p) says nothing about AG(p)).
+  r.verdict = negate(inner.verdict);
+  r.bound = inner.bound;
   if (inner.witness_cut) r.witness_cut = std::move(*inner.witness_cut);
   return r;
 }
 
 DetectResult detect_af_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim) {
+                           const Budget& budget) {
   auto notp = p.negate();
-  DetectResult inner = detect_eg_dfs(c, *notp, lim);
+  DetectResult inner = detect_eg_dfs(c, *notp, budget);
   DetectResult r;
   r.algorithm = "af-dfs = !eg-dfs(!p)";
-  if (inner.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
   r.stats = inner.stats;
-  r.holds = !inner.holds;
-  if (inner.holds) r.witness_path = std::move(inner.witness_path);
+  r.verdict = negate(inner.verdict);
+  r.bound = inner.bound;
+  if (inner.verdict == Verdict::kHolds)
+    r.witness_path = std::move(inner.witness_path);
   return r;
 }
 
 DetectResult detect_eu_dfs(const Computation& c, const Predicate& p,
-                           const Predicate& q, const SearchLimits& lim) {
+                           const Predicate& q, const Budget& budget) {
   DetectResult r;
   r.algorithm = "eu-dfs";
-  CountingEval evp(p, c, r.stats);
-  CountingEval evq(q, c, r.stats);
-  bool aborted = false;
+  BudgetTracker t(budget, r.stats);
+  CountingEval evp(p, c, r.stats, &t);
+  CountingEval evq(q, c, r.stats, &t);
   auto path = dfs_cuts(
-      c, lim, r.stats, [&](const Cut& g) { return evp(g); },
-      [&](const Cut& g) { return evq(g); }, &aborted);
-  if (aborted) r.algorithm += " (aborted)";
+      c, t, r.stats, [&](const Cut& g) { return evp(g); },
+      [&](const Cut& g) { return evq(g); });
   if (path) {
-    r.holds = true;
+    r.verdict = Verdict::kHolds;
     r.witness_cut = path->back();
     r.witness_path = std::move(*path);
+    return r;
   }
+  if (t.exceeded()) return mark_bounded(r, t);
   return r;
 }
 
 DetectResult detect_au_dfs(const Computation& c, const PredicatePtr& p,
-                           const PredicatePtr& q, const SearchLimits& lim) {
+                           const PredicatePtr& q, const Budget& budget) {
   DetectResult r;
   r.algorithm = "au-dfs = !(eg-dfs(!q) | eu-dfs(!q, !p & !q))";
   auto notq = q->negate();
   auto notp = p->negate();
 
-  DetectResult eg = detect_eg_dfs(c, *notq, lim);
+  // Either refuter returning a definite witness decides kFails, even when
+  // the other is inconclusive; kHolds needs both to definitely fail.
+  DetectResult eg = detect_eg_dfs(c, *notq, budget);
   r.stats += eg.stats;
-  if (eg.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
-  if (eg.holds) {
-    r.holds = false;
+  if (eg.verdict == Verdict::kHolds) {
+    r.verdict = Verdict::kFails;
     r.witness_path = std::move(eg.witness_path);
     return r;
   }
 
   auto notp_and_notq = make_and(notp, notq);
-  DetectResult eu = detect_eu_dfs(c, *notq, *notp_and_notq, lim);
+  DetectResult eu = detect_eu_dfs(c, *notq, *notp_and_notq, budget);
   r.stats += eu.stats;
-  if (eu.algorithm.ends_with("(aborted)")) r.algorithm += " (aborted)";
-  r.holds = !eu.holds;
-  if (eu.holds) r.witness_path = std::move(eu.witness_path);
+  if (eu.verdict == Verdict::kHolds) {
+    r.verdict = Verdict::kFails;
+    r.witness_path = std::move(eu.witness_path);
+    return r;
+  }
+  if (eg.verdict == Verdict::kUnknown) return mark_bounded(r, eg.bound);
+  if (eu.verdict == Verdict::kUnknown) return mark_bounded(r, eu.bound);
+  r.verdict = Verdict::kHolds;
   return r;
 }
 

@@ -1,6 +1,10 @@
 // Stable and observer-independent detection, plus the generic exponential
 // detectors for arbitrary predicates (Table 1's last row and the
 // EG/AG-of-observer-independent problems proved intractable in Section 6).
+//
+// Every detector takes a Budget (default: unlimited except the DFS state
+// cap) and degrades to Verdict::kUnknown with a BoundReason instead of
+// reporting a definite verdict it never established — see detect/budget.h.
 #pragma once
 
 #include "detect/detector.h"
@@ -9,47 +13,47 @@ namespace hbct {
 
 /// Detection of a stable predicate under any of the four unary operators:
 /// EF ⟺ AF ⟺ p(final cut); EG ⟺ AG ⟺ p(initial cut) ("trivial" row).
-DetectResult detect_stable(const Computation& c, const Predicate& p, Op op);
+DetectResult detect_stable(const Computation& c, const Predicate& p, Op op,
+                           const Budget& budget = {});
 
 /// EF(p) for an observer-independent predicate: scan one observation (the
 /// canonical linearization). By observer independence the verdict equals
 /// AF(p). O(|E|) evaluations.
 DetectResult detect_ef_observer_independent(const Computation& c,
-                                            const Predicate& p);
+                                            const Predicate& p,
+                                            const Budget& budget = {});
 
 // ---- Arbitrary predicates: explicit search, worst-case exponential --------
 
-/// Caps the number of distinct cuts a search may visit; the result's
-/// `aborted` is reported through DetectResult::algorithm suffix "(aborted)"
-/// and holds=false.
-struct SearchLimits {
-  std::size_t max_states = 1u << 22;
-};
-
-/// EF(p): DFS over all reachable cuts until one satisfies p.
+/// EF(p): DFS over all reachable cuts until one satisfies p. The search
+/// stops at Budget::max_states distinct cuts (and at every other bound of
+/// the budget); an exhausted search returns kUnknown, never a definite
+/// verdict.
 DetectResult detect_ef_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim = {});
+                           const Budget& budget = {});
 
 /// EG(p): DFS restricted to cuts satisfying p, looking for a path from the
 /// initial cut to the final cut. This is the natural certificate search for
 /// Theorem 5's NP-complete problem.
 DetectResult detect_eg_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim = {});
+                           const Budget& budget = {});
 
 /// AG(p) = ¬EF(¬p) (Theorem 6's co-NP-complete problem when p is OI).
+/// kUnknown from the inner search propagates (¬ is Kleene-strict).
 DetectResult detect_ag_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim = {});
+                           const Budget& budget = {});
 
 /// AF(p) = ¬EG(¬p).
 DetectResult detect_af_dfs(const Computation& c, const Predicate& p,
-                           const SearchLimits& lim = {});
+                           const Budget& budget = {});
 
 /// E[p U q]: DFS through the p-true region until a q-cut is found.
 DetectResult detect_eu_dfs(const Computation& c, const Predicate& p,
-                           const Predicate& q, const SearchLimits& lim = {});
+                           const Predicate& q, const Budget& budget = {});
 
-/// A[p U q] = ¬(EG(¬q) ∨ E[¬q U (¬p ∧ ¬q)]) with DFS operands.
+/// A[p U q] = ¬(EG(¬q) ∨ E[¬q U (¬p ∧ ¬q)]) with DFS operands. A definite
+/// refuter decides kFails even when the other operand is kUnknown.
 DetectResult detect_au_dfs(const Computation& c, const PredicatePtr& p,
-                           const PredicatePtr& q, const SearchLimits& lim = {});
+                           const PredicatePtr& q, const Budget& budget = {});
 
 }  // namespace hbct

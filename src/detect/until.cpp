@@ -10,15 +10,18 @@
 namespace hbct {
 
 DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
-                          const Cut& iq, std::size_t parallelism) {
+                          const Cut& iq, std::size_t parallelism,
+                          const Budget& budget) {
   DetectResult r;
   r.algorithm = "A3-eu (given I_q)";
   HBCT_ASSERT_MSG(c.is_consistent(iq), "I_q must be a consistent cut");
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
 
   // Zero-length prefix: q already holds at the initial cut.
   const Cut initial = c.initial_cut();
   if (iq == initial) {
-    r.holds = true;
+    r.verdict = Verdict::kHolds;
     r.witness_cut = initial;
     r.witness_path = {initial};
     return r;
@@ -27,47 +30,59 @@ DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
   // Step 2 of A3: EG(p) in some sub-computation E' = I_q \ {e},
   // e in frontier(I_q). The sub-computations are independent, so the sweep
   // fans out across the pool, committing to the lowest frontier index that
-  // succeeds.
+  // succeeds. Each branch gets its own budget over its own stats — sharing a
+  // tracker across threads would make the trip point depend on scheduling
+  // and break the bit-identical-across-widths guarantee.
   const std::vector<ProcId> frontier = c.frontier_procs(iq);
   FirstMatch m = detect_first_match(
       parallelism, frontier.size(),
       [&](std::size_t k) {
         const Cut sub = c.retreat(iq, frontier[k]);
         Computation prefix = c.prefix(sub);
-        DetectResult eg = detect_eg_conjunctive(prefix, p);
+        DetectResult eg = detect_eg_conjunctive(prefix, p, budget);
         ++eg.stats.cut_steps;  // the retreat that formed this sub-computation
         return eg;
       },
-      [](const DetectResult& eg) { return eg.holds; }, r.stats);
+      [](const DetectResult& eg) { return eg.verdict == Verdict::kHolds; },
+      r.stats);
   if (m.found()) {
-    r.holds = true;
+    // A witness prefix is definite even if some earlier branch was bounded.
+    r.verdict = Verdict::kHolds;
     r.witness_path = std::move(m.result.witness_path);
     r.witness_path.push_back(iq);
     r.witness_cut = iq;
+  } else if (m.bound != BoundReason::kNone) {
+    r.verdict = Verdict::kUnknown;
+    r.bound = m.bound;
   }
   return r;
 }
 
 DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
-                       const Predicate& q, std::size_t parallelism) {
+                       const Predicate& q, std::size_t parallelism,
+                       const Budget& budget) {
   DetectResult r;
   r.algorithm = "A3-eu";
-  CountingEval evq(q, c, r.stats);
+  BudgetTracker t(budget, r.stats);
+  CountingEval evq(q, c, r.stats, &t);
 
+  if (!t.ok()) return mark_bounded(r, t);
   // Zero-length prefix: q at the initial cut.
   const Cut initial = c.initial_cut();
   if (evq(initial)) {
-    r.holds = true;
+    r.verdict = Verdict::kHolds;
     r.witness_cut = initial;
     r.witness_path = {initial};
     return r;
   }
+  if (t.exceeded()) return mark_bounded(r, t);
 
   // Step 1: I_q, the least cut satisfying q (Chase–Garg).
-  auto iq = least_satisfying_cut(c, q, r.stats);
+  auto iq = least_satisfying_cut(c, q, r.stats, nullptr, &t);
+  if (t.exceeded()) return mark_bounded(r, t);
   if (!iq) return r;
 
-  DetectResult inner = detect_eu_at(c, p, *iq, parallelism);
+  DetectResult inner = detect_eu_at(c, p, *iq, parallelism, budget);
   inner.algorithm = "A3-eu";
   inner.stats += r.stats;
   return inner;
@@ -76,9 +91,12 @@ DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
 DetectResult detect_au_disjunctive(const Computation& c,
                                    const DisjunctivePredicate& p,
                                    const DisjunctivePredicate& q,
-                                   std::size_t parallelism) {
+                                   std::size_t parallelism,
+                                   const Budget& budget) {
   DetectResult r;
   r.algorithm = "au-disjunctive = !(eg(!q) | eu(!q, !p & !q))";
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
 
   auto notq = as_conjunctive(q.negate());
   HBCT_ASSERT(notq);
@@ -91,19 +109,29 @@ DetectResult detect_au_disjunctive(const Computation& c,
   FirstMatch m = detect_first_match(
       parallelism, 2,
       [&](std::size_t k) {
-        if (k == 0) return detect_eg_conjunctive(c, *notq);
+        if (k == 0) return detect_eg_conjunctive(c, *notq, budget);
         auto notp = as_conjunctive(p.negate());
         HBCT_ASSERT(notp);
         std::vector<LocalPredicatePtr> merged = notp->locals();
         merged.insert(merged.end(), notq->locals().begin(),
                       notq->locals().end());
         auto notp_and_notq = make_conjunctive(std::move(merged));
-        return detect_eu(c, *notq, *notp_and_notq);
+        return detect_eu(c, *notq, *notp_and_notq, 1, budget);
       },
-      [](const DetectResult& sub) { return sub.holds; }, r.stats);
+      [](const DetectResult& sub) { return sub.verdict == Verdict::kHolds; },
+      r.stats);
 
-  r.holds = !m.found();
-  if (m.found()) r.witness_path = std::move(m.result.witness_path);
+  if (m.found()) {
+    // A definite refuter decides kFails even if the other branch was
+    // inconclusive (Kleene conjunction with a definite false operand).
+    r.verdict = Verdict::kFails;
+    r.witness_path = std::move(m.result.witness_path);
+  } else if (m.bound != BoundReason::kNone) {
+    r.verdict = Verdict::kUnknown;
+    r.bound = m.bound;
+  } else {
+    r.verdict = Verdict::kHolds;
+  }
   return r;
 }
 

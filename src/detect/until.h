@@ -27,20 +27,23 @@ namespace hbct {
 /// (1 = sequential, 0 = one per shared-pool worker); the result is
 /// identical for every value.
 DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
-                       const Predicate& q, std::size_t parallelism = 1);
+                       const Predicate& q, std::size_t parallelism = 1,
+                       const Budget& budget = {});
 
 /// Theorem 7's footnote: q need not be linear — a least satisfying cut
 /// suffices. This entry point runs A3's Step 2 with a caller-supplied I_q
 /// (computed by any means, e.g. brute force or domain knowledge). I_q must
 /// be consistent; pass the initial cut when q holds initially.
 DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
-                          const Cut& iq, std::size_t parallelism = 1);
+                          const Cut& iq, std::size_t parallelism = 1,
+                          const Budget& budget = {});
 
 /// A[p U q], p and q disjunctive. `parallelism` > 1 runs the two refuters
 /// (EG(¬q) and E[¬q U (¬p ∧ ¬q)]) concurrently; same result either way.
 DetectResult detect_au_disjunctive(const Computation& c,
                                    const DisjunctivePredicate& p,
                                    const DisjunctivePredicate& q,
-                                   std::size_t parallelism = 1);
+                                   std::size_t parallelism = 1,
+                                   const Budget& budget = {});
 
 }  // namespace hbct

@@ -12,7 +12,11 @@
 //   sim::Simulator s = sim::make_token_mutex(4, 3, /*inject_violation=*/true);
 //   Computation c = std::move(s).run({});
 //   auto verdict = ctl::evaluate_query(c, "EF(cs@P0 == 1 && cs@P3 == 1)");
-//   if (verdict.result.holds) { /* mutual exclusion violated */ }
+//   if (verdict.result.holds()) { /* mutual exclusion violated */ }
+//
+// Detections are three-valued (detect/budget.h): pass a Budget via
+// DispatchOptions to cap states, work, wall-clock time, or to cancel from
+// another thread; a detection that runs out returns Verdict::kUnknown.
 #pragma once
 
 #include "ctl/compile.h"

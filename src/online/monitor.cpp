@@ -37,7 +37,28 @@ void OnlineMonitor::write(ProcId i, std::string_view name,
 void OnlineMonitor::finish() {
   if (finished_) return;
   finished_ = true;
-  on_event(-1);
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
+  for (auto& w : conj_) step_conj(w);
+  for (auto& w : disj_) step_disj(w);
+  for (auto& w : stable_) step_stable(w);
+  for (auto& w : until_) step_until(w);
+  round_ = nullptr;
+  if (!t.exceeded()) return;
+  // The final round ran out of budget: watches still undecided can no
+  // longer be resumed (no further events arrive), so they report kUnknown
+  // rather than staying silent as if the condition never occurred.
+  const auto give_up = [&](WatchId id, auto& w, const char* kind) {
+    if (w.done) return;
+    w.done = true;
+    fire(id, app_.current_cut(),
+         std::string("undecided (budget): ") + kind, Verdict::kUnknown,
+         t.reason());
+  };
+  for (auto& w : conj_) give_up(w.id, w, "conjunctive watch");
+  for (auto& w : disj_) give_up(w.id, w, "disjunctive watch");
+  for (auto& w : stable_) give_up(w.id, w, "stable watch");
+  for (auto& w : until_) give_up(w.id, w, "until watch");
 }
 
 EventIndex OnlineMonitor::frozen_limit(ProcId i) const {
@@ -49,17 +70,26 @@ EventIndex OnlineMonitor::frozen_limit(ProcId i) const {
 }
 
 void OnlineMonitor::on_event(ProcId) {
+  // Each event's evaluation round gets a fresh work allowance; the tracker
+  // bases itself on the cumulative counters, so only this round's work is
+  // charged. A tripped round suspends the remaining steps; every watch's
+  // incremental state resumes on the next event.
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
   for (auto& w : conj_) step_conj(w);
   for (auto& w : disj_) step_disj(w);
   for (auto& w : stable_) step_stable(w);
   for (auto& w : until_) step_until(w);
+  round_ = nullptr;
 }
 
 void OnlineMonitor::fire(WatchId id, Cut cut, const std::string& what,
-                         bool holds) {
+                         Verdict verdict, BoundReason bound) {
   WatchFire f;
   f.watch = id;
-  f.holds = holds;
+  f.verdict = verdict;
+  f.bound = bound;
+  f.holds = verdict == Verdict::kHolds;
   f.cut = std::move(cut);
   f.at_event = events_seen();
   f.description = what;
@@ -80,7 +110,10 @@ WatchId OnlineMonitor::watch_possibly(ConjunctivePredicatePtr p) {
   w.cand.assign(sz(n), -1);
   w.scan.assign(sz(n), 0);
   conj_.push_back(std::move(w));
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
   step_conj(conj_.back());
+  round_ = nullptr;
   return conj_.back().id;
 }
 
@@ -97,7 +130,10 @@ WatchId OnlineMonitor::watch_invariant(DisjunctivePredicatePtr p) {
   w.cand.assign(sz(n), -1);
   w.scan.assign(sz(n), 0);
   conj_.push_back(std::move(w));
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
   step_conj(conj_.back());
+  round_ = nullptr;
   return conj_.back().id;
 }
 
@@ -110,7 +146,10 @@ WatchId OnlineMonitor::watch_possibly(DisjunctivePredicatePtr p) {
   w.pred = std::move(p);
   w.scan.assign(sz(n), 0);
   disj_.push_back(std::move(w));
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
   step_disj(disj_.back());
+  round_ = nullptr;
   return disj_.back().id;
 }
 
@@ -125,7 +164,10 @@ WatchId OnlineMonitor::watch_until(ConjunctivePredicatePtr p,
   w.q = std::move(q);
   w.cand = app_.computation().initial_cut();
   until_.push_back(std::move(w));
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
   step_until(until_.back());
+  round_ = nullptr;
   return until_.back().id;
 }
 
@@ -136,7 +178,10 @@ WatchId OnlineMonitor::watch_stable(PredicatePtr p) {
   fired_.push_back(false);
   w.pred = std::move(p);
   stable_.push_back(std::move(w));
+  BudgetTracker t(budget_, work_);
+  round_ = &t;
   step_stable(stable_.back());
+  round_ = nullptr;
   return stable_.back().id;
 }
 
@@ -145,10 +190,14 @@ void OnlineMonitor::step_conj(ConjWatch& w) {
   const Computation& c = app_.computation();
   const std::int32_t n = c.num_procs();
 
-  // Advance any unset candidate through the newly frozen positions.
+  // Advance any unset candidate through the newly frozen positions. The
+  // scan position persists, so a budget-suspended advance resumes exactly
+  // where it stopped.
   auto advance = [&](ProcId i) {
     auto& pos = w.scan[sz(i)];
     while (w.cand[sz(i)] < 0 && pos <= frozen_limit(i)) {
+      if (!round_ok()) return false;
+      ++work_.predicate_evals;
       if (w.pred->eval_local(c, i, pos)) w.cand[sz(i)] = pos;
       ++pos;
     }
@@ -159,7 +208,7 @@ void OnlineMonitor::step_conj(ConjWatch& w) {
   while (changed) {
     changed = false;
     for (ProcId i = 0; i < n; ++i)
-      if (!advance(i)) return;  // waiting for more events on i
+      if (!advance(i)) return;  // waiting for more events (or budget) on i
     // All candidates set: repair pairwise consistency (GW weak).
     for (ProcId i = 0; i < n && !changed; ++i) {
       if (w.cand[sz(i)] == 0) continue;
@@ -168,6 +217,7 @@ void OnlineMonitor::step_conj(ConjWatch& w) {
         if (j == i || vc[sz(j)] <= w.cand[sz(j)]) continue;
         // The candidate of j must move to a true position at or after the
         // clock demand; restart its scan there.
+        ++work_.cut_steps;
         w.scan[sz(j)] = std::max(w.scan[sz(j)], vc[sz(j)]);
         w.cand[sz(j)] = -1;
         changed = true;
@@ -192,6 +242,8 @@ void OnlineMonitor::step_disj(DisjWatch& w) {
   for (ProcId i = 0; i < c.num_procs(); ++i) {
     auto& pos = w.scan[sz(i)];
     for (; pos <= frozen_limit(i); ++pos) {
+      if (!round_ok()) return;  // resume at `pos` next round
+      ++work_.predicate_evals;
       if (!w.pred->eval_local(c, i, pos)) continue;
       w.done = true;
       Cut cut = pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);
@@ -203,11 +255,13 @@ void OnlineMonitor::step_disj(DisjWatch& w) {
 
 void OnlineMonitor::step_stable(StableWatch& w) {
   if (w.done) return;
+  if (!round_ok()) return;  // re-evaluated from scratch next round
   const Computation& c = app_.computation();
   // Evaluate on the frozen frontier; stability makes any hit permanent.
   Cut frontier(static_cast<std::size_t>(c.num_procs()));
   for (ProcId i = 0; i < c.num_procs(); ++i)
     frontier[sz(i)] = frozen_limit(i);
+  ++work_.predicate_evals;
   if (w.pred->eval(c, frontier)) {
     w.done = true;
     fire(w.id, frontier, "stable: " + w.pred->describe());
@@ -220,19 +274,23 @@ void OnlineMonitor::step_until(UntilWatch& w) {
 
   // Resume the Chase–Garg walk toward I_q over the frozen prefix. The walk
   // is monotone, so work already done never repeats; a forbidden process
-  // exhausted (in frozen positions) suspends the watch until it produces
-  // more events or finish() is called.
+  // exhausted (in frozen positions) — or a tripped round budget — suspends
+  // the watch until more events arrive or finish() is called.
   auto all_frozen = [&](const Cut& g) {
     for (ProcId i = 0; i < c.num_procs(); ++i)
       if (g[sz(i)] > frozen_limit(i)) return false;
     return true;
   };
   if (!all_frozen(w.cand)) return;  // a join pulled in a thawing tail: wait
-  while (!w.q->eval(c, w.cand)) {
+  for (;;) {
+    if (!round_ok()) return;  // suspended; w.cand records the progress
+    ++work_.predicate_evals;
+    if (w.q->eval(c, w.cand)) break;
     // The very first evaluation handles q(∅) (fires with the empty prefix).
     const ProcId i = w.q->forbidden(c, w.cand);
     HBCT_DASSERT(i >= 0 && i < c.num_procs());
     if (w.cand[sz(i)] >= frozen_limit(i)) return;  // suspended
+    ++work_.cut_steps;
     Cut next = Cut::join(w.cand, c.join_irreducible_of(i, w.cand[sz(i)] + 1));
     if (!all_frozen(next)) {
       // The causal past of the next event reaches into a mutable tail;
@@ -244,13 +302,20 @@ void OnlineMonitor::step_until(UntilWatch& w) {
   }
 
   // I_q is inside the frozen prefix; Theorem 7 decides the verdict from
-  // the events below it — stable under all extensions.
-  DetectResult r = detect_eu_at(c, *w.p, w.cand);
+  // the events below it — stable under all extensions. The decision gets
+  // the monitor's budget too; since the sub-computation below I_q never
+  // changes, a kUnknown here would repeat identically on every retry, so
+  // the watch fires kUnknown immediately instead of spinning.
+  DetectResult r = detect_eu_at(c, *w.p, w.cand, 1, budget_);
+  work_ += r.stats;
   w.done = true;
-  fire(w.id, w.cand,
-       (r.holds ? "until holds: E[" : "until refuted: E[") +
-           w.p->describe() + " U " + w.q->describe() + "]",
-       r.holds);
+  const std::string what =
+      std::string(r.verdict == Verdict::kHolds
+                      ? "until holds: E["
+                      : r.verdict == Verdict::kFails ? "until refuted: E["
+                                                     : "until undecided: E[") +
+      w.p->describe() + " U " + w.q->describe() + "]";
+  fire(w.id, w.cand, what, r.verdict, r.bound);
 }
 
 std::vector<WatchFire> OnlineMonitor::poll() {

@@ -30,9 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "detect/budget.h"
 #include "online/appender.h"
 #include "predicate/conjunctive.h"
 #include "predicate/disjunctive.h"
+#include "util/stats.h"
 
 namespace hbct {
 
@@ -43,6 +45,11 @@ struct WatchFire {
   /// The verdict this fire reports. Most watches only fire positively;
   /// until-watches also fire when the verdict becomes definitively false
   /// (I_q is known and no p-path reaches it — stable under extensions).
+  /// Under a monitor budget (set_budget) a watch may also fire with
+  /// kUnknown: the evaluation was cut short and `bound` says why.
+  Verdict verdict = Verdict::kHolds;
+  BoundReason bound = BoundReason::kNone;
+  /// verdict == kHolds, kept for ergonomic positive-fire checks.
   bool holds = true;
   /// The cut exhibiting the watched condition (satisfying cut, violating
   /// cut, I_q for until-watches, or the frontier for stable watches).
@@ -71,8 +78,18 @@ class OnlineMonitor {
 
   /// Declares the stream complete: no further events or writes. Unfreezes
   /// the per-process tail events (see below) so every watch reaches its
-  /// final verdict. Idempotent.
+  /// final verdict. When the final evaluation round trips the budget, the
+  /// still-undecided watches fire with Verdict::kUnknown instead of staying
+  /// silent. Idempotent.
   void finish();
+
+  /// Caps the work (predicate evaluations + cut steps, shared across all
+  /// watches) each event's evaluation round may perform, plus deadline and
+  /// cancellation. A watch whose step runs out of budget simply suspends —
+  /// its incremental state is resumable — and retries on the next event
+  /// with a fresh work allowance. Default: unlimited.
+  void set_budget(const Budget& b) { budget_ = b; }
+  const Budget& budget() const { return budget_; }
 
   // ---- Watches -------------------------------------------------------------
   /// EF(p), p conjunctive. Fires once with the least satisfying cut.
@@ -140,7 +157,12 @@ class OnlineMonitor {
   void step_disj(DisjWatch& w);
   void step_stable(StableWatch& w);
   void step_until(UntilWatch& w);
-  void fire(WatchId id, Cut cut, const std::string& what, bool holds = true);
+  void fire(WatchId id, Cut cut, const std::string& what,
+            Verdict verdict = Verdict::kHolds,
+            BoundReason bound = BoundReason::kNone);
+  /// Budget checkpoint for the current evaluation round (always true when
+  /// no round tracker is active, i.e. during unbudgeted use).
+  bool round_ok() { return round_ == nullptr || round_->ok(); }
 
   OnlineAppender app_;
   std::vector<ConjWatch> conj_;
@@ -151,6 +173,10 @@ class OnlineMonitor {
   std::vector<bool> fired_;
   WatchId next_id_ = 0;
   bool finished_ = false;
+  Budget budget_;
+  /// Cumulative watch-evaluation work; each round's tracker is based here.
+  DetectStats work_;
+  BudgetTracker* round_ = nullptr;
 };
 
 }  // namespace hbct

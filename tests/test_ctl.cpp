@@ -205,7 +205,7 @@ TEST(CtlCompile, EvaluateMatchesBruteForce) {
     PredicatePtr q;
     if (parsed.query.q) q = ctl::compile_state(parsed.query.q).pred;
     auto slow = chk.detect(parsed.query.op, *p, q.get());
-    EXPECT_EQ(fast.result.holds, slow.holds) << text;
+    EXPECT_EQ(fast.result.holds(), slow.holds()) << text;
   }
 }
 
@@ -213,7 +213,7 @@ TEST(CtlCompile, BareStateEvaluatesAtInitialCut) {
   Computation c = vars_comp(9);
   auto r = ctl::evaluate_query(c, "v0@P0 >= 0 && channels_empty");
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_TRUE(r.result.holds);
+  EXPECT_TRUE(r.result.holds());
   EXPECT_EQ(r.algorithm, "state-eval(initial)");
 }
 
@@ -221,10 +221,10 @@ TEST(CtlCompile, PosAndTerminatedKeywords) {
   Computation c = vars_comp(10);
   auto r = ctl::evaluate_query(c, "AF(terminated)");
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_TRUE(r.result.holds);
+  EXPECT_TRUE(r.result.holds());
   auto r2 = ctl::evaluate_query(c, "EF(pos(0) >= 5)");
   ASSERT_TRUE(r2.ok) << r2.error;
-  EXPECT_TRUE(r2.result.holds);  // every process has 5 events
+  EXPECT_TRUE(r2.result.holds());  // every process has 5 events
 }
 
 }  // namespace

@@ -52,7 +52,7 @@ TEST(Dining, UnorderedVariantCanDeadlockAndOrderedCannot) {
     Computation ordered = run_dining(seed, true);
     ordered.validate();
     EXPECT_FALSE(stuck(ordered)) << "seed " << seed;
-    EXPECT_TRUE(detect(ordered, Op::kAF, all_done_pred()).holds);
+    EXPECT_TRUE(detect(ordered, Op::kAF, all_done_pred()).holds());
   }
   // Deterministic simulation: the unordered protocol is known to deadlock
   // on a majority of these seeds.
@@ -66,7 +66,7 @@ TEST(Dining, DeadlockIsDetectedAsConjunctivePredicate) {
     DetectResult ef = detect(c, Op::kEF, deadlock_pred());
     if (stuck(c)) {
       saw_deadlock = true;
-      EXPECT_TRUE(ef.holds) << "seed " << seed;
+      EXPECT_TRUE(ef.holds()) << "seed " << seed;
       // The deadlocked state persists to the final cut.
       EXPECT_TRUE(deadlock_pred()->eval(c, c.final_cut()));
       // And the witness is a real circular wait.
@@ -75,7 +75,7 @@ TEST(Dining, DeadlockIsDetectedAsConjunctivePredicate) {
       saw_completion = true;
       // A completing run may still pass near-deadlock cuts; only the
       // all-done property must definitely hold.
-      EXPECT_TRUE(detect(c, Op::kAF, all_done_pred()).holds)
+      EXPECT_TRUE(detect(c, Op::kAF, all_done_pred()).holds())
           << "seed " << seed;
     }
   }
@@ -134,7 +134,7 @@ TEST(Dining, ForksNeverDoubleBooked) {
       auto both = make_conjunctive(
           {var_cmp(i, "eating", Cmp::kEq, 1),
            var_cmp((i + 1) % kN, "eating", Cmp::kEq, 1)});
-      EXPECT_FALSE(detect(c, Op::kEF, PredicatePtr(both)).holds)
+      EXPECT_FALSE(detect(c, Op::kEF, PredicatePtr(both)).holds())
           << "seed " << seed << " pair " << i;
     }
   }

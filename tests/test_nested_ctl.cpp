@@ -38,7 +38,7 @@ TEST(NestedCtl, BooleanOverTemporalAgreesWithSeparateQueries) {
   ASSERT_TRUE(a.ok && b.ok);
   auto both = ctl::evaluate_query(c, "EF(v0@P0 == 4) && AG(v1@P1 >= 0)");
   ASSERT_TRUE(both.ok) << both.error;
-  EXPECT_EQ(both.result.holds, a.result.holds && b.result.holds);
+  EXPECT_EQ(both.result.holds(), a.result.holds() && b.result.holds());
   EXPECT_EQ(both.algorithm, "lattice-nested-ctl");
 }
 
@@ -52,7 +52,7 @@ TEST(NestedCtl, SingleOperatorNestedPathMatchesFastPath) {
     auto nested = ctl::evaluate_query(
         c, std::string(base) + " && EF(true)");
     ASSERT_TRUE(fast.ok && nested.ok) << nested.error;
-    EXPECT_EQ(nested.result.holds, fast.result.holds) << "seed " << seed;
+    EXPECT_EQ(nested.result.holds(), fast.result.holds()) << "seed " << seed;
   }
 }
 
@@ -71,11 +71,11 @@ TEST(NestedCtl, ResettabilityPattern) {
   // reach it again.
   auto q = ctl::evaluate_query(c, "AG(EF(reset@P0 == 1))");
   ASSERT_TRUE(q.ok) << q.error;
-  EXPECT_FALSE(q.result.holds);
+  EXPECT_FALSE(q.result.holds());
   // But EF(AG(reset == 0)) holds: run to the end where reset stays 0.
   auto q2 = ctl::evaluate_query(c, "EF(AG(reset@P0 == 0))");
   ASSERT_TRUE(q2.ok) << q2.error;
-  EXPECT_TRUE(q2.result.holds);
+  EXPECT_TRUE(q2.result.holds());
 }
 
 TEST(NestedCtl, UntilNestedInsideInvariant) {
@@ -88,14 +88,14 @@ TEST(NestedCtl, UntilNestedInsideInvariant) {
       "AG( E[ produced@P0 - consumed@P1 <= 2 U consumed@P1 == 4 ] "
       "|| consumed@P1 == 4 )");
   ASSERT_TRUE(q.ok) << q.error;
-  EXPECT_TRUE(q.result.holds);
+  EXPECT_TRUE(q.result.holds());
 }
 
 TEST(NestedCtl, DeepNestingEvaluates) {
   Computation c = comp(11);
   auto q = ctl::evaluate_query(c, "EF(AG(EF(v0@P0 >= 0)))");
   ASSERT_TRUE(q.ok) << q.error;
-  EXPECT_TRUE(q.result.holds);  // innermost is a tautology on values >= 0
+  EXPECT_TRUE(q.result.holds());  // innermost is a tautology on values >= 0
 }
 
 TEST(NestedCtl, ValidationStillAppliesInsideNesting) {
@@ -109,7 +109,7 @@ TEST(NestedCtl, LatticeCapIsReportedAsError) {
   Computation c = generate_independent(8, 6);  // 7^8 ≈ 5.7M cuts
   ctl::parse_query("AG(EF(true))");
   DispatchOptions opt;
-  opt.limits.max_states = 1000;
+  opt.budget.max_states = 1000;
   auto q = ctl::evaluate_query(c, "AG(EF(true))", opt);
   ASSERT_FALSE(q.ok);
   EXPECT_NE(q.error.find("exceeds"), std::string::npos);
@@ -120,7 +120,7 @@ TEST(NestedCtl, NegationOfTemporal) {
   auto a = ctl::evaluate_query(c, "!EF(v0@P0 == 4)");
   auto b = ctl::evaluate_query(c, "EF(v0@P0 == 4)");
   ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
-  EXPECT_EQ(a.result.holds, !b.result.holds);
+  EXPECT_EQ(a.result.holds(), !b.result.holds());
   EXPECT_EQ(a.algorithm, "lattice-nested-ctl");
 }
 

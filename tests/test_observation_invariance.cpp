@@ -72,9 +72,9 @@ TEST_P(ObservationInvariance, ModelIndependentOfRecordingOrder) {
   auto conj = make_conjunctive({var_cmp(0, "v0", Cmp::kGe, 3),
                                 var_cmp(1, "v1", Cmp::kLe, 4)});
   PredicatePtr lin = make_and(PredicatePtr(conj), all_channels_empty());
-  const bool ef_ref = detect(ref, Op::kEF, conj).holds;
-  const bool ag_ref = detect(ref, Op::kAG, lin).holds;
-  const bool eg_ref = detect(ref, Op::kEG, lin).holds;
+  const bool ef_ref = detect(ref, Op::kEF, conj).holds();
+  const bool ag_ref = detect(ref, Op::kAG, lin).holds();
+  const bool eg_ref = detect(ref, Op::kEG, lin).holds();
 
   for (int round = 0; round < 4; ++round) {
     const auto order = random_observation(ref, rng);
@@ -97,9 +97,9 @@ TEST_P(ObservationInvariance, ModelIndependentOfRecordingOrder) {
 
     // Detection verdicts are observation-independent (the whole point of
     // working on the happened-before model rather than one interleaving).
-    EXPECT_EQ(detect(c, Op::kEF, conj).holds, ef_ref);
-    EXPECT_EQ(detect(c, Op::kAG, lin).holds, ag_ref);
-    EXPECT_EQ(detect(c, Op::kEG, lin).holds, eg_ref);
+    EXPECT_EQ(detect(c, Op::kEF, conj).holds(), ef_ref);
+    EXPECT_EQ(detect(c, Op::kAG, lin).holds(), ag_ref);
+    EXPECT_EQ(detect(c, Op::kEG, lin).holds(), eg_ref);
   }
 }
 

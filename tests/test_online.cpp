@@ -171,8 +171,8 @@ TEST_P(OnlineWatch, ConjunctivePossiblyMatchesOffline) {
     feed.run(ref);
 
     DetectResult offline = detect_ef_conjunctive(ref, *p);
-    ASSERT_EQ(feed.monitor.fired(w), offline.holds) << p->describe();
-    if (offline.holds) {
+    ASSERT_EQ(feed.monitor.fired(w), offline.holds()) << p->describe();
+    if (offline.holds()) {
       auto fires = feed.monitor.poll();
       ASSERT_EQ(fires.size(), 1u);
       // The online fire reports the same least satisfying cut.
@@ -206,11 +206,11 @@ TEST_P(OnlineWatch, DisjunctivePossiblyAndInvariant) {
     feed.run(ref);
 
     EXPECT_EQ(feed.monitor.fired(possibly),
-              detect_ef_disjunctive(ref, *p).holds)
+              detect_ef_disjunctive(ref, *p).holds())
         << p->describe();
     DetectResult ag = detect_ag_disjunctive(ref, *p);
-    EXPECT_EQ(feed.monitor.fired(invariant), !ag.holds) << p->describe();
-    if (!ag.holds) {
+    EXPECT_EQ(feed.monitor.fired(invariant), !ag.holds()) << p->describe();
+    if (!ag.holds()) {
       for (const auto& f : feed.monitor.poll())
         if (f.watch == invariant) {
           EXPECT_FALSE(p->eval(feed.monitor.computation(), f.cut));
@@ -263,8 +263,8 @@ TEST_P(OnlineWatch, ConjunctiveFiresAtEarliestPossiblePrefix) {
   feed.run(ref);
 
   DetectResult offline = detect_ef_conjunctive(ref, *p);
-  ASSERT_EQ(feed.monitor.fired(w), offline.holds);
-  if (!offline.holds) return;
+  ASSERT_EQ(feed.monitor.fired(w), offline.holds());
+  if (!offline.holds()) return;
   auto fires = feed.monitor.poll();
   ASSERT_EQ(fires.size(), 1u);
 
@@ -306,12 +306,12 @@ TEST_P(OnlineWatch, UntilWatchMatchesOfflineA3) {
     auto iq = least_satisfying_cut(ref, *q, st);
     ASSERT_EQ(feed.monitor.fired(w), iq.has_value()) << q->describe();
     if (!iq) {
-      EXPECT_FALSE(offline.holds);
+      EXPECT_FALSE(offline.holds());
       continue;
     }
     auto fires = feed.monitor.poll();
     ASSERT_EQ(fires.size(), 1u);
-    EXPECT_EQ(fires[0].holds, offline.holds)
+    EXPECT_EQ(fires[0].holds, offline.holds())
         << "p=" << p->describe() << " q=" << q->describe();
     EXPECT_EQ(fires[0].cut, *iq);
   }

@@ -94,7 +94,8 @@ PredicatePtr random_cnf(Rng& rng, std::int32_t procs) {
 
 void expect_identical(const DetectResult& seq, const DetectResult& par,
                       const std::string& what) {
-  EXPECT_EQ(seq.holds, par.holds) << what;
+  EXPECT_EQ(seq.verdict, par.verdict) << what;
+  EXPECT_EQ(seq.bound, par.bound) << what;
   EXPECT_EQ(seq.algorithm, par.algorithm) << what;
   EXPECT_EQ(seq.witness_cut, par.witness_cut) << what;
   EXPECT_EQ(seq.witness_path, par.witness_path) << what;
@@ -206,8 +207,79 @@ TEST_P(ParallelDetect, LatticeCheckerLabelAndClasses) {
   }
 }
 
+TEST_P(ParallelDetect, BudgetedVerdictsAgreeAcrossWidths) {
+  // Budgets must not reintroduce nondeterminism: per-branch trackers and
+  // the lowest-index merge mean a bounded run is as width-invariant as a
+  // definite one — including which BoundReason is reported.
+  Rng rng(GetParam() * 137 + 31);
+  Computation c = random_comp(GetParam() + 1250);
+  PredicatePtr dnf = random_dnf(rng, c.num_procs());
+  PredicatePtr cnf = random_cnf(rng, c.num_procs());
+  for (std::uint64_t w : {std::uint64_t{1}, std::uint64_t{10},
+                          std::uint64_t{100}}) {
+    for (Op op : {Op::kEF, Op::kAG}) {
+      const PredicatePtr& p = op == Op::kEF ? dnf : cnf;
+      DispatchOptions seq_opt;
+      seq_opt.parallelism = 1;
+      seq_opt.budget.max_work = w;
+      const DetectResult seq = detect(c, op, p, nullptr, seq_opt);
+      for (std::size_t par : {std::size_t{2}, std::size_t{4}}) {
+        DispatchOptions par_opt = seq_opt;
+        par_opt.parallelism = par;
+        const DetectResult r = detect(c, op, p, nullptr, par_opt);
+        expect_identical(seq, r,
+                         std::string(to_string(op)) + " " + p->describe() +
+                             " work=" + std::to_string(w) +
+                             " @ par=" + std::to_string(par));
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDetect,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(ParallelBudget, PreCancelledTokenAbortsBeforeAnyEvaluation) {
+  // A token cancelled before the detection starts must surface at the very
+  // first checkpoint: kUnknown/kCancelled with zero predicate evaluations,
+  // at every parallelism width.
+  Computation c = random_comp(5);
+  Rng rng(5);
+  PredicatePtr dnf = random_dnf(rng, c.num_procs());
+  CancelToken token;
+  token.cancel();
+  for (std::size_t par : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    DispatchOptions opt;
+    opt.parallelism = par;
+    opt.budget.cancel = &token;
+    const DetectResult r = detect(c, Op::kEF, dnf, nullptr, opt);
+    EXPECT_EQ(r.verdict, Verdict::kUnknown) << "par=" << par;
+    EXPECT_EQ(r.bound, BoundReason::kCancelled) << "par=" << par;
+    EXPECT_EQ(r.stats.predicate_evals, 0u) << "par=" << par;
+  }
+}
+
+TEST(ParallelBudget, PastDeadlineAbortsAtFirstCheckpoint) {
+  // The deadline clock is probed on the first checkpoint regardless of the
+  // probe stride, so an already-expired deadline can never produce a
+  // definite verdict.
+  Computation c = random_comp(6);
+  Rng rng(6);
+  PredicatePtr cnf = random_cnf(rng, c.num_procs());
+  for (std::size_t par : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    DispatchOptions opt;
+    opt.parallelism = par;
+    opt.budget = Budget::with_deadline_in(std::chrono::nanoseconds{-1});
+    const DetectResult r = detect(c, Op::kAG, cnf, nullptr, opt);
+    EXPECT_EQ(r.verdict, Verdict::kUnknown) << "par=" << par;
+    EXPECT_EQ(r.bound, BoundReason::kDeadline) << "par=" << par;
+    const DetectResult eu =
+        detect(c, Op::kEU, PredicatePtr(random_conjunctive(rng, c.num_procs())),
+               cnf, opt);
+    EXPECT_EQ(eu.verdict, Verdict::kUnknown) << "par=" << par;
+    EXPECT_EQ(eu.bound, BoundReason::kDeadline) << "par=" << par;
+  }
+}
 
 }  // namespace
 }  // namespace hbct

@@ -41,7 +41,7 @@ TEST(ProgramCheck, InjectedBugFailsSomeSchedulesAndReportsSeeds) {
   Computation c = prog(r.failing_seeds.front());
   auto overlap = make_conjunctive(
       {var_cmp(0, "cs", Cmp::kEq, 1), var_cmp(2, "cs", Cmp::kEq, 1)});
-  EXPECT_TRUE(detect(c, Op::kEF, overlap).holds);
+  EXPECT_TRUE(detect(c, Op::kEF, overlap).holds());
 }
 
 TEST(ProgramCheck, QueryErrorsSurfaceOnce) {
@@ -81,14 +81,14 @@ TEST_P(Abp, ExactlyOnceInOrderDelivery) {
   // Every schedule delivers all items exactly once...
   EXPECT_TRUE(detect(c, Op::kAF,
                      PredicatePtr(var_cmp(1, "delivered", Cmp::kEq, 6)))
-                  .holds);
+                  .holds());
   // ...delivery never runs ahead of transmission (regular predicate)...
   EXPECT_TRUE(
-      detect(c, Op::kAG, diff_le({1, "delivered"}, {0, "sent"}, 0)).holds);
+      detect(c, Op::kAG, diff_le({1, "delivered"}, {0, "sent"}, 0)).holds());
   // ...and never falls more than one item behind what was confirmed.
   EXPECT_TRUE(
       detect(c, Op::kAG, diff_le({0, "confirmed"}, {1, "delivered"}, 0))
-          .holds);
+          .holds());
 }
 
 TEST_P(Abp, RetransmissionsAreAbsorbedAsDuplicates) {
@@ -108,7 +108,7 @@ TEST_P(Abp, RetransmissionsAreAbsorbedAsDuplicates) {
   // below via the suite's many seeds — here only consistency).
   EXPECT_TRUE(detect(c, Op::kAF,
                      PredicatePtr(var_cmp(1, "delivered", Cmp::kEq, 5)))
-                  .holds);
+                  .holds());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Abp, ::testing::Range<std::uint64_t>(1, 13));

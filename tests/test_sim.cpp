@@ -73,12 +73,12 @@ TEST_P(TokenMutex, SafetyHoldsWithoutInjection) {
   c.validate();
   for (ProcId i = 0; i < 4; ++i)
     for (ProcId j = i + 1; j < 4; ++j)
-      EXPECT_FALSE(detect(c, Op::kEF, cs_pair(i, j)).holds)
+      EXPECT_FALSE(detect(c, Op::kEF, cs_pair(i, j)).holds())
           << i << "," << j;
   // Everyone eventually enters: cs@Pi == 1 is possible for each i.
   for (ProcId i = 0; i < 4; ++i)
     EXPECT_TRUE(
-        detect(c, Op::kEF, PredicatePtr(var_cmp(i, "cs", Cmp::kEq, 1))).holds);
+        detect(c, Op::kEF, PredicatePtr(var_cmp(i, "cs", Cmp::kEq, 1))).holds());
 }
 
 TEST_P(TokenMutex, InjectedViolationIsDetected) {
@@ -88,7 +88,7 @@ TEST_P(TokenMutex, InjectedViolationIsDetected) {
   bool violated = false;
   for (ProcId i = 0; i < 4 && !violated; ++i)
     for (ProcId j = i + 1; j < 4 && !violated; ++j)
-      violated = detect(c, Op::kEF, cs_pair(i, j)).holds;
+      violated = detect(c, Op::kEF, cs_pair(i, j)).holds();
   EXPECT_TRUE(violated);
 }
 
@@ -106,12 +106,12 @@ TEST_P(RaMutex, SafetyAcrossSchedulers) {
     c.validate();
     for (ProcId i = 0; i < 3; ++i)
       for (ProcId j = i + 1; j < 3; ++j)
-        EXPECT_FALSE(detect(c, Op::kEF, cs_pair(i, j)).holds);
+        EXPECT_FALSE(detect(c, Op::kEF, cs_pair(i, j)).holds());
     // Liveness in the recorded run: every process reached its CS.
     for (ProcId i = 0; i < 3; ++i)
       EXPECT_TRUE(
           detect(c, Op::kEF, PredicatePtr(var_cmp(i, "cs", Cmp::kEq, 1)))
-              .holds);
+              .holds());
   }
 }
 
@@ -126,7 +126,7 @@ TEST_P(RaMutex, TryUntilCriticalHoldsPerProcess) {
     PredicatePtr p = make_or(PredicatePtr(var_cmp(i, "try", Cmp::kEq, 1)),
                              PredicatePtr(var_cmp(i, "cs", Cmp::kEq, 0)));
     PredicatePtr q = var_cmp(i, "cs", Cmp::kEq, 1);
-    EXPECT_TRUE(detect(c, Op::kAU, p, q).holds);
+    EXPECT_TRUE(detect(c, Op::kAU, p, q).holds());
   }
 }
 
@@ -147,7 +147,7 @@ TEST_P(Election, ExactlyMaxUidWinsEverywhere) {
   std::vector<LocalPredicatePtr> agree;
   for (ProcId i = 0; i < n; ++i)
     agree.push_back(var_cmp(i, "leader", Cmp::kEq, n));
-  EXPECT_TRUE(detect(c, Op::kAF, make_conjunctive(agree)).holds);
+  EXPECT_TRUE(detect(c, Op::kAF, make_conjunctive(agree)).holds());
 
   // AG: no process ever believes in a non-max, non-zero leader.
   for (ProcId i = 0; i < n; ++i) {
@@ -155,17 +155,17 @@ TEST_P(Election, ExactlyMaxUidWinsEverywhere) {
                                 PredicatePtr(var_cmp(i, "leader", Cmp::kEq, n)));
     EXPECT_TRUE(detect(c, Op::kAG, sane,
                        nullptr, DispatchOptions{})
-                    .holds);
+                    .holds());
   }
 
   // Exactly one process sets elected.
   std::vector<LocalPredicatePtr> two;
   for (ProcId i = 0; i + 1 < n; ++i)
     two.push_back(var_cmp(i, "elected", Cmp::kEq, 1));
-  EXPECT_FALSE(detect(c, Op::kEF, make_conjunctive(two)).holds);
+  EXPECT_FALSE(detect(c, Op::kEF, make_conjunctive(two)).holds());
   EXPECT_TRUE(detect(c, Op::kEF,
                      PredicatePtr(var_cmp(n - 1, "elected", Cmp::kEq, 1)))
-                  .holds);
+                  .holds());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Election,
@@ -183,17 +183,17 @@ TEST_P(ProdCons, WindowInvariantIsRegularAndHolds) {
   auto inv = diff_le({0, "produced"}, {1, "consumed"}, 3);
   EXPECT_EQ(inv->classes(c) & kClassRegular, kClassRegular);
   DetectResult r = detect(c, Op::kAG, inv);
-  EXPECT_TRUE(r.holds);
+  EXPECT_TRUE(r.holds());
   EXPECT_EQ(r.algorithm, "A2-ag-linear");
 
   // The tighter bound is violated somewhere (window actually fills).
   auto tight = diff_le({0, "produced"}, {1, "consumed"}, 0);
-  EXPECT_FALSE(detect(c, Op::kAG, tight).holds);
+  EXPECT_FALSE(detect(c, Op::kAG, tight).holds());
 
   // All items eventually consumed in every observation.
   EXPECT_TRUE(
       detect(c, Op::kAF, PredicatePtr(var_cmp(1, "consumed", Cmp::kEq, 8)))
-          .holds);
+          .holds());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProdCons,
@@ -213,14 +213,14 @@ TEST_P(Barrier, PhaseSkewBounded) {
       if (i == j) continue;
       EXPECT_TRUE(detect(c, Op::kAG,
                          diff_le({i, "phase"}, {j, "phase"}, 1))
-                      .holds)
+                      .holds())
           << i << "," << j;
     }
   // Everyone finishes all phases on every path.
   std::vector<LocalPredicatePtr> done;
   for (ProcId i = 1; i < n; ++i)
     done.push_back(var_cmp(i, "phase", Cmp::kEq, phases));
-  EXPECT_TRUE(detect(c, Op::kAF, make_conjunctive(done)).holds);
+  EXPECT_TRUE(detect(c, Op::kAF, make_conjunctive(done)).holds());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Barrier,
@@ -234,7 +234,7 @@ TEST(Sim, TokenRingWorkCountsAccumulate) {
   PredicatePtr done = make_disjunctive({var_cmp(0, "done", Cmp::kEq, 1),
                                         var_cmp(1, "done", Cmp::kEq, 1),
                                         var_cmp(2, "done", Cmp::kEq, 1)});
-  EXPECT_TRUE(detect(c, Op::kAF, done).holds);
+  EXPECT_TRUE(detect(c, Op::kAF, done).holds());
 }
 
 TEST(Sim, MaxActionsCapStopsRunaway) {

@@ -40,7 +40,7 @@ TEST_P(StableProperty, AllFourOperatorsMatchBrute) {
     EXPECT_TRUE(brute_check_classes(chk, *p).stable);
     for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG}) {
       DetectResult fast = detect_stable(c, *p, op);
-      EXPECT_EQ(fast.holds, chk.detect(op, *p).holds)
+      EXPECT_EQ(fast.holds(), chk.detect(op, *p).holds())
           << to_string(op) << " k=" << k;
       EXPECT_LE(fast.stats.predicate_evals, 1u);  // truly trivial
     }
@@ -50,10 +50,10 @@ TEST_P(StableProperty, AllFourOperatorsMatchBrute) {
 TEST_P(StableProperty, TerminatedViaDispatch) {
   Computation c = comp(GetParam() + 30);
   auto t = make_terminated();
-  EXPECT_TRUE(detect(c, Op::kEF, t).holds);
-  EXPECT_TRUE(detect(c, Op::kAF, t).holds);
-  EXPECT_FALSE(detect(c, Op::kEG, t).holds);
-  EXPECT_FALSE(detect(c, Op::kAG, t).holds);
+  EXPECT_TRUE(detect(c, Op::kEF, t).holds());
+  EXPECT_TRUE(detect(c, Op::kAF, t).holds());
+  EXPECT_FALSE(detect(c, Op::kEG, t).holds());
+  EXPECT_FALSE(detect(c, Op::kAG, t).holds());
   EXPECT_EQ(detect(c, Op::kEF, t).algorithm, "stable-final");
 }
 
@@ -76,30 +76,48 @@ TEST_P(OiProperty, SingleObservationDecidesEfAndAf) {
                            rng.next_in(0, 5)));
     auto p = make_disjunctive(std::move(ls));
     DetectResult fast = detect_ef_observer_independent(c, *p);
-    EXPECT_EQ(fast.holds, chk.detect(Op::kEF, *p).holds) << p->describe();
-    EXPECT_EQ(fast.holds, chk.detect(Op::kAF, *p).holds) << p->describe();
-    if (fast.holds) EXPECT_TRUE(p->eval(c, *fast.witness_cut));
+    EXPECT_EQ(fast.holds(), chk.detect(Op::kEF, *p).holds()) << p->describe();
+    EXPECT_EQ(fast.holds(), chk.detect(Op::kAF, *p).holds()) << p->describe();
+    if (fast.holds()) EXPECT_TRUE(p->eval(c, *fast.witness_cut));
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OiProperty,
                          ::testing::Range<std::uint64_t>(1, 11));
 
-TEST(SearchLimits, AbortIsReportedNotMisanswered) {
+// Regression: an aborted search must come back kUnknown, never a definite
+// verdict. In particular ag-dfs = ¬ef-dfs(¬p) used to read an aborted inner
+// search as "EF(¬p) is false" and answer AG(p) = true — a wrong definite
+// verdict. Kleene negation keeps kUnknown unknown.
+TEST(BudgetBounds, AbortIsReportedNotMisanswered) {
   Computation c = generate_independent(4, 4);  // 625 cuts
-  SearchLimits lim;
-  lim.max_states = 10;
+  Budget tight;
+  tight.max_states = 10;
   // A predicate that is true only at the final cut, so the search must
   // exhaust the space — and hits the cap instead.
   auto p = make_asserted(
       [](const Computation& cc, const Cut& g) { return g == cc.final_cut(); },
       0, "only-final");
-  DetectResult r = detect_ef_dfs(c, *p, lim);
-  EXPECT_FALSE(r.holds);
-  EXPECT_NE(r.algorithm.find("aborted"), std::string::npos);
-  // The abort marker propagates through the negation wrappers.
-  DetectResult ag = detect_ag_dfs(c, *make_not(p), lim);
-  EXPECT_NE(ag.algorithm.find("aborted"), std::string::npos);
+  DetectResult r = detect_ef_dfs(c, *p, tight);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_EQ(r.bound, BoundReason::kStateCap);
+  EXPECT_FALSE(r.definite());
+
+  // The deterministic heart of the regression: ag-dfs over the aborted
+  // inner EF(¬(¬p)) search reports kUnknown with the same bound — not true.
+  DetectResult ag = detect_ag_dfs(c, *make_not(p), tight);
+  EXPECT_EQ(ag.verdict, Verdict::kUnknown);
+  EXPECT_EQ(ag.bound, BoundReason::kStateCap);
+
+  // With the default (unlimited-enough) budget both are definite and agree
+  // with ground truth: the final cut is reachable, so EF(p) holds and
+  // AG(!p) fails.
+  DetectResult full = detect_ef_dfs(c, *p);
+  EXPECT_EQ(full.verdict, Verdict::kHolds);
+  EXPECT_EQ(full.bound, BoundReason::kNone);
+  DetectResult ag_full = detect_ag_dfs(c, *make_not(p));
+  EXPECT_EQ(ag_full.verdict, Verdict::kFails);
+  EXPECT_EQ(ag_full.bound, BoundReason::kNone);
 }
 
 TEST(SearchDetectors, WitnessPathsAreValid) {
@@ -108,7 +126,7 @@ TEST(SearchDetectors, WitnessPathsAreValid) {
       [](const Computation&, const Cut& g) { return g.total() >= 6; }, 0,
       "probe");
   DetectResult r = detect_ef_dfs(c, *p);
-  ASSERT_TRUE(r.holds);
+  ASSERT_TRUE(r.holds());
   ASSERT_FALSE(r.witness_path.empty());
   EXPECT_EQ(r.witness_path.front(), c.initial_cut());
   EXPECT_TRUE(p->eval(c, r.witness_path.back()));

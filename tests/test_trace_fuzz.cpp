@@ -1,0 +1,99 @@
+// Trace reader robustness: seeded byte-level mutations of valid traces must
+// never crash the parser — every input either parses or reports a non-empty
+// error — and the unmutated round-trip stays intact throughout.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "poset/generate.h"
+#include "poset/trace_io.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+Computation random_comp(std::uint64_t seed) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.num_vars = 2;
+  opt.p_send = 0.3;
+  opt.p_recv = 0.35;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+/// Applies one random substitution, insertion, or deletion at a random
+/// offset. The alphabet skews toward bytes the grammar cares about so
+/// mutations hit field boundaries, not just free text.
+std::string mutate(Rng& rng, std::string s) {
+  const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 \t\n-=#.procsvinitend\xff\x00";
+  const auto pick = [&] {
+    return alphabet[rng.next_below(sizeof(alphabet) - 1)];
+  };
+  if (s.empty()) return std::string(1, pick());
+  const std::size_t at = rng.next_below(s.size());
+  switch (rng.next_below(3)) {
+    case 0:
+      s[at] = pick();
+      break;
+    case 1:
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(at), pick());
+      break;
+    default:
+      s.erase(s.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+  }
+  return s;
+}
+
+class TraceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceFuzz, MutatedTracesNeverCrash) {
+  Rng rng(GetParam() * 41 + 3);
+  const Computation c = random_comp(GetParam());
+  const std::string valid = trace_to_string(c);
+
+  // Sanity: the unmutated text round-trips.
+  TraceParseResult base = trace_from_string(valid);
+  ASSERT_TRUE(base.ok) << base.error;
+  EXPECT_EQ(trace_to_string(base.computation), valid);
+
+  for (int round = 0; round < 200; ++round) {
+    // 1..8 stacked mutations: single byte flips and small pile-ups.
+    std::string text = valid;
+    const std::size_t n = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) text = mutate(rng, text);
+
+    const TraceParseResult r = trace_from_string(text);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << "round " << round;
+    } else {
+      // Whatever still parses must serialize and re-parse to the identical
+      // computation (print∘parse is a fixpoint after one iteration).
+      const std::string printed = trace_to_string(r.computation);
+      const TraceParseResult r2 = trace_from_string(printed);
+      ASSERT_TRUE(r2.ok) << "reprint failed: " << r2.error;
+      EXPECT_EQ(trace_to_string(r2.computation), printed);
+    }
+  }
+}
+
+TEST(TraceFuzz, TruncationsAtEveryPrefixAreHandled) {
+  const Computation c = random_comp(99);
+  const std::string valid = trace_to_string(c);
+  // Every prefix either parses (trailing records dropped legally would be a
+  // format change — today only the full text has the `end` marker) or
+  // reports an error; it must never crash.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const TraceParseResult r = trace_from_string(valid.substr(0, len));
+    if (!r.ok) EXPECT_FALSE(r.error.empty()) << "prefix " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace hbct

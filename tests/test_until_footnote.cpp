@@ -65,9 +65,9 @@ TEST_P(UntilFootnote, NonLinearQWithLeastCut) {
 
     DetectResult fast = detect_eu_at(c, *p, *iq);
     DetectResult slow = chk.detect(Op::kEU, *p, q.get());
-    EXPECT_EQ(fast.holds, slow.holds)
+    EXPECT_EQ(fast.holds(), slow.holds())
         << "k=" << k << " t=" << t << " p=" << p->describe();
-    if (fast.holds) {
+    if (fast.holds()) {
       EXPECT_EQ(*fast.witness_cut, *iq);
       EXPECT_TRUE(q->eval(c, fast.witness_path.back()));
       for (std::size_t i = 0; i + 1 < fast.witness_path.size(); ++i)
@@ -91,9 +91,9 @@ TEST_P(UntilFootnote, AgreesWithLinearPathWhenQIsLinear) {
   DetectResult via_oracle = detect_eu(c, *p, *q);
   if (iq) {
     DetectResult via_cut = detect_eu_at(c, *p, *iq);
-    EXPECT_EQ(via_cut.holds, via_oracle.holds);
+    EXPECT_EQ(via_cut.holds(), via_oracle.holds());
   } else {
-    EXPECT_FALSE(via_oracle.holds);
+    EXPECT_FALSE(via_oracle.holds());
   }
 }
 
