@@ -237,6 +237,34 @@ void BM_until_AU_disjunctive(benchmark::State& state) {
 }
 BENCHMARK(BM_until_AU_disjunctive);
 
+// ---- Lint-only overhead --------------------------------------------------------
+//
+// DispatchOptions::audit = kLintOnly attaches the dispatch plan and the
+// pre-flight diagnostics to every result. The pair below runs the same four
+// polynomial detections with the analysis off and on; the acceptance bar is
+// <1% overhead, i.e. the two times should be indistinguishable since the
+// lint costs O(|formula|) against detections that walk the computation.
+
+void run_all_unary(benchmark::State& state, const DispatchOptions& opt) {
+  const Computation& c = workload();
+  PredicatePtr p = conjunctive_pred();
+  DetectResult last;
+  for (auto _ : state)
+    for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG})
+      last = detect(c, op, p, nullptr, opt);
+  report(state, last);
+}
+
+void BM_audit_off(benchmark::State& state) { run_all_unary(state, {}); }
+BENCHMARK(BM_audit_off);
+
+void BM_audit_lint_only(benchmark::State& state) {
+  DispatchOptions opt;
+  opt.audit = AuditMode::kLintOnly;
+  run_all_unary(state, opt);
+}
+BENCHMARK(BM_audit_lint_only);
+
 }  // namespace
 }  // namespace hbct
 

@@ -11,7 +11,9 @@
 //   hbct> quit
 //
 // Commands: any CTL query, `diagram`, `stats`, `vars`, `classes <state
-// formula>`, `help`, `quit`.
+// formula>`, `lint <query>`, `audit <state formula>`, `help`, `quit`.
+// With --audit, every query runs a full pre-flight class audit and prints
+// the lint findings (see DESIGN.md §9 for the warning-code catalog).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,21 +31,31 @@ void help() {
       "commands:\n"
       "  <ctl query>          evaluate, e.g. EF(x@P0 == 1 && y@P1 > 2)\n"
       "  classes <formula>    predicate classes + algorithm dispatch map\n"
+      "  lint <query>         predicted dispatch plan + W-code findings\n"
+      "  audit <formula>      verify claimed predicate classes (E-codes)\n"
       "  diagram              ASCII space-time diagram\n"
       "  stats                concurrency metrics (height, width, ...)\n"
       "  vars                 variable names\n"
       "  help | quit\n");
 }
 
-void run_query(const Computation& c, const std::string& text) {
-  auto r = ctl::evaluate_query(c, text);
+void run_query(const Computation& c, const std::string& text, bool audit) {
+  DispatchOptions opt;
+  if (audit) opt.audit = AuditMode::kFull;
+  auto r = ctl::evaluate_query(c, text, opt);
   if (!r.ok) {
     std::printf("error: %s\n", r.error.c_str());
     return;
   }
-  std::printf("%s  [%s, %llu evals]\n", r.result.holds() ? "TRUE" : "FALSE",
-              r.algorithm.c_str(),
+  const char* verdict = r.result.verdict == Verdict::kUnknown
+                            ? "UNKNOWN"
+                            : r.result.holds() ? "TRUE" : "FALSE";
+  std::printf("%s  [%s, %llu evals]\n", verdict, r.algorithm.c_str(),
               static_cast<unsigned long long>(r.result.stats.predicate_evals));
+  if (!r.result.plan.empty())
+    std::printf("  plan: %s\n", r.result.plan.c_str());
+  if (!r.result.diagnostics.empty())
+    std::printf("%s", render_diagnostics(r.result.diagnostics).c_str());
   if (r.result.witness_cut)
     std::printf("  witness cut %s\n", r.result.witness_cut->to_string().c_str());
   if (!r.result.witness_path.empty()) {
@@ -77,16 +89,65 @@ void show_classes(const Computation& c, const std::string& text) {
   std::printf("%s", to_string(classify(*compiled.pred, c)).c_str());
 }
 
+void lint(const Computation& c, const std::string& text) {
+  auto parsed = ctl::parse_query(text);
+  if (!parsed.ok) {
+    std::printf("parse error: %s\n", parsed.error.c_str());
+    return;
+  }
+  const auto ds = ctl::lint_query(c, parsed.query);
+  if (ds.empty()) {
+    std::printf("clean: every dispatch is polynomial\n");
+    return;
+  }
+  std::printf("%s", render_diagnostics(ds).c_str());
+}
+
+/// Compiles a state formula and audits its claimed classes on the trace.
+void audit(const Computation& c, const std::string& text) {
+  auto parsed = ctl::parse_query(text);
+  if (!parsed.ok) {
+    std::printf("parse error: %s\n", parsed.error.c_str());
+    return;
+  }
+  if (parsed.query.temporal || ctl::contains_temporal(parsed.query.root)) {
+    std::printf("audit applies to state formulas (no temporal ops)\n");
+    return;
+  }
+  auto compiled = ctl::compile_state(parsed.query.p);
+  if (!compiled.ok) {
+    std::printf("compile error: %s\n", compiled.error.c_str());
+    return;
+  }
+  const AuditResult r = audit_predicate(compiled.pred, c);
+  std::printf("%s over %llu cuts: %s\n",
+              r.exhaustive ? "exhaustive" : "sampled",
+              static_cast<unsigned long long>(r.cuts_examined),
+              r.ok() ? "all claimed classes verified" : "violations found");
+  if (!r.ok())
+    std::printf("%s", render_diagnostics(audit_diagnostics(r)).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <trace-file|->\n", argv[0]);
+  bool audit_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--audit") == 0)
+      audit_mode = true;
+    else if (!path)
+      path = argv[i];
+    else
+      path = "";  // too many positionals; falls through to usage
+  }
+  if (!path || !*path) {
+    std::fprintf(stderr, "usage: %s [--audit] <trace-file|->\n", argv[0]);
     return 64;
   }
 
   TraceParseResult parsed;
-  if (std::strcmp(argv[1], "-") == 0) {
+  if (std::strcmp(path, "-") == 0) {
     parsed = read_trace(std::cin);
     // Reopen the terminal for interaction when the trace came from a pipe.
     if (!std::freopen("/dev/tty", "r", stdin)) {
@@ -94,9 +155,9 @@ int main(int argc, char** argv) {
       return 74;
     }
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(path);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", path);
       return 66;
     }
     parsed = read_trace(in);
@@ -131,8 +192,12 @@ int main(int argc, char** argv) {
       std::printf("\n");
     } else if (starts_with(cmd, "classes ")) {
       show_classes(c, cmd.substr(8));
+    } else if (starts_with(cmd, "lint ")) {
+      lint(c, cmd.substr(5));
+    } else if (starts_with(cmd, "audit ")) {
+      audit(c, cmd.substr(6));
     } else {
-      run_query(c, cmd);
+      run_query(c, cmd, audit_mode);
     }
   }
   return 0;

@@ -1,0 +1,42 @@
+#include "analysis/diagnostics.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hbct {
+
+std::string to_string(DiagCode c) {
+  const auto v = static_cast<std::uint16_t>(c);
+  return strfmt("%c%03u", v >= 100 ? 'E' : 'W', v);
+}
+
+const char* to_string(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::kInfo: return "info";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << to_string(d.code);
+  if (d.span.valid())
+    os << " col " << d.span.begin + 1 << "-" << d.span.end;
+  os << " [" << to_string(d.severity) << "]: " << d.message;
+  if (!d.suggestion.empty()) os << " (suggest: " << d.suggestion << ")";
+  return os.str();
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& ds) {
+  std::string out;
+  for (const Diagnostic& d : ds) {
+    out += to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hbct

@@ -1,0 +1,84 @@
+// Structured diagnostics for the static CTL query lint and the predicate
+// class auditor.
+//
+// A Diagnostic is one finding: a stable warning code (the catalog below,
+// documented in DESIGN.md §9), a severity, a human-readable message, an
+// optional source span into the query text the finding anchors to, and an
+// optional suggested rewrite. Lint findings (W...) predict what dispatch
+// will do before any detection runs; audit findings (E...) report a claimed
+// predicate class or oracle contract refuted by a concrete counterexample
+// cut. This header is dependency-free so detect/detector.h can embed
+// diagnostics in DetectResult without layering cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbct {
+
+/// Stable diagnostic codes. W-codes are lint warnings (the query is legal
+/// but a cheaper or sounder form exists, or a cost cliff is ahead); E-codes
+/// are audit errors (a stated contract is provably violated on this
+/// computation). Values are part of the reporting surface — append only.
+enum class DiagCode : std::uint16_t {
+  // ---- Lint warnings ---------------------------------------------------
+  kExponentialFallback = 1,   // W001: operator dispatches to explicit search
+  kIntractableClass = 2,      // W002: EG/AG over observer-independent
+                              //       (NP-/co-NP-complete, Thms 5/6)
+  kNestedTemporal = 3,        // W003: outside the paper fragment; the whole
+                              //       formula runs on the explicit lattice
+  kUnclassifiedPredicate = 4, // W004: subformula compiles to a predicate
+                              //       with no structural class on this
+                              //       computation
+  kMissingOracle = 5,         // W005: class claims (post-)linear but carries
+                              //       no advancement oracle; the polynomial
+                              //       route is skipped
+  kSplitDispatch = 6,         // W006: dispatch fans out over a DNF/CNF
+                              //       split (cost multiplies by the width)
+  kAssertedClasses = 7,       // W007: user-asserted class bits are load-
+                              //       bearing and unverified (audit advised)
+  // ---- Audit errors ----------------------------------------------------
+  kClassAuditFailed = 101,    // E101: claimed class bit refuted
+  kOracleContractViolated = 102,  // E102: forbidden()/forbidden_down() lie
+  kNegationContractViolated = 103,  // E103: negate() is not the complement
+};
+
+enum class DiagSeverity : std::uint8_t { kInfo, kWarning, kError };
+
+/// Half-open byte range [begin, end) into the query source text.
+/// kNoSpan marks diagnostics with no source anchor (predicate-level
+/// findings raised below the parser, e.g. from dispatch or the auditor).
+struct SourceSpan {
+  static constexpr std::uint32_t kNoSpan = ~std::uint32_t{0};
+  std::uint32_t begin = kNoSpan;
+  std::uint32_t end = kNoSpan;
+
+  bool valid() const { return begin != kNoSpan; }
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kExponentialFallback;
+  DiagSeverity severity = DiagSeverity::kWarning;
+  /// What was found, e.g. "EG over arbitrary predicate 'parity' falls back
+  /// to eg-dfs (exponential)".
+  std::string message;
+  /// Source anchor into the original query text, when known.
+  SourceSpan span;
+  /// Concrete rewrite that avoids the finding, when one exists, e.g.
+  /// "split the disjunction: EF(a || b) = EF(a) || EF(b)".
+  std::string suggestion;
+};
+
+/// "W001" / "E102".
+std::string to_string(DiagCode c);
+const char* to_string(DiagSeverity s);
+
+/// One-line rendering: "W001 col 1-38: <message> (suggest: <suggestion>)".
+std::string to_string(const Diagnostic& d);
+
+/// Multi-line rendering of a finding list (empty string when empty).
+std::string render_diagnostics(const std::vector<Diagnostic>& ds);
+
+}  // namespace hbct

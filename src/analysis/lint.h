@@ -1,0 +1,39 @@
+// Static CTL query lint: predict what detect() will do before it runs.
+//
+// lint_query walks a parsed query against a computation and raises the
+// W-series diagnostics of analysis/diagnostics.h — W001/W002 ahead of
+// exponential or intractable dispatches, W003 for formulas outside the
+// paper's Section 4 fragment, W004–W007 per-operand findings — anchored to
+// the parser's source spans so a caller can point at the offending
+// subformula in the query text. No detection, labeling, or lattice
+// construction happens here; the lint costs a couple of predicate
+// compilations and O(1) class lookups.
+//
+// This is the span-aware front end over analysis/plan.h. detect() raises
+// the same findings (span-less) when DispatchOptions::audit is on;
+// ctl::evaluate_query substitutes these anchored versions.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ctl/compile.h"
+
+namespace hbct::ctl {
+
+/// Lints one parsed query against `c`. `allow_exponential` mirrors
+/// DispatchOptions::allow_exponential (it changes the W001 wording: the
+/// fallback either runs or degrades to kUnknown). Returns findings in
+/// source order: operand p first, then operand q for EU/AU. Operands that
+/// fail to compile produce no findings — evaluate_query reports the
+/// compile error itself.
+std::vector<Diagnostic> lint_query(const Computation& c, const Query& q,
+                                   bool allow_exponential = true);
+
+/// Parse + lint in one call. A parse failure returns an empty list (there
+/// is nothing to anchor to); use parse_query directly to see the error.
+std::vector<Diagnostic> lint_query(const Computation& c,
+                                   std::string_view query,
+                                   bool allow_exponential = true);
+
+}  // namespace hbct::ctl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.h"
 #include "detect/brute_force.h"
 #include "predicate/channel.h"
 #include "predicate/conjunctive.h"
@@ -316,6 +317,10 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
   // Outside the paper's fragment (nested temporal operators, or boolean
   // structure over temporal subformulas): evaluate on the explicit lattice.
   if (!q.temporal && q.root && contains_temporal(q.root)) {
+    if (opt.audit != AuditMode::kOff) {
+      out.result.plan = "lattice-nested-ctl (exponential)";
+      out.result.diagnostics = lint_query(c, q, opt.allow_exponential);
+    }
     auto lat = Lattice::try_build(c, opt.budget.max_states);
     if (!lat) {
       out.error = strfmt(
@@ -345,6 +350,8 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
   if (!q.temporal) {
     out.ok = true;
     out.result.algorithm = "state-eval(initial)";
+    if (opt.audit != AuditMode::kOff)
+      out.result.plan = "state-eval(initial) (O(1) evals)";
     out.result.verdict = verdict_of(p.pred->eval(c, c.initial_cut()));
     ++out.result.stats.predicate_evals;
     out.algorithm = out.result.algorithm;
@@ -360,6 +367,15 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
     qpred = qq.pred;
   }
   out.result = detect(c, q.op, p.pred, qpred, opt);
+  if (opt.audit != AuditMode::kOff) {
+    // detect() raised the lint findings span-less (it never sees the query
+    // text). Substitute the source-anchored versions and keep the audit
+    // errors, which have no source anchor to gain.
+    std::vector<Diagnostic> ds = lint_query(c, q, opt.allow_exponential);
+    for (Diagnostic& d : out.result.diagnostics)
+      if (d.severity == DiagSeverity::kError) ds.push_back(std::move(d));
+    out.result.diagnostics = std::move(ds);
+  }
   out.algorithm = out.result.algorithm;
   out.ok = true;
   return out;

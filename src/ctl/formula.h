@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"  // SourceSpan
 #include "detect/detector.h"
 #include "predicate/local.h"
 
@@ -68,6 +69,9 @@ struct Node {
   std::vector<NodePtr> children;  // kNot (1), kAnd/kOr (>= 2),
                                   // kTemporal (1, or 2 for kEU/kAU)
   Op op = Op::kEF;                // kTemporal
+  /// Byte range of this subformula in the query text the parser consumed;
+  /// lint diagnostics anchor to it. Invalid for programmatically-built ASTs.
+  SourceSpan span;
 };
 
 /// True when the formula contains a temporal operator anywhere. Nested

@@ -23,6 +23,7 @@ struct Token {
   std::int64_t value = 0;
   Cmp cmp = Cmp::kEq;
   std::size_t pos = 0;
+  std::size_t end = 0;  // one past the last byte of the token
 };
 
 class Lexer {
@@ -30,6 +31,13 @@ class Lexer {
   explicit Lexer(std::string_view s) : s_(s) {}
 
   Token next() {
+    Token t = next_impl();
+    t.end = i_;
+    return t;
+  }
+
+ private:
+  Token next_impl() {
     while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
       ++i_;
     Token t;
@@ -95,7 +103,6 @@ class Lexer {
     return t;
   }
 
- private:
   std::string_view s_;
   std::size_t i_ = 0;
 };
@@ -121,7 +128,15 @@ class Parser {
   }
 
  private:
-  void advance() { cur_ = lex_.next(); }
+  void advance() {
+    last_end_ = cur_.end;
+    cur_ = lex_.next();
+  }
+
+  SourceSpan span_from(std::size_t begin) const {
+    return {static_cast<std::uint32_t>(begin),
+            static_cast<std::uint32_t>(last_end_)};
+  }
 
   std::string fail(const std::string& msg) {
     if (err_.empty()) err_ = strfmt("col %zu: %s", cur_.pos + 1, msg.c_str());
@@ -159,6 +174,7 @@ class Parser {
 
   // state := and-chain ('||' and-chain)*
   bool parse_or(NodePtr& out) {
+    const std::size_t begin = cur_.pos;
     NodePtr first;
     if (!parse_and(first)) return false;
     std::vector<NodePtr> parts{std::move(first)};
@@ -175,11 +191,13 @@ class Parser {
     auto n = std::make_shared<Node>();
     n->kind = Node::Kind::kOr;
     n->children = std::move(parts);
+    n->span = span_from(begin);
     out = std::move(n);
     return true;
   }
 
   bool parse_and(NodePtr& out) {
+    const std::size_t begin = cur_.pos;
     NodePtr first;
     if (!parse_not(first)) return false;
     std::vector<NodePtr> parts{std::move(first)};
@@ -196,18 +214,21 @@ class Parser {
     auto n = std::make_shared<Node>();
     n->kind = Node::Kind::kAnd;
     n->children = std::move(parts);
+    n->span = span_from(begin);
     out = std::move(n);
     return true;
   }
 
   bool parse_not(NodePtr& out) {
     if (cur_.kind == Token::Kind::kNot) {
+      const std::size_t begin = cur_.pos;
       advance();
       NodePtr inner;
       if (!parse_not(inner)) return false;
       auto n = std::make_shared<Node>();
       n->kind = Node::Kind::kNot;
       n->children.push_back(std::move(inner));
+      n->span = span_from(begin);
       out = std::move(n);
       return true;
     }
@@ -226,6 +247,7 @@ class Parser {
   }
 
   bool parse_primary(NodePtr& out) {
+    const std::size_t begin = cur_.pos;
     if (cur_.kind == Token::Kind::kLParen) {
       advance();
       if (!parse_or(out)) return false;
@@ -237,6 +259,7 @@ class Parser {
         auto n = std::make_shared<Node>();
         n->kind = id == "true" ? Node::Kind::kTrue : Node::Kind::kFalse;
         advance();
+        n->span = span_from(begin);
         out = std::move(n);
         return true;
       }
@@ -245,6 +268,7 @@ class Parser {
         n->kind = id == "channels_empty" ? Node::Kind::kChannelsEmpty
                                          : Node::Kind::kTerminated;
         advance();
+        n->span = span_from(begin);
         out = std::move(n);
         return true;
       }
@@ -261,6 +285,7 @@ class Parser {
         if (!parse_or(child)) return false;
         if (!expect(Token::Kind::kRParen, "')'")) return false;
         n->children.push_back(std::move(child));
+        n->span = span_from(begin);
         out = std::move(n);
         return true;
       }
@@ -285,6 +310,7 @@ class Parser {
         if (!expect(Token::Kind::kRBracket, "']'")) return false;
         n->children.push_back(std::move(p));
         n->children.push_back(std::move(q));
+        n->span = span_from(begin);
         out = std::move(n);
         return true;
       }
@@ -300,6 +326,7 @@ class Parser {
       auto n = std::make_shared<Node>();
       n->kind = Node::Kind::kAtom;
       n->atom = std::move(a);
+      n->span = span_from(begin);
       out = std::move(n);
       return true;
     }
@@ -311,6 +338,7 @@ class Parser {
     auto n = std::make_shared<Node>();
     n->kind = Node::Kind::kAtom;
     n->atom = std::move(a);
+    n->span = span_from(begin);
     out = std::move(n);
     return true;
   }
@@ -403,6 +431,7 @@ class Parser {
 
   Lexer lex_;
   Token cur_;
+  std::size_t last_end_ = 0;
   std::string err_;
 };
 

@@ -25,6 +25,8 @@ ProgramCheckResult check_program(
     }
     ++out.runs;
     out.stats += r.result.stats;
+    if (out.diagnostics.empty() && !r.result.diagnostics.empty())
+      out.diagnostics = std::move(r.result.diagnostics);
     if (r.result.verdict == Verdict::kUnknown) {
       out.unknown_seeds.push_back(seed);
     } else if (r.result.verdict == Verdict::kFails) {

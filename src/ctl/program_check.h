@@ -34,6 +34,10 @@ struct ProgramCheckResult {
   std::string error;
   /// Aggregated detection work across all runs.
   DetectStats stats;
+  /// Lint/audit findings for the query, surfaced once (from the first run
+  /// that produced any) rather than repeated per seed. Populated only when
+  /// opt.audit != AuditMode::kOff.
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// Evaluates `query` on run(seed) for every seed. The query is parsed once;

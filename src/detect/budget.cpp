@@ -21,6 +21,7 @@ const char* to_string(BoundReason r) {
     case BoundReason::kStepBudget: return "step-budget";
     case BoundReason::kDeadline: return "deadline";
     case BoundReason::kCancelled: return "cancelled";
+    case BoundReason::kAuditFailed: return "audit-failed";
   }
   return "?";
 }

@@ -44,6 +44,10 @@ enum class BoundReason : std::uint8_t {
   kStepBudget,  // cut-step / predicate-eval work budget exhausted
   kDeadline,    // wall-clock deadline passed
   kCancelled,   // the caller's CancelToken fired
+  kAuditFailed, // the pre-detection class audit (DispatchOptions::audit ==
+                // AuditMode::kFull) found a class-claim violation; running
+                // the class-specific algorithm could return a wrong definite
+                // verdict, so the detection degrades to kUnknown instead
 };
 
 const char* to_string(Verdict v);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "detect/budget.h"
 #include "poset/computation.h"
 #include "poset/cut.h"
@@ -41,6 +42,14 @@ struct DetectResult {
   /// EG/EU: a sequence of cuts from the initial cut witnessing the verdict
   /// (empty when not applicable or not kHolds).
   std::vector<Cut> witness_path;
+  /// Predicted dispatch plan, e.g. "chase-garg-ef (O(n^2|E|))". Populated
+  /// only when DispatchOptions::audit != AuditMode::kOff (the default path
+  /// pays nothing for it). The plan name is always a prefix of `algorithm`.
+  std::string plan;
+  /// Lint findings for the dispatched query plus, under AuditMode::kFull,
+  /// any audit violations (severity kError, code E1xx). Empty when audit is
+  /// off.
+  std::vector<Diagnostic> diagnostics;
 
   bool definite() const { return verdict != Verdict::kUnknown; }
   /// Deprecated two-valued accessor; defined only for definite verdicts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/plan.h"
 #include "detect/ag_linear.h"
 #include "detect/conjunctive_gw.h"
 #include "detect/disjunctive.h"
@@ -21,65 +22,79 @@ namespace {
 /// refused exploration as an indefinite verdict rather than asserting.
 DetectResult refuse_exponential(const char* algorithm) {
   DetectResult r;
-  r.algorithm = algorithm;
+  r.algorithm = std::string(algorithm) + " (refused)";
   r.verdict = Verdict::kUnknown;
   r.bound = BoundReason::kStateCap;
   return r;
 }
 
+/// The eu-or-split side condition: every top-level disjunct of q is linear
+/// on c and carries the oracle A3's I_q walk needs.
+bool q_splits_into_linear(const Computation& c, const PredicatePtr& q) {
+  const auto parts = q->disjuncts();
+  return !parts.empty() &&
+         std::all_of(parts.begin(), parts.end(), [&](const PredicatePtr& s) {
+           return (effective_classes(*s, c) & kClassLinear) != 0 &&
+                  s->has_forbidden();
+         });
+}
+
 DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
-                          const DispatchOptions& opt) {
-  const ClassSet cls = effective_classes(*p, c);
-  const auto conj = as_conjunctive(p);
-  const auto disj = as_disjunctive(p);
+                          const DispatchOptions& opt,
+                          const DetectPlan* pre = nullptr) {
+  const DetectPlan plan =
+      pre ? *pre : plan_unary(op, shape_of(p, c), opt.allow_exponential);
+  if (plan.refused) return refuse_exponential(plan.name);
 
-  if (cls & kClassStable) return detect_stable(c, *p, op, opt.budget);
+  switch (plan.algo) {
+    case Algo::kStableFinal:
+    case Algo::kStableInitial:
+      return detect_stable(c, *p, op, opt.budget);
 
-  switch (op) {
-    case Op::kEF:
-      if (disj) return detect_ef_disjunctive(c, *disj, opt.budget);
-      if (conj) return detect_ef_conjunctive(c, *conj, opt.budget);
-      if (cls & kClassLinear) return detect_ef_linear(c, *p, opt.budget);
-      if (cls & kClassPostLinear)
-        return detect_ef_post_linear(c, *p, opt.budget);
-      if (cls & kClassObserverIndependent)
-        return detect_ef_observer_independent(c, *p, opt.budget);
-      break;
-    case Op::kAF:
-      if (disj) return detect_af_disjunctive(c, *disj, opt.budget);
-      if (conj) return detect_af_conjunctive(c, *conj, opt.budget);
-      if (cls & kClassObserverIndependent) {
-        DetectResult r = detect_ef_observer_independent(c, *p, opt.budget);
-        r.algorithm += " (af == ef)";
-        return r;
-      }
-      break;
-    case Op::kEG:
-      if (conj) return detect_eg_conjunctive(c, *conj, opt.budget);
-      if (disj) return detect_eg_disjunctive(c, *disj, opt.budget);
-      if (cls & kClassLinear) return detect_eg_linear(c, *p, opt.budget);
-      if (cls & kClassPostLinear)
-        return detect_eg_post_linear(c, *p, opt.budget);
-      break;
-    case Op::kAG:
-      if (conj) return detect_ag_conjunctive(c, *conj, opt.budget);
-      if (disj) return detect_ag_disjunctive(c, *disj, opt.budget);
-      if (cls & kClassLinear) return detect_ag_linear(c, *p, opt.budget);
-      if (cls & kClassPostLinear)
-        return detect_ag_post_linear(c, *p, opt.budget);
-      break;
-    default:
-      HBCT_ASSERT_MSG(false, "detect_unary called with EU/AU");
-  }
+    case Algo::kEfDisjunctive:
+      return detect_ef_disjunctive(c, *as_disjunctive(p), opt.budget);
+    case Algo::kGwWeakConjunctive:
+      return detect_ef_conjunctive(c, *as_conjunctive(p), opt.budget);
+    case Algo::kChaseGargEf:
+      return detect_ef_linear(c, *p, opt.budget);
+    case Algo::kChaseGargEfDual:
+      return detect_ef_post_linear(c, *p, opt.budget);
+    case Algo::kOiScan: {
+      DetectResult r = detect_ef_observer_independent(c, *p, opt.budget);
+      if (op == Op::kAF) r.algorithm += " (af == ef)";
+      return r;
+    }
 
-  // Distributive laws before the exponential fallback: EF over top-level
-  // disjunctions and AG over top-level conjunctions recurse into the
-  // operands, keeping e.g. DNF-of-comparisons polynomial. The operand
-  // detections are independent, so they are the unit of parallelism;
-  // nested fan-outs stay sequential.
-  if (op == Op::kEF) {
-    const auto parts = p->disjuncts();
-    if (!parts.empty()) {
+    case Algo::kAfDisjunctive:
+      return detect_af_disjunctive(c, *as_disjunctive(p), opt.budget);
+    case Algo::kGwStrongConjunctive:
+      return detect_af_conjunctive(c, *as_conjunctive(p), opt.budget);
+
+    case Algo::kEgConjunctiveScan:
+      return detect_eg_conjunctive(c, *as_conjunctive(p), opt.budget);
+    case Algo::kEgDisjunctive:
+      return detect_eg_disjunctive(c, *as_disjunctive(p), opt.budget);
+    case Algo::kA1EgLinear:
+      return detect_eg_linear(c, *p, opt.budget);
+    case Algo::kA1EgPostLinear:
+      return detect_eg_post_linear(c, *p, opt.budget);
+
+    case Algo::kAgConjunctiveScan:
+      return detect_ag_conjunctive(c, *as_conjunctive(p), opt.budget);
+    case Algo::kAgDisjunctive:
+      return detect_ag_disjunctive(c, *as_disjunctive(p), opt.budget);
+    case Algo::kA2AgLinear:
+      return detect_ag_linear(c, *p, opt.budget);
+    case Algo::kA2AgPostLinear:
+      return detect_ag_post_linear(c, *p, opt.budget);
+
+    // Distributive laws before the exponential fallback: EF over top-level
+    // disjunctions and AG over top-level conjunctions recurse into the
+    // operands, keeping e.g. DNF-of-comparisons polynomial. The operand
+    // detections are independent, so they are the unit of parallelism;
+    // nested fan-outs stay sequential.
+    case Algo::kEfOrSplit: {
+      const auto parts = p->disjuncts();
       DetectResult r;
       r.algorithm = "ef-or-split";
       DispatchOptions sub_opt = opt;
@@ -105,10 +120,8 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
       }
       return r;
     }
-  }
-  if (op == Op::kAG) {
-    const auto parts = p->conjuncts();
-    if (!parts.empty()) {
+    case Algo::kAgAndSplit: {
+      const auto parts = p->conjuncts();
       DetectResult r;
       r.algorithm = "ag-and-split";
       DispatchOptions sub_opt = opt;
@@ -134,22 +147,119 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
       }
       return r;
     }
-  }
 
-  if (!opt.allow_exponential) {
-    switch (op) {
-      case Op::kEF: return refuse_exponential("ef-dfs (refused)");
-      case Op::kAF: return refuse_exponential("af-dfs (refused)");
-      case Op::kEG: return refuse_exponential("eg-dfs (refused)");
-      default: return refuse_exponential("ag-dfs (refused)");
+    case Algo::kEfDfs:
+      return detect_ef_dfs(c, *p, opt.budget);
+    case Algo::kAfDfs:
+      return detect_af_dfs(c, *p, opt.budget);
+    case Algo::kEgDfs:
+      return detect_eg_dfs(c, *p, opt.budget);
+    case Algo::kAgDfs:
+      return detect_ag_dfs(c, *p, opt.budget);
+
+    default:
+      HBCT_ASSERT_MSG(false, "plan_unary returned an until algorithm");
+  }
+}
+
+DetectResult detect_impl(const Computation& c, Op op, const PredicatePtr& p,
+                         const PredicatePtr& q, const DispatchOptions& opt,
+                         const DetectPlan* pre = nullptr) {
+  if (op != Op::kEU && op != Op::kAU) return detect_unary(c, op, p, opt, pre);
+
+  HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
+  const DetectPlan plan =
+      pre ? *pre
+          : plan_until(op, shape_of(p, c), shape_of(q, c),
+                       op == Op::kEU && q_splits_into_linear(c, q),
+                       opt.allow_exponential);
+  if (plan.refused) return refuse_exponential(plan.name);
+
+  switch (plan.algo) {
+    case Algo::kA3Eu:
+      return detect_eu(c, *as_conjunctive(p), *q, opt.parallelism,
+                       opt.budget);
+    // Distribute over a disjunctive second operand:
+    // E[p U (q1 ∨ q2)] = E[p U q1] ∨ E[p U q2].
+    case Algo::kEuOrSplit: {
+      const auto conj = as_conjunctive(p);
+      const auto parts = q->disjuncts();
+      DetectResult r;
+      r.algorithm = "eu-or-split(A3)";
+      FirstMatch m = detect_first_match(
+          opt.parallelism, parts.size(),
+          [&](std::size_t i) {
+            return detect_eu(c, *conj, *parts[i], 1, opt.budget);
+          },
+          [](const DetectResult& sub) {
+            return sub.verdict == Verdict::kHolds;
+          },
+          r.stats);
+      if (m.found()) {
+        r.verdict = Verdict::kHolds;
+        r.witness_cut = std::move(m.result.witness_cut);
+        r.witness_path = std::move(m.result.witness_path);
+      } else if (m.bound != BoundReason::kNone) {
+        r.verdict = Verdict::kUnknown;
+        r.bound = m.bound;
+      }
+      return r;
+    }
+    case Algo::kEuDfs:
+      return detect_eu_dfs(c, *p, *q, opt.budget);
+
+    case Algo::kAuDisjunctive:
+      return detect_au_disjunctive(c, *as_disjunctive(p), *as_disjunctive(q),
+                                   opt.parallelism, opt.budget);
+    case Algo::kAuDfs:
+      return detect_au_dfs(c, p, q, opt.budget);
+
+    default:
+      HBCT_ASSERT_MSG(false, "plan_until returned a unary algorithm");
+  }
+}
+
+/// Plan + lint + (optionally) audit for the top-level query; fills
+/// r.plan/r.diagnostics. Returns false when a kFull audit refuted a class
+/// claim and the detection must not run.
+bool preflight(const Computation& c, Op op, const PredicatePtr& p,
+               const PredicatePtr& q, const DispatchOptions& opt,
+               DetectPlan& plan, DetectResult& r) {
+  const PredShape sp = shape_of(p, c);
+  if (op == Op::kEU || op == Op::kAU) {
+    const PredShape sq = shape_of(q, c);
+    plan = plan_until(op, sp, sq,
+                      op == Op::kEU && q_splits_into_linear(c, q),
+                      opt.allow_exponential);
+    r.diagnostics = plan_diagnostics(op, *p, sp, plan);
+    // Plan-level findings (W001/W002/W006) were already raised for p;
+    // keep only the q-operand findings.
+    for (Diagnostic& d : plan_diagnostics(op, *q, sq, plan)) {
+      if (d.code == DiagCode::kExponentialFallback ||
+          d.code == DiagCode::kIntractableClass ||
+          d.code == DiagCode::kSplitDispatch)
+        continue;
+      r.diagnostics.push_back(std::move(d));
+    }
+  } else {
+    plan = plan_unary(op, sp, opt.allow_exponential);
+    r.diagnostics = plan_diagnostics(op, *p, sp, plan);
+  }
+  r.plan = plan_to_string(plan);
+  if (opt.audit != AuditMode::kFull) return true;
+
+  bool ok = true;
+  for (const PredicatePtr& pred : {p, q}) {
+    if (!pred) continue;
+    const AuditResult audit = audit_predicate(pred, c, opt.audit_options);
+    if (audit.ok()) continue;
+    ok = false;
+    for (Diagnostic& d : audit_diagnostics(audit)) {
+      d.message = "'" + pred->describe() + "': " + d.message;
+      r.diagnostics.push_back(std::move(d));
     }
   }
-  switch (op) {
-    case Op::kEF: return detect_ef_dfs(c, *p, opt.budget);
-    case Op::kAF: return detect_af_dfs(c, *p, opt.budget);
-    case Op::kEG: return detect_eg_dfs(c, *p, opt.budget);
-    default: return detect_ag_dfs(c, *p, opt.budget);
-  }
+  return ok;
 }
 
 }  // namespace
@@ -157,53 +267,29 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
 DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
                     const PredicatePtr& q, const DispatchOptions& opt) {
   HBCT_ASSERT(p);
-  if (op != Op::kEU && op != Op::kAU) return detect_unary(c, op, p, opt);
+  if (op == Op::kEU || op == Op::kAU)
+    HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
+  if (opt.audit == AuditMode::kOff) return detect_impl(c, op, p, q, opt);
 
-  HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
-  if (op == Op::kEU) {
-    const auto conj = as_conjunctive(p);
-    if (conj && (effective_classes(*q, c) & kClassLinear))
-      return detect_eu(c, *conj, *q, opt.parallelism, opt.budget);
-    // Distribute over a disjunctive second operand:
-    // E[p U (q1 ∨ q2)] = E[p U q1] ∨ E[p U q2].
-    if (conj) {
-      const auto parts = q->disjuncts();
-      if (!parts.empty() &&
-          std::all_of(parts.begin(), parts.end(), [&](const PredicatePtr& s) {
-            return (effective_classes(*s, c) & kClassLinear) != 0;
-          })) {
-        DetectResult r;
-        r.algorithm = "eu-or-split(A3)";
-        FirstMatch m = detect_first_match(
-            opt.parallelism, parts.size(),
-            [&](std::size_t i) {
-              return detect_eu(c, *conj, *parts[i], 1, opt.budget);
-            },
-            [](const DetectResult& sub) {
-              return sub.verdict == Verdict::kHolds;
-            },
-            r.stats);
-        if (m.found()) {
-          r.verdict = Verdict::kHolds;
-          r.witness_cut = std::move(m.result.witness_cut);
-          r.witness_path = std::move(m.result.witness_path);
-        } else if (m.bound != BoundReason::kNone) {
-          r.verdict = Verdict::kUnknown;
-          r.bound = m.bound;
-        }
-        return r;
-      }
-    }
-    if (!opt.allow_exponential) return refuse_exponential("eu-dfs (refused)");
-    return detect_eu_dfs(c, *p, *q, opt.budget);
+  DetectPlan plan;
+  DetectResult pre;
+  if (!preflight(c, op, p, q, opt, plan, pre)) {
+    // A refuted class claim voids the soundness of every class-specific
+    // route; degrade to indefinite rather than risk a wrong definite
+    // verdict (the Kleene contract of detect/budget.h).
+    pre.algorithm = std::string(plan.name) + " (audit failed)";
+    pre.verdict = Verdict::kUnknown;
+    pre.bound = BoundReason::kAuditFailed;
+    return pre;
   }
-
-  const auto dp = as_disjunctive(p);
-  const auto dq = as_disjunctive(q);
-  if (dp && dq)
-    return detect_au_disjunctive(c, *dp, *dq, opt.parallelism, opt.budget);
-  if (!opt.allow_exponential) return refuse_exponential("au-dfs (refused)");
-  return detect_au_dfs(c, p, q, opt.budget);
+  DispatchOptions sub_opt = opt;
+  sub_opt.audit = AuditMode::kOff;
+  // The preflight already planned the query; reuse it so the analysis adds
+  // no second shape_of/plan pass to the detection itself.
+  DetectResult r = detect_impl(c, op, p, q, sub_opt, &plan);
+  r.plan = std::move(pre.plan);
+  r.diagnostics = std::move(pre.diagnostics);
+  return r;
 }
 
 }  // namespace hbct

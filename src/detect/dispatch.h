@@ -6,10 +6,28 @@
 // predicates. The chosen algorithm is reported in DetectResult::algorithm.
 #pragma once
 
+#include "analysis/audit.h"
 #include "detect/detector.h"
 #include "detect/stable_oi.h"
 
 namespace hbct {
+
+/// Pre-flight analysis attached to a detection (see DetectResult::plan and
+/// DetectResult::diagnostics).
+enum class AuditMode {
+  /// No analysis; plan/diagnostics stay empty. The default — detection pays
+  /// nothing.
+  kOff,
+  /// Predict the dispatch plan and lint it (W-diagnostics) before running.
+  /// Costs a few virtual calls per query; never changes the verdict.
+  kLintOnly,
+  /// kLintOnly plus a semantic audit of every operand's claimed class bits
+  /// (analysis/audit.h). A violation aborts the detection with
+  /// Verdict::kUnknown and BoundReason::kAuditFailed — a lying class claim
+  /// could otherwise produce a wrong *definite* verdict — and the refuting
+  /// counterexample is reported as E-diagnostics.
+  kFull,
+};
 
 struct DispatchOptions {
   /// Resource bounds honoured by every algorithm on the route: state cap
@@ -32,6 +50,12 @@ struct DispatchOptions {
   /// branch is metered against its own copy of the budget, so Verdict and
   /// BoundReason are also identical for every value.
   std::size_t parallelism = 1;
+  /// Pre-flight plan/lint/audit; see AuditMode. Applies to the top-level
+  /// query only — sub-detections spawned by the distributive splits run
+  /// with the analysis already done.
+  AuditMode audit = AuditMode::kOff;
+  /// Budgets for AuditMode::kFull (lattice cap, sample count, seed).
+  AuditOptions audit_options;
 };
 
 /// Detects `op`(p) — or `op`(p, q) for kEU/kAU — on the computation.

@@ -19,6 +19,10 @@
 // another thread; a detection that runs out returns Verdict::kUnknown.
 #pragma once
 
+#include "analysis/audit.h"
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+#include "analysis/plan.h"
 #include "ctl/compile.h"
 #include "ctl/formula.h"
 #include "ctl/parser.h"

@@ -2,6 +2,7 @@
 
 #include "detect/until.h"
 #include "util/assert.h"
+#include "util/string_util.h"
 
 namespace hbct {
 
@@ -316,6 +317,29 @@ void OnlineMonitor::step_until(UntilWatch& w) {
                                                      : "until undecided: E[") +
       w.p->describe() + " U " + w.q->describe() + "]";
   fire(w.id, w.cand, what, r.verdict, r.bound);
+}
+
+std::vector<Diagnostic> OnlineMonitor::audit_watches(
+    const AuditOptions& opt) const {
+  std::vector<Diagnostic> out;
+  const Computation& c = computation();
+  auto audit_one = [&](WatchId id, const PredicatePtr& pred) {
+    if (!pred) return;
+    const AuditResult r = audit_predicate(pred, c, opt);
+    for (Diagnostic& d : audit_diagnostics(r)) {
+      d.message = strfmt("watch #%d '%s': %s", id, pred->describe().c_str(),
+                         d.message.c_str());
+      out.push_back(std::move(d));
+    }
+  };
+  for (const ConjWatch& w : conj_) audit_one(w.id, w.pred);
+  for (const DisjWatch& w : disj_) audit_one(w.id, w.pred);
+  for (const StableWatch& w : stable_) audit_one(w.id, w.pred);
+  for (const UntilWatch& w : until_) {
+    audit_one(w.id, w.p);
+    audit_one(w.id, w.q);
+  }
+  return out;
 }
 
 std::vector<WatchFire> OnlineMonitor::poll() {

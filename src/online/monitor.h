@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit.h"
 #include "detect/budget.h"
 #include "online/appender.h"
 #include "predicate/conjunctive.h"
@@ -107,6 +108,15 @@ class OnlineMonitor {
   /// I_q) and the watch fires with holds = true or false. Prefix-stable
   /// both ways.
   WatchId watch_until(ConjunctivePredicatePtr p, PredicatePtr q);
+
+  /// Audits every registered watch's predicates against the computation
+  /// observed so far (analysis/audit.h). Each incremental algorithm is only
+  /// prefix-stable because of a class claim — conjunctive/disjunctive
+  /// structure, stability, and (load-bearing for streaming A3) the linear
+  /// class and forbidden() oracle of until-watch q operands. Returns E1xx
+  /// findings with messages prefixed by the watch id; empty means every
+  /// claim held on the observed prefix. Read-only; safe between events.
+  std::vector<Diagnostic> audit_watches(const AuditOptions& opt = {}) const;
 
   /// Drains the fires triggered since the last poll.
   std::vector<WatchFire> poll();

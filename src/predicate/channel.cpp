@@ -31,6 +31,8 @@ class ChannelBoundLe final : public Predicate {
   ProcId forbidden_down(const Computation&, const Cut&) const override {
     return from_;
   }
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
   PredicatePtr negate() const override {
     return channel_bound_ge(from_, to_, k_ + 1);
   }
@@ -60,6 +62,8 @@ class ChannelBoundGe final : public Predicate {
   ProcId forbidden_down(const Computation&, const Cut&) const override {
     return to_;
   }
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
   PredicatePtr negate() const override {
     return channel_bound_le(from_, to_, k_ - 1);
   }
@@ -94,6 +98,9 @@ class AllChannelsEmpty final : public Predicate {
         if (i != j && c.in_transit(i, j, g) > 0) return i;
     HBCT_ASSERT_MSG(false, "forbidden_down() called on satisfied predicate");
   }
+
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
 
  private:
 };

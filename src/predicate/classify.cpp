@@ -2,42 +2,55 @@
 
 #include <sstream>
 
+#include "analysis/plan.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "util/string_util.h"
+
 namespace hbct {
+
+namespace {
+
+/// classify() takes a reference, shape_of() a shared_ptr (the structural
+/// as_conjunctive/as_disjunctive views need one). Recover the owner when
+/// there is one; a stack-allocated predicate still gets a class-accurate
+/// report, just without the structural-form views.
+PredShape shape_for(const Predicate& p, const Computation& c) {
+  if (PredicatePtr sp = p.weak_from_this().lock()) return shape_of(sp, c);
+  PredShape s;
+  s.classes = effective_classes(p, c);
+  s.conjunctive_form = dynamic_cast<const ConjunctivePredicate*>(&p) ||
+                       dynamic_cast<const LocalPredicate*>(&p);
+  s.disjunctive_form = dynamic_cast<const DisjunctivePredicate*>(&p) ||
+                       dynamic_cast<const LocalPredicate*>(&p);
+  s.num_disjuncts = p.disjuncts().size();
+  s.num_conjuncts = p.conjuncts().size();
+  s.has_forbidden = p.has_forbidden();
+  s.has_forbidden_down = p.has_forbidden_down();
+  return s;
+}
+
+std::string render(Op op, const PredShape& s) {
+  const DetectPlan pl = plan_unary(op, s, /*allow_exponential=*/true);
+  const char* np = "";
+  if (pl.np_hard)
+    np = op == Op::kEG ? "; NP-complete, Thm 5" : "; co-NP-complete, Thm 6";
+  return strfmt("%s (%s%s)", pl.name, pl.cost, np);
+}
+
+}  // namespace
 
 ClassReport classify(const Predicate& p, const Computation& c) {
   ClassReport r;
   r.holds_initially = p.eval(c, c.initial_cut());
-  r.classes = effective_classes(p, c);
-  const ClassSet s = r.classes;
-
-  auto pick = [&](const char* stable_alg, const char* oi_alg,
-                  const char* linear_alg, const char* postlinear_alg,
-                  const char* fallback) -> std::string {
-    if ((s & kClassStable) && stable_alg) return stable_alg;
-    if ((s & kClassLinear) && linear_alg) return linear_alg;
-    if ((s & kClassPostLinear) && postlinear_alg) return postlinear_alg;
-    if ((s & kClassObserverIndependent) && oi_alg) return oi_alg;
-    return fallback;
-  };
-
-  r.ef = pick("stable: p(final) (O(n))", "single observation scan (O(n|E|))",
-              "Chase-Garg advancement (O(n^2|E|))",
-              nullptr, "explicit lattice (exponential)");
-  r.af = pick("stable: p(final) (O(n))", "single observation scan (O(n|E|))",
-              nullptr, nullptr,
-              (s & kClassConjunctive)
-                  ? "Garg-Waldecker strong conjunctive (O(n^2|E|))"
-                  : "explicit lattice (exponential)");
-  r.eg = pick("stable: p(initial) (O(n))", nullptr,
-              "A1 backward walk (O(n^2|E|)) [this paper]", nullptr,
-              (s & kClassObserverIndependent)
-                  ? "explicit lattice (exponential; NP-complete, Thm 5)"
-                  : "explicit lattice (exponential)");
-  r.ag = pick("stable: p(initial) (O(n))", nullptr,
-              "A2 meet-irreducibles (O(n|E|) evals) [this paper]", nullptr,
-              (s & kClassObserverIndependent)
-                  ? "explicit lattice (exponential; co-NP-complete, Thm 6)"
-                  : "explicit lattice (exponential)");
+  const PredShape s = shape_for(p, c);
+  r.classes = s.classes;
+  // The same planner detect() routes through, so the report can never drift
+  // from the dispatch again (tests/test_plan_parity.cpp pins this).
+  r.ef = render(Op::kEF, s);
+  r.af = render(Op::kAF, s);
+  r.eg = render(Op::kEG, s);
+  r.ag = render(Op::kAG, s);
   return r;
 }
 

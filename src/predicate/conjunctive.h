@@ -37,6 +37,8 @@ class ConjunctivePredicate final : public Predicate {
   /// Chase–Garg oracle: any process whose conjunct is false must advance.
   ProcId forbidden(const Computation& c, const Cut& g) const override;
   ProcId forbidden_down(const Computation& c, const Cut& g) const override;
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
 
   /// ¬(∧ l_i) = ∨ ¬l_i — a DisjunctivePredicate.
   PredicatePtr negate() const override;

@@ -48,6 +48,9 @@ class LocalPredicate final : public Predicate {
     return proc_;
   }
 
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
+
   PredicatePtr negate() const override;
 
  private:

@@ -75,6 +75,8 @@ class ConstPredicate final : public Predicate {
   ProcId forbidden_down(const Computation&, const Cut&) const override {
     return 0;
   }
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
   PredicatePtr negate() const override {
     return std::make_shared<ConstPredicate>(!v_);
   }
@@ -134,6 +136,19 @@ class AndPredicate final : public Predicate {
     for (const auto& p : ch_)
       if (!p->eval(c, g)) return p->forbidden_down(c, g);
     HBCT_ASSERT_MSG(false, "forbidden_down() called on satisfied conjunction");
+  }
+
+  // Any conjunct may be the false one forbidden() delegates to, so the
+  // conjunction has an oracle only when every conjunct does.
+  bool has_forbidden() const override {
+    for (const auto& p : ch_)
+      if (!p->has_forbidden()) return false;
+    return true;
+  }
+  bool has_forbidden_down() const override {
+    for (const auto& p : ch_)
+      if (!p->has_forbidden_down()) return false;
+    return true;
   }
 
   PredicatePtr negate() const override {
@@ -210,6 +225,7 @@ class AssertedPredicate final : public Predicate {
   }
   ClassSet classes(const Computation&) const override { return cls_; }
   std::string describe() const override { return desc_; }
+  bool classes_asserted() const override { return cls_ != 0; }
 
  private:
   std::function<bool(const Computation&, const Cut&)> fn_;

@@ -77,6 +77,20 @@ class Predicate : public std::enable_shared_from_this<Predicate> {
   /// satisfies the predicate: we must retreat process i.
   virtual ProcId forbidden_down(const Computation& c, const Cut& g) const;
 
+  /// Whether forbidden() / forbidden_down() are actually implemented (the
+  /// defaults abort). The dispatcher and the class auditor consult these
+  /// before taking a Chase–Garg route: a predicate that *claims* linearity
+  /// (e.g. via make_asserted) without supplying an oracle is routed past
+  /// the advancement algorithms instead of aborting mid-detection, and lint
+  /// reports W005 missing-oracle.
+  virtual bool has_forbidden() const { return false; }
+  virtual bool has_forbidden_down() const { return false; }
+
+  /// True when classes() repeats a user assertion (make_asserted) rather
+  /// than deriving from structure: the claim is load-bearing for dispatch
+  /// but unverified, which lint surfaces as W007 and the auditor can check.
+  virtual bool classes_asserted() const { return false; }
+
   /// Negation. The default wraps in a generic Not (classes mostly lost);
   /// structured predicates override to keep De-Morgan structure
   /// (¬disjunctive = conjunctive etc.), which the AU algorithm requires.

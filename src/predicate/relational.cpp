@@ -72,6 +72,7 @@ class SumLe final : public Predicate {
     // all, so every process is forbidden; report the first term's owner.
     return terms_[0].proc;
   }
+  bool has_forbidden() const override { return true; }
 
  private:
   std::vector<VarRef> terms_;
@@ -101,6 +102,7 @@ class SumGe final : public Predicate {
     // Up-closed and false at g: nothing below g satisfies it either.
     return terms_[0].proc;
   }
+  bool has_forbidden_down() const override { return true; }
 
  private:
   std::vector<VarRef> terms_;
@@ -131,6 +133,8 @@ class DiffLe final : public Predicate {
   ProcId forbidden_down(const Computation&, const Cut&) const override {
     return a_.proc;
   }
+  bool has_forbidden() const override { return true; }
+  bool has_forbidden_down() const override { return true; }
 
  private:
   VarRef a_, b_;

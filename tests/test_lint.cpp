@@ -1,0 +1,234 @@
+// Static CTL query lint: warning codes, source-span anchoring, and the
+// wiring through evaluate_query / check_program / DispatchOptions::audit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/plan.h"
+#include "ctl/program_check.h"
+#include "poset/generate.h"
+#include "predicate/conjunctive.h"
+#include "predicate/local.h"
+
+namespace hbct {
+namespace {
+
+using ctl::lint_query;
+
+Computation comp(std::uint64_t seed = 3) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.num_vars = 2;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+bool has_code(const std::vector<Diagnostic>& ds, DiagCode c) {
+  return std::any_of(ds.begin(), ds.end(),
+                     [&](const Diagnostic& d) { return d.code == c; });
+}
+
+const Diagnostic& find_code(const std::vector<Diagnostic>& ds, DiagCode c) {
+  auto it = std::find_if(ds.begin(), ds.end(),
+                         [&](const Diagnostic& d) { return d.code == c; });
+  EXPECT_NE(it, ds.end());
+  return *it;
+}
+
+std::string span_text(const std::string& query, const SourceSpan& s) {
+  EXPECT_TRUE(s.valid());
+  return query.substr(s.begin, s.end - s.begin);
+}
+
+TEST(Lint, FlagsExponentialEgBeforeItRuns) {
+  const Computation c = comp();
+  // An arithmetic mix the compiler cannot classify: EG falls back to
+  // explicit search. The lint predicts it without running any detection.
+  const std::string q = "EG(pos(0) + pos(1) > 3)";
+  const auto ds = lint_query(c, q);
+  ASSERT_TRUE(has_code(ds, DiagCode::kExponentialFallback));
+  ASSERT_TRUE(has_code(ds, DiagCode::kUnclassifiedPredicate));
+
+  const Diagnostic& w1 = find_code(ds, DiagCode::kExponentialFallback);
+  EXPECT_EQ(w1.severity, DiagSeverity::kWarning);
+  EXPECT_NE(w1.message.find("eg-dfs"), std::string::npos);
+  // The finding is anchored to the operand subformula in the query text.
+  EXPECT_EQ(span_text(q, w1.span), "pos(0) + pos(1) > 3");
+}
+
+TEST(Lint, AgOverArbitraryGetsCnfSuggestion) {
+  const Computation c = comp();
+  const auto ds = lint_query(c, "AG(pos(0) + pos(1) > 3)");
+  const Diagnostic& w1 = find_code(ds, DiagCode::kExponentialFallback);
+  EXPECT_NE(w1.message.find("ag-dfs"), std::string::npos);
+  EXPECT_NE(w1.suggestion.find("CNF"), std::string::npos);
+}
+
+TEST(Lint, CleanQueryYieldsNoWarnings) {
+  const Computation c = comp();
+  for (const char* q : {"EF(v0@P0 >= 1 && v1@P1 <= 3)",
+                        "AG(v0@P0 >= 1 && v1@P1 <= 3)",
+                        "EF(v0@P0 >= 1 || v1@P1 <= 3)", "terminated"}) {
+    const auto ds = lint_query(c, q);
+    EXPECT_FALSE(has_code(ds, DiagCode::kExponentialFallback)) << q;
+    EXPECT_FALSE(has_code(ds, DiagCode::kUnclassifiedPredicate)) << q;
+  }
+}
+
+TEST(Lint, NestedTemporalIsW003AnchoredToWholeFormula) {
+  const Computation c = comp();
+  const std::string q = "EF(v0@P0 >= 1) && AG(v1@P1 <= 3)";
+  const auto ds = lint_query(c, q);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].code, DiagCode::kNestedTemporal);
+  EXPECT_TRUE(ds[0].span.valid());
+  EXPECT_NE(ds[0].message.find("explicit lattice"), std::string::npos);
+}
+
+TEST(Lint, UntilOutsideA3IsFlagged) {
+  const Computation c = comp();
+  // p is not conjunctive-compilable (an arithmetic sum), so A3 is off.
+  const std::string q = "E[pos(0) + pos(1) >= 0 U v0@P0 >= 2]";
+  const auto ds = lint_query(c, q);
+  const Diagnostic& w1 = find_code(ds, DiagCode::kExponentialFallback);
+  EXPECT_NE(w1.message.find("eu-dfs"), std::string::npos);
+  EXPECT_NE(w1.suggestion.find("A3"), std::string::npos);
+  // Plan-level findings appear once, not once per operand.
+  EXPECT_EQ(std::count_if(ds.begin(), ds.end(),
+                          [](const Diagnostic& d) {
+                            return d.code == DiagCode::kExponentialFallback;
+                          }),
+            1);
+}
+
+TEST(Lint, SplitDispatchIsInfoNotWarning) {
+  const Computation c = comp();
+  // DNF whose disjuncts are conjunctive: ef-or-split, polynomial per
+  // branch. The false-initially thresholds keep the disjunction out of the
+  // holds-initially observer-independent shortcut, which outranks the split.
+  const auto ds = lint_query(
+      c, "EF((v0@P0 >= 100 && v1@P1 <= 3) || (v0@P1 >= 200 && v1@P2 <= 1))");
+  EXPECT_FALSE(has_code(ds, DiagCode::kExponentialFallback));
+  ASSERT_TRUE(has_code(ds, DiagCode::kSplitDispatch));
+  EXPECT_EQ(find_code(ds, DiagCode::kSplitDispatch).severity,
+            DiagSeverity::kInfo);
+}
+
+TEST(Lint, W002OnIntractableClassViaPlanDiagnostics) {
+  const Computation c = comp();
+  // Observer-independent but nothing more: EG is NP-complete (Thm 5).
+  const PredicatePtr p = make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() % 2 == 0; },
+      kClassObserverIndependent, "parity");
+  const PredShape s = shape_of(p, c);
+  const DetectPlan plan = plan_unary(Op::kEG, s, true);
+  EXPECT_TRUE(plan.np_hard);
+  const auto ds = plan_diagnostics(Op::kEG, *p, s, plan);
+  ASSERT_TRUE(has_code(ds, DiagCode::kIntractableClass));
+  EXPECT_NE(find_code(ds, DiagCode::kIntractableClass).message.find("Thm 5"),
+            std::string::npos);
+}
+
+TEST(Lint, W005OnClaimedLinearWithoutOracle) {
+  const Computation c = comp();
+  const PredicatePtr p = make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() >= 20; },
+      kClassLinear, "claims-linear");
+  ASSERT_FALSE(p->has_forbidden());
+  const PredShape s = shape_of(p, c);
+  const DetectPlan plan = plan_unary(Op::kEF, s, true);
+  // Chase-Garg is skipped: the route is something else entirely.
+  EXPECT_STRNE(plan.name, "chase-garg-ef");
+  const auto ds = plan_diagnostics(Op::kEF, *p, s, plan);
+  ASSERT_TRUE(has_code(ds, DiagCode::kMissingOracle));
+  EXPECT_NE(find_code(ds, DiagCode::kMissingOracle).message.find("forbidden"),
+            std::string::npos);
+}
+
+TEST(Lint, W007OnLoadBearingAssertedClasses) {
+  const Computation c = comp();
+  const PredicatePtr p = make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() >= 20; },
+      kClassStable, "asserted-stable");
+  const PredShape s = shape_of(p, c);
+  const DetectPlan plan = plan_unary(Op::kEF, s, true);
+  EXPECT_STREQ(plan.name, "stable-final");
+  const auto ds = plan_diagnostics(Op::kEF, *p, s, plan);
+  ASSERT_TRUE(has_code(ds, DiagCode::kAssertedClasses));
+  EXPECT_EQ(find_code(ds, DiagCode::kAssertedClasses).severity,
+            DiagSeverity::kInfo);
+}
+
+TEST(Lint, EvaluateQueryAttachesPlanAndAnchoredDiagnostics) {
+  const Computation c = comp();
+  DispatchOptions opt;
+  opt.audit = AuditMode::kLintOnly;
+  const std::string q = "EG(pos(0) + pos(1) > 3)";
+  const auto r = ctl::evaluate_query(c, q, opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.result.plan, "eg-dfs (exponential)");
+  ASSERT_TRUE(has_code(r.result.diagnostics, DiagCode::kExponentialFallback));
+  // The spans survive the trip through detect(): evaluate_query substitutes
+  // the source-anchored lint findings for dispatch's span-less ones.
+  const Diagnostic& w1 =
+      find_code(r.result.diagnostics, DiagCode::kExponentialFallback);
+  EXPECT_EQ(span_text(q, w1.span), "pos(0) + pos(1) > 3");
+  // The verdict itself is unaffected by lint-only mode.
+  DispatchOptions off;
+  const auto r0 = ctl::evaluate_query(c, q, off);
+  ASSERT_TRUE(r0.ok);
+  EXPECT_EQ(r0.result.verdict, r.result.verdict);
+  EXPECT_TRUE(r0.result.plan.empty());
+  EXPECT_TRUE(r0.result.diagnostics.empty());
+}
+
+TEST(Lint, NestedTemporalEvaluationCarriesW003) {
+  const Computation c = comp();
+  DispatchOptions opt;
+  opt.audit = AuditMode::kLintOnly;
+  const auto r =
+      ctl::evaluate_query(c, "EF(v0@P0 >= 1) && AG(v1@P1 <= 3)", opt);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.algorithm, "lattice-nested-ctl");
+  ASSERT_TRUE(has_code(r.result.diagnostics, DiagCode::kNestedTemporal));
+}
+
+TEST(Lint, CheckProgramSurfacesFindingsOncePerQuery) {
+  DispatchOptions opt;
+  opt.audit = AuditMode::kLintOnly;
+  auto run = [](std::uint64_t seed) { return comp(seed); };
+  const auto r =
+      ctl::check_program(run, 4, "EG(pos(0) + pos(1) > 3)", opt);
+  EXPECT_EQ(r.runs, 4u);
+  EXPECT_TRUE(r.error.empty());
+  // Findings appear once, not four times.
+  EXPECT_EQ(std::count_if(r.diagnostics.begin(), r.diagnostics.end(),
+                          [](const Diagnostic& d) {
+                            return d.code == DiagCode::kExponentialFallback;
+                          }),
+            1);
+  // And not at all with the analysis off.
+  const auto r0 = ctl::check_program(run, 2, "EG(pos(0) + pos(1) > 3)", {});
+  EXPECT_TRUE(r0.diagnostics.empty());
+}
+
+TEST(Lint, RenderingIncludesCodeAndColumns) {
+  const Computation c = comp();
+  const auto ds = lint_query(c, "EG(pos(0) + pos(1) > 3)");
+  const std::string text = render_diagnostics(ds);
+  EXPECT_NE(text.find("W001"), std::string::npos);
+  EXPECT_NE(text.find("col"), std::string::npos);
+  EXPECT_EQ(to_string(DiagCode::kClassAuditFailed), std::string("E101"));
+  EXPECT_EQ(to_string(DiagCode::kExponentialFallback), std::string("W001"));
+}
+
+TEST(Lint, ParseFailureYieldsNoFindings) {
+  const Computation c = comp();
+  EXPECT_TRUE(lint_query(c, "EF(((").empty());
+}
+
+}  // namespace
+}  // namespace hbct

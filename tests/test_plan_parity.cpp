@@ -1,0 +1,215 @@
+// Pins the plan/dispatch/classify parity contract of analysis/plan.h:
+// DetectPlan::name is a prefix of the DetectResult::algorithm string the
+// detection actually reports, and the classify() report renders the same
+// plans — so the three views of "which Table-1 algorithm runs" can never
+// drift apart again (they did: classify used to promise A1/A2 for
+// conjunctive predicates that dispatch sent to the conjunctive scans).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/plan.h"
+#include "ctl/compile.h"
+#include "detect/dispatch.h"
+#include "poset/generate.h"
+#include "predicate/channel.h"
+#include "predicate/classify.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "predicate/local.h"
+#include "predicate/relational.h"
+
+namespace hbct {
+namespace {
+
+Computation comp(std::uint64_t seed) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 4;
+  opt.num_vars = 2;
+  opt.seed = seed;
+  return generate_random(opt);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Every predicate family the dispatcher distinguishes.
+std::vector<PredicatePtr> families(const Computation& c) {
+  (void)c;
+  std::vector<PredicatePtr> out;
+  out.push_back(var_cmp(0, "v0", Cmp::kGe, 1));  // local
+  out.push_back(make_conjunctive(
+      {var_cmp(0, "v0", Cmp::kGe, 1), var_cmp(1, "v1", Cmp::kLe, 3)}));
+  out.push_back(make_disjunctive(
+      {var_cmp(0, "v0", Cmp::kGe, 1), var_cmp(1, "v1", Cmp::kLe, 3)}));
+  out.push_back(make_terminated());                   // stable
+  out.push_back(all_channels_empty());                // regular + oracles
+  out.push_back(channel_bound_le(0, 1, 0));           // linear + oracle
+  out.push_back(sum_le({{0, "v0"}, {1, "v0"}}, 3));   // relational
+  out.push_back(make_asserted(
+      [](const Computation& cc, const Cut& g) {
+        return g.total() == cc.total_events();
+      },
+      0, "arbitrary"));  // classless: explicit search
+  out.push_back(make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() >= 5; },
+      kClassStable, "asserted-stable"));
+  // Claims linear without an oracle: EF must route around Chase-Garg.
+  out.push_back(make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() >= 5; },
+      kClassLinear, "asserted-linear-no-oracle"));
+  // DNF over mixed operands: exercises the distributive splits.
+  out.push_back(make_or(make_conjunctive({var_cmp(0, "v0", Cmp::kGe, 1),
+                                          var_cmp(1, "v1", Cmp::kLe, 3)}),
+                        all_channels_empty()));
+  return out;
+}
+
+TEST(PlanParity, UnaryPlanNameIsPrefixOfAlgorithm) {
+  const Computation c = comp(7);
+  for (const PredicatePtr& p : families(c)) {
+    const PredShape s = shape_of(p, c);
+    for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG}) {
+      const DetectPlan plan = plan_unary(op, s, /*allow_exponential=*/true);
+      const DetectResult r = detect(c, op, p, nullptr, {});
+      EXPECT_TRUE(starts_with(r.algorithm, plan.name))
+          << to_string(op) << "(" << p->describe() << "): plan " << plan.name
+          << " vs algorithm " << r.algorithm;
+    }
+  }
+}
+
+TEST(PlanParity, RefusedPlanNameIsPrefixToo) {
+  const Computation c = comp(8);
+  DispatchOptions opt;
+  opt.allow_exponential = false;
+  const PredicatePtr p = make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() == 3; }, 0,
+      "probe");
+  for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG}) {
+    const DetectPlan plan =
+        plan_unary(op, shape_of(p, c), /*allow_exponential=*/false);
+    EXPECT_TRUE(plan.refused);
+    const DetectResult r = detect(c, op, p, nullptr, opt);
+    EXPECT_TRUE(starts_with(r.algorithm, plan.name)) << r.algorithm;
+    EXPECT_NE(r.algorithm.find("(refused)"), std::string::npos);
+    EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  }
+}
+
+TEST(PlanParity, UntilPlanNameIsPrefixOfAlgorithm) {
+  const Computation c = comp(9);
+  const auto conj = make_conjunctive(
+      {var_cmp(0, "v0", Cmp::kGe, 1), var_cmp(1, "v1", Cmp::kLe, 3)});
+  const auto disj = make_disjunctive(
+      {var_cmp(0, "v0", Cmp::kGe, 1), var_cmp(1, "v1", Cmp::kLe, 3)});
+  const PredicatePtr linear_q = var_cmp(2, "v0", Cmp::kGe, 2);
+  // Mixed operands keep make_or generic (two locals would canonicalize
+  // into a DisjunctivePredicate, whose disjuncts() is empty): both branches
+  // are linear with forbidden() oracles, so E[p U q1||q2] splits into A3s.
+  const PredicatePtr split_q =
+      make_or(channel_bound_le(0, 1, 0), var_cmp(2, "v1", Cmp::kGe, 1));
+  const PredicatePtr opaque = make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() == 4; }, 0,
+      "opaque");
+
+  struct Case {
+    Op op;
+    PredicatePtr p, q;
+    const char* expect;  // expected plan name, as a sanity anchor
+  };
+  const std::vector<Case> cases = {
+      {Op::kEU, conj, linear_q, "A3-eu"},
+      {Op::kEU, conj, split_q, "eu-or-split(A3)"},
+      {Op::kEU, opaque, opaque, "eu-dfs"},
+      {Op::kAU, disj, disj, "au-disjunctive"},
+      {Op::kAU, conj, opaque, "au-dfs"},
+  };
+  for (const Case& k : cases) {
+    const bool q_split =
+        k.op == Op::kEU && !k.q->disjuncts().empty() &&
+        [&] {
+          for (const PredicatePtr& s : k.q->disjuncts())
+            if (!(effective_classes(*s, c) & kClassLinear) ||
+                !s->has_forbidden())
+              return false;
+          return true;
+        }();
+    const DetectPlan plan = plan_until(k.op, shape_of(k.p, c),
+                                       shape_of(k.q, c), q_split, true);
+    EXPECT_STREQ(plan.name, k.expect);
+    const DetectResult r = detect(c, k.op, k.p, k.q, {});
+    EXPECT_TRUE(starts_with(r.algorithm, plan.name))
+        << to_string(k.op) << ": plan " << plan.name << " vs algorithm "
+        << r.algorithm;
+  }
+}
+
+TEST(PlanParity, ClassifyRendersTheSamePlans) {
+  const Computation c = comp(10);
+  for (const PredicatePtr& p : families(c)) {
+    const ClassReport rep = classify(*p, c);
+    const PredShape s = shape_of(p, c);
+    const struct {
+      Op op;
+      const std::string* field;
+    } rows[] = {{Op::kEF, &rep.ef},
+                {Op::kAF, &rep.af},
+                {Op::kEG, &rep.eg},
+                {Op::kAG, &rep.ag}};
+    for (const auto& row : rows) {
+      const DetectPlan plan = plan_unary(row.op, s, true);
+      EXPECT_TRUE(starts_with(*row.field, plan.name))
+          << p->describe() << ": classify says '" << *row.field
+          << "', plan says '" << plan.name << "'";
+    }
+  }
+}
+
+TEST(PlanParity, ResultPlanFieldMatchesAlgorithm) {
+  const Computation c = comp(11);
+  DispatchOptions opt;
+  opt.audit = AuditMode::kLintOnly;
+  for (const PredicatePtr& p : families(c)) {
+    for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG}) {
+      const DetectResult r = detect(c, op, p, nullptr, opt);
+      ASSERT_FALSE(r.plan.empty());
+      // r.plan is "<name> (<cost>)"; the name must prefix the algorithm.
+      const std::string name = r.plan.substr(0, r.plan.find(" ("));
+      EXPECT_TRUE(starts_with(r.algorithm, name))
+          << r.plan << " vs " << r.algorithm;
+    }
+  }
+}
+
+/// The weekday drift that motivated the shared planner: a regular predicate
+/// with oracles must hit A1/A2 for EG/AG, while a structurally conjunctive
+/// one must hit the conjunctive scans — in dispatch AND classify.
+TEST(PlanParity, RegularVsConjunctiveRouting) {
+  const Computation c = comp(12);
+  const PredicatePtr reg = all_channels_empty();
+  const PredicatePtr conj = make_conjunctive(
+      {var_cmp(0, "v0", Cmp::kGe, 1), var_cmp(1, "v1", Cmp::kLe, 3)});
+
+  EXPECT_TRUE(starts_with(detect(c, Op::kEG, reg, nullptr, {}).algorithm,
+                          "A1-eg-linear"));
+  EXPECT_TRUE(starts_with(detect(c, Op::kAG, reg, nullptr, {}).algorithm,
+                          "A2-ag-linear"));
+  EXPECT_TRUE(starts_with(detect(c, Op::kEG, conj, nullptr, {}).algorithm,
+                          "eg-conjunctive-scan"));
+  EXPECT_TRUE(starts_with(detect(c, Op::kAG, conj, nullptr, {}).algorithm,
+                          "ag-conjunctive-scan"));
+
+  const ClassReport rrep = classify(*reg, c);
+  EXPECT_TRUE(starts_with(rrep.eg, "A1-eg-linear"));
+  EXPECT_TRUE(starts_with(rrep.ag, "A2-ag-linear"));
+  const ClassReport crep = classify(*conj, c);
+  EXPECT_TRUE(starts_with(crep.eg, "eg-conjunctive-scan"));
+  EXPECT_TRUE(starts_with(crep.ag, "ag-conjunctive-scan"));
+}
+
+}  // namespace
+}  // namespace hbct

@@ -239,11 +239,19 @@ TEST(Predicates, NonMonotoneRelationalClaimsNothing) {
 
 TEST(Predicates, ClassifyReportMentionsPaperAlgorithms) {
   Computation c = small_comp(11);
-  auto p = make_conjunctive({var_cmp(0, "v0", Cmp::kLe, 9)});
+  // Regular-but-not-conjunctive predicates take the paper's A1/A2 routes.
+  auto p = all_channels_empty();
   ClassReport r = classify(*p, c);
   EXPECT_NE(r.eg.find("A1"), std::string::npos);
   EXPECT_NE(r.ag.find("A2"), std::string::npos);
   EXPECT_NE(to_string(r).find("EF ->"), std::string::npos);
+
+  // Conjunctive predicates report the conjunctive scans — the same route
+  // dispatch takes (tests/test_plan_parity.cpp pins the agreement).
+  auto cj = make_conjunctive({var_cmp(0, "v0", Cmp::kLe, 9)});
+  ClassReport rc = classify(*cj, c);
+  EXPECT_NE(rc.eg.find("eg-conjunctive-scan"), std::string::npos);
+  EXPECT_NE(rc.ag.find("ag-conjunctive-scan"), std::string::npos);
 
   auto s = make_terminated();
   ClassReport rs = classify(*s, c);
