@@ -10,6 +10,9 @@
 // EXPERIMENTS.md notes the core count next to the numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "bench_report.h"
 #include "hbct.h"
 
 namespace hbct {
@@ -160,7 +163,81 @@ void BM_lattice_class_check(benchmark::State& state) {
 }
 BENCHMARK(BM_lattice_class_check)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---- BENCH_parallel.json -------------------------------------------------------
+//
+// One self-timed row per (fan-out site, width); the width-4 ef-or-split row
+// re-runs traced and embeds its report, whose metrics block carries the
+// parallel.* counters and the queue-depth high-water mark.
+
+bool emit_parallel_json(const std::string& path) {
+  constexpr int kIters = 12;
+  const Computation& c = workload();
+  std::vector<benchio::BenchRow> rows;
+
+  const auto dnf = wide_dnf();
+  const auto cnf = wide_cnf();
+  const auto eu_p = [] {
+    std::vector<LocalPredicatePtr> ls;
+    for (ProcId i = 0; i < kProcs; ++i)
+      ls.push_back(var_cmp(i, "v0", Cmp::kLe, 8));
+    return make_conjunctive(std::move(ls));
+  }();
+  const PredicatePtr eu_q = make_and(
+      all_channels_empty(), PredicatePtr(var_cmp(0, "v0", Cmp::kGe, 3)));
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{8}}) {
+    const std::string suffix = ".w" + std::to_string(width);
+    {
+      benchio::BenchRow row;
+      row.name = "ef_or_split" + suffix;
+      DispatchOptions opt;
+      opt.parallelism = width;
+      DetectResult last;
+      row.ns = benchio::time_ns(
+          kIters, [&] { last = detect(c, Op::kEF, dnf, nullptr, opt); });
+      row.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+      if (width == 4) {
+        opt.trace = true;
+        last = detect(c, Op::kEF, dnf, nullptr, opt);
+        row.report = report_json(last);
+      }
+      rows.push_back(std::move(row));
+    }
+    {
+      benchio::BenchRow row;
+      row.name = "ag_and_split" + suffix;
+      DispatchOptions opt;
+      opt.parallelism = width;
+      DetectResult last;
+      row.ns = benchio::time_ns(
+          kIters, [&] { last = detect(c, Op::kAG, cnf, nullptr, opt); });
+      row.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+      rows.push_back(std::move(row));
+    }
+    {
+      benchio::BenchRow row;
+      row.name = "eu_frontier_sweep" + suffix;
+      DetectResult last;
+      row.ns = benchio::time_ns(
+          kIters, [&] { last = detect_eu(c, *eu_p, *eu_q, width); });
+      row.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+      rows.push_back(std::move(row));
+    }
+  }
+  return benchio::write_bench_json(path, "parallel", rows);
+}
+
 }  // namespace
 }  // namespace hbct
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const char* out = std::getenv("HBCT_BENCH_JSON");
+  return hbct::emit_parallel_json(out != nullptr ? out : "BENCH_parallel.json")
+             ? 0
+             : 1;
+}

@@ -10,6 +10,9 @@
 // Counters: evals = predicate evaluations, steps = cut advancements.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
+#include "bench_report.h"
 #include "hbct.h"
 
 namespace hbct {
@@ -265,7 +268,132 @@ void BM_audit_lint_only(benchmark::State& state) {
 }
 BENCHMARK(BM_audit_lint_only);
 
+// ---- Tracer overhead -----------------------------------------------------------
+//
+// Same shape as the audit pair. BM_trace_off exercises the compiled-in but
+// disabled tracer: every instrumentation site tests one null pointer and
+// falls through (the <=2% acceptance bar — compare against BM_audit_off,
+// which is byte-for-byte the same work, and against the pre-observability
+// baseline recorded in EXPERIMENTS.md). BM_trace_on pays for real spans,
+// per-phase histograms, and the span-tree retained on the result.
+
+void BM_trace_off(benchmark::State& state) { run_all_unary(state, {}); }
+BENCHMARK(BM_trace_off);
+
+void BM_trace_on(benchmark::State& state) {
+  DispatchOptions opt;
+  opt.trace = true;
+  run_all_unary(state, opt);
+}
+BENCHMARK(BM_trace_on);
+
+// ---- BENCH_table1.json ---------------------------------------------------------
+//
+// A compact self-timed pass over the polynomial rows plus the until
+// operators; the EF-of-conjunctive row re-runs traced and embeds its full
+// hbct.report/1 document so the artifact carries one complete span tree.
+
+benchio::BenchRow timed_cell(const std::string& name, Op op,
+                             const PredicatePtr& p, const Computation& c,
+                             int iters, bool traced = false) {
+  benchio::BenchRow row;
+  row.name = name;
+  DispatchOptions opt;
+  DetectResult last;
+  row.ns = benchio::time_ns(
+      iters, [&] { last = detect(c, op, p, nullptr, opt); });
+  row.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+  if (traced) {
+    opt.trace = true;
+    last = detect(c, op, p, nullptr, opt);
+    row.report = report_json(last);
+  }
+  return row;
+}
+
+bool emit_table1_json(const std::string& path) {
+  constexpr int kIters = 20;
+  const Computation& c = workload();
+  std::vector<benchio::BenchRow> rows;
+  struct RowSpec {
+    const char* row;
+    PredicatePtr (*make)();
+  };
+  const RowSpec specs[] = {{"conjunctive", conjunctive_pred},
+                           {"disjunctive", disjunctive_pred},
+                           {"stable", stable_pred}};
+  const struct {
+    const char* name;
+    Op op;
+  } ops[] = {{"EF", Op::kEF}, {"AF", Op::kAF}, {"EG", Op::kEG},
+             {"AG", Op::kAG}};
+  for (const RowSpec& spec : specs)
+    for (const auto& o : ops)
+      rows.push_back(timed_cell(std::string(spec.row) + "." + o.name, o.op,
+                                spec.make(), c, kIters,
+                                /*traced=*/spec.make == conjunctive_pred &&
+                                    o.op == Op::kEF));
+  for (const auto& o : ops)
+    rows.push_back(timed_cell(std::string("linear.") + o.name, o.op,
+                              linear_pred_for(o.op),
+                              o.op == Op::kAF ? small_workload() : c, kIters));
+
+  {
+    benchio::BenchRow eu;
+    eu.name = "until.EU";
+    auto p = as_conjunctive(conjunctive_pred());
+    PredicatePtr q = make_and(all_channels_empty(),
+                              PredicatePtr(var_cmp(0, "v0", Cmp::kGe, 3)));
+    DetectResult last;
+    eu.ns = benchio::time_ns(kIters, [&] { last = detect_eu(c, *p, *q); });
+    eu.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+    rows.push_back(std::move(eu));
+  }
+  {
+    benchio::BenchRow au;
+    au.name = "until.AU";
+    auto p = as_disjunctive(disjunctive_pred());
+    std::vector<LocalPredicatePtr> qs;
+    for (ProcId i = 0; i < kProcs; ++i)
+      qs.push_back(var_cmp(i, "v1", Cmp::kGe, 2));
+    auto q = make_disjunctive(std::move(qs));
+    DetectResult last;
+    au.ns = benchio::time_ns(
+        kIters, [&] { last = detect_au_disjunctive(c, *p, *q); });
+    au.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+    rows.push_back(std::move(au));
+  }
+
+  // The disabled-tracer A/B on the artifact too, so EXPERIMENTS.md numbers
+  // can be regenerated from the JSON alone.
+  for (const bool traced : {false, true}) {
+    benchio::BenchRow row;
+    row.name = traced ? "overhead.trace_on" : "overhead.trace_off";
+    DispatchOptions opt;
+    opt.trace = traced;
+    PredicatePtr p = conjunctive_pred();
+    DetectResult last;
+    row.ns = benchio::time_ns(kIters, [&] {
+      for (Op op : {Op::kEF, Op::kAF, Op::kEG, Op::kAG})
+        last = detect(c, op, p, nullptr, opt);
+    });
+    row.label = "EF+AF+EG+AG of conjunctive";
+    rows.push_back(std::move(row));
+  }
+
+  return benchio::write_bench_json(path, "table1", rows);
+}
+
 }  // namespace
 }  // namespace hbct
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const char* out = std::getenv("HBCT_BENCH_JSON");
+  return hbct::emit_table1_json(out != nullptr ? out : "BENCH_table1.json")
+             ? 0
+             : 1;
+}

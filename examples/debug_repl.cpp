@@ -11,13 +11,15 @@
 //   hbct> quit
 //
 // Commands: any CTL query, `diagram`, `stats`, `vars`, `classes <state
-// formula>`, `lint <query>`, `audit <state formula>`, `help`, `quit`.
+// formula>`, `lint <query>`, `audit <state formula>`, `trace on|off`,
+// `trace save <file>`, `report`, `help`, `quit`.
 // With --audit, every query runs a full pre-flight class audit and prints
 // the lint findings (see DESIGN.md §9 for the warning-code catalog).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "hbct.h"
@@ -33,20 +35,26 @@ void help() {
       "  classes <formula>    predicate classes + algorithm dispatch map\n"
       "  lint <query>         predicted dispatch plan + W-code findings\n"
       "  audit <formula>      verify claimed predicate classes (E-codes)\n"
+      "  trace on|off         span-trace subsequent queries\n"
+      "  trace save <file>    write the last traced query as Chrome JSON\n"
+      "  report               hbct.report/1 JSON for the last query\n"
       "  diagram              ASCII space-time diagram\n"
       "  stats                concurrency metrics (height, width, ...)\n"
       "  vars                 variable names\n"
       "  help | quit\n");
 }
 
-void run_query(const Computation& c, const std::string& text, bool audit) {
+void run_query(const Computation& c, const std::string& text, bool audit,
+               bool trace, std::optional<DetectResult>& last) {
   DispatchOptions opt;
   if (audit) opt.audit = AuditMode::kFull;
+  opt.trace = trace;
   auto r = ctl::evaluate_query(c, text, opt);
   if (!r.ok) {
     std::printf("error: %s\n", r.error.c_str());
     return;
   }
+  last = r.result;
   const char* verdict = r.result.verdict == Verdict::kUnknown
                             ? "UNKNOWN"
                             : r.result.holds() ? "TRUE" : "FALSE";
@@ -64,6 +72,25 @@ void run_query(const Computation& c, const std::string& text, bool audit) {
       std::printf(" %s", g.to_string().c_str());
     std::printf("\n");
   }
+  if (r.result.trace)
+    std::printf("  traced: %llu spans (`report`, `trace save <file>`)\n",
+                static_cast<unsigned long long>(r.result.trace->span_count()));
+}
+
+void save_chrome_trace(const std::optional<DetectResult>& last,
+                       const std::string& path) {
+  if (!last || !last->trace) {
+    std::printf("no traced query yet (`trace on`, then run one)\n");
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  out << last->trace->chrome_trace_json() << "\n";
+  std::printf("wrote %s (load via chrome://tracing or ui.perfetto.dev)\n",
+              path.c_str());
 }
 
 void show_classes(const Computation& c, const std::string& text) {
@@ -173,6 +200,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(c.num_messages()));
 
   std::string line;
+  bool trace_mode = false;
+  std::optional<DetectResult> last;
   for (;;) {
     std::printf("hbct> ");
     std::fflush(stdout);
@@ -182,6 +211,19 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       help();
+    } else if (cmd == "trace on") {
+      trace_mode = true;
+      std::printf("tracing on: queries keep their span tree\n");
+    } else if (cmd == "trace off") {
+      trace_mode = false;
+      std::printf("tracing off\n");
+    } else if (starts_with(cmd, "trace save ")) {
+      save_chrome_trace(last, cmd.substr(11));
+    } else if (cmd == "report") {
+      if (!last)
+        std::printf("no query yet\n");
+      else
+        std::printf("%s\n", report_json(*last).c_str());
     } else if (cmd == "diagram") {
       std::printf("%s", render_diagram(c).c_str());
     } else if (cmd == "stats") {
@@ -197,7 +239,7 @@ int main(int argc, char** argv) {
     } else if (starts_with(cmd, "audit ")) {
       audit(c, cmd.substr(6));
     } else {
-      run_query(c, cmd, audit_mode);
+      run_query(c, cmd, audit_mode, trace_mode, last);
     }
   }
   return 0;

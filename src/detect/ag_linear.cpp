@@ -1,11 +1,14 @@
 #include "detect/ag_linear.h"
 
+#include "obs/trace.h"
+
 namespace hbct {
 
 DetectResult detect_ag_linear(const Computation& c, const Predicate& p,
                               const Budget& budget) {
   DetectResult r;
   r.algorithm = "A2-ag-linear";
+  ScopedSpan span(budget.trace, "ag.a2-scan");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
 
@@ -37,6 +40,7 @@ DetectResult detect_ag_post_linear(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "A2-ag-post-linear";
+  ScopedSpan span(budget.trace, "ag.a2-scan-dual");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
 

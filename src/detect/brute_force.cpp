@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "detect/parallel.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
 
@@ -146,6 +147,9 @@ DetectResult LatticeChecker::detect(Op op, const Predicate& p,
   r.algorithm = "lattice-brute-force";
   r.stats.lattice_nodes = lat_.size();
   r.stats.lattice_edges = lat_.num_edges();
+  ScopedSpan span(budget.trace, "brute.lattice");
+  span.arg("nodes", static_cast<std::int64_t>(lat_.size()));
+  span.arg("edges", static_cast<std::int64_t>(lat_.num_edges()));
   // Bounds are probed at sweep boundaries only: the per-node sweeps may fan
   // out across the pool, and a mid-sweep trip point would depend on the
   // schedule. Boundary checks keep Verdict/BoundReason parallelism-invariant.
@@ -155,7 +159,11 @@ DetectResult LatticeChecker::detect(Op op, const Predicate& p,
     t.trip(BoundReason::kStateCap);
     return mark_bounded(r, t);
   }
-  const std::vector<char> lp = label(p, &r.stats);
+  std::vector<char> lp;
+  {
+    ScopedSpan s(budget.trace, "brute.label-sweep");
+    lp = label(p, &r.stats);
+  }
   if (!t.ok()) return mark_bounded(r, t);
   std::vector<char> res;
   switch (op) {
@@ -166,7 +174,11 @@ DetectResult LatticeChecker::detect(Op op, const Predicate& p,
     case Op::kEU:
     case Op::kAU: {
       HBCT_ASSERT_MSG(q != nullptr, "EU/AU require a second predicate");
-      const std::vector<char> lq = label(*q, &r.stats);
+      std::vector<char> lq;
+      {
+        ScopedSpan s(budget.trace, "brute.label-sweep");
+        lq = label(*q, &r.stats);
+      }
       if (!t.ok()) return mark_bounded(r, t);
       res = op == Op::kEU ? eu(lp, lq) : au(lp, lq);
       break;

@@ -1,9 +1,18 @@
 #include "detect/budget.h"
 
 #include "detect/detector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace hbct {
+
+void record_budget_trip(Tracer* t, BoundReason r) {
+  t->instant(std::string("budget.trip.") + to_string(r));
+  t->metrics()
+      .counter(std::string("budget.trips.") + to_string(r))
+      .add(1);
+}
 
 const char* to_string(Verdict v) {
   switch (v) {

@@ -32,6 +32,8 @@
 
 namespace hbct {
 
+class Tracer;
+
 /// Three-valued detection verdict. kHolds/kFails are definite and sound;
 /// kUnknown means a resource bound stopped the detection first.
 enum class Verdict : std::uint8_t { kHolds, kFails, kUnknown };
@@ -52,6 +54,11 @@ enum class BoundReason : std::uint8_t {
 
 const char* to_string(Verdict v);
 const char* to_string(BoundReason r);
+
+/// Emits a "budget.trip" instant event plus a counter bump on `t`'s
+/// metrics registry. Out of line so budget.h need not include the tracer;
+/// callers guard on `t != nullptr`.
+void record_budget_trip(Tracer* t, BoundReason r);
 
 inline Verdict verdict_of(bool holds) {
   return holds ? Verdict::kHolds : Verdict::kFails;
@@ -85,6 +92,11 @@ struct Budget {
   /// Caller-supplied cooperative cancellation; polled at every checkpoint.
   /// Not owned; must outlive the detection.
   CancelToken* cancel = nullptr;
+  /// Span tracer of the enclosing detection (obs/trace.h); not owned. Set
+  /// by dispatch when DispatchOptions::trace is on and threaded here so
+  /// every detector can emit spans without signature changes. nullptr (the
+  /// default) keeps all instrumentation on a single-pointer-test fast path.
+  Tracer* trace = nullptr;
 
   /// True when any bound other than the (rarely reached) state cap is set —
   /// the fast-path test the per-step checkpoint uses.
@@ -121,18 +133,18 @@ class BudgetTracker {
     if (reason_ != BoundReason::kNone) return false;
     if (!active_) return true;
     if (b_.cancel && b_.cancel->cancelled()) {
-      reason_ = BoundReason::kCancelled;
+      trip(BoundReason::kCancelled);
       return false;
     }
     const std::uint64_t spent = work() - base_;
     if (spent > b_.max_work) {
-      reason_ = BoundReason::kStepBudget;
+      trip(BoundReason::kStepBudget);
       return false;
     }
     if (b_.deadline && spent >= next_clock_probe_) {
       next_clock_probe_ = spent + kClockStride;
       if (std::chrono::steady_clock::now() >= *b_.deadline) {
-        reason_ = BoundReason::kDeadline;
+        trip(BoundReason::kDeadline);
         return false;
       }
     }
@@ -140,9 +152,12 @@ class BudgetTracker {
   }
 
   /// Explicitly trip a bound (the DFS state cap is charged here rather
-  /// than through the work counters).
+  /// than through the work counters). Every trip — explicit or from ok() —
+  /// funnels here, so a traced detection records one instant per bound.
   void trip(BoundReason r) {
-    if (reason_ == BoundReason::kNone) reason_ = r;
+    if (reason_ != BoundReason::kNone) return;
+    reason_ = r;
+    if (b_.trace != nullptr) record_budget_trip(b_.trace, r);
   }
 
   bool exceeded() const { return reason_ != BoundReason::kNone; }

@@ -1,5 +1,6 @@
 #include "detect/conjunctive_gw.h"
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -13,6 +14,7 @@ DetectResult detect_ef_conjunctive(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "gw-weak-conjunctive";
+  ScopedSpan span(budget.trace, "ef.gw-weak");
   BudgetTracker t(budget, r.stats);
   const std::int32_t n = c.num_procs();
   if (!t.ok()) return mark_bounded(r, t);
@@ -93,6 +95,7 @@ DetectResult detect_eg_conjunctive(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "eg-conjunctive-scan";
+  ScopedSpan span(budget.trace, "eg.conjunctive-scan");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
   if (find_false_position(c, p, r.stats, t)) return r;
@@ -113,6 +116,7 @@ DetectResult detect_ag_conjunctive(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "ag-conjunctive-scan";
+  ScopedSpan span(budget.trace, "ag.conjunctive-scan");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
   if (auto bad = find_false_position(c, p, r.stats, t)) {
@@ -145,6 +149,7 @@ DetectResult detect_af_conjunctive(const Computation& c,
   // so advance process i's candidate. O(n^2 * #intervals) clock tests.
   DetectResult r;
   r.algorithm = "gw-strong-conjunctive";
+  ScopedSpan span(budget.trace, "af.gw-strong");
   BudgetTracker t(budget, r.stats);
   const std::int32_t n = c.num_procs();
   if (!t.ok()) return mark_bounded(r, t);

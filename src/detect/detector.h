@@ -7,6 +7,7 @@
 // cuts for EG/EU, a violating cut for failed AG.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,15 @@ namespace hbct {
 enum class Op { kEF, kAF, kEG, kAG, kEU, kAU };
 
 const char* to_string(Op op);
+
+class Tracer;
+
+/// Shared ownership of the span tracer of a traced detection. Dispatch
+/// creates one per detect() call when DispatchOptions::trace is set and
+/// hands it out on the result, so callers can export the span tree
+/// (Tracer::chrome_trace_json) or the full run report (obs/report.h) after
+/// the detection returns.
+using TraceHandle = std::shared_ptr<Tracer>;
 
 struct DetectResult {
   /// The three-valued verdict. kUnknown only ever appears together with a
@@ -50,6 +60,9 @@ struct DetectResult {
   /// any audit violations (severity kError, code E1xx). Empty when audit is
   /// off.
   std::vector<Diagnostic> diagnostics;
+  /// The span tracer of this run; null unless DispatchOptions::trace was
+  /// set. Shared so the result stays copyable.
+  TraceHandle trace;
 
   bool definite() const { return verdict != Verdict::kUnknown; }
   /// Deprecated two-valued accessor; defined only for definite verdicts

@@ -4,6 +4,7 @@
 
 #include "detect/conjunctive_gw.h"
 #include "detect/ef_linear.h"
+#include "obs/trace.h"
 #include "predicate/conjunctive.h"
 #include "util/assert.h"
 
@@ -14,6 +15,7 @@ DetectResult detect_ef_disjunctive(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "ef-disjunctive-scan";
+  ScopedSpan span(budget.trace, "ef.disjunctive-scan");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
   for (const auto& local : p.locals()) {
@@ -49,6 +51,7 @@ DetectResult detect_eg_disjunctive(const Computation& c,
   // unavoidable-box search, see detect_af_conjunctive).
   auto notp = as_conjunctive(p.negate());
   HBCT_ASSERT(notp);
+  ScopedSpan span(budget.trace, "eg.disjunctive-negation");
   DetectResult inner = detect_af_conjunctive(c, *notp, budget);
   DetectResult r;
   r.algorithm = "eg-disjunctive = !af-conjunctive(!p)";
@@ -65,6 +68,7 @@ DetectResult detect_ag_disjunctive(const Computation& c,
   HBCT_ASSERT(notp);
   DetectResult r;
   r.algorithm = "ag-disjunctive = !ef-conjunctive(!p)";
+  ScopedSpan span(budget.trace, "ag.disjunctive-negation");
   BudgetTracker t(budget, r.stats);
   auto bad = least_satisfying_cut(c, *notp, r.stats, nullptr, &t);
   if (t.exceeded()) return mark_bounded(r, t);

@@ -4,6 +4,8 @@
 
 #include "analysis/plan.h"
 #include "detect/ag_linear.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "detect/conjunctive_gw.h"
 #include "detect/disjunctive.h"
 #include "detect/ef_linear.h"
@@ -107,7 +109,7 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
           [](const DetectResult& sub) {
             return sub.verdict == Verdict::kHolds;
           },
-          r.stats);
+          r.stats, opt.budget.trace, "split.ef-or");
       if (m.found()) {
         // A witnessed disjunct is definite even if an earlier branch ran
         // out of budget (Kleene disjunction with a definite true operand).
@@ -134,7 +136,7 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
           [](const DetectResult& sub) {
             return sub.verdict == Verdict::kFails;
           },
-          r.stats);
+          r.stats, opt.budget.trace, "split.ag-and");
       if (m.found()) {
         // A definite counterexample refutes the conjunction outright.
         r.verdict = Verdict::kFails;
@@ -194,7 +196,7 @@ DetectResult detect_impl(const Computation& c, Op op, const PredicatePtr& p,
           [](const DetectResult& sub) {
             return sub.verdict == Verdict::kHolds;
           },
-          r.stats);
+          r.stats, opt.budget.trace, "split.eu-or");
       if (m.found()) {
         r.verdict = Verdict::kHolds;
         r.witness_cut = std::move(m.result.witness_cut);
@@ -262,18 +264,46 @@ bool preflight(const Computation& c, Op op, const PredicatePtr& p,
   return ok;
 }
 
-}  // namespace
+/// Process-wide verdict tally; resolved once, incremented lock-free.
+Counter& global_verdict_counter(Verdict v) {
+  static Counter& holds =
+      MetricsRegistry::global().counter("detect.verdict.holds");
+  static Counter& fails =
+      MetricsRegistry::global().counter("detect.verdict.fails");
+  static Counter& unknown =
+      MetricsRegistry::global().counter("detect.verdict.unknown");
+  switch (v) {
+    case Verdict::kHolds: return holds;
+    case Verdict::kFails: return fails;
+    default: return unknown;
+  }
+}
 
-DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
-                    const PredicatePtr& q, const DispatchOptions& opt) {
-  HBCT_ASSERT(p);
-  if (op == Op::kEU || op == Op::kAU)
-    HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
+/// Every detect() folds its operation counts and verdict into the global
+/// registry; a traced run additionally lands them in its own registry so
+/// the run report is self-contained.
+void finish_metrics(const DetectResult& r, Tracer* t) {
+  MetricsRegistry::global().absorb(r.stats);
+  global_verdict_counter(r.verdict).add(1);
+  if (t != nullptr) {
+    MetricsRegistry& m = t->metrics();
+    m.absorb(r.stats);
+    m.counter(std::string("detect.verdict.") + to_string(r.verdict)).add(1);
+  }
+}
+
+DetectResult detect_routed(const Computation& c, Op op, const PredicatePtr& p,
+                           const PredicatePtr& q, const DispatchOptions& opt) {
   if (opt.audit == AuditMode::kOff) return detect_impl(c, op, p, q, opt);
 
   DetectPlan plan;
   DetectResult pre;
-  if (!preflight(c, op, p, q, opt, plan, pre)) {
+  bool claims_ok;
+  {
+    ScopedSpan s(opt.budget.trace, "dispatch.preflight");
+    claims_ok = preflight(c, op, p, q, opt, plan, pre);
+  }
+  if (!claims_ok) {
     // A refuted class claim voids the soundness of every class-specific
     // route; degrade to indefinite rather than risk a wrong definite
     // verdict (the Kleene contract of detect/budget.h).
@@ -289,6 +319,38 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
   DetectResult r = detect_impl(c, op, p, q, sub_opt, &plan);
   r.plan = std::move(pre.plan);
   r.diagnostics = std::move(pre.diagnostics);
+  return r;
+}
+
+}  // namespace
+
+DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
+                    const PredicatePtr& q, const DispatchOptions& opt) {
+  HBCT_ASSERT(p);
+  if (op == Op::kEU || op == Op::kAU)
+    HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
+
+  if (!opt.trace) {
+    DetectResult r = detect_routed(c, op, p, q, opt);
+    finish_metrics(r, opt.budget.trace);
+    return r;
+  }
+
+  TraceHandle tracer = std::make_shared<Tracer>();
+  // Materialize the registry up front: Tracer::end() records the per-phase
+  // span.<name>.ns histograms only once the registry exists.
+  tracer->metrics();
+  DispatchOptions traced = opt;
+  traced.budget.trace = tracer.get();
+  DetectResult r;
+  {
+    ScopedSpan root(tracer.get(), "detect");
+    root.arg("op", static_cast<std::int64_t>(op));
+    r = detect_routed(c, op, p, q, traced);
+    root.arg("verdict", static_cast<std::int64_t>(r.verdict));
+  }
+  finish_metrics(r, tracer.get());
+  r.trace = std::move(tracer);
   return r;
 }
 

@@ -1,5 +1,6 @@
 #include "detect/ef_linear.h"
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -14,6 +15,8 @@ std::optional<Cut> least_satisfying_cut(const Computation& c,
                                         BudgetTracker* budget) {
   Cut g = start ? *start : c.initial_cut();
   HBCT_DASSERT(c.is_consistent(g));
+  ScopedSpan span(budget != nullptr ? budget->budget().trace : nullptr,
+                  "walk.least-cut");
   CountingEval eval(p, c, st, budget);
   if (budget != nullptr && !budget->ok()) return std::nullopt;
   while (!eval(g)) {
@@ -38,6 +41,8 @@ std::optional<Cut> greatest_satisfying_cut(const Computation& c,
                                            BudgetTracker* budget) {
   Cut g = start ? *start : c.final_cut();
   HBCT_DASSERT(c.is_consistent(g));
+  ScopedSpan span(budget != nullptr ? budget->budget().trace : nullptr,
+                  "walk.greatest-cut");
   CountingEval eval(p, c, st, budget);
   if (budget != nullptr && !budget->ok()) return std::nullopt;
   while (!eval(g)) {
@@ -61,6 +66,7 @@ DetectResult detect_ef_linear(const Computation& c, const Predicate& p,
                               const Budget& budget) {
   DetectResult r;
   r.algorithm = "chase-garg-ef";
+  ScopedSpan span(budget.trace, "ef.chase-garg");
   BudgetTracker t(budget, r.stats);
   auto cut = least_satisfying_cut(c, p, r.stats, nullptr, &t);
   if (t.exceeded()) return mark_bounded(r, t);
@@ -73,6 +79,7 @@ DetectResult detect_ef_post_linear(const Computation& c, const Predicate& p,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "chase-garg-ef-dual";
+  ScopedSpan span(budget.trace, "ef.chase-garg-dual");
   BudgetTracker t(budget, r.stats);
   auto cut = greatest_satisfying_cut(c, p, r.stats, nullptr, &t);
   if (t.exceeded()) return mark_bounded(r, t);

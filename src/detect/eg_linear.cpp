@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/rng.h"
 
@@ -11,6 +12,7 @@ DetectResult detect_eg_linear(const Computation& c, const Predicate& p,
                               const Budget& budget) {
   DetectResult r;
   r.algorithm = "A1-eg-linear";
+  ScopedSpan span(budget.trace, "eg.a1-walk");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
 
@@ -53,6 +55,7 @@ DetectResult detect_eg_linear_randomized(const Computation& c,
                                          const Budget& budget) {
   DetectResult r;
   r.algorithm = "A1-eg-linear (randomized choice)";
+  ScopedSpan span(budget.trace, "eg.a1-walk-randomized");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
   Rng rng(seed);
@@ -92,6 +95,7 @@ DetectResult detect_eg_post_linear(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "A1-eg-post-linear";
+  ScopedSpan span(budget.trace, "eg.a1-walk-dual");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
 

@@ -5,10 +5,25 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/thread_pool.h"
 
 namespace hbct {
+
+namespace {
+
+/// Deterministic fan-out accounting: identical at every parallelism width,
+/// mirroring the stats guarantee (only branches the sequential early-exit
+/// loop would have evaluated are counted).
+void record_fanout(Tracer* trace, std::size_t merged) {
+  MetricsRegistry& m = trace->metrics();
+  m.counter("parallel.fanouts").add(1);
+  m.counter("parallel.branches.merged").add(merged);
+}
+
+}  // namespace
 
 std::size_t resolve_parallelism(std::size_t parallelism) {
   return parallelism != 0 ? parallelism : ThreadPool::shared().size();
@@ -17,14 +32,23 @@ std::size_t resolve_parallelism(std::size_t parallelism) {
 FirstMatch detect_first_match(
     std::size_t parallelism, std::size_t count,
     const std::function<DetectResult(std::size_t)>& eval,
-    const std::function<bool(const DetectResult&)>& hit, DetectStats& stats) {
+    const std::function<bool(const DetectResult&)>& hit, DetectStats& stats,
+    Tracer* trace, const char* span_name) {
   FirstMatch out;
   if (count == 0) return out;
   std::size_t par = parallelism == 1 ? 1 : resolve_parallelism(parallelism);
   par = std::min(par, count);
+  ScopedSpan fan(trace, span_name != nullptr ? span_name : "fanout");
+  fan.arg("count", static_cast<std::int64_t>(count));
+  fan.arg("parallelism", static_cast<std::int64_t>(par));
   if (par <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
-      DetectResult r = eval(i);
+      DetectResult r;
+      {
+        ScopedSpan br(trace, "fanout.branch");
+        br.arg("index", static_cast<std::int64_t>(i));
+        r = eval(i);
+      }
       stats += r.stats;
       if (out.bound == BoundReason::kNone) out.bound = r.bound;
       if (hit(r)) {
@@ -33,9 +57,22 @@ FirstMatch detect_first_match(
         break;
       }
     }
+    if (trace != nullptr) {
+      fan.arg("winner", out.found() ? static_cast<std::int64_t>(out.index)
+                                    : std::int64_t{-1});
+      record_fanout(trace, out.found() ? out.index + 1 : count);
+    }
     return out;
   }
 
+  // Children run on pool workers where the calling thread's open-span stack
+  // is invisible; parent them on the fan-out span explicitly.
+  const std::size_t span_parent = fan.id();
+  if (trace != nullptr) {
+    trace->metrics()
+        .gauge("parallel.queue_depth.max")
+        .max_of(static_cast<std::int64_t>(ThreadPool::shared().queue_depth()));
+  }
   std::vector<std::optional<DetectResult>> results(count);
   std::atomic<std::size_t> winner{FirstMatch::npos};
   CancelToken cancel;
@@ -44,7 +81,12 @@ FirstMatch detect_first_match(
       [&](std::size_t i) {
         // A hit at an index no greater than i supersedes this branch.
         if (i >= winner.load(std::memory_order_acquire)) return;
-        DetectResult r = eval(i);
+        DetectResult r;
+        {
+          ScopedSpan br(trace, "fanout.branch", span_parent);
+          br.arg("index", static_cast<std::int64_t>(i));
+          r = eval(i);
+        }
         if (hit(r)) {
           std::size_t cur = winner.load(std::memory_order_acquire);
           while (i < cur && !winner.compare_exchange_weak(
@@ -68,6 +110,19 @@ FirstMatch detect_first_match(
                     "branch at or below the winner was skipped");
     stats += results[i]->stats;
     if (out.bound == BoundReason::kNone) out.bound = results[i]->bound;
+  }
+  if (trace != nullptr) {
+    fan.arg("winner", win == FirstMatch::npos ? std::int64_t{-1}
+                                              : static_cast<std::int64_t>(win));
+    record_fanout(trace, merged_end);
+    // Speculative branches evaluated past the winner and then discarded.
+    // Scheduling-dependent — deliberately under a name the determinism
+    // guarantee (and its test) excludes.
+    std::uint64_t superseded = 0;
+    for (std::size_t i = merged_end; i < count; ++i)
+      if (results[i].has_value()) ++superseded;
+    if (superseded != 0)
+      trace->metrics().counter("parallel.branches.superseded").add(superseded);
   }
   if (win != FirstMatch::npos) {
     out.index = win;

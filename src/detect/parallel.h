@@ -46,9 +46,19 @@ struct FirstMatch {
 /// winner) or concurrently on the shared pool. `eval` must be thread-safe
 /// for parallelism != 1. Branch stats are merged into `stats` exactly as the
 /// sequential loop would: branches 0..winner inclusive, all when no hit.
+///
+/// When `trace` is non-null, the fan-out records a span named `span_name`
+/// (falling back to "fanout") with one "fanout.branch" child per evaluated
+/// branch — children run on pool workers, so they parent on the fan-out
+/// span explicitly — and updates the tracer's registry: deterministic
+/// counters parallel.fanouts / parallel.branches.merged (identical at every
+/// parallelism, mirroring the stats guarantee) and scheduling-dependent
+/// parallel.branches.superseded / parallel.queue_depth.max (speculative
+/// work discarded past the winner; shared-pool backlog high-water mark).
 FirstMatch detect_first_match(
     std::size_t parallelism, std::size_t count,
     const std::function<DetectResult(std::size_t)>& eval,
-    const std::function<bool(const DetectResult&)>& hit, DetectStats& stats);
+    const std::function<bool(const DetectResult&)>& hit, DetectStats& stats,
+    Tracer* trace = nullptr, const char* span_name = nullptr);
 
 }  // namespace hbct

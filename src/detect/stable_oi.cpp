@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -12,6 +13,7 @@ namespace hbct {
 DetectResult detect_stable(const Computation& c, const Predicate& p, Op op,
                            const Budget& budget) {
   DetectResult r;
+  ScopedSpan span(budget.trace, "stable.endpoint-check");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
   switch (op) {
@@ -47,6 +49,7 @@ DetectResult detect_ef_observer_independent(const Computation& c,
                                             const Budget& budget) {
   DetectResult r;
   r.algorithm = "oi-single-observation";
+  ScopedSpan span(budget.trace, "ef.oi-scan");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
   Cut g = c.initial_cut();
@@ -139,6 +142,7 @@ DetectResult detect_ef_dfs(const Computation& c, const Predicate& p,
                            const Budget& budget) {
   DetectResult r;
   r.algorithm = "ef-dfs";
+  ScopedSpan span(budget.trace, "dfs.ef");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
   auto path = dfs_cuts(
@@ -159,6 +163,7 @@ DetectResult detect_eg_dfs(const Computation& c, const Predicate& p,
                            const Budget& budget) {
   DetectResult r;
   r.algorithm = "eg-dfs";
+  ScopedSpan span(budget.trace, "dfs.eg");
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
   const Cut final = c.final_cut();
@@ -179,6 +184,7 @@ DetectResult detect_eg_dfs(const Computation& c, const Predicate& p,
 DetectResult detect_ag_dfs(const Computation& c, const Predicate& p,
                            const Budget& budget) {
   auto notp = p.negate();
+  ScopedSpan span(budget.trace, "dfs.ag-negation");
   DetectResult inner = detect_ef_dfs(c, *notp, budget);
   DetectResult r;
   r.algorithm = "ag-dfs = !ef-dfs(!p)";
@@ -194,6 +200,7 @@ DetectResult detect_ag_dfs(const Computation& c, const Predicate& p,
 DetectResult detect_af_dfs(const Computation& c, const Predicate& p,
                            const Budget& budget) {
   auto notp = p.negate();
+  ScopedSpan span(budget.trace, "dfs.af-negation");
   DetectResult inner = detect_eg_dfs(c, *notp, budget);
   DetectResult r;
   r.algorithm = "af-dfs = !eg-dfs(!p)";
@@ -209,6 +216,7 @@ DetectResult detect_eu_dfs(const Computation& c, const Predicate& p,
                            const Predicate& q, const Budget& budget) {
   DetectResult r;
   r.algorithm = "eu-dfs";
+  ScopedSpan span(budget.trace, "dfs.eu");
   BudgetTracker t(budget, r.stats);
   CountingEval evp(p, c, r.stats, &t);
   CountingEval evq(q, c, r.stats, &t);
@@ -229,6 +237,7 @@ DetectResult detect_au_dfs(const Computation& c, const PredicatePtr& p,
                            const PredicatePtr& q, const Budget& budget) {
   DetectResult r;
   r.algorithm = "au-dfs = !(eg-dfs(!q) | eu-dfs(!q, !p & !q))";
+  ScopedSpan span(budget.trace, "dfs.au");
   auto notq = q->negate();
   auto notp = p->negate();
 

@@ -5,6 +5,7 @@
 #include "detect/conjunctive_gw.h"
 #include "detect/ef_linear.h"
 #include "detect/parallel.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -15,6 +16,7 @@ DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
   DetectResult r;
   r.algorithm = "A3-eu (given I_q)";
   HBCT_ASSERT_MSG(c.is_consistent(iq), "I_q must be a consistent cut");
+  ScopedSpan span(budget.trace, "eu.frontier-sweep");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
 
@@ -44,7 +46,8 @@ DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
         return eg;
       },
       [](const DetectResult& eg) { return eg.verdict == Verdict::kHolds; },
-      r.stats);
+      r.stats, budget.trace, "eu.frontier-fanout");
+  span.arg("frontier", static_cast<std::int64_t>(frontier.size()));
   if (m.found()) {
     // A witness prefix is definite even if some earlier branch was bounded.
     r.verdict = Verdict::kHolds;
@@ -63,6 +66,7 @@ DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
                        const Budget& budget) {
   DetectResult r;
   r.algorithm = "A3-eu";
+  ScopedSpan span(budget.trace, "eu.a3");
   BudgetTracker t(budget, r.stats);
   CountingEval evq(q, c, r.stats, &t);
 
@@ -78,7 +82,11 @@ DetectResult detect_eu(const Computation& c, const ConjunctivePredicate& p,
   if (t.exceeded()) return mark_bounded(r, t);
 
   // Step 1: I_q, the least cut satisfying q (Chase–Garg).
-  auto iq = least_satisfying_cut(c, q, r.stats, nullptr, &t);
+  std::optional<Cut> iq;
+  {
+    ScopedSpan s(budget.trace, "eu.least-cut-of-q");
+    iq = least_satisfying_cut(c, q, r.stats, nullptr, &t);
+  }
   if (t.exceeded()) return mark_bounded(r, t);
   if (!iq) return r;
 
@@ -95,6 +103,7 @@ DetectResult detect_au_disjunctive(const Computation& c,
                                    const Budget& budget) {
   DetectResult r;
   r.algorithm = "au-disjunctive = !(eg(!q) | eu(!q, !p & !q))";
+  ScopedSpan span(budget.trace, "au.disjunctive");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
 
@@ -119,7 +128,7 @@ DetectResult detect_au_disjunctive(const Computation& c,
         return detect_eu(c, *notq, *notp_and_notq, 1, budget);
       },
       [](const DetectResult& sub) { return sub.verdict == Verdict::kHolds; },
-      r.stats);
+      r.stats, budget.trace, "au.refuter-fanout");
 
   if (m.found()) {
     // A definite refuter decides kFails even if the other branch was

@@ -41,6 +41,10 @@
 #include "lattice/irreducible.h"
 #include "lattice/lattice.h"
 #include "lattice/path_count.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "online/appender.h"
 #include "online/monitor.h"
 #include "poset/analysis.h"

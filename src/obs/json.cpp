@@ -1,0 +1,290 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!has_elem_.empty()) {
+    if (has_elem_.back()) out_ += ',';
+    has_elem_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  HBCT_ASSERT(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  HBCT_ASSERT(!has_elem_.empty());
+  has_elem_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
+// ---- Validator ---------------------------------------------------------------
+
+namespace {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t at = 0;
+  std::string err;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what + " at byte " + std::to_string(at);
+    return false;
+  }
+  void ws() {
+    while (at < s.size() && (s[at] == ' ' || s[at] == '\t' || s[at] == '\n' ||
+                             s[at] == '\r'))
+      ++at;
+  }
+  bool eat(char c) {
+    if (at < s.size() && s[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+  bool lit(std::string_view word) {
+    if (s.substr(at, word.size()) != word) return fail("bad literal");
+    at += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected string");
+    while (at < s.size()) {
+      const unsigned char c = static_cast<unsigned char>(s[at]);
+      if (c == '"') {
+        ++at;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control char in string");
+      if (c == '\\') {
+        ++at;
+        if (at >= s.size()) return fail("dangling escape");
+        const char e = s[at];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (at + static_cast<std::size_t>(i) >= s.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s[at + static_cast<std::size_t>(i)])))
+              return fail("bad \\u escape");
+          }
+          at += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++at;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (at >= s.size() || !std::isdigit(static_cast<unsigned char>(s[at])))
+      return fail("expected digit");
+    while (at < s.size() && std::isdigit(static_cast<unsigned char>(s[at])))
+      ++at;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (eat('.') && !digits()) return false;
+    if (at < s.size() && (s[at] == 'e' || s[at] == 'E')) {
+      ++at;
+      if (at < s.size() && (s[at] == '+' || s[at] == '-')) ++at;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    ws();
+    bool ok;
+    if (at >= s.size()) {
+      ok = fail("unexpected end");
+    } else if (s[at] == '{') {
+      ++at;
+      ws();
+      if (eat('}')) {
+        ok = true;
+      } else {
+        ok = true;
+        for (;;) {
+          ws();
+          if (!string()) { ok = false; break; }
+          ws();
+          if (!eat(':')) { ok = fail("expected ':'"); break; }
+          if (!value()) { ok = false; break; }
+          ws();
+          if (eat(',')) continue;
+          if (eat('}')) break;
+          ok = fail("expected ',' or '}'");
+          break;
+        }
+      }
+    } else if (s[at] == '[') {
+      ++at;
+      ws();
+      if (eat(']')) {
+        ok = true;
+      } else {
+        ok = true;
+        for (;;) {
+          if (!value()) { ok = false; break; }
+          ws();
+          if (eat(',')) continue;
+          if (eat(']')) break;
+          ok = fail("expected ',' or ']'");
+          break;
+        }
+      }
+    } else if (s[at] == '"') {
+      ok = string();
+    } else if (s[at] == 't') {
+      ok = lit("true");
+    } else if (s[at] == 'f') {
+      ok = lit("false");
+    } else if (s[at] == 'n') {
+      ok = lit("null");
+    } else {
+      ok = number();
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* err) {
+  JsonParser p{text};
+  if (!p.value()) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.ws();
+  if (p.at != text.size()) {
+    if (err != nullptr)
+      *err = "trailing garbage at byte " + std::to_string(p.at);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hbct

@@ -1,0 +1,64 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// JsonWriter is a streaming writer with automatic comma placement and
+// string escaping — enough for the Chrome trace export and the run report;
+// no DOM, no allocation beyond the output buffer. json_validate is a strict
+// recursive-descent checker used by tests (and mirrorable by the CI
+// checker) to guarantee every emitted document actually parses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbct {
+
+/// Escapes `s` as the contents of a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next value (only valid directly inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  /// Splices a pre-rendered JSON fragment verbatim (caller guarantees
+  /// validity) — used to embed a run report inside a bench document.
+  JsonWriter& raw(std::string_view json);
+
+  // Convenience key/value pairs.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> has_elem_;
+  bool pending_key_ = false;
+};
+
+/// Strict JSON well-formedness check. Returns true when `text` is exactly
+/// one valid JSON value (with surrounding whitespace allowed); on failure
+/// `err`, when non-null, receives a message with the byte offset.
+bool json_validate(std::string_view text, std::string* err = nullptr);
+
+}  // namespace hbct

@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace hbct {
+
+namespace obs_detail {
+
+namespace {
+std::atomic<std::size_t> next_thread_slot{0};
+}  // namespace
+
+std::size_t shard_index() noexcept {
+  // A small dense per-thread id beats std::this_thread::get_id hashing:
+  // consecutive pool workers land on distinct slots by construction.
+  thread_local const std::size_t slot =
+      next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace obs_detail
+
+// ---- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram() = default;
+
+std::size_t Histogram::bucket_of(std::uint64_t v) noexcept {
+  // 0 for v == 0; the top bucket absorbs v >= 2^62 (bit_width can reach 64,
+  // one past the last index).
+  const std::size_t b = static_cast<std::size_t>(std::bit_width(v));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t b) noexcept {
+  if (b == 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t b) noexcept {
+  if (b == 0) return 1;
+  if (b >= kBuckets - 1) return ~std::uint64_t{0};  // top bucket saturates
+  return std::uint64_t{1} << b;
+}
+
+void Histogram::record(std::uint64_t v) noexcept {
+  Shard& sh = shards_[obs_detail::shard_index() % kShards];
+  sh.counts[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  sh.count.fetch_add(1, std::memory_order_relaxed);
+  sh.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  for (const Shard& sh : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      s.counts[b] += sh.counts[b].load(std::memory_order_relaxed);
+    s.count += sh.count.load(std::memory_order_relaxed);
+    s.sum += sh.sum.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest rank: the first bucket whose cumulative count reaches
+  // ceil(q * count) (at least 1).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += counts[b];
+    if (cum >= rank) return bucket_hi(b);
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+// ---- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() {
+  // Resolve the detect.* cells once so absorb() never touches the map.
+#define HBCT_STATS_CELL(field, label, skip) \
+  stats_cells_.push_back(&counter("detect." #field));
+  HBCT_DETECT_STATS_FIELDS(HBCT_STATS_CELL)
+#undef HBCT_STATS_CELL
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::absorb(const DetectStats& st) {
+  std::size_t cell = 0;
+#define HBCT_STATS_ABSORB(field, label, skip) \
+  if (st.field != 0) stats_cells_[cell]->add(st.field); \
+  ++cell;
+  HBCT_DETECT_STATS_FIELDS(HBCT_STATS_ABSORB)
+#undef HBCT_STATS_ABSORB
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    out.histograms[name] = h->snapshot();
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+}  // namespace hbct

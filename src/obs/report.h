@@ -1,0 +1,53 @@
+// Machine-readable run reports: one schema-versioned JSON document per
+// detection, carrying the verdict, the dispatch plan, diagnostics, the
+// operation counters, a metrics snapshot, and the span tree of the traced
+// run. Consumed by the debug REPL's `report` command, the benches'
+// BENCH_*.json emission, and the CI trace-validation job.
+//
+// Schema (kReportSchema = "hbct.report/1"):
+//   {
+//     "schema":      "hbct.report/1",
+//     "verdict":     "holds" | "fails" | "unknown",
+//     "bound":       "none" | "state-cap" | ... (detect/budget.h),
+//     "algorithm":   "...",                  // DetectResult::algorithm
+//     "plan":        "...",                  // empty when audit was off
+//     "stats":       { "<field>": n, ... },  // from the DetectStats X-macro
+//     "witness_cut": [k0, k1, ...] | null,
+//     "witness_path_len": n,
+//     "diagnostics": [ {"code","severity","message"}, ... ],
+//     "metrics":     { "counters": {..}, "gauges": {..},
+//                      "histograms": { name: {"count","sum","p50","p90",
+//                                             "p99"} } } | null,
+//     "spans":       [ {"id","name","tid","parent","start_ns","dur_ns",
+//                       "args":{..}}, ... ] | null
+//   }
+// metrics/spans are null unless the detection ran with tracing enabled
+// (DispatchOptions::trace) or a report registry is passed explicitly.
+#pragma once
+
+#include <string>
+
+#include "detect/detector.h"
+
+namespace hbct {
+
+class MetricsRegistry;
+
+inline constexpr const char* kReportSchema = "hbct.report/1";
+
+struct ReportOptions {
+  /// Include the span array (requires r.trace; large traces make large
+  /// documents — the Chrome export is the tool-friendly view of the same
+  /// data).
+  bool include_spans = true;
+  /// Include the metrics snapshot of r.trace's registry (or of `registry`
+  /// below when given).
+  bool include_metrics = true;
+  /// Overrides the metrics source; nullptr = use r.trace's registry.
+  const MetricsRegistry* registry = nullptr;
+};
+
+/// Serializes one detection into the hbct.report/1 JSON document.
+std::string report_json(const DetectResult& r, const ReportOptions& opt = {});
+
+}  // namespace hbct

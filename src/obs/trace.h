@@ -1,0 +1,153 @@
+// Span tracing for the detection stack.
+//
+// A Tracer records a tree of timed spans — one per detector phase (the
+// Chase–Garg walk, A3's frontier sweep, a parallel branch, an online
+// monitor round) — with nanosecond timestamps, thread tags, and parent
+// links, plus point-in-time instant events (budget checkpoint trips). The
+// recorded run exports as Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto, and feeds the machine-readable run report
+// (obs/report.h).
+//
+// Cost model: tracing is OFF by default. Every instrumentation site holds a
+// `Tracer*` that is nullptr when disabled, and ScopedSpan's constructor is
+// a single pointer test in that case — no clock read, no allocation, no
+// lock (the same null-object fast path the audit preflight uses). When
+// enabled, span begin/end take a mutex; spans are phase-grained (dozens to
+// a few thousand per detection, never per cut step), so contention is
+// negligible next to the work they time.
+//
+// Threading: begin/end/instant are safe from any thread — the parallel
+// engine's per-chunk tasks record spans from pool workers. Parent linkage
+// is tracked per thread (a thread-local stack of open spans), so nesting on
+// one thread needs no explicit wiring; cross-thread children (a branch
+// running on a worker on behalf of a fan-out opened on the caller) pass the
+// parent id explicitly — Tracer::current() names the innermost open span of
+// the calling thread for exactly that hand-off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hbct {
+
+class MetricsRegistry;
+
+/// One closed (or still-open) span. Timestamps are nanoseconds relative to
+/// the tracer's construction, so traces are stable run-to-run up to clock
+/// jitter and exactly reproducible under an injected test clock.
+struct Span {
+  static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+  /// Span names are a fixed low-cardinality taxonomy (DESIGN.md §10): they
+  /// key the per-phase latency histograms. Variable data (branch index,
+  /// event sequence number) goes into `args`, never into the name.
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::size_t parent = npos;
+  bool open = true;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+/// A point event (no duration): budget trips, cancellations.
+struct InstantEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+class Tracer {
+ public:
+  /// Parent sentinel: inherit the calling thread's innermost open span.
+  static constexpr std::size_t kInheritParent = Span::npos - 1;
+
+  Tracer();
+  /// Test constructor: `clock` replaces steady_clock (monotone ns). Makes
+  /// golden-file comparisons of the exported JSON exact.
+  explicit Tracer(std::uint64_t (*clock)());
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span; returns its id. `parent` is an explicit span id,
+  /// Span::npos for a root, or kInheritParent (default) to nest under the
+  /// calling thread's innermost open span.
+  std::size_t begin(std::string name, std::size_t parent = kInheritParent);
+  /// Closes the span (must be called on the thread that opened it — RAII
+  /// via ScopedSpan guarantees this). Records the duration into the
+  /// per-phase histogram `span.<name>.ns` of metrics().
+  void end(std::size_t id);
+  /// Attaches a key/value to an open or closed span.
+  void set_arg(std::size_t id, const char* key, std::int64_t value);
+
+  /// Records an instant event (e.g. "budget.trip").
+  void instant(std::string name,
+               std::vector<std::pair<std::string, std::int64_t>> args = {});
+
+  /// Innermost span currently open on the calling thread, or Span::npos.
+  /// Capture this before fanning work out to pool threads and pass it as
+  /// the explicit parent of their spans.
+  std::size_t current() const;
+
+  /// Snapshots (copies, taken under the lock; safe while tracing).
+  std::vector<Span> spans() const;
+  std::vector<InstantEvent> instants() const;
+  std::size_t span_count() const;
+
+  /// Chrome trace_event JSON ("X" complete events + "i" instants), µs
+  /// timestamps with ns precision. Loadable in chrome://tracing / Perfetto.
+  std::string chrome_trace_json() const;
+
+  /// Per-trace metrics: span-duration histograms plus whatever the
+  /// instrumented code records against this run (queue gauges, absorbed
+  /// DetectStats). Snapshot lands in the run report.
+  MetricsRegistry& metrics();
+  const MetricsRegistry& metrics() const;
+
+  std::uint64_t now_ns() const;
+
+ private:
+  std::uint64_t (*clock_)();
+  std::uint64_t epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<InstantEvent> instants_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+/// RAII span. A null tracer makes every member a no-op — the disabled-path
+/// cost at each instrumentation site is one pointer test.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* t, const char* name,
+             std::size_t parent = Tracer::kInheritParent)
+      : t_(t) {
+    if (t_ != nullptr) id_ = t_->begin(name, parent);
+  }
+  ~ScopedSpan() {
+    if (t_ != nullptr) t_->end(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(const char* key, std::int64_t value) {
+    if (t_ != nullptr) t_->set_arg(id_, key, value);
+  }
+  std::size_t id() const { return t_ != nullptr ? id_ : Span::npos; }
+  explicit operator bool() const { return t_ != nullptr; }
+
+ private:
+  Tracer* t_ = nullptr;
+  std::size_t id_ = Span::npos;
+};
+
+}  // namespace hbct

@@ -1,6 +1,7 @@
 #include "online/monitor.h"
 
 #include "detect/until.h"
+#include "obs/trace.h"
 #include "util/assert.h"
 #include "util/string_util.h"
 
@@ -38,6 +39,7 @@ void OnlineMonitor::write(ProcId i, std::string_view name,
 void OnlineMonitor::finish() {
   if (finished_) return;
   finished_ = true;
+  ScopedSpan span(budget_.trace, "monitor.finish");
   BudgetTracker t(budget_, work_);
   round_ = &t;
   for (auto& w : conj_) step_conj(w);
@@ -75,6 +77,7 @@ void OnlineMonitor::on_event(ProcId) {
   // bases itself on the cumulative counters, so only this round's work is
   // charged. A tripped round suspends the remaining steps; every watch's
   // incremental state resumes on the next event.
+  ScopedSpan span(budget_.trace, "monitor.round");
   BudgetTracker t(budget_, work_);
   round_ = &t;
   for (auto& w : conj_) step_conj(w);
@@ -188,6 +191,8 @@ WatchId OnlineMonitor::watch_stable(PredicatePtr p) {
 
 void OnlineMonitor::step_conj(ConjWatch& w) {
   if (w.done) return;
+  ScopedSpan span(budget_.trace, "monitor.watch.conj");
+  span.arg("watch", w.id);
   const Computation& c = app_.computation();
   const std::int32_t n = c.num_procs();
 
@@ -239,6 +244,8 @@ void OnlineMonitor::step_conj(ConjWatch& w) {
 
 void OnlineMonitor::step_disj(DisjWatch& w) {
   if (w.done) return;
+  ScopedSpan span(budget_.trace, "monitor.watch.disj");
+  span.arg("watch", w.id);
   const Computation& c = app_.computation();
   for (ProcId i = 0; i < c.num_procs(); ++i) {
     auto& pos = w.scan[sz(i)];
@@ -256,6 +263,8 @@ void OnlineMonitor::step_disj(DisjWatch& w) {
 
 void OnlineMonitor::step_stable(StableWatch& w) {
   if (w.done) return;
+  ScopedSpan span(budget_.trace, "monitor.watch.stable");
+  span.arg("watch", w.id);
   if (!round_ok()) return;  // re-evaluated from scratch next round
   const Computation& c = app_.computation();
   // Evaluate on the frozen frontier; stability makes any hit permanent.
@@ -271,6 +280,8 @@ void OnlineMonitor::step_stable(StableWatch& w) {
 
 void OnlineMonitor::step_until(UntilWatch& w) {
   if (w.done) return;
+  ScopedSpan span(budget_.trace, "monitor.watch.until");
+  span.arg("watch", w.id);
   const Computation& c = app_.computation();
 
   // Resume the Chase–Garg walk toward I_q over the frozen prefix. The walk

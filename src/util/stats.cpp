@@ -10,10 +10,9 @@
 namespace hbct {
 
 DetectStats& DetectStats::operator+=(const DetectStats& o) {
-  predicate_evals += o.predicate_evals;
-  cut_steps += o.cut_steps;
-  lattice_nodes += o.lattice_nodes;
-  lattice_edges += o.lattice_edges;
+#define HBCT_STATS_ADD(field, label, skip) field += o.field;
+  HBCT_DETECT_STATS_FIELDS(HBCT_STATS_ADD)
+#undef HBCT_STATS_ADD
   return *this;
 }
 
@@ -24,9 +23,16 @@ std::string DetectStats::to_string() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const DetectStats& s) {
-  os << "{evals=" << s.predicate_evals << " steps=" << s.cut_steps;
-  if (s.lattice_nodes) os << " nodes=" << s.lattice_nodes;
-  if (s.lattice_edges) os << " edges=" << s.lattice_edges;
+  os << "{";
+  bool first = true;
+#define HBCT_STATS_PRINT(field, label, skip)            \
+  if (!(skip) || s.field != 0) {                        \
+    os << (first ? "" : " ") << label "=" << s.field;   \
+    first = false;                                      \
+  }
+  HBCT_DETECT_STATS_FIELDS(HBCT_STATS_PRINT)
+#undef HBCT_STATS_PRINT
+  (void)first;
   return os << "}";
 }
 
@@ -38,6 +44,15 @@ Summary Summary::of(std::vector<double> samples) {
   s.min = samples.front();
   s.max = samples.back();
   s.median = samples[samples.size() / 2];
+  // Nearest-rank percentile: smallest sample whose rank covers q*count.
+  const auto pct = [&](double q) {
+    const double rank = std::ceil(q * static_cast<double>(samples.size()));
+    const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
   double sum = 0;
   for (double v : samples) sum += v;
   s.mean = sum / static_cast<double>(samples.size());
@@ -52,7 +67,8 @@ Summary Summary::of(std::vector<double> samples) {
 std::string Summary::to_string() const {
   std::ostringstream os;
   os << "n=" << count << " min=" << min << " med=" << median
-     << " mean=" << mean << " max=" << max << " sd=" << stddev;
+     << " mean=" << mean << " max=" << max << " sd=" << stddev
+     << " p90=" << p90 << " p99=" << p99;
   return os.str();
 }
 

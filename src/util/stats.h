@@ -13,26 +13,65 @@
 
 namespace hbct {
 
+/// The single source of truth for DetectStats' counters. Everything derived
+/// from the field list — the struct layout, operator+=, to_string, the
+/// metrics-registry absorption (obs/metrics.h), and the run-report stats
+/// block (obs/report.h) — is generated from this X-macro, so adding a
+/// counter here updates every aggregation path at once and can't be
+/// silently dropped from any of them.
+///
+///   X(field, label, skip_if_zero)
+///     field        — the member name (std::uint64_t)
+///     label        — short name used by to_string and JSON keys' "short"
+///                    rendering
+///     skip_if_zero — to_string omits the field when zero (the lattice
+///                    counters only apply to the brute-force paths)
+///
+/// Field meanings:
+///   predicate_evals — predicate (or local-predicate) evaluations performed
+///   cut_steps       — cut advancements / retreats (events added or removed)
+///   lattice_nodes   — explicit lattice nodes materialized (brute force only)
+///   lattice_edges   — lattice edges traversed (brute force only)
+#define HBCT_DETECT_STATS_FIELDS(X)          \
+  X(predicate_evals, "evals", false)         \
+  X(cut_steps, "steps", false)               \
+  X(lattice_nodes, "nodes", true)            \
+  X(lattice_edges, "edges", true)
+
 /// Counters describing the work one detection run performed.
 struct DetectStats {
-  /// Number of predicate (or local-predicate) evaluations performed.
-  std::uint64_t predicate_evals = 0;
-  /// Number of cut advancements / retreats (events added or removed).
-  std::uint64_t cut_steps = 0;
-  /// Number of explicit lattice nodes materialized (brute force only).
-  std::uint64_t lattice_nodes = 0;
-  /// Number of lattice edges traversed (brute force only).
-  std::uint64_t lattice_edges = 0;
+#define HBCT_STATS_DECL(field, label, skip) std::uint64_t field = 0;
+  HBCT_DETECT_STATS_FIELDS(HBCT_STATS_DECL)
+#undef HBCT_STATS_DECL
 
   DetectStats& operator+=(const DetectStats& o);
   std::string to_string() const;
 };
 
+namespace detail {
+constexpr std::size_t kDetectStatsFieldCount = 0
+#define HBCT_STATS_COUNT(field, label, skip) +1
+    HBCT_DETECT_STATS_FIELDS(HBCT_STATS_COUNT)
+#undef HBCT_STATS_COUNT
+    ;
+}  // namespace detail
+
+// A field added to the struct but not to HBCT_DETECT_STATS_FIELDS would be
+// invisible to every generated aggregation path; the layout check makes
+// that a compile error instead of a silently-dropped counter.
+static_assert(sizeof(DetectStats) ==
+                  detail::kDetectStatsFieldCount * sizeof(std::uint64_t),
+              "every DetectStats field must be listed in "
+              "HBCT_DETECT_STATS_FIELDS");
+
 std::ostream& operator<<(std::ostream& os, const DetectStats& s);
 
 /// Simple descriptive statistics over a sample of doubles (bench reporting).
+/// p50/p90/p99 are nearest-rank percentiles (p50 can differ from `median`,
+/// which keeps its historical upper-median definition).
 struct Summary {
   double min = 0, max = 0, mean = 0, median = 0, stddev = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
   std::size_t count = 0;
 
   static Summary of(std::vector<double> samples);

@@ -55,6 +55,11 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Instantaneous number of queued-but-unstarted tasks. Advisory (the
+  /// value is stale the moment it returns) — used by the observability
+  /// layer's queue-depth gauges, never for scheduling decisions.
+  std::size_t queue_depth() const;
+
   /// Run fn(i) for i in [0, count) across the pool plus the calling thread,
   /// then wait for this call's own batch only (concurrent parallel_for
   /// callers do not block on each other's work). Iterations are claimed in
@@ -86,7 +91,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

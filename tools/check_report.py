@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Schema checker for the observability artifacts.
+
+    $ python3 tools/check_report.py report.json trace.json BENCH_table1.json
+
+Auto-detects each file's kind and validates it:
+
+  hbct.report/1   run report (src/obs/report.h)
+  hbct.bench/1    bench artifact (bench/bench_report.h)
+  Chrome trace    trace_event JSON (Tracer::chrome_trace_json)
+
+Exit 0 when every file validates; the CI observability job runs this over
+the artifacts produced by example_traced_detection and the bench binaries.
+Stdlib only — mirrors, not replaces, the stricter in-process json_validate.
+"""
+import json
+import sys
+
+VERDICTS = {"holds", "fails", "unknown"}
+BOUNDS = {"none", "state-cap", "step-budget", "deadline", "cancelled",
+          "audit-failed"}
+SUMMARY_KEYS = {"min", "max", "mean", "median", "stddev", "p50", "p90", "p99"}
+
+
+def fail(path, msg):
+    raise SystemExit(f"{path}: {msg}")
+
+
+def check_spans(path, spans):
+    for i, s in enumerate(spans):
+        for k in ("id", "name", "tid", "parent", "start_ns", "dur_ns"):
+            if k not in s:
+                fail(path, f"span {i} missing {k!r}")
+        if s["id"] != i:
+            fail(path, f"span {i} has id {s['id']}")
+        # Spans are appended at begin(): a parent always precedes its child.
+        if not (s["parent"] == -1 or 0 <= s["parent"] < i):
+            fail(path, f"span {i} has dangling parent {s['parent']}")
+        if s.get("open"):
+            fail(path, f"span {i} ({s['name']}) never closed")
+
+
+def check_report(path, doc):
+    for k in ("schema", "verdict", "bound", "algorithm", "plan", "stats",
+              "witness_cut", "witness_path_len", "diagnostics", "metrics",
+              "spans"):
+        if k not in doc:
+            fail(path, f"missing key {k!r}")
+    if doc["verdict"] not in VERDICTS:
+        fail(path, f"bad verdict {doc['verdict']!r}")
+    if doc["bound"] not in BOUNDS:
+        fail(path, f"bad bound {doc['bound']!r}")
+    if not all(isinstance(v, int) for v in doc["stats"].values()):
+        fail(path, "non-integer stats counter")
+    if doc["spans"] is not None:
+        check_spans(path, doc["spans"])
+    m = doc["metrics"]
+    if m is not None:
+        for h, snap in m.get("histograms", {}).items():
+            if not snap["p50"] <= snap["p90"] <= snap["p99"]:
+                fail(path, f"histogram {h!r} percentiles not monotone")
+    return "report"
+
+
+def check_bench(path, doc):
+    if not isinstance(doc.get("rows"), list) or not doc["rows"]:
+        fail(path, "no rows")
+    for row in doc["rows"]:
+        for k in ("name", "label", "iters", "ns", "report"):
+            if k not in row:
+                fail(path, f"row {row.get('name', '?')!r} missing {k!r}")
+        ns = row["ns"]
+        if not SUMMARY_KEYS <= ns.keys():
+            fail(path, f"row {row['name']!r} summary incomplete")
+        if not ns["p50"] <= ns["p90"] <= ns["p99"]:
+            fail(path, f"row {row['name']!r} percentiles not monotone")
+        if not ns["min"] <= ns["median"] <= ns["max"]:
+            fail(path, f"row {row['name']!r} median outside [min, max]")
+        if row["report"] is not None:
+            check_report(f"{path}:{row['name']}", row["report"])
+    return f"bench ({len(doc['rows'])} rows)"
+
+
+def check_chrome(path, doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "no traceEvents")
+    phases = {"X", "i", "M"}
+    for i, e in enumerate(events):
+        if e.get("ph") not in phases:
+            fail(path, f"event {i} has unexpected ph {e.get('ph')!r}")
+        if e["ph"] == "X" and ("ts" not in e or "dur" not in e):
+            fail(path, f"event {i} ({e.get('name')!r}) missing ts/dur")
+    return f"chrome trace ({len(events)} events)"
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema == "hbct.report/1":
+        return check_report(path, doc)
+    if schema == "hbct.bench/1":
+        return check_bench(path, doc)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return check_chrome(path, doc)
+    fail(path, "unrecognized document (no known schema marker)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 64
+    for path in argv[1:]:
+        print(f"{path}: ok ({check_file(path)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
