@@ -214,6 +214,89 @@ BENCHMARK(BM_arbitrary_AF);
 BENCHMARK(BM_arbitrary_EG);
 BENCHMARK(BM_arbitrary_AG);
 
+// ---- Wide workload (n = 16): the hot-path acceptance cells ---------------------
+//
+// The lattice-walk algorithms (A1 retreat walk, A2 irreducible scan, A3
+// frontier sweep) and the Garg-Waldecker conjunctive scan are the cells
+// whose per-step cost scales with n; this block pins them on a 16-process
+// computation so per-step improvements are measurable above fixed overhead.
+
+constexpr std::int32_t kBigProcs = 16;
+constexpr std::int32_t kBigEventsPerProc = 120;
+
+const Computation& big_workload() {
+  static const Computation c = [] {
+    GenOptions opt;
+    opt.num_procs = kBigProcs;
+    opt.events_per_proc = kBigEventsPerProc;
+    opt.num_vars = 2;
+    opt.seed = 1616;
+    return generate_random(opt);
+  }();
+  return c;
+}
+
+// Linear-but-not-conjunctive and satisfied everywhere, so EG runs the full
+// A1 retreat walk and AG the full A2 meet-irreducible scan.
+PredicatePtr big_linear_pred() {
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < kBigProcs; ++i)
+    ls.push_back(var_cmp(i, "v0", Cmp::kLe, 9));  // always true
+  return make_and(make_conjunctive(std::move(ls)),
+                  channel_bound_le(0, 1, 1 << 20));
+}
+
+// Each process waits for a different variable value, so first-true
+// positions scatter across the computation and the Garg-Waldecker weak
+// scan pays long position scans plus clock-driven repair rounds.
+PredicatePtr big_gw_pred() {
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < kBigProcs; ++i)
+    ls.push_back(var_cmp(i, i % 2 == 0 ? "v0" : "v1", Cmp::kGe, 8));
+  return make_conjunctive(std::move(ls));
+}
+
+// q's least satisfying cut sits near the top of the lattice, so A3 pays a
+// full Chase-Garg climb plus the frontier fan-out over long prefixes.
+PredicatePtr big_until_q() {
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < kBigProcs; ++i)
+    ls.push_back(progress_ge(i, kBigEventsPerProc - 20));
+  return make_conjunctive(std::move(ls));
+}
+
+PredicatePtr big_true_conjunctive() {
+  std::vector<LocalPredicatePtr> ls;
+  for (ProcId i = 0; i < kBigProcs; ++i)
+    ls.push_back(var_cmp(i, "v0", Cmp::kLe, 9));  // always true
+  return make_conjunctive(std::move(ls));
+}
+
+void BM_n16_A1_EG_linear(benchmark::State& s) {
+  run_cell(s, Op::kEG, big_linear_pred, big_workload());
+}
+BENCHMARK(BM_n16_A1_EG_linear);
+
+void BM_n16_A2_AG_linear(benchmark::State& s) {
+  run_cell(s, Op::kAG, big_linear_pred, big_workload());
+}
+BENCHMARK(BM_n16_A2_AG_linear);
+
+void BM_n16_A3_EU(benchmark::State& state) {
+  const Computation& c = big_workload();
+  auto p = as_conjunctive(big_true_conjunctive());
+  PredicatePtr q = big_until_q();
+  DetectResult last;
+  for (auto _ : state) last = detect_eu(c, *p, *q);
+  report(state, last);
+}
+BENCHMARK(BM_n16_A3_EU);
+
+void BM_n16_GW_EF_conjunctive(benchmark::State& s) {
+  run_cell(s, Op::kEF, big_gw_pred, big_workload());
+}
+BENCHMARK(BM_n16_GW_EF_conjunctive);
+
 // ---- The until operators (Section 7, "this paper") -----------------------------
 
 void BM_until_EU_A3(benchmark::State& state) {
@@ -337,6 +420,27 @@ bool emit_table1_json(const std::string& path) {
     rows.push_back(timed_cell(std::string("linear.") + o.name, o.op,
                               linear_pred_for(o.op),
                               o.op == Op::kAF ? small_workload() : c, kIters));
+
+  // The n = 16 acceptance cells: A1/A2 walks, the A3 frontier sweep, and
+  // the Garg-Waldecker conjunctive scan on the wide workload. These are the
+  // rows tools/bench_diff.py and the EXPERIMENTS.md A/B track.
+  {
+    const Computation& big = big_workload();
+    rows.push_back(timed_cell("n16.A1.EG_linear", Op::kEG, big_linear_pred(),
+                              big, kIters));
+    rows.push_back(timed_cell("n16.A2.AG_linear", Op::kAG, big_linear_pred(),
+                              big, kIters));
+    benchio::BenchRow eu;
+    eu.name = "n16.A3.EU";
+    auto p = as_conjunctive(big_true_conjunctive());
+    PredicatePtr q = big_until_q();
+    DetectResult last;
+    eu.ns = benchio::time_ns(kIters, [&] { last = detect_eu(big, *p, *q); });
+    eu.label = last.algorithm + (last.holds() ? " -> true" : " -> false");
+    rows.push_back(std::move(eu));
+    rows.push_back(timed_cell("n16.GW.EF_conjunctive", Op::kEF,
+                              big_gw_pred(), big, kIters));
+  }
 
   {
     benchio::BenchRow eu;

@@ -14,19 +14,27 @@ DetectResult detect_ag_linear(const Computation& c, const Predicate& p,
 
   // Step 1: V = M(L) ∪ {E}.
   if (!t.ok()) return mark_bounded(r, t);
-  const Cut final = c.final_cut();
-  if (!eval(final)) {
+  Cut w = c.final_cut();
+  eval.bind(w);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
+  if (!eval.at()) {
     if (t.exceeded()) return mark_bounded(r, t);
-    r.witness_cut = final;
+    r.witness_cut = w;
     return r;
   }
+  // One cursor-bound cut seeks from irreducible to irreducible; the cut is
+  // transiently inconsistent between move_to calls, which the cursor
+  // protocol permits as long as value() is only read at the end of a seek.
+  Cut m = w;
+  const std::size_t n = static_cast<std::size_t>(c.num_procs());
   for (ProcId i = 0; i < c.num_procs(); ++i) {
     for (EventIndex k = 1; k <= c.num_events(i); ++k) {
-      Cut m = c.meet_irreducible_of(i, k);
+      c.meet_irreducible_of(i, k, &m);
       ++r.stats.cut_steps;
-      if (!eval(m)) {  // Step 2
+      for (std::size_t j = 0; j < n; ++j) eval.move_to(w, j, m[j]);
+      if (!eval.at()) {  // Step 2
         if (t.exceeded()) return mark_bounded(r, t);
-        r.witness_cut = std::move(m);
+        r.witness_cut = w;
         return r;
       }
     }
@@ -45,19 +53,24 @@ DetectResult detect_ag_post_linear(const Computation& c,
   CountingEval eval(p, c, r.stats, &t);
 
   if (!t.ok()) return mark_bounded(r, t);
-  const Cut initial = c.initial_cut();
-  if (!eval(initial)) {
+  Cut w = c.initial_cut();
+  eval.bind(w);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
+  if (!eval.at()) {
     if (t.exceeded()) return mark_bounded(r, t);
-    r.witness_cut = initial;
+    r.witness_cut = w;
     return r;
   }
+  Cut j = w;
+  const std::size_t n = static_cast<std::size_t>(c.num_procs());
   for (ProcId i = 0; i < c.num_procs(); ++i) {
     for (EventIndex k = 1; k <= c.num_events(i); ++k) {
-      Cut j = c.join_irreducible_of(i, k);
+      c.join_irreducible_of(i, k, &j);
       ++r.stats.cut_steps;
-      if (!eval(j)) {
+      for (std::size_t q = 0; q < n; ++q) eval.move_to(w, q, j[q]);
+      if (!eval.at()) {
         if (t.exceeded()) return mark_bounded(r, t);
-        r.witness_cut = std::move(j);
+        r.witness_cut = w;
         return r;
       }
     }

@@ -19,13 +19,21 @@ DetectResult detect_ef_conjunctive(const Computation& c,
   const std::int32_t n = c.num_procs();
   if (!t.ok()) return mark_bounded(r, t);
 
+  // Per-process conjunct evaluators, resolved once (LocalEval binds the
+  // variable timeline so the scans below skip the name lookup per call).
+  // A process without a conjunct is vacuously true everywhere.
+  std::vector<std::optional<LocalEval>> evals(sz(n));
+  for (ProcId i = 0; i < n; ++i)
+    if (const LocalPredicate* local = p.local_for(i))
+      evals[sz(i)].emplace(c, *local);
+
   // first_true[i](x) = least position >= x where conjunct i holds, or -1.
   // -2 reports a tripped budget mid-scan.
   auto first_true = [&](ProcId i, EventIndex from) -> EventIndex {
     for (EventIndex pos = from; pos <= c.num_events(i); ++pos) {
       if (!t.ok()) return -2;
       ++r.stats.predicate_evals;
-      if (p.eval_local(c, i, pos)) return pos;
+      if (!evals[sz(i)] || (*evals[sz(i)])(pos)) return pos;
     }
     return -1;
   };
@@ -47,7 +55,7 @@ DetectResult detect_ef_conjunctive(const Computation& c,
     changed = false;
     for (ProcId i = 0; i < n && !changed; ++i) {
       if (cand[sz(i)] == 0) continue;
-      const VClock& vc = c.vclock(i, cand[sz(i)]);
+      const VClockView vc = c.vclock(i, cand[sz(i)]);
       for (ProcId j = 0; j < n; ++j) {
         if (j == i || vc[sz(j)] <= cand[sz(j)]) continue;
         const EventIndex pos = first_true(j, vc[sz(j)]);
@@ -71,18 +79,21 @@ namespace {
 /// Shared scan: finds a violating (process, position) or reports all-true.
 /// Every local evaluation is counted in st. Returns nullopt with the
 /// tracker tripped when the budget ran out mid-scan (callers must check
-/// before treating nullopt as "all positions true").
+/// before treating nullopt as "all positions true"). When `k` is non-null
+/// the scan is restricted to positions 0..k[i] — the prefix sublattice.
 std::optional<std::pair<ProcId, EventIndex>> find_false_position(
-    const Computation& c, const ConjunctivePredicate& p, DetectStats& st,
-    BudgetTracker& t) {
+    const Computation& c, const ConjunctivePredicate& p, const Cut* k,
+    DetectStats& st, BudgetTracker& t) {
   for (const auto& local : p.locals()) {
     const ProcId i = local->proc();
     HBCT_ASSERT_MSG(i < c.num_procs(),
                     "conjunct references a process outside the computation");
-    for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
+    const LocalEval le(c, *local);
+    const EventIndex last = k != nullptr ? (*k)[sz(i)] : c.num_events(i);
+    for (EventIndex pos = 0; pos <= last; ++pos) {
       if (!t.ok()) return std::nullopt;
       ++st.predicate_evals;
-      if (!local->eval_local(c, pos)) return std::make_pair(i, pos);
+      if (!le(pos)) return std::make_pair(i, pos);
     }
   }
   return std::nullopt;
@@ -98,13 +109,39 @@ DetectResult detect_eg_conjunctive(const Computation& c,
   ScopedSpan span(budget.trace, "eg.conjunctive-scan");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
-  if (find_false_position(c, p, r.stats, t)) return r;
+  if (find_false_position(c, p, nullptr, r.stats, t)) return r;
   if (t.exceeded()) return mark_bounded(r, t);
   r.verdict = Verdict::kHolds;
   // Any maximal cut sequence is a witness; use the canonical linearization.
   Cut g = c.initial_cut();
   r.witness_path.push_back(g);
   for (const EventId& e : c.linearization()) {
+    ++g[sz(e.proc)];
+    r.witness_path.push_back(g);
+  }
+  return r;
+}
+
+DetectResult detect_eg_conjunctive_within(const Computation& c,
+                                          const ConjunctivePredicate& p,
+                                          const Cut& k,
+                                          const Budget& budget) {
+  // Equivalent to detect_eg_conjunctive(c.prefix(k), p, budget) without
+  // materializing the prefix computation: local values at positions <= k[i]
+  // agree between c and the prefix, and the prefix's canonical
+  // linearization is exactly c's restricted to events inside k.
+  DetectResult r;
+  r.algorithm = "eg-conjunctive-scan";
+  ScopedSpan span(budget.trace, "eg.conjunctive-scan");
+  BudgetTracker t(budget, r.stats);
+  if (!t.ok()) return mark_bounded(r, t);
+  if (find_false_position(c, p, &k, r.stats, t)) return r;
+  if (t.exceeded()) return mark_bounded(r, t);
+  r.verdict = Verdict::kHolds;
+  Cut g = c.initial_cut();
+  r.witness_path.push_back(g);
+  for (const EventId& e : c.linearization()) {
+    if (e.index > k[sz(e.proc)]) continue;
     ++g[sz(e.proc)];
     r.witness_path.push_back(g);
   }
@@ -119,7 +156,7 @@ DetectResult detect_ag_conjunctive(const Computation& c,
   ScopedSpan span(budget.trace, "ag.conjunctive-scan");
   BudgetTracker t(budget, r.stats);
   if (!t.ok()) return mark_bounded(r, t);
-  if (auto bad = find_false_position(c, p, r.stats, t)) {
+  if (auto bad = find_false_position(c, p, nullptr, r.stats, t)) {
     // A consistent cut exhibiting the violation: the least cut placing the
     // process at the bad position (J(e) for pos >= 1, initial cut else).
     auto [i, pos] = *bad;
@@ -165,11 +202,12 @@ DetectResult detect_af_conjunctive(const Computation& c,
       ivs[static_cast<std::size_t>(i)].push_back(Iv{0, c.num_events(i)});
       continue;
     }
+    const LocalEval le(c, *local);
     EventIndex run = -1;
     for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
       if (!t.ok()) return mark_bounded(r, t);
       ++r.stats.predicate_evals;
-      const bool tr = local->eval_local(c, pos);
+      const bool tr = le(pos);
       if (tr && run < 0) run = pos;
       if (!tr && run >= 0) {
         ivs[static_cast<std::size_t>(i)].push_back(Iv{run, pos - 1});

@@ -44,4 +44,13 @@ DetectResult detect_af_conjunctive(const Computation& c,
                                    const ConjunctivePredicate& p,
                                    const Budget& budget = {});
 
+/// EG(p) restricted to the prefix sublattice below cut k (inclusive):
+/// verdict, witness path and stats are identical to running
+/// detect_eg_conjunctive on c.prefix(k), but no prefix computation is
+/// materialized. The A3 frontier fan-out calls this once per frontier cut.
+DetectResult detect_eg_conjunctive_within(const Computation& c,
+                                          const ConjunctivePredicate& p,
+                                          const Cut& k,
+                                          const Budget& budget = {});
+
 }  // namespace hbct

@@ -1,0 +1,19 @@
+#include "detect/detector.h"
+
+#include <atomic>
+
+namespace hbct {
+
+namespace {
+std::atomic<bool> g_cursor_eval_enabled{true};
+}  // namespace
+
+void set_cursor_eval_enabled(bool on) {
+  g_cursor_eval_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool cursor_eval_enabled() {
+  return g_cursor_eval_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace hbct

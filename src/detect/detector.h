@@ -74,12 +74,30 @@ struct DetectResult {
 DetectResult& mark_bounded(DetectResult& r, BoundReason why);
 DetectResult& mark_bounded(DetectResult& r, const BudgetTracker& t);
 
+/// Process-wide testing switch for incremental (cursor) evaluation. On by
+/// default; the differential tests flip it off to force every walk back
+/// onto scratch evaluation and compare verdicts, witnesses and stats
+/// against the incremental runs bit for bit.
+void set_cursor_eval_enabled(bool on);
+bool cursor_eval_enabled();
+
 /// Predicate evaluation with op counting; all detectors evaluate through
 /// this helper so stats are comparable across algorithms. An optional
 /// BudgetTracker turns every evaluation into a budget checkpoint: once the
 /// tracker has tripped, evaluation is refused (returns false without
 /// calling the predicate). Detectors must therefore consult the tracker
 /// before concluding anything definite from a false evaluation.
+///
+/// Two evaluation modes:
+///  - operator()(g): one-shot scratch evaluation of an arbitrary cut.
+///  - bind(g) + at(): incremental mode for the lattice walks. bind attaches
+///    an EvalCursor to a walker-owned cut; the walker mutates that cut only
+///    through advance()/retreat()/move_to() (or notifies with moved()), and
+///    at() reads the cursor's O(1) value. Budget gating and the
+///    predicate_evals count are identical in both modes, so a walk rewritten
+///    onto the cursor protocol produces bit-identical stats; the
+///    eval_incremental / eval_fallback counters record which mode served
+///    each evaluation.
 class CountingEval {
  public:
   CountingEval(const Predicate& p, const Computation& c, DetectStats& st,
@@ -93,7 +111,57 @@ class CountingEval {
   bool operator()(const Cut& g) const {
     if (budget_ != nullptr && !budget_->ok()) return false;
     ++st_.predicate_evals;
+    ++st_.eval_fallback;
     return p_.eval(c_, g);
+  }
+
+  /// Attaches an incremental cursor to `g`, which must outlive the binding
+  /// at a stable address. When cursor evaluation is globally disabled the
+  /// binding still works but at() evaluates from scratch.
+  void bind(const Cut& g) {
+    bound_ = &g;
+    cursor_ = cursor_eval_enabled() ? p_.make_cursor(c_, g) : nullptr;
+  }
+  bool bound() const { return bound_ != nullptr; }
+
+  /// Evaluates the bound cut; counting and budget gating as operator().
+  bool at() const {
+    if (budget_ != nullptr && !budget_->ok()) return false;
+    ++st_.predicate_evals;
+    if (cursor_ != nullptr && cursor_->incremental()) {
+      ++st_.eval_incremental;
+    } else {
+      ++st_.eval_fallback;
+    }
+    return cursor_ != nullptr ? cursor_->value() : p_.eval(c_, *bound_);
+  }
+
+  /// Notifies the cursor that component i moved away from old_pos (the cut
+  /// has already been mutated). No-op when unbound or scratch-bound.
+  void moved(ProcId i, EventIndex old_pos) const {
+    if (cursor_ != nullptr) cursor_->on_update(i, old_pos);
+  }
+
+  /// In-place mutations of the bound cut that keep the cursor in sync.
+  /// Callers count cut_steps themselves (placement differs per algorithm).
+  void advance(Cut& g, std::size_t i) const {
+    const EventIndex old = g[i]++;
+    moved(static_cast<ProcId>(i), old);
+  }
+  void retreat(Cut& g, std::size_t i) const {
+    const EventIndex old = g[i]--;
+    moved(static_cast<ProcId>(i), old);
+  }
+  void move_to(Cut& g, std::size_t i, EventIndex pos) const {
+    const EventIndex old = g[i];
+    if (old == pos) return;
+    g[i] = pos;
+    moved(static_cast<ProcId>(i), old);
+  }
+
+  /// True when at() is served by an incremental cursor (for span tagging).
+  bool incremental() const {
+    return cursor_ != nullptr && cursor_->incremental();
   }
 
  private:
@@ -101,6 +169,8 @@ class CountingEval {
   const Computation& c_;
   DetectStats& st_;
   BudgetTracker* budget_;
+  const Cut* bound_ = nullptr;
+  EvalCursorPtr cursor_;
 };
 
 }  // namespace hbct

@@ -21,10 +21,11 @@ DetectResult detect_ef_disjunctive(const Computation& c,
   for (const auto& local : p.locals()) {
     const ProcId i = local->proc();
     if (i >= c.num_procs()) continue;
+    const LocalEval le(c, *local);
     for (EventIndex pos = 0; pos <= c.num_events(i); ++pos) {
       if (!t.ok()) return mark_bounded(r, t);
       ++r.stats.predicate_evals;
-      if (local->eval_local(c, pos)) {
+      if (le(pos)) {
         r.verdict = Verdict::kHolds;
         r.witness_cut =
             pos == 0 ? c.initial_cut() : c.join_irreducible_of(i, pos);

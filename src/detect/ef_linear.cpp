@@ -18,18 +18,26 @@ std::optional<Cut> least_satisfying_cut(const Computation& c,
   ScopedSpan span(budget != nullptr ? budget->budget().trace : nullptr,
                   "walk.least-cut");
   CountingEval eval(p, c, st, budget);
+  eval.bind(g);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
   if (budget != nullptr && !budget->ok()) return std::nullopt;
-  while (!eval(g)) {
+  Cut je = g;  // scratch for J(e)
+  const std::size_t n = static_cast<std::size_t>(c.num_procs());
+  while (!eval.at()) {
     if (budget != nullptr && budget->exceeded()) return std::nullopt;
     const ProcId i = p.forbidden(c, g);
     HBCT_DASSERT(i >= 0 && i < c.num_procs());
     if (g[sz(i)] >= c.num_events(i)) return std::nullopt;  // i exhausted
     // Add the next event of i together with its causal past: the join with
-    // J(e) is the least consistent cut extending g by e.
-    const Cut je = c.join_irreducible_of(i, g[sz(i)] + 1);
-    Cut h = Cut::join(g, je);
-    st.cut_steps += static_cast<std::uint64_t>(h.total() - g.total());
-    g = std::move(h);
+    // J(e) is the least consistent cut extending g by e. The join is
+    // applied component-wise in place (g only ever grows toward J(e)).
+    c.join_irreducible_of(i, g[sz(i)] + 1, &je);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (je[j] > g[j]) {
+        st.cut_steps += static_cast<std::uint64_t>(je[j] - g[j]);
+        eval.move_to(g, j, je[j]);
+      }
+    }
     if (budget != nullptr && !budget->ok()) return std::nullopt;
   }
   return g;
@@ -44,19 +52,26 @@ std::optional<Cut> greatest_satisfying_cut(const Computation& c,
   ScopedSpan span(budget != nullptr ? budget->budget().trace : nullptr,
                   "walk.greatest-cut");
   CountingEval eval(p, c, st, budget);
+  eval.bind(g);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
   if (budget != nullptr && !budget->ok()) return std::nullopt;
-  while (!eval(g)) {
+  Cut me = g;  // scratch for M(e)
+  const std::size_t n = static_cast<std::size_t>(c.num_procs());
+  while (!eval.at()) {
     if (budget != nullptr && budget->exceeded()) return std::nullopt;
     const ProcId i = p.forbidden_down(c, g);
     HBCT_DASSERT(i >= 0 && i < c.num_procs());
     if (g[sz(i)] <= 0) return std::nullopt;  // i already at the initial state
     // Remove the last event of i together with its causal future: the meet
     // with M(e) = E \ up-set(e) is the greatest consistent cut below g not
-    // containing e.
-    const Cut me = c.meet_irreducible_of(i, g[sz(i)]);
-    Cut h = Cut::meet(g, me);
-    st.cut_steps += static_cast<std::uint64_t>(g.total() - h.total());
-    g = std::move(h);
+    // containing e, applied component-wise in place.
+    c.meet_irreducible_of(i, g[sz(i)], &me);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (me[j] < g[j]) {
+        st.cut_steps += static_cast<std::uint64_t>(g[j] - me[j]);
+        eval.move_to(g, j, me[j]);
+      }
+    }
     if (budget != nullptr && !budget->ok()) return std::nullopt;
   }
   return g;

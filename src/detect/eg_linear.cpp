@@ -18,27 +18,32 @@ DetectResult detect_eg_linear(const Computation& c, const Predicate& p,
 
   if (!t.ok()) return mark_bounded(r, t);
   Cut w = c.final_cut();                  // Step 1
-  if (!eval(w)) {                         // final cut must satisfy p
+  eval.bind(w);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
+  if (!eval.at()) {                       // final cut must satisfy p
     if (t.exceeded()) return mark_bounded(r, t);
     return r;
   }
   const Cut initial = c.initial_cut();
   std::vector<Cut> path;
   path.push_back(w);
+  std::vector<ProcId> frontier;
 
   while (!(w == initial)) {               // Step 2
     // Step 3: predecessors of W are retreat(W, i) for i in frontier(W);
-    // keep the first one satisfying p (Theorem 2: any choice works).
+    // keep the first one satisfying p (Theorem 2: any choice works). W is
+    // stepped in place: retreat one component, test, undo on a miss.
     bool found = false;
-    for (ProcId i : c.frontier_procs(w)) {
-      Cut g = c.retreat(w, i);
+    c.frontier_procs(w, &frontier);
+    for (ProcId i : frontier) {
+      eval.retreat(w, static_cast<std::size_t>(i));
       ++r.stats.cut_steps;
-      if (eval(g)) {
-        w = std::move(g);                 // Step 5
+      if (eval.at()) {                    // Step 5
         path.push_back(w);
         found = true;
         break;
       }
+      eval.advance(w, static_cast<std::size_t>(i));  // undo the miss
       if (t.exceeded()) return mark_bounded(r, t);
     }
     if (!found) return r;                 // Step 4: Q empty
@@ -62,26 +67,34 @@ DetectResult detect_eg_linear_randomized(const Computation& c,
 
   if (!t.ok()) return mark_bounded(r, t);
   Cut w = c.final_cut();
-  if (!eval(w)) {
+  eval.bind(w);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
+  if (!eval.at()) {
     if (t.exceeded()) return mark_bounded(r, t);
     return r;
   }
   const Cut initial = c.initial_cut();
   std::vector<Cut> path;
   path.push_back(w);
+  std::vector<ProcId> frontier;
 
   while (!(w == initial)) {
     // Q = all predecessors satisfying p; pick one uniformly (Theorem 2).
-    std::vector<Cut> q;
-    for (ProcId i : c.frontier_procs(w)) {
-      Cut g = c.retreat(w, i);
+    // Probe each predecessor in place (retreat, test, undo) and remember
+    // the hits by process id; the draw below is over the same candidate
+    // sequence the allocating version collected.
+    std::vector<ProcId> q;
+    c.frontier_procs(w, &frontier);
+    for (ProcId i : frontier) {
+      eval.retreat(w, static_cast<std::size_t>(i));
       ++r.stats.cut_steps;
-      const bool hit = eval(g);
+      const bool hit = eval.at();
+      eval.advance(w, static_cast<std::size_t>(i));
       if (t.exceeded()) return mark_bounded(r, t);
-      if (hit) q.push_back(std::move(g));
+      if (hit) q.push_back(i);
     }
     if (q.empty()) return r;
-    w = std::move(q[rng.next_below(q.size())]);
+    eval.retreat(w, static_cast<std::size_t>(q[rng.next_below(q.size())]));
     path.push_back(w);
   }
   r.verdict = Verdict::kHolds;
@@ -101,25 +114,29 @@ DetectResult detect_eg_post_linear(const Computation& c,
 
   if (!t.ok()) return mark_bounded(r, t);
   Cut w = c.initial_cut();
-  if (!eval(w)) {
+  eval.bind(w);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
+  if (!eval.at()) {
     if (t.exceeded()) return mark_bounded(r, t);
     return r;
   }
   const Cut final = c.final_cut();
   std::vector<Cut> path;
   path.push_back(w);
+  std::vector<ProcId> enabled;
 
   while (!(w == final)) {
     bool found = false;
-    for (ProcId i : c.enabled_procs(w)) {
-      Cut g = c.advance(w, i);
+    c.enabled_procs(w, &enabled);
+    for (ProcId i : enabled) {
+      eval.advance(w, static_cast<std::size_t>(i));
       ++r.stats.cut_steps;
-      if (eval(g)) {
-        w = std::move(g);
+      if (eval.at()) {
         path.push_back(w);
         found = true;
         break;
       }
+      eval.retreat(w, static_cast<std::size_t>(i));
       if (t.exceeded()) return mark_bounded(r, t);
     }
     if (!found) return r;

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/trace.h"
+#include "poset/cut_packer.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -53,16 +53,18 @@ DetectResult detect_ef_observer_independent(const Computation& c,
   BudgetTracker t(budget, r.stats);
   CountingEval eval(p, c, r.stats, &t);
   Cut g = c.initial_cut();
-  if (eval(g)) {
+  eval.bind(g);
+  span.arg("cursor", eval.incremental() ? 1 : 0);
+  if (eval.at()) {
     r.verdict = Verdict::kHolds;
     r.witness_cut = std::move(g);
     return r;
   }
   if (t.exceeded()) return mark_bounded(r, t);
   for (const EventId& e : c.linearization()) {
-    ++g[static_cast<std::size_t>(e.proc)];
+    eval.advance(g, static_cast<std::size_t>(e.proc));
     ++r.stats.cut_steps;
-    if (eval(g)) {
+    if (eval.at()) {
       r.verdict = Verdict::kHolds;
       r.witness_cut = std::move(g);
       return r;
@@ -83,7 +85,7 @@ std::optional<std::vector<Cut>> dfs_cuts(
     const Computation& c, BudgetTracker& t, DetectStats& st,
     const std::function<bool(const Cut&)>& expand,
     const std::function<bool(const Cut&)>& goal) {
-  std::unordered_set<Cut, CutHash> visited;
+  CutSet visited(c);
   // Stack holds (cut, parent index into `order`) to rebuild paths.
   struct Frame {
     Cut cut;
@@ -110,7 +112,7 @@ std::optional<std::vector<Cut>> dfs_cuts(
       Cut h = c.advance(g, i);
       ++st.cut_steps;
       if (!t.ok()) return std::nullopt;
-      if (visited.count(h)) continue;
+      if (visited.contains(h)) continue;
       if (goal(h)) {
         std::vector<Cut> path{std::move(h)};
         for (std::ptrdiff_t a = at; a >= 0;

@@ -39,9 +39,10 @@ DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
   FirstMatch m = detect_first_match(
       parallelism, frontier.size(),
       [&](std::size_t k) {
+        // EG(p) over the prefix sublattice below retreat(I_q, e) — scanned
+        // in place instead of materializing a prefix Computation per branch.
         const Cut sub = c.retreat(iq, frontier[k]);
-        Computation prefix = c.prefix(sub);
-        DetectResult eg = detect_eg_conjunctive(prefix, p, budget);
+        DetectResult eg = detect_eg_conjunctive_within(c, p, sub, budget);
         ++eg.stats.cut_steps;  // the retreat that formed this sub-computation
         return eg;
       },

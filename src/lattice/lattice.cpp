@@ -18,24 +18,28 @@ std::optional<Lattice> Lattice::try_build(const Computation& c,
   std::deque<NodeId> queue;
 
   const Cut init = c.initial_cut();
+  lat.index_ = CutIndex(c);
   lat.cuts_.push_back(init);
-  lat.index_.emplace(init, 0);
+  lat.index_.try_emplace(init, 0);
   lat.bottom_ = 0;
   queue.push_back(0);
 
+  std::vector<ProcId> enabled;
   while (!queue.empty()) {
     const NodeId v = queue.front();
     queue.pop_front();
     const Cut g = lat.cuts_[v];  // copy: cuts_ reallocates during the loop
-    for (ProcId i : c.enabled_procs(g)) {
+    c.enabled_procs(g, &enabled);
+    for (ProcId i : enabled) {
       Cut h = c.advance(g, i);
-      auto [it, inserted] = lat.index_.try_emplace(h, static_cast<NodeId>(lat.cuts_.size()));
+      const auto [id, inserted] =
+          lat.index_.try_emplace(h, static_cast<NodeId>(lat.cuts_.size()));
       if (inserted) {
         if (lat.cuts_.size() >= max_nodes) return std::nullopt;
         lat.cuts_.push_back(std::move(h));
-        queue.push_back(it->second);
+        queue.push_back(id);
       }
-      edges.emplace_back(v, it->second);
+      edges.emplace_back(v, id);
     }
   }
   lat.num_edges_ = edges.size();
@@ -83,8 +87,14 @@ Lattice Lattice::build(const Computation& c, std::size_t max_nodes) {
 }
 
 NodeId Lattice::node_of(const Cut& g) const {
-  auto it = index_.find(g);
-  return it == index_.end() ? kNoNode : it->second;
+  // Out-of-range counters could alias a valid key under the packed
+  // encoding; such cuts are never in the index anyway.
+  if (g.size() != static_cast<std::size_t>(comp_->num_procs())) return kNoNode;
+  for (ProcId i = 0; i < comp_->num_procs(); ++i) {
+    const std::int32_t gi = g[static_cast<std::size_t>(i)];
+    if (gi < 0 || gi > comp_->num_events(i)) return kNoNode;
+  }
+  return index_.find_or(g, kNoNode);
 }
 
 std::span<const NodeId> Lattice::successors(NodeId v) const {

@@ -15,10 +15,10 @@
 #include <limits>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "poset/computation.h"
+#include "poset/cut_packer.h"
 
 namespace hbct {
 
@@ -63,7 +63,8 @@ class Lattice {
  private:
   const Computation* comp_ = nullptr;
   std::vector<Cut> cuts_;
-  std::unordered_map<Cut, NodeId, CutHash> index_;
+  /// Cut -> node id, packed-uint64-keyed when the cut fits in 64 bits.
+  CutIndex index_;
   // CSR adjacency for successors and predecessors.
   std::vector<NodeId> succ_flat_, pred_flat_;
   std::vector<std::uint32_t> succ_off_, pred_off_;

@@ -47,8 +47,13 @@ EventId OnlineAppender::append(ProcId i, Event ev, const VClock* extra) {
   const std::size_t n = c_.procs_.size();
   auto& list = c_.procs_[sz(i)];
 
-  // Forward vector clock.
-  VClock vc = list.empty() ? VClock(n) : c_.vclocks_[sz(i)].back();
+  // Forward vector clock, seeded from the last arena row of process i.
+  VClock vc(n);
+  if (!list.empty()) {
+    const std::int32_t* prev =
+        c_.vclocks_[sz(i)].data() + (list.size() - 1) * n;
+    for (std::size_t j = 0; j < n; ++j) vc[j] = prev[j];
+  }
   if (extra) vc.merge(*extra);
   vc[sz(i)] = static_cast<std::int32_t>(list.size()) + 1;
 
@@ -75,7 +80,8 @@ EventId OnlineAppender::append(ProcId i, Event ev, const VClock* extra) {
   for (auto& timeline : c_.values_[sz(i)]) timeline.push_back(timeline.back());
 
   list.push_back(std::move(ev));
-  c_.vclocks_[sz(i)].push_back(std::move(vc));
+  c_.vclocks_[sz(i)].insert(c_.vclocks_[sz(i)].end(), vc.raw().begin(),
+                            vc.raw().end());
   const EventId id{i, static_cast<EventIndex>(list.size())};
   c_.linearization_.push_back(id);
   ++c_.total_events_;
@@ -112,8 +118,10 @@ EventId OnlineAppender::receive(ProcId to, MsgId m) {
   ev.kind = EventKind::kReceive;
   ev.peer = msg_src_[sz(m)];
   ev.msg = m;
-  const VClock& send_vc =
-      c_.vclock(msg_src_[sz(m)], msg_send_index_[sz(m)]);
+  // Materialize the send clock: append() grows process `to`'s arena, and
+  // while self-messages are excluded (so the source row would survive), an
+  // owned copy keeps this robust against any future storage reshuffle.
+  const VClock send_vc(c_.vclock(msg_src_[sz(m)], msg_send_index_[sz(m)]));
   return append(to, std::move(ev), &send_vc);
 }
 

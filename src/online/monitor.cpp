@@ -218,7 +218,7 @@ void OnlineMonitor::step_conj(ConjWatch& w) {
     // All candidates set: repair pairwise consistency (GW weak).
     for (ProcId i = 0; i < n && !changed; ++i) {
       if (w.cand[sz(i)] == 0) continue;
-      const VClock& vc = c.vclock(i, w.cand[sz(i)]);
+      const VClockView vc = c.vclock(i, w.cand[sz(i)]);
       for (ProcId j = 0; j < n; ++j) {
         if (j == i || vc[sz(j)] <= w.cand[sz(j)]) continue;
         // The candidate of j must move to a true position at or after the

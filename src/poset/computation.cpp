@@ -17,12 +17,13 @@ const Event& Computation::event(ProcId i, EventIndex idx) const {
   return procs_[sz(i)][sz(idx - 1)];
 }
 
-const VClock& Computation::vclock(ProcId i, EventIndex idx) const {
+VClockView Computation::vclock(ProcId i, EventIndex idx) const {
   HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
-  return vclocks_[sz(i)][sz(idx - 1)];
+  const std::size_t n = procs_.size();
+  return VClockView(vclocks_[sz(i)].data() + sz(idx - 1) * n, n);
 }
 
-const VClock& Computation::reverse_vclock(ProcId i, EventIndex idx) const {
+VClockView Computation::reverse_vclock(ProcId i, EventIndex idx) const {
   HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
   if (rvcache_.dirty.load(std::memory_order_acquire)) {
     // Double-checked: concurrent readers (parallel detection branches) may
@@ -32,7 +33,8 @@ const VClock& Computation::reverse_vclock(ProcId i, EventIndex idx) const {
     std::lock_guard<std::mutex> lk(mu);
     if (rvcache_.dirty.load(std::memory_order_relaxed)) compute_rvclocks();
   }
-  return rvcache_.clocks[sz(i)][sz(idx - 1)];
+  const std::size_t n = procs_.size();
+  return VClockView(rvcache_.clocks[sz(i)].data() + sz(idx - 1) * n, n);
 }
 
 bool Computation::happened_before(EventId e, EventId f) const {
@@ -97,7 +99,7 @@ bool Computation::is_consistent(const Cut& g) const {
     if (gi < 0 || gi > num_events(i)) return false;
     if (gi == 0) continue;
     // The last included event of process i must have its causal past in G.
-    const VClock& vc = vclock(i, gi);
+    const VClockView vc = vclock(i, gi);
     for (ProcId j = 0; j < num_procs(); ++j)
       if (vc[sz(j)] > g[sz(j)]) return false;
   }
@@ -107,7 +109,7 @@ bool Computation::is_consistent(const Cut& g) const {
 bool Computation::enabled(const Cut& g, ProcId i) const {
   const std::int32_t gi = g[sz(i)];
   if (gi >= num_events(i)) return false;
-  const VClock& vc = vclock(i, gi + 1);
+  const VClockView vc = vclock(i, gi + 1);
   for (ProcId j = 0; j < num_procs(); ++j) {
     if (j == i) continue;
     if (vc[sz(j)] > g[sz(j)]) return false;
@@ -132,17 +134,27 @@ bool Computation::removable(const Cut& g, ProcId i) const {
 std::vector<ProcId> Computation::enabled_procs(const Cut& g) const {
   std::vector<ProcId> out;
   out.reserve(sz(num_procs()));
-  for (ProcId i = 0; i < num_procs(); ++i)
-    if (enabled(g, i)) out.push_back(i);
+  enabled_procs(g, &out);
   return out;
 }
 
 std::vector<ProcId> Computation::frontier_procs(const Cut& g) const {
   std::vector<ProcId> out;
   out.reserve(sz(num_procs()));
-  for (ProcId i = 0; i < num_procs(); ++i)
-    if (removable(g, i)) out.push_back(i);
+  frontier_procs(g, &out);
   return out;
+}
+
+void Computation::enabled_procs(const Cut& g, std::vector<ProcId>* out) const {
+  out->clear();
+  for (ProcId i = 0; i < num_procs(); ++i)
+    if (enabled(g, i)) out->push_back(i);
+}
+
+void Computation::frontier_procs(const Cut& g, std::vector<ProcId>* out) const {
+  out->clear();
+  for (ProcId i = 0; i < num_procs(); ++i)
+    if (removable(g, i)) out->push_back(i);
 }
 
 Cut Computation::advance(const Cut& g, ProcId i) const {
@@ -164,11 +176,24 @@ Cut Computation::join_irreducible_of(ProcId i, EventIndex idx) const {
 }
 
 Cut Computation::meet_irreducible_of(ProcId i, EventIndex idx) const {
-  const VClock& rvc = reverse_vclock(i, idx);
   Cut m(sz(num_procs()));
-  for (ProcId j = 0; j < num_procs(); ++j)
-    m[sz(j)] = num_events(j) - rvc[sz(j)];
+  meet_irreducible_of(i, idx, &m);
   return m;
+}
+
+void Computation::join_irreducible_of(ProcId i, EventIndex idx,
+                                      Cut* out) const {
+  if (out->size() != sz(num_procs())) *out = Cut(sz(num_procs()));
+  const VClockView vc = vclock(i, idx);
+  for (ProcId j = 0; j < num_procs(); ++j) (*out)[sz(j)] = vc[sz(j)];
+}
+
+void Computation::meet_irreducible_of(ProcId i, EventIndex idx,
+                                      Cut* out) const {
+  if (out->size() != sz(num_procs())) *out = Cut(sz(num_procs()));
+  const VClockView rvc = reverse_vclock(i, idx);
+  for (ProcId j = 0; j < num_procs(); ++j)
+    (*out)[sz(j)] = num_events(j) - rvc[sz(j)];
 }
 
 std::optional<EventId> Computation::find_label(std::string_view label) const {
@@ -208,15 +233,22 @@ void Computation::finalize() {
   // --- Vector clocks, following the recorded linearization. Each receive
   // merges the clock of its matching send, so sends must precede their
   // receives in the linearization (validated below via send_clock presence).
+  // The arenas are pre-sized, so rows are stable and send_clock can hold
+  // views straight into them.
   vclocks_.assign(n, {});
   for (std::size_t i = 0; i < n; ++i)
-    vclocks_[i].assign(procs_[i].size(), VClock{});
-  std::unordered_map<MsgId, VClock> send_clock;
+    vclocks_[i].assign(procs_[i].size() * n, 0);
+  std::unordered_map<MsgId, VClockView> send_clock;
   std::unordered_map<MsgId, EventId> send_event;
+  VClock vc(n);
   for (const EventId& eid : linearization_) {
     const Event& ev = event(eid);
-    VClock vc = eid.index > 1 ? vclock(eid.proc, eid.index - 1)
-                              : VClock(n);
+    if (eid.index > 1) {
+      const VClockView prev = vclock(eid.proc, eid.index - 1);
+      for (std::size_t j = 0; j < n; ++j) vc[j] = prev[j];
+    } else {
+      for (std::size_t j = 0; j < n; ++j) vc[j] = 0;
+    }
     if (ev.kind == EventKind::kReceive) {
       auto it = send_clock.find(ev.msg);
       HBCT_ASSERT_MSG(it != send_clock.end(),
@@ -230,9 +262,10 @@ void Computation::finalize() {
       HBCT_ASSERT_MSG(!send_clock.count(ev.msg), "duplicate send msg id");
       ++num_messages_;
     }
-    vclocks_[sz(eid.proc)][sz(eid.index - 1)] = vc;
+    std::copy(vc.raw().begin(), vc.raw().end(),
+              vclocks_[sz(eid.proc)].data() + sz(eid.index - 1) * n);
     if (ev.kind == EventKind::kSend) {
-      send_clock.emplace(ev.msg, vclocks_[sz(eid.proc)][sz(eid.index - 1)]);
+      send_clock.emplace(ev.msg, vclock(eid.proc, eid.index));
       send_event.emplace(ev.msg, eid);
     }
   }
@@ -291,29 +324,38 @@ void Computation::finalize() {
 
 void Computation::compute_rvclocks() const {
   // Reverse vector clocks: process the linearization backwards; a send
-  // merges the reverse clock of its matching receive.
+  // merges the reverse clock of its matching receive. The arenas are
+  // pre-sized so recv_rclock can hold views into them (the same-process
+  // successor row is always written before its predecessor reads it).
   const std::size_t n = procs_.size();
   rvcache_.clocks.assign(n, {});
   for (std::size_t i = 0; i < n; ++i)
-    rvcache_.clocks[i].assign(procs_[i].size(), VClock{});
-  std::unordered_map<MsgId, VClock> recv_rclock;
+    rvcache_.clocks[i].assign(procs_[i].size() * n, 0);
+  auto row = [&](ProcId i, EventIndex idx) {
+    return rvcache_.clocks[sz(i)].data() + sz(idx - 1) * n;
+  };
+  std::unordered_map<MsgId, VClockView> recv_rclock;
+  VClock rvc(n);
   for (auto it = linearization_.rbegin(); it != linearization_.rend(); ++it) {
     const EventId& eid = *it;
     const Event& ev = event(eid);
     // rvc(e)[j] counts events f on j with e <= f; start from the successor
     // on the same process (if any).
-    VClock rvc = eid.index < num_events(eid.proc)
-                     ? rvcache_.clocks[sz(eid.proc)][sz(eid.index)]
-                     : VClock(n);
+    if (eid.index < num_events(eid.proc)) {
+      const std::int32_t* succ = row(eid.proc, eid.index + 1);
+      for (std::size_t j = 0; j < n; ++j) rvc[j] = succ[j];
+    } else {
+      for (std::size_t j = 0; j < n; ++j) rvc[j] = 0;
+    }
     if (ev.kind == EventKind::kSend) {
       auto rit = recv_rclock.find(ev.msg);
       if (rit != recv_rclock.end()) rvc.merge(rit->second);
       // An unmatched send (receive outside this computation) merges nothing.
     }
     rvc[sz(eid.proc)] = num_events(eid.proc) - eid.index + 1;
-    rvcache_.clocks[sz(eid.proc)][sz(eid.index - 1)] = rvc;
+    std::copy(rvc.raw().begin(), rvc.raw().end(), row(eid.proc, eid.index));
     if (ev.kind == EventKind::kReceive)
-      recv_rclock.emplace(ev.msg, rvcache_.clocks[sz(eid.proc)][sz(eid.index - 1)]);
+      recv_rclock.emplace(ev.msg, VClockView(row(eid.proc, eid.index), n));
   }
   rvcache_.dirty.store(false, std::memory_order_release);
 }

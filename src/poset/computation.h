@@ -43,9 +43,11 @@ class Computation {
   const Event& event(ProcId i, EventIndex idx) const;
   const Event& event(EventId e) const { return event(e.proc, e.index); }
 
-  /// Fidge-Mattern clock of the event (1-based idx).
-  const VClock& vclock(ProcId i, EventIndex idx) const;
-  const VClock& vclock(EventId e) const { return vclock(e.proc, e.index); }
+  /// Fidge-Mattern clock of the event (1-based idx). The view points into
+  /// the computation's flat clock arena: valid while the computation is
+  /// alive and not grown by an OnlineAppender.
+  VClockView vclock(ProcId i, EventIndex idx) const;
+  VClockView vclock(EventId e) const { return vclock(e.proc, e.index); }
 
   /// Reverse clock: rvc(e)[j] = |{f on process j : e -> f or e == f}|.
   /// This is the vector clock of `e` in the computation with all edges
@@ -53,7 +55,7 @@ class Computation {
   /// Reverse clocks depend on the whole suffix of the computation, so
   /// online appends (OnlineAppender) invalidate them; they are recomputed
   /// lazily on first use (not thread-safe against concurrent appends).
-  const VClock& reverse_vclock(ProcId i, EventIndex idx) const;
+  VClockView reverse_vclock(ProcId i, EventIndex idx) const;
 
   // ---- Order between events ----------------------------------------------
 
@@ -73,6 +75,13 @@ class Computation {
   /// (pos = 0 gives the initial value).
   std::int64_t value_at(ProcId i, VarId v, EventIndex pos) const;
 
+  /// The full precomputed timeline of variable v on process i:
+  /// timeline[pos] = value after pos events. Lets hot loops hoist the
+  /// per-call bounds checks and indirections out of their inner loop.
+  const std::vector<std::int64_t>& value_timeline(ProcId i, VarId v) const {
+    return values_[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+  }
+
   /// Convenience: value of variable v on process i in global state G.
   std::int64_t value_in(ProcId i, VarId v, const Cut& g) const {
     return value_at(i, v, g[static_cast<std::size_t>(i)]);
@@ -86,6 +95,29 @@ class Computation {
   /// Total number of in-transit messages in G over all channels.
   std::int64_t in_transit_total(const Cut& g) const;
   bool all_channels_empty(const Cut& g) const { return in_transit_total(g) == 0; }
+
+  /// True when any message was ever sent from `from` to `to`.
+  bool channel_active(ProcId from, ProcId to) const {
+    return !sends_to_[static_cast<std::size_t>(from)]
+                     [static_cast<std::size_t>(to)]
+                         .empty();
+  }
+  /// Messages sent from `from` to `to` among the first `pos` events of
+  /// `from`. Unlike in_transit() this is a plain prefix-counter read with no
+  /// consistency requirement, so incremental evaluators may call it on cuts
+  /// that are transiently inconsistent mid-seek.
+  std::int32_t sends_up_to(ProcId from, ProcId to, EventIndex pos) const {
+    const auto& t = sends_to_[static_cast<std::size_t>(from)]
+                             [static_cast<std::size_t>(to)];
+    return t.empty() ? 0 : t[static_cast<std::size_t>(pos)];
+  }
+  /// Messages received at `to` from `from` among the first `pos` events of
+  /// `to`.
+  std::int32_t recvs_up_to(ProcId to, ProcId from, EventIndex pos) const {
+    const auto& t = recvs_from_[static_cast<std::size_t>(to)]
+                               [static_cast<std::size_t>(from)];
+    return t.empty() ? 0 : t[static_cast<std::size_t>(pos)];
+  }
 
   // ---- Cut geometry --------------------------------------------------------
 
@@ -109,6 +141,11 @@ class Computation {
   /// in the lattice are exactly retreat(G, i) for these i).
   std::vector<ProcId> frontier_procs(const Cut& g) const;
 
+  /// Scratch-buffer overloads for the walk inner loops: refill `*out`
+  /// (cleared first) instead of returning a fresh vector.
+  void enabled_procs(const Cut& g, std::vector<ProcId>* out) const;
+  void frontier_procs(const Cut& g, std::vector<ProcId>* out) const;
+
   Cut advance(const Cut& g, ProcId i) const;
   Cut retreat(const Cut& g, ProcId i) const;
 
@@ -119,6 +156,11 @@ class Computation {
   /// M(e) = E \ up-set(e). The M(e) are exactly the meet-irreducible
   /// lattice elements.
   Cut meet_irreducible_of(ProcId i, EventIndex idx) const;
+
+  /// Scratch overloads: write the irreducible cut into `*out` (resized to
+  /// num_procs) without allocating when out already has the right size.
+  void join_irreducible_of(ProcId i, EventIndex idx, Cut* out) const;
+  void meet_irreducible_of(ProcId i, EventIndex idx, Cut* out) const;
 
   // ---- Whole-computation helpers -------------------------------------------
 
@@ -152,7 +194,9 @@ class Computation {
   /// copy/move semantics std::atomic deletes, keeping Computation a value
   /// type.
   struct RvClockCache {
-    std::vector<std::vector<VClock>> clocks;
+    /// Per-process flat arena, stride num_procs: clocks[i] holds the
+    /// reverse clocks of process i's events back to back.
+    std::vector<std::vector<std::int32_t>> clocks;
     std::atomic<bool> dirty{true};
 
     RvClockCache() = default;
@@ -176,7 +220,10 @@ class Computation {
   };
 
   std::vector<std::vector<Event>> procs_;
-  std::vector<std::vector<VClock>> vclocks_;
+  /// Per-process flat clock arena, stride num_procs: vclocks_[i] stores the
+  /// Fidge-Mattern clocks of process i's events contiguously, so vclock()
+  /// is a pointer offset and leq/merge run over contiguous int32 rows.
+  std::vector<std::vector<std::int32_t>> vclocks_;
   mutable RvClockCache rvcache_;
   std::vector<EventId> linearization_;
 

@@ -1,0 +1,114 @@
+// Packed 64-bit cut keys for visited-set hot paths.
+//
+// A cut of a fixed computation is one counter 0..N_i per process; when the
+// counter bit-widths sum to at most 64 the whole cut packs into a single
+// uint64, and the enumeration visited-sets (brute-force lattice, DFS
+// explorers, slicer dedup) can hash 8 bytes instead of FNV-1a over the cut
+// vector. CutSet / CutIndex below pick the packed representation when it
+// fits and fall back to CutHash containers otherwise, so callers never
+// branch on the encoding themselves.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "poset/computation.h"
+#include "poset/cut.h"
+
+namespace hbct {
+
+/// Bijective packing of the cuts of one computation into uint64 keys.
+class CutPacker {
+ public:
+  /// nullopt when the per-process counter widths do not fit in 64 bits.
+  static std::optional<CutPacker> make(const Computation& c) {
+    CutPacker p;
+    std::uint32_t shift = 0;
+    p.shift_.reserve(static_cast<std::size_t>(c.num_procs()));
+    for (ProcId i = 0; i < c.num_procs(); ++i) {
+      p.shift_.push_back(shift);
+      shift += static_cast<std::uint32_t>(
+          std::bit_width(static_cast<std::uint32_t>(c.num_events(i))));
+      if (shift > 64) return std::nullopt;
+    }
+    return p;
+  }
+
+  std::uint64_t pack(const Cut& g) const {
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < shift_.size(); ++i) {
+      // shift 64 can only be reached by zero-width (eventless) processes,
+      // whose counter is always 0; skip them rather than shift out of range.
+      if (shift_[i] < 64)
+        key |= static_cast<std::uint64_t>(
+                   static_cast<std::uint32_t>(g[i]))
+               << shift_[i];
+    }
+    return key;
+  }
+
+ private:
+  std::vector<std::uint32_t> shift_;
+};
+
+/// Set of cuts with the packed fast path.
+class CutSet {
+ public:
+  explicit CutSet(const Computation& c) : packer_(CutPacker::make(c)) {}
+
+  bool contains(const Cut& g) const {
+    return packer_ ? packed_.count(packer_->pack(g)) != 0
+                   : fallback_.count(g) != 0;
+  }
+  /// True when g was newly inserted.
+  bool insert(const Cut& g) {
+    return packer_ ? packed_.insert(packer_->pack(g)).second
+                   : fallback_.insert(g).second;
+  }
+  std::size_t size() const {
+    return packer_ ? packed_.size() : fallback_.size();
+  }
+
+ private:
+  std::optional<CutPacker> packer_;
+  std::unordered_set<std::uint64_t> packed_;
+  std::unordered_set<Cut, CutHash> fallback_;
+};
+
+/// Map cut -> uint32 id with the packed fast path (lattice node index).
+class CutIndex {
+ public:
+  CutIndex() = default;
+  explicit CutIndex(const Computation& c) : packer_(CutPacker::make(c)) {}
+
+  /// Inserts g -> v unless present; returns {stored value, inserted}.
+  std::pair<std::uint32_t, bool> try_emplace(const Cut& g, std::uint32_t v) {
+    if (packer_) {
+      auto [it, inserted] = packed_.try_emplace(packer_->pack(g), v);
+      return {it->second, inserted};
+    }
+    auto [it, inserted] = fallback_.try_emplace(g, v);
+    return {it->second, inserted};
+  }
+
+  /// Stored value for g, or `absent` when not present.
+  std::uint32_t find_or(const Cut& g, std::uint32_t absent) const {
+    if (packer_) {
+      auto it = packed_.find(packer_->pack(g));
+      return it == packed_.end() ? absent : it->second;
+    }
+    auto it = fallback_.find(g);
+    return it == fallback_.end() ? absent : it->second;
+  }
+
+ private:
+  std::optional<CutPacker> packer_;
+  std::unordered_map<std::uint64_t, std::uint32_t> packed_;
+  std::unordered_map<Cut, std::uint32_t, CutHash> fallback_;
+};
+
+}  // namespace hbct

@@ -7,28 +7,40 @@
 
 namespace hbct {
 
+namespace vclock_detail {
+
+std::string to_string(const std::int32_t* c, std::size_t n) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) os << ",";
+    os << c[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace vclock_detail
+
 void VClock::merge(const VClock& o) {
   HBCT_ASSERT(size() == o.size());
   for (std::size_t i = 0; i < c_.size(); ++i)
     c_[i] = std::max(c_[i], o.c_[i]);
 }
 
-bool VClock::leq(const VClock& o) const {
+void VClock::merge(VClockView o) {
   HBCT_ASSERT(size() == o.size());
   for (std::size_t i = 0; i < c_.size(); ++i)
-    if (c_[i] > o.c_[i]) return false;
-  return true;
+    c_[i] = std::max(c_[i], o[i]);
+}
+
+bool VClock::leq(const VClock& o) const {
+  HBCT_ASSERT(size() == o.size());
+  return vclock_detail::leq(c_.data(), o.c_.data(), c_.size());
 }
 
 std::string VClock::to_string() const {
-  std::ostringstream os;
-  os << "[";
-  for (std::size_t i = 0; i < c_.size(); ++i) {
-    if (i) os << ",";
-    os << c_[i];
-  }
-  os << "]";
-  return os.str();
+  return vclock_detail::to_string(c_.data(), c_.size());
 }
 
 }  // namespace hbct

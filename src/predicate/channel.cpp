@@ -7,6 +7,78 @@ namespace hbct {
 
 namespace {
 
+/// Incremental in-transit count for one channel: caches the sender's send
+/// count and the receiver's receive count via the prefix-counter reads
+/// (sends_up_to / recvs_up_to), which are safe on transiently inconsistent
+/// cuts where in_transit() itself is not.
+class ChannelBoundCursor final : public EvalCursor {
+ public:
+  ChannelBoundCursor(const Computation& c, const Cut& g, ProcId from,
+                     ProcId to, std::int32_t k, bool le)
+      : EvalCursor(c, g),
+        from_(from),
+        to_(to),
+        k_(k),
+        le_(le),
+        sent_(c.sends_up_to(from, to, g[static_cast<std::size_t>(from)])),
+        rcvd_(c.recvs_up_to(to, from, g[static_cast<std::size_t>(to)])) {}
+
+  void on_update(ProcId i, EventIndex) override {
+    const EventIndex pos = cut()[static_cast<std::size_t>(i)];
+    if (i == from_) sent_ = comp().sends_up_to(from_, to_, pos);
+    if (i == to_) rcvd_ = comp().recvs_up_to(to_, from_, pos);
+  }
+
+  bool value() override {
+    const std::int32_t t = sent_ - rcvd_;
+    return le_ ? t <= k_ : t >= k_;
+  }
+
+ private:
+  ProcId from_, to_;
+  std::int32_t k_;
+  bool le_;
+  std::int32_t sent_, rcvd_;
+};
+
+/// Incremental total in-transit count across all active channels. A step on
+/// process i adjusts i's send contribution on every channel i sends on and
+/// i's receive contribution on every channel i receives on: O(n) per step
+/// instead of the O(n^2) full rescan of in_transit_total().
+class AllChannelsEmptyCursor final : public EvalCursor {
+ public:
+  AllChannelsEmptyCursor(const Computation& c, const Cut& g)
+      : EvalCursor(c, g) {
+    const ProcId n = c.num_procs();
+    for (ProcId i = 0; i < n; ++i) {
+      const EventIndex pos = g[static_cast<std::size_t>(i)];
+      for (ProcId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (c.channel_active(i, j)) total_ += c.sends_up_to(i, j, pos);
+        if (c.channel_active(j, i)) total_ -= c.recvs_up_to(i, j, pos);
+      }
+    }
+  }
+
+  void on_update(ProcId i, EventIndex old_pos) override {
+    const Computation& c = comp();
+    const EventIndex pos = cut()[static_cast<std::size_t>(i)];
+    const ProcId n = c.num_procs();
+    for (ProcId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (c.channel_active(i, j))
+        total_ += c.sends_up_to(i, j, pos) - c.sends_up_to(i, j, old_pos);
+      if (c.channel_active(j, i))
+        total_ -= c.recvs_up_to(i, j, pos) - c.recvs_up_to(i, j, old_pos);
+    }
+  }
+
+  bool value() override { return total_ == 0; }
+
+ private:
+  std::int64_t total_ = 0;
+};
+
 class ChannelBoundLe final : public Predicate {
  public:
   ChannelBoundLe(ProcId from, ProcId to, std::int32_t k)
@@ -35,6 +107,10 @@ class ChannelBoundLe final : public Predicate {
   bool has_forbidden_down() const override { return true; }
   PredicatePtr negate() const override {
     return channel_bound_ge(from_, to_, k_ + 1);
+  }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return std::make_unique<ChannelBoundCursor>(c, g, from_, to_, k_,
+                                                /*le=*/true);
   }
 
  private:
@@ -66,6 +142,10 @@ class ChannelBoundGe final : public Predicate {
   bool has_forbidden_down() const override { return true; }
   PredicatePtr negate() const override {
     return channel_bound_le(from_, to_, k_ - 1);
+  }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return std::make_unique<ChannelBoundCursor>(c, g, from_, to_, k_,
+                                                /*le=*/false);
   }
 
  private:
@@ -101,6 +181,10 @@ class AllChannelsEmpty final : public Predicate {
 
   bool has_forbidden() const override { return true; }
   bool has_forbidden_down() const override { return true; }
+
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return std::make_unique<AllChannelsEmptyCursor>(c, g);
+  }
 
  private:
 };

@@ -30,6 +30,48 @@ LocalPredicatePtr and_locals(ProcId proc,
       desc.str());
 }
 
+/// One resolved LocalEval + cached truth bit per conjunct, plus a count of
+/// false conjuncts: value() is O(1) and a component step re-evaluates at
+/// most one local.
+class ConjunctiveCursor final : public EvalCursor {
+ public:
+  ConjunctiveCursor(const ConjunctivePredicate& p, const Computation& c,
+                    const Cut& g)
+      : EvalCursor(c, g) {
+    const auto& locals = p.locals();
+    evals_.reserve(locals.size());
+    truth_.resize(locals.size());
+    slot_.assign(c.num_procs(), -1);
+    for (std::size_t s = 0; s < locals.size(); ++s) {
+      evals_.emplace_back(c, *locals[s]);
+      const std::size_t proc = static_cast<std::size_t>(locals[s]->proc());
+      if (proc < slot_.size()) slot_[proc] = static_cast<std::int32_t>(s);
+      truth_[s] = evals_[s](g[proc]);
+      if (!truth_[s]) ++false_count_;
+    }
+  }
+
+  void on_update(ProcId i, EventIndex) override {
+    if (i < 0 || static_cast<std::size_t>(i) >= slot_.size()) return;
+    const std::int32_t s = slot_[static_cast<std::size_t>(i)];
+    if (s < 0) return;
+    const bool now = evals_[static_cast<std::size_t>(s)](
+        cut()[static_cast<std::size_t>(i)]);
+    if (now != truth_[static_cast<std::size_t>(s)]) {
+      truth_[static_cast<std::size_t>(s)] = now;
+      false_count_ += now ? -1 : 1;
+    }
+  }
+
+  bool value() override { return false_count_ == 0; }
+
+ private:
+  std::vector<LocalEval> evals_;
+  std::vector<char> truth_;
+  std::vector<std::int32_t> slot_;  // proc -> index in evals_ or -1
+  int false_count_ = 0;
+};
+
 }  // namespace
 
 ConjunctivePredicate::ConjunctivePredicate(
@@ -91,6 +133,11 @@ ProcId ConjunctivePredicate::forbidden_down(const Computation& c,
   HBCT_ASSERT_MSG(false, "forbidden_down() called on satisfied predicate");
 }
 
+EvalCursorPtr ConjunctivePredicate::make_cursor(const Computation& c,
+                                                const Cut& g) const {
+  return std::make_unique<ConjunctiveCursor>(*this, c, g);
+}
+
 PredicatePtr ConjunctivePredicate::negate() const {
   std::vector<LocalPredicatePtr> neg;
   neg.reserve(locals_.size());
@@ -114,10 +161,7 @@ ConjunctivePredicatePtr as_conjunctive(const PredicatePtr& p) {
     return make_conjunctive({l});
   if (auto k = p->as_constant()) {
     // A constant is a one-conjunct predicate on process 0.
-    const bool v = *k;
-    return make_conjunctive({std::make_shared<LocalPredicate>(
-        0, [v](const Computation&, EventIndex) { return v; },
-        v ? "true" : "false")});
+    return make_conjunctive({local_const(0, *k)});
   }
   return nullptr;
 }

@@ -43,6 +43,9 @@ class ConjunctivePredicate final : public Predicate {
   /// ¬(∧ l_i) = ∨ ¬l_i — a DisjunctivePredicate.
   PredicatePtr negate() const override;
 
+  /// Per-slot truth bits + a false count: O(1) per cut-component update.
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override;
+
  private:
   std::vector<LocalPredicatePtr> locals_;       // sorted by proc, unique
   std::vector<std::int32_t> slot_;              // proc -> index in locals_ or -1

@@ -28,6 +28,47 @@ LocalPredicatePtr or_locals(ProcId proc, std::vector<LocalPredicatePtr> parts) {
       desc.str());
 }
 
+/// Dual of ConjunctiveCursor: cached truth bits and a count of true
+/// disjuncts.
+class DisjunctiveCursor final : public EvalCursor {
+ public:
+  DisjunctiveCursor(const DisjunctivePredicate& p, const Computation& c,
+                    const Cut& g)
+      : EvalCursor(c, g) {
+    const auto& locals = p.locals();
+    evals_.reserve(locals.size());
+    truth_.resize(locals.size());
+    slot_.assign(c.num_procs(), -1);
+    for (std::size_t s = 0; s < locals.size(); ++s) {
+      evals_.emplace_back(c, *locals[s]);
+      const std::size_t proc = static_cast<std::size_t>(locals[s]->proc());
+      if (proc < slot_.size()) slot_[proc] = static_cast<std::int32_t>(s);
+      truth_[s] = evals_[s](g[proc]);
+      if (truth_[s]) ++true_count_;
+    }
+  }
+
+  void on_update(ProcId i, EventIndex) override {
+    if (i < 0 || static_cast<std::size_t>(i) >= slot_.size()) return;
+    const std::int32_t s = slot_[static_cast<std::size_t>(i)];
+    if (s < 0) return;
+    const bool now = evals_[static_cast<std::size_t>(s)](
+        cut()[static_cast<std::size_t>(i)]);
+    if (now != truth_[static_cast<std::size_t>(s)]) {
+      truth_[static_cast<std::size_t>(s)] = now;
+      true_count_ += now ? 1 : -1;
+    }
+  }
+
+  bool value() override { return true_count_ > 0; }
+
+ private:
+  std::vector<LocalEval> evals_;
+  std::vector<char> truth_;
+  std::vector<std::int32_t> slot_;  // proc -> index in evals_ or -1
+  int true_count_ = 0;
+};
+
 }  // namespace
 
 DisjunctivePredicate::DisjunctivePredicate(
@@ -75,6 +116,11 @@ std::string DisjunctivePredicate::describe() const {
   return os.str();
 }
 
+EvalCursorPtr DisjunctivePredicate::make_cursor(const Computation& c,
+                                                const Cut& g) const {
+  return std::make_unique<DisjunctiveCursor>(*this, c, g);
+}
+
 PredicatePtr DisjunctivePredicate::negate() const {
   std::vector<LocalPredicatePtr> neg;
   neg.reserve(locals_.size());
@@ -97,10 +143,7 @@ DisjunctivePredicatePtr as_disjunctive(const PredicatePtr& p) {
   if (auto l = std::dynamic_pointer_cast<const LocalPredicate>(p))
     return make_disjunctive({l});
   if (auto k = p->as_constant()) {
-    const bool v = *k;
-    return make_disjunctive({std::make_shared<LocalPredicate>(
-        0, [v](const Computation&, EventIndex) { return v; },
-        v ? "true" : "false")});
+    return make_disjunctive({local_const(0, *k)});
   }
   return nullptr;
 }

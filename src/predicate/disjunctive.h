@@ -36,6 +36,9 @@ class DisjunctivePredicate final : public Predicate {
   /// ¬(∨ l_i) = ∧ ¬l_i — a ConjunctivePredicate.
   PredicatePtr negate() const override;
 
+  /// Per-slot truth bits + a true count: O(1) per cut-component update.
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override;
+
  private:
   std::vector<LocalPredicatePtr> locals_;
   std::vector<std::int32_t> slot_;

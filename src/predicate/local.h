@@ -17,14 +17,34 @@ enum class Cmp { kLt, kLe, kEq, kNe, kGe, kGt };
 const char* to_string(Cmp op);
 bool cmp_eval(Cmp op, std::int64_t lhs, std::int64_t rhs);
 
+/// Structured shape of a local predicate, recorded by the factories below.
+/// The walk hot paths (LocalEval) use it to resolve the variable id once
+/// per detection and read the precomputed timeline directly, instead of
+/// going through the std::function + name lookup on every evaluation.
+/// kOpaque (a hand-written lambda) keeps the function path.
+struct LocalSpec {
+  enum class Kind { kOpaque, kVarCmp, kPosCmp, kConst };
+  Kind kind = Kind::kOpaque;
+  std::string var;            // kVarCmp: variable name
+  Cmp op = Cmp::kEq;          // kVarCmp / kPosCmp
+  std::int64_t rhs = 0;       // kVarCmp / kPosCmp
+  bool value = false;         // kConst
+};
+
 class LocalPredicate final : public Predicate {
  public:
   /// fn(c, pos) evaluates on the local state of `proc` after `pos` events.
   LocalPredicate(ProcId proc,
                  std::function<bool(const Computation&, EventIndex)> fn,
                  std::string desc);
+  /// As above, with a structured spec the hot paths can specialize on. The
+  /// spec must agree with fn on every position (the factories guarantee it).
+  LocalPredicate(ProcId proc,
+                 std::function<bool(const Computation&, EventIndex)> fn,
+                 std::string desc, LocalSpec spec);
 
   ProcId proc() const { return proc_; }
+  const LocalSpec& spec() const { return spec_; }
 
   /// Local evaluation, bypassing the cut.
   bool eval_local(const Computation& c, EventIndex pos) const {
@@ -53,13 +73,52 @@ class LocalPredicate final : public Predicate {
 
   PredicatePtr negate() const override;
 
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override;
+
  private:
   ProcId proc_;
   std::function<bool(const Computation&, EventIndex)> fn_;
   std::string desc_;
+  LocalSpec spec_;
 };
 
 using LocalPredicatePtr = std::shared_ptr<const LocalPredicate>;
+
+/// Resolved per-(computation, local) evaluator for the walk inner loops:
+/// kVarCmp binds the variable timeline once, kPosCmp/kConst skip the
+/// computation entirely, kOpaque falls back to the std::function. The
+/// computation and the predicate must outlive the evaluator, and (for
+/// kVarCmp) the computation must not be grown while it is in use — online
+/// appends can reallocate the bound timeline.
+class LocalEval {
+ public:
+  LocalEval(const Computation& c, const LocalPredicate& p);
+
+  bool operator()(EventIndex pos) const {
+    switch (kind_) {
+      case LocalSpec::Kind::kVarCmp:
+        return cmp_eval(op_, (*timeline_)[static_cast<std::size_t>(pos)],
+                        rhs_);
+      case LocalSpec::Kind::kPosCmp:
+        return cmp_eval(op_, pos, rhs_);
+      case LocalSpec::Kind::kConst:
+        return const_;
+      default:
+        return p_->eval_local(*c_, pos);
+    }
+  }
+
+  ProcId proc() const { return p_->proc(); }
+
+ private:
+  const Computation* c_;
+  const LocalPredicate* p_;
+  LocalSpec::Kind kind_ = LocalSpec::Kind::kOpaque;
+  const std::vector<std::int64_t>* timeline_ = nullptr;  // kVarCmp
+  Cmp op_ = Cmp::kEq;
+  std::int64_t rhs_ = 0;
+  bool const_ = false;
+};
 
 /// "variable <op> constant" on one process, e.g. var_cmp(0, "x", Cmp::kLt, 4)
 /// reads as: x on P0 is less than 4.
@@ -71,6 +130,11 @@ LocalPredicatePtr progress_ge(ProcId proc, EventIndex k);
 
 /// "number of events executed by process i <op> k".
 LocalPredicatePtr pos_cmp(ProcId proc, Cmp op, std::int64_t k);
+
+/// Constant-valued local predicate on one process (as_conjunctive /
+/// as_disjunctive use it to fold make_true / make_false into structured
+/// form).
+LocalPredicatePtr local_const(ProcId proc, bool value);
 
 /// Local predicate from an explicit truth table over positions 0..N_i
 /// (used by the NP-reduction gadgets and tests).

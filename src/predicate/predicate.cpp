@@ -57,6 +57,85 @@ ClassSet effective_classes(const Predicate& p, const Computation& c) {
 
 namespace {
 
+// ---- Cursors for the generic combinators ------------------------------------
+
+/// Fallback cursor: value() re-evaluates from scratch. Used for every
+/// predicate without structure to exploit (make_asserted, make_stable).
+class ScratchEvalCursor final : public EvalCursor {
+ public:
+  ScratchEvalCursor(const Predicate& p, const Computation& c, const Cut& g)
+      : EvalCursor(c, g), p_(p) {}
+  void on_update(ProcId, EventIndex) override {}
+  bool value() override { return p_.eval(comp(), cut()); }
+  bool incremental() const override { return false; }
+
+ private:
+  const Predicate& p_;
+};
+
+class ConstCursor final : public EvalCursor {
+ public:
+  ConstCursor(const Computation& c, const Cut& g, bool v)
+      : EvalCursor(c, g), v_(v) {}
+  void on_update(ProcId, EventIndex) override {}
+  bool value() override { return v_; }
+
+ private:
+  bool v_;
+};
+
+class NotCursor final : public EvalCursor {
+ public:
+  NotCursor(const Computation& c, const Cut& g, EvalCursorPtr child)
+      : EvalCursor(c, g), ch_(std::move(child)) {}
+  void on_update(ProcId i, EventIndex old_pos) override {
+    ch_->on_update(i, old_pos);
+  }
+  bool value() override { return !ch_->value(); }
+  bool incremental() const override { return ch_->incremental(); }
+
+ private:
+  EvalCursorPtr ch_;
+};
+
+/// Updates are forwarded eagerly (cheap: children cache per-process state);
+/// truth short-circuits lazily in value(), matching the And/Or eval order —
+/// a fallback child's value() is only paid when the scan reaches it,
+/// exactly as its eval() would be.
+class JunctionCursor final : public EvalCursor {
+ public:
+  JunctionCursor(const Computation& c, const Cut& g,
+                 std::vector<EvalCursorPtr> children, bool conjunction)
+      : EvalCursor(c, g), ch_(std::move(children)), and_(conjunction) {}
+  void on_update(ProcId i, EventIndex old_pos) override {
+    for (auto& ch : ch_) ch->on_update(i, old_pos);
+  }
+  bool value() override {
+    for (auto& ch : ch_)
+      if (ch->value() != and_) return !and_;
+    return and_;
+  }
+  bool incremental() const override {
+    for (const auto& ch : ch_)
+      if (!ch->incremental()) return false;
+    return true;
+  }
+
+ private:
+  std::vector<EvalCursorPtr> ch_;
+  bool and_;
+};
+
+EvalCursorPtr make_junction_cursor(const std::vector<PredicatePtr>& ch,
+                                   const Computation& c, const Cut& g,
+                                   bool conjunction) {
+  std::vector<EvalCursorPtr> cursors;
+  cursors.reserve(ch.size());
+  for (const auto& p : ch) cursors.push_back(p->make_cursor(c, g));
+  return std::make_unique<JunctionCursor>(c, g, std::move(cursors),
+                                          conjunction);
+}
+
 // ---- Constants --------------------------------------------------------------
 
 class ConstPredicate final : public Predicate {
@@ -81,6 +160,9 @@ class ConstPredicate final : public Predicate {
     return std::make_shared<ConstPredicate>(!v_);
   }
   std::optional<bool> as_constant() const override { return v_; }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return std::make_unique<ConstCursor>(c, g, v_);
+  }
 
  private:
   bool v_;
@@ -97,6 +179,9 @@ class NotPredicate final : public Predicate {
   ClassSet classes(const Computation&) const override { return 0; }
   std::string describe() const override { return "!(" + p_->describe() + ")"; }
   PredicatePtr negate() const override { return p_; }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return std::make_unique<NotCursor>(c, g, p_->make_cursor(c, g));
+  }
 
  private:
   PredicatePtr p_;
@@ -160,6 +245,10 @@ class AndPredicate final : public Predicate {
 
   std::vector<PredicatePtr> conjuncts() const override { return ch_; }
 
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return make_junction_cursor(ch_, c, g, /*conjunction=*/true);
+  }
+
   std::string join_desc(const char* sep) const {
     std::ostringstream os;
     for (std::size_t i = 0; i < ch_.size(); ++i) {
@@ -209,6 +298,10 @@ class OrPredicate final : public Predicate {
 
   std::vector<PredicatePtr> disjuncts() const override { return ch_; }
 
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    return make_junction_cursor(ch_, c, g, /*conjunction=*/false);
+  }
+
  private:
   std::vector<PredicatePtr> ch_;
 };
@@ -237,6 +330,11 @@ class AssertedPredicate final : public Predicate {
 
 PredicatePtr Predicate::negate() const {
   return std::make_shared<NotPredicate>(shared_from_this());
+}
+
+EvalCursorPtr Predicate::make_cursor(const Computation& c,
+                                     const Cut& g) const {
+  return std::make_unique<ScratchEvalCursor>(*this, c, g);
 }
 
 PredicatePtr make_true() { return std::make_shared<ConstPredicate>(true); }

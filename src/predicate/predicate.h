@@ -25,6 +25,7 @@
 
 #include "poset/computation.h"
 #include "poset/cut.h"
+#include "predicate/eval_cursor.h"
 
 namespace hbct {
 
@@ -109,6 +110,13 @@ class Predicate : public std::enable_shared_from_this<Predicate> {
 
   /// Dually, a top-level conjunction's conjuncts (AG(∧ p_i) = ∧ AG(p_i)).
   virtual std::vector<PredicatePtr> conjuncts() const { return {}; }
+
+  /// Incremental-evaluation cursor bound to the walker-owned cut `g` (see
+  /// predicate/eval_cursor.h for the stepping contract). The default is a
+  /// scratch fallback whose value() re-runs eval(); structured predicates
+  /// override with O(1)-steppable cursors. The predicate and the cut must
+  /// outlive the cursor.
+  virtual EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const;
 };
 
 /// classes(c) refined with the "holds initially ⇒ observer-independent"

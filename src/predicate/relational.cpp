@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "predicate/local.h"
 #include "util/assert.h"
 #include "util/string_util.h"
 
@@ -48,6 +49,61 @@ std::string terms_desc(const std::vector<VarRef>& ts) {
   return os.str();
 }
 
+/// Incremental Σ sign·term <op> k: each term binds its variable timeline
+/// once, and a component step adjusts the running sum by the timeline delta
+/// of the terms owned by the moved process. Timeline reads are per-process
+/// state, so updates are safe on transiently inconsistent cuts.
+class SumCursor final : public EvalCursor {
+ public:
+  struct Term {
+    ProcId proc;
+    const std::vector<std::int64_t>* tl;
+    std::int64_t sign;
+  };
+
+  SumCursor(const Computation& c, const Cut& g, std::vector<Term> terms,
+            Cmp op, std::int64_t k)
+      : EvalCursor(c, g), terms_(std::move(terms)), op_(op), k_(k) {
+    for (const Term& t : terms_)
+      sum_ += t.sign * (*t.tl)[static_cast<std::size_t>(
+                  g[static_cast<std::size_t>(t.proc)])];
+  }
+
+  void on_update(ProcId i, EventIndex old_pos) override {
+    const EventIndex now = cut()[static_cast<std::size_t>(i)];
+    for (const Term& t : terms_)
+      if (t.proc == i)
+        sum_ += t.sign * ((*t.tl)[static_cast<std::size_t>(now)] -
+                          (*t.tl)[static_cast<std::size_t>(old_pos)]);
+  }
+
+  bool value() override { return cmp_eval(op_, sum_, k_); }
+
+ private:
+  std::vector<Term> terms_;
+  Cmp op_;
+  std::int64_t k_;
+  std::int64_t sum_ = 0;
+};
+
+/// Binds each term's timeline; returns nullptr when some variable is
+/// unregistered (the caller falls back to scratch evaluation, which reports
+/// the error on first evaluation exactly as eval() would).
+EvalCursorPtr make_sum_cursor(const Computation& c, const Cut& g,
+                              const std::vector<VarRef>& ts,
+                              const std::vector<std::int64_t>& signs,
+                              Cmp op, std::int64_t k) {
+  std::vector<SumCursor::Term> terms;
+  terms.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto v = c.var_id(ts[i].var);
+    if (!v.has_value()) return nullptr;
+    terms.push_back(
+        {ts[i].proc, &c.value_timeline(ts[i].proc, *v), signs[i]});
+  }
+  return std::make_unique<SumCursor>(c, g, std::move(terms), op, k);
+}
+
 class SumLe final : public Predicate {
  public:
   SumLe(std::vector<VarRef> terms, std::int64_t k)
@@ -73,6 +129,12 @@ class SumLe final : public Predicate {
     return terms_[0].proc;
   }
   bool has_forbidden() const override { return true; }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    auto cur = make_sum_cursor(
+        c, g, terms_, std::vector<std::int64_t>(terms_.size(), 1), Cmp::kLe,
+        k_);
+    return cur ? std::move(cur) : Predicate::make_cursor(c, g);
+  }
 
  private:
   std::vector<VarRef> terms_;
@@ -103,6 +165,12 @@ class SumGe final : public Predicate {
     return terms_[0].proc;
   }
   bool has_forbidden_down() const override { return true; }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    auto cur = make_sum_cursor(
+        c, g, terms_, std::vector<std::int64_t>(terms_.size(), 1), Cmp::kGe,
+        k_);
+    return cur ? std::move(cur) : Predicate::make_cursor(c, g);
+  }
 
  private:
   std::vector<VarRef> terms_;
@@ -135,6 +203,10 @@ class DiffLe final : public Predicate {
   }
   bool has_forbidden() const override { return true; }
   bool has_forbidden_down() const override { return true; }
+  EvalCursorPtr make_cursor(const Computation& c, const Cut& g) const override {
+    auto cur = make_sum_cursor(c, g, {a_, b_}, {1, -1}, Cmp::kLe, k_);
+    return cur ? std::move(cur) : Predicate::make_cursor(c, g);
+  }
 
  private:
   VarRef a_, b_;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <deque>
-#include <unordered_set>
 
 #include "detect/ef_linear.h"
+#include "poset/cut_packer.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -66,7 +66,7 @@ std::optional<std::vector<Cut>> Slice::enumerate_satisfying(
   // BFS: every satisfying cut H ⊋ G is reachable from G by joining with a
   // slice element J_p(e) for some event e ∈ H \ G (the join stays within H
   // and strictly grows), so the closure from I_p covers the sub-lattice.
-  std::unordered_set<Cut, CutHash> seen;
+  CutSet seen(*comp_);
   std::deque<Cut> queue;
   seen.insert(*least_);
   queue.push_back(*least_);
@@ -77,7 +77,7 @@ std::optional<std::vector<Cut>> Slice::enumerate_satisfying(
     for (const Cut& e : elems) {
       if (e.subset_of(g)) continue;
       Cut h = Cut::join(g, e);
-      if (seen.count(h)) continue;
+      if (seen.contains(h)) continue;
       if (seen.size() >= cap) return std::nullopt;
       seen.insert(h);
       out.push_back(h);

@@ -32,11 +32,17 @@ namespace hbct {
 ///   cut_steps       — cut advancements / retreats (events added or removed)
 ///   lattice_nodes   — explicit lattice nodes materialized (brute force only)
 ///   lattice_edges   — lattice edges traversed (brute force only)
+///   eval_incremental— evaluations served by an incremental EvalCursor
+///   eval_fallback   — evaluations that fell back to a full scratch eval
+///                     (together they partition the cursor-mode subset of
+///                     predicate_evals; both zero on pure scratch paths)
 #define HBCT_DETECT_STATS_FIELDS(X)          \
   X(predicate_evals, "evals", false)         \
   X(cut_steps, "steps", false)               \
   X(lattice_nodes, "nodes", true)            \
-  X(lattice_edges, "edges", true)
+  X(lattice_edges, "edges", true)            \
+  X(eval_incremental, "evals.inc", true)     \
+  X(eval_fallback, "evals.fb", true)
 
 /// Counters describing the work one detection run performed.
 struct DetectStats {

@@ -1,0 +1,341 @@
+// Differential suite for incremental (cursor) evaluation.
+//
+// The EvalCursor protocol promises bit-identical truth values to scratch
+// eval() at every consistent cut, for every predicate class, under
+// arbitrary advance/retreat/seek stepping. The detectors additionally
+// promise identical verdicts, witnesses and DetectStats whether their
+// CountingEval runs cursor-backed or scratch-backed (the global testing
+// switch set_cursor_eval_enabled flips between the two), including at
+// budget-trip points. Both promises are checked here over many seeds and
+// every simulator workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "detect/ag_linear.h"
+#include "detect/conjunctive_gw.h"
+#include "detect/ef_linear.h"
+#include "detect/eg_linear.h"
+#include "detect/stable_oi.h"
+#include "detect/until.h"
+#include "poset/generate.h"
+#include "predicate/channel.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "predicate/relational.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace hbct {
+namespace {
+
+std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
+
+constexpr std::size_t kNumWorkloads = 7;
+
+/// One computation per (workload kind, seed): the two random-poset shapes
+/// plus five simulator protocols, so cursors see barrier convoys, channel
+/// traffic, token chains and unstructured mixes alike.
+Computation workload_comp(std::size_t kind, std::uint64_t seed) {
+  switch (kind % kNumWorkloads) {
+    case 0:
+    case 1: {
+      GenOptions opt;
+      opt.num_procs = kind == 0 ? 3 : 5;
+      opt.events_per_proc = kind == 0 ? 6 : 4;
+      opt.num_vars = 2;
+      opt.p_send = 0.3;
+      opt.p_recv = 0.35;
+      opt.value_lo = 0;
+      opt.value_hi = 5;
+      opt.seed = seed;
+      return generate_random(opt);
+    }
+    case 2: {
+      sim::SimOptions o;
+      o.seed = seed;
+      return std::move(sim::make_random_mixer(3, 8, 2, 0.4)).run(o);
+    }
+    case 3: {
+      sim::SimOptions o;
+      o.seed = seed;
+      return std::move(sim::make_token_mutex(3, 2, false)).run(o);
+    }
+    case 4: {
+      sim::SimOptions o;
+      o.seed = seed;
+      return std::move(sim::make_producer_consumer(5, 2)).run(o);
+    }
+    case 5: {
+      sim::SimOptions o;
+      o.seed = seed;
+      return std::move(sim::make_barrier(3, 2)).run(o);
+    }
+    default: {
+      sim::SimOptions o;
+      o.seed = seed;
+      return std::move(sim::make_alternating_bit(4, 0.3)).run(o);
+    }
+  }
+}
+
+/// Every predicate class with a cursor specialization, plus the opaque
+/// fallbacks, built against the computation's own variables so the sim
+/// workloads are exercised with live timelines.
+std::vector<PredicatePtr> predicate_battery(const Computation& c, Rng& rng) {
+  const std::int32_t n = c.num_procs();
+  const std::string va = c.var_name(0);
+  const std::string vb = c.var_name(c.num_vars() > 1 ? 1 : 0);
+  const ProcId p0 = 0;
+  const ProcId p1 = n > 1 ? 1 : 0;
+  const ProcId pl = n - 1;
+
+  std::vector<PredicatePtr> out;
+  // Locals: structured comparisons, position progress, constants, and an
+  // opaque truth table (std::function fallback inside LocalCursor).
+  out.push_back(var_cmp(p0, va, Cmp::kGe, 1));
+  out.push_back(var_cmp(pl, vb, Cmp::kLe, 2));
+  out.push_back(pos_cmp(p1, Cmp::kLt, 3));
+  out.push_back(progress_ge(p0, 2));
+  out.push_back(local_const(p1, rng.next_bool()));
+  {
+    std::vector<bool> truth;
+    for (EventIndex k = 0; k <= c.num_events(p0); ++k)
+      truth.push_back(rng.next_bool());
+    out.push_back(local_table(p0, std::move(truth), "random-table"));
+  }
+  // Conjunctive / disjunctive over every process.
+  {
+    std::vector<LocalPredicatePtr> ls;
+    for (ProcId i = 0; i < n; ++i) ls.push_back(var_cmp(i, va, Cmp::kLe, 3));
+    out.push_back(make_conjunctive(std::move(ls)));
+  }
+  {
+    std::vector<LocalPredicatePtr> ls;
+    for (ProcId i = 0; i < n; ++i) ls.push_back(var_cmp(i, vb, Cmp::kGe, 2));
+    out.push_back(make_disjunctive(std::move(ls)));
+  }
+  // Boolean junctions (JunctionCursor / NotCursor over child cursors).
+  out.push_back(make_and(var_cmp(p0, va, Cmp::kGe, 1),
+                         channel_bound_le(p0, p1, 2)));
+  out.push_back(make_or(make_not(var_cmp(pl, va, Cmp::kGe, 2)),
+                        pos_cmp(p0, Cmp::kGe, 1)));
+  // Relational sums and differences.
+  out.push_back(sum_le({{p0, va}, {pl, vb}}, 4));
+  out.push_back(sum_ge({{p0, va}, {p1, va}}, 2));
+  out.push_back(diff_le({p0, va}, {pl, vb}, 1));
+  // Channels.
+  out.push_back(channel_bound_le(p0, p1, 1));
+  out.push_back(channel_bound_ge(p1, p0, 1));
+  out.push_back(all_channels_empty());
+  // Opaque cut predicate: exercises the ScratchEvalCursor fallback.
+  out.push_back(make_asserted(
+      [](const Computation&, const Cut& g) { return g.total() % 3 != 1; },
+      kClassObserverIndependent, "total-mod-gadget"));
+  return out;
+}
+
+/// Random consistent walk over the cut lattice with single-component
+/// advances/retreats and occasional multi-component J(e)-join seeks (the
+/// A2-style jump, transiently inconsistent mid-seek). At every rest point
+/// each cursor must agree with a scratch eval().
+TEST(IncrementalEval, CursorMatchesScratchOnRandomWalks) {
+  for (std::uint64_t seed = 1; seed <= 41; ++seed) {
+    for (std::size_t kind = 0; kind < kNumWorkloads; ++kind) {
+      const Computation c = workload_comp(kind, seed);
+      const std::size_t n = sz(c.num_procs());
+      Rng rng(seed * 1000 + kind);
+      const std::vector<PredicatePtr> preds = predicate_battery(c, rng);
+
+      Cut g = c.initial_cut();
+      std::vector<EvalCursorPtr> cursors;
+      for (const auto& p : preds) cursors.push_back(p->make_cursor(c, g));
+
+      auto check_all = [&]() {
+        ASSERT_TRUE(c.is_consistent(g));
+        for (std::size_t k = 0; k < preds.size(); ++k)
+          ASSERT_EQ(cursors[k]->value(), preds[k]->eval(c, g))
+              << "seed=" << seed << " kind=" << kind << " pred "
+              << preds[k]->describe() << " at cut " << g.to_string();
+      };
+      check_all();
+
+      std::vector<ProcId> procs;
+      Cut target = g;
+      for (int step = 0; step < 220; ++step) {
+        const std::uint64_t roll = rng.next_below(10);
+        if (roll < 1) {
+          // Seek to join(g, J(e)) for a random event e: a multi-component
+          // jump during which the cut is transiently inconsistent.
+          const ProcId i = static_cast<ProcId>(rng.next_below(c.num_procs()));
+          if (c.num_events(i) == 0) continue;
+          const EventIndex k = static_cast<EventIndex>(
+              1 + rng.next_below(static_cast<std::uint64_t>(c.num_events(i))));
+          c.join_irreducible_of(i, k, &target);
+          for (std::size_t j = 0; j < n; ++j) {
+            if (target[j] <= g[j]) continue;
+            const EventIndex old = g[j];
+            g[j] = target[j];
+            for (auto& cur : cursors)
+              cur->on_update(static_cast<ProcId>(j), old);
+          }
+        } else if (roll < 6) {
+          c.enabled_procs(g, &procs);
+          if (procs.empty()) continue;
+          const std::size_t j = sz(procs[rng.next_below(procs.size())]);
+          const EventIndex old = g[j]++;
+          for (auto& cur : cursors)
+            cur->on_update(static_cast<ProcId>(j), old);
+        } else {
+          c.frontier_procs(g, &procs);
+          if (procs.empty()) continue;
+          const std::size_t j = sz(procs[rng.next_below(procs.size())]);
+          const EventIndex old = g[j]--;
+          for (auto& cur : cursors)
+            cur->on_update(static_cast<ProcId>(j), old);
+        }
+        check_all();
+      }
+    }
+  }
+}
+
+/// Restores cursor evaluation even when an assertion fails mid-test.
+struct CursorModeGuard {
+  ~CursorModeGuard() { set_cursor_eval_enabled(true); }
+};
+
+void expect_same_result(const DetectResult& a, const DetectResult& b,
+                        const char* what) {
+  EXPECT_EQ(a.verdict, b.verdict) << what;
+  EXPECT_EQ(a.bound, b.bound) << what;
+  EXPECT_EQ(a.algorithm, b.algorithm) << what;
+  EXPECT_EQ(a.witness_cut.has_value(), b.witness_cut.has_value()) << what;
+  if (a.witness_cut && b.witness_cut)
+    EXPECT_EQ(*a.witness_cut, *b.witness_cut) << what;
+  EXPECT_EQ(a.witness_path, b.witness_path) << what;
+  EXPECT_EQ(a.stats.predicate_evals, b.stats.predicate_evals) << what;
+  EXPECT_EQ(a.stats.cut_steps, b.stats.cut_steps) << what;
+}
+
+class CursorModeParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Every cursor-backed detector must be bit-identical to its scratch-backed
+/// self: verdict, witness cut and path, evals and steps.
+TEST_P(CursorModeParity, DetectorsMatchScratchMode) {
+  CursorModeGuard guard;
+  const std::uint64_t seed = GetParam();
+  for (std::size_t kind = 0; kind < kNumWorkloads; ++kind) {
+    const Computation c = workload_comp(kind, seed);
+    const std::int32_t n = c.num_procs();
+    const std::string va = c.var_name(0);
+
+    std::vector<LocalPredicatePtr> ls;
+    for (ProcId i = 0; i < n; ++i) ls.push_back(var_cmp(i, va, Cmp::kLe, 3));
+    const auto conj = make_conjunctive(std::move(ls));
+    const PredicatePtr chan = channel_bound_le(0, n > 1 ? 1 : 0, 1);
+    const PredicatePtr lin = make_and(PredicatePtr(conj), chan);
+
+    auto compare = [&](const char* what, auto&& run) {
+      set_cursor_eval_enabled(true);
+      const DetectResult inc = run();
+      set_cursor_eval_enabled(false);
+      const DetectResult scr = run();
+      set_cursor_eval_enabled(true);
+      expect_same_result(inc, scr, what);
+      // The mode counters partition the evals of the walking detectors.
+      EXPECT_EQ(inc.stats.eval_incremental + inc.stats.eval_fallback,
+                inc.stats.predicate_evals)
+          << what;
+      EXPECT_EQ(scr.stats.eval_incremental, 0u) << what;
+    };
+
+    compare("eg-linear", [&] { return detect_eg_linear(c, *lin); });
+    compare("eg-linear-randomized",
+            [&] { return detect_eg_linear_randomized(c, *lin, seed); });
+    compare("eg-post-linear", [&] { return detect_eg_post_linear(c, *lin); });
+    compare("ag-linear", [&] { return detect_ag_linear(c, *lin); });
+    compare("ag-post-linear", [&] { return detect_ag_post_linear(c, *lin); });
+    compare("ef-linear", [&] { return detect_ef_linear(c, *conj); });
+    compare("ef-post-linear", [&] { return detect_ef_post_linear(c, *conj); });
+    compare("ef-oi",
+            [&] { return detect_ef_observer_independent(c, *lin); });
+    compare("eu", [&] { return detect_eu(c, *conj, *chan, 1); });
+
+    // Budget-trip parity: the work budget must trip at the same point with
+    // the same three-valued outcome in both modes.
+    for (const std::uint64_t work : {3u, 9u, 27u}) {
+      Budget b;
+      b.max_work = work;
+      compare("eg-linear (budget)",
+              [&] { return detect_eg_linear(c, *lin, b); });
+      compare("ag-linear (budget)",
+              [&] { return detect_ag_linear(c, *lin, b); });
+      compare("ef-linear (budget)",
+              [&] { return detect_ef_linear(c, *conj, b); });
+      compare("eu (budget)", [&] { return detect_eu(c, *conj, *chan, 1, b); });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CursorModeParity,
+                         ::testing::Range<std::uint64_t>(1, 42));
+
+/// detect_eg_conjunctive_within must be indistinguishable from running
+/// detect_eg_conjunctive on the materialized prefix computation.
+TEST(IncrementalEval, EgConjunctiveWithinMatchesPrefix) {
+  for (std::uint64_t seed = 1; seed <= 41; ++seed) {
+    const Computation c = workload_comp(seed % kNumWorkloads, seed);
+    Rng rng(seed);
+    std::vector<LocalPredicatePtr> ls;
+    for (ProcId i = 0; i < c.num_procs(); ++i)
+      ls.push_back(var_cmp(i, c.var_name(0), Cmp::kLe, 3));
+    const auto p = make_conjunctive(std::move(ls));
+
+    // A random consistent prefix cut, reached by a short advance walk.
+    Cut k = c.initial_cut();
+    std::vector<ProcId> en;
+    for (int step = 0; step < 10; ++step) {
+      c.enabled_procs(k, &en);
+      if (en.empty()) break;
+      ++k[sz(en[rng.next_below(en.size())])];
+    }
+
+    const DetectResult fast = detect_eg_conjunctive_within(c, *p, k);
+    const DetectResult slow = detect_eg_conjunctive(c.prefix(k), *p);
+    expect_same_result(fast, slow, "eg-within");
+  }
+}
+
+/// S1: the fused single-pass VClock comparison keeps the exact trichotomy —
+/// for two distinct events exactly one of before / after / concurrent, and
+/// before() agrees with the two-pass leq definition.
+TEST(IncrementalEval, VectorClockTrichotomy) {
+  for (std::uint64_t seed = 1; seed <= 41; ++seed) {
+    const Computation c = workload_comp(seed % kNumWorkloads, seed);
+    for (ProcId i = 0; i < c.num_procs(); ++i) {
+      for (EventIndex k = 1; k <= c.num_events(i); ++k) {
+        const VClockView a = c.vclock(i, k);
+        EXPECT_FALSE(a.before(a));
+        EXPECT_FALSE(a.concurrent(a));
+        EXPECT_TRUE(a.leq(a));
+        for (ProcId j = 0; j < c.num_procs(); ++j) {
+          for (EventIndex l = 1; l <= c.num_events(j); ++l) {
+            if (i == j && k == l) continue;
+            const VClockView b = c.vclock(j, l);
+            const int relations = static_cast<int>(a.before(b)) +
+                                  static_cast<int>(b.before(a)) +
+                                  static_cast<int>(a.concurrent(b));
+            EXPECT_EQ(relations, 1)
+                << "P" << i << "#" << k << " vs P" << j << "#" << l;
+            EXPECT_EQ(a.before(b), a.leq(b) && !b.leq(a));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hbct

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Report-only diff of two hbct.bench/1 JSON files.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Compares per-cell median wall-clock times and prints a table of deltas.
+Cells whose median regressed by more than the threshold (default 10%) are
+flagged with "WARN". The exit code is always 0: benchmark noise on shared
+CI runners makes a hard gate flaky, so this is a visibility tool — the
+committed baselines are refreshed deliberately, not by CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hbct.bench/1":
+        sys.exit(f"{path}: not an hbct.bench/1 file")
+    return doc.get("bench", "?"), {r["name"]: r for r in doc.get("rows", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="warn when median regresses by more than this "
+                         "fraction (default 0.10)")
+    args = ap.parse_args()
+
+    bench_a, base = load_rows(args.baseline)
+    bench_b, cur = load_rows(args.current)
+    if bench_a != bench_b:
+        print(f"note: comparing different benches ({bench_a} vs {bench_b})")
+
+    width = max([len(n) for n in set(base) | set(cur)] + [4])
+    print(f"{'cell':<{width}}  {'base med ns':>12}  {'cur med ns':>12}  "
+          f"{'delta':>8}")
+    warnings = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  "
+                  f"{cur[name]['ns']['median']:>12.0f}  {'new':>8}")
+            continue
+        if name not in cur:
+            print(f"{name:<{width}}  {base[name]['ns']['median']:>12.0f}  "
+                  f"{'-':>12}  {'gone':>8}")
+            continue
+        b = base[name]["ns"]["median"]
+        c = cur[name]["ns"]["median"]
+        delta = (c - b) / b if b else 0.0
+        flag = "  WARN: regression" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {b:>12.0f}  {c:>12.0f}  {delta:>+7.1%}{flag}")
+        if delta > args.threshold:
+            warnings += 1
+    if warnings:
+        print(f"\n{warnings} cell(s) regressed beyond "
+              f"{args.threshold:.0%} (report-only, not failing the build)")
+    else:
+        print("\nno cell regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
