@@ -36,6 +36,38 @@ void OnlineMonitor::write(ProcId i, std::string_view name,
   app_.write(i, name, value);
 }
 
+AppendError OnlineMonitor::try_set_initial(ProcId i, VarId v,
+                                           std::int64_t value) {
+  if (finished_) return AppendError::kFinished;
+  return app_.try_set_initial(i, v, value);
+}
+
+AppendError OnlineMonitor::try_internal(ProcId i) {
+  if (finished_) return AppendError::kFinished;
+  const AppendError e = app_.try_internal(i);
+  if (e == AppendError::kNone) on_event(i);
+  return e;
+}
+
+AppendError OnlineMonitor::try_send(ProcId from, ProcId to, MsgId* out) {
+  if (finished_) return AppendError::kFinished;
+  const AppendError e = app_.try_send(from, to, out);
+  if (e == AppendError::kNone) on_event(from);
+  return e;
+}
+
+AppendError OnlineMonitor::try_receive(ProcId to, MsgId m) {
+  if (finished_) return AppendError::kFinished;
+  const AppendError e = app_.try_receive(to, m);
+  if (e == AppendError::kNone) on_event(to);
+  return e;
+}
+
+AppendError OnlineMonitor::try_write(ProcId i, VarId v, std::int64_t value) {
+  if (finished_) return AppendError::kFinished;
+  return app_.try_write(i, v, value);
+}
+
 void OnlineMonitor::finish() {
   if (finished_) return;
   finished_ = true;
@@ -47,21 +79,29 @@ void OnlineMonitor::finish() {
   for (auto& w : stable_) step_stable(w);
   for (auto& w : until_) step_until(w);
   round_ = nullptr;
-  if (!t.exceeded()) return;
-  // The final round ran out of budget: watches still undecided can no
-  // longer be resumed (no further events arrive), so they report kUnknown
-  // rather than staying silent as if the condition never occurred.
-  const auto give_up = [&](WatchId id, auto& w, const char* kind) {
-    if (w.done) return;
-    w.done = true;
-    fire(id, app_.current_cut(),
-         std::string("undecided (budget): ") + kind, Verdict::kUnknown,
-         t.reason());
-  };
-  for (auto& w : conj_) give_up(w.id, w, "conjunctive watch");
-  for (auto& w : disj_) give_up(w.id, w, "disjunctive watch");
-  for (auto& w : stable_) give_up(w.id, w, "stable watch");
-  for (auto& w : until_) give_up(w.id, w, "until watch");
+  if (t.exceeded()) {
+    // The final round ran out of budget: watches still undecided can no
+    // longer be resumed (no further events arrive), so they report kUnknown
+    // rather than staying silent as if the condition never occurred.
+    const auto give_up = [&](WatchId id, auto& w, const char* kind) {
+      if (w.done) return;
+      w.done = true;
+      fire(id, app_.current_cut(),
+           std::string("undecided (budget): ") + kind, Verdict::kUnknown,
+           t.reason());
+    };
+    for (auto& w : conj_) give_up(w.id, w, "conjunctive watch");
+    for (auto& w : disj_) give_up(w.id, w, "disjunctive watch");
+    for (auto& w : stable_) give_up(w.id, w, "stable watch");
+    for (auto& w : until_) give_up(w.id, w, "until watch");
+  }
+  // Fire-once hardening: nothing can legally change after the final round,
+  // so every watch is closed out — a stray late feed can never resume one
+  // into a second (possibly contradictory) verdict.
+  for (auto& w : conj_) w.done = true;
+  for (auto& w : disj_) w.done = true;
+  for (auto& w : stable_) w.done = true;
+  for (auto& w : until_) w.done = true;
 }
 
 EventIndex OnlineMonitor::frozen_limit(ProcId i) const {
@@ -89,6 +129,12 @@ void OnlineMonitor::on_event(ProcId) {
 
 void OnlineMonitor::fire(WatchId id, Cut cut, const std::string& what,
                          Verdict verdict, BoundReason bound) {
+  // Fire-once discipline: every fired verdict is prefix-stable, so a second
+  // fire could only repeat or contradict the first. The done flags make a
+  // re-fire unreachable in normal operation; this guard pins the invariant
+  // against any future stepping bug (notably the budget-kUnknown fast path,
+  // which must not be resumed into a definite verdict later).
+  if (fired_[sz(id)]) return;
   WatchFire f;
   f.watch = id;
   f.verdict = verdict;
@@ -103,6 +149,8 @@ void OnlineMonitor::fire(WatchId id, Cut cut, const std::string& what,
 
 WatchId OnlineMonitor::watch_possibly(ConjunctivePredicatePtr p) {
   HBCT_ASSERT(p);
+  HBCT_ASSERT_MSG(app_.computation().trimmed_events() == 0,
+                  "scanning watches must be registered before prefix GC");
   const std::int32_t n = app_.computation().num_procs();
   for (const auto& l : p->locals())
     HBCT_ASSERT_MSG(l->proc() < n, "conjunct references an unknown process");
@@ -123,6 +171,8 @@ WatchId OnlineMonitor::watch_possibly(ConjunctivePredicatePtr p) {
 
 WatchId OnlineMonitor::watch_invariant(DisjunctivePredicatePtr p) {
   HBCT_ASSERT(p);
+  HBCT_ASSERT_MSG(app_.computation().trimmed_events() == 0,
+                  "scanning watches must be registered before prefix GC");
   auto notp = as_conjunctive(p->negate());
   HBCT_ASSERT(notp);
   const std::int32_t n = app_.computation().num_procs();
@@ -143,6 +193,8 @@ WatchId OnlineMonitor::watch_invariant(DisjunctivePredicatePtr p) {
 
 WatchId OnlineMonitor::watch_possibly(DisjunctivePredicatePtr p) {
   HBCT_ASSERT(p);
+  HBCT_ASSERT_MSG(app_.computation().trimmed_events() == 0,
+                  "scanning watches must be registered before prefix GC");
   const std::int32_t n = app_.computation().num_procs();
   DisjWatch w;
   w.id = next_id_++;
@@ -161,6 +213,8 @@ WatchId OnlineMonitor::watch_until(ConjunctivePredicatePtr p,
                                    PredicatePtr q) {
   HBCT_ASSERT(p);
   HBCT_ASSERT(q);
+  HBCT_ASSERT_MSG(app_.computation().trimmed_events() == 0,
+                  "scanning watches must be registered before prefix GC");
   UntilWatch w;
   w.id = next_id_++;
   fired_.push_back(false);
@@ -213,8 +267,15 @@ void OnlineMonitor::step_conj(ConjWatch& w) {
   bool changed = true;
   while (changed) {
     changed = false;
+    // Advance every process even once one is known to be stuck: a position
+    // where the local predicate is false can never become a candidate, so
+    // pre-scanning the other timelines is free — and min_watch_frontier
+    // pins at `scan`, so a timeline left at 0 would hold the whole prefix
+    // resident until this watch fires.
+    bool stuck = false;
     for (ProcId i = 0; i < n; ++i)
-      if (!advance(i)) return;  // waiting for more events (or budget) on i
+      if (!advance(i)) stuck = true;  // more events (or budget) needed on i
+    if (stuck) return;
     // All candidates set: repair pairwise consistency (GW weak).
     for (ProcId i = 0; i < n && !changed; ++i) {
       if (w.cand[sz(i)] == 0) continue;
@@ -351,6 +412,66 @@ std::vector<Diagnostic> OnlineMonitor::audit_watches(
     audit_one(w.id, w.q);
   }
   return out;
+}
+
+Cut OnlineMonitor::min_watch_frontier() const {
+  const Computation& c = app_.computation();
+  const std::int32_t n = c.num_procs();
+  Cut f(sz(n));
+  for (ProcId i = 0; i < n; ++i) f[sz(i)] = frozen_limit(i);
+  auto pin = [&](ProcId i, EventIndex pos) {
+    if (pos < f[sz(i)]) f[sz(i)] = pos;
+  };
+  for (const ConjWatch& w : conj_)
+    if (!w.done)
+      for (ProcId i = 0; i < n; ++i)
+        // A set candidate stays referenced (the GW repair reads its clock
+        // and it becomes the fired cut); an unset one resumes at `scan`.
+        pin(i, w.cand[sz(i)] >= 0 ? w.cand[sz(i)] : w.scan[sz(i)]);
+  for (const DisjWatch& w : disj_)
+    if (!w.done)
+      for (ProcId i = 0; i < n; ++i) pin(i, w.scan[sz(i)]);
+  for (const UntilWatch& w : until_)
+    if (!w.done)
+      // Theorem 7 decides E[p U q] from the whole sub-computation below
+      // I_q, so an undecided until watch pins the entire prefix.
+      for (ProcId i = 0; i < n; ++i) pin(i, 0);
+  // Stable watches evaluate on the frontier only: no pin. Never retreat
+  // below a previous collection.
+  for (ProcId i = 0; i < n; ++i)
+    if (f[sz(i)] < app_.trimmed(i)) f[sz(i)] = app_.trimmed(i);
+  return f;
+}
+
+std::int64_t OnlineMonitor::collect_prefix() {
+  ScopedSpan span(budget_.trace, "monitor.gc");
+  const Computation& c = app_.computation();
+  const std::int32_t n = c.num_procs();
+  Cut b = min_watch_frontier();
+  // Lower b to the greatest consistent cut beneath it (the standard
+  // rollback fixpoint). The previous trim cut is consistent and <= b, so
+  // the loop never drops below it — every clock row it reads is resident.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ProcId i = 0; i < n; ++i) {
+      while (b[sz(i)] > app_.trimmed(i)) {
+        const VClockView vc = c.vclock(i, b[sz(i)]);
+        bool ok = true;
+        for (ProcId j = 0; j < n; ++j)
+          if (vc[sz(j)] > b[sz(j)]) {
+            ok = false;
+            break;
+          }
+        if (ok) break;
+        --b[sz(i)];
+        changed = true;
+      }
+    }
+  }
+  const std::int64_t reclaimed = app_.collect_prefix(b);
+  span.arg("reclaimed", reclaimed);
+  return reclaimed;
 }
 
 std::vector<WatchFire> OnlineMonitor::poll() {

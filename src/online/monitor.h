@@ -77,6 +77,15 @@ class OnlineMonitor {
   /// event of that process, as with OnlineAppender).
   void write(ProcId i, std::string_view name, std::int64_t value);
 
+  // ---- Guarded feed (serve layer / untrusted streams) ---------------------
+  // AppendError instead of asserting; kFinished after finish(). A rejected
+  // feed leaves the computation and every watch untouched.
+  AppendError try_set_initial(ProcId i, VarId v, std::int64_t value);
+  AppendError try_internal(ProcId i);
+  AppendError try_send(ProcId from, ProcId to, MsgId* out = nullptr);
+  AppendError try_receive(ProcId to, MsgId m);
+  AppendError try_write(ProcId i, VarId v, std::int64_t value);
+
   /// Declares the stream complete: no further events or writes. Unfreezes
   /// the per-process tail events (see below) so every watch reaches its
   /// final verdict. When the final evaluation round trips the budget, the
@@ -117,6 +126,25 @@ class OnlineMonitor {
   /// findings with messages prefixed by the watch id; empty means every
   /// claim held on the observed prefix. Read-only; safe between events.
   std::vector<Diagnostic> audit_watches(const AuditOptions& opt = {}) const;
+
+  // ---- Prefix garbage collection ------------------------------------------
+
+  /// Per-process minimum position any live watch may still need to read.
+  /// Starts at the frozen limits and is pulled down by every undecided
+  /// watch: a conjunctive watch needs its candidate/scan positions, a
+  /// disjunctive watch its scan positions, and an until watch the whole
+  /// prefix below I_q (Theorem 7's decision reads the sub-computation under
+  /// the walk target, so it pins everything until it fires). Monotone
+  /// nondecreasing over the session's lifetime.
+  Cut min_watch_frontier() const;
+
+  /// Reclaims the computation prefix below the min-watch frontier (lowered
+  /// to the greatest consistent cut under it). Verdicts, fire order and
+  /// witness cuts are unaffected — the collected prefix is exactly the part
+  /// no live watch can reference again. Returns events reclaimed.
+  std::int64_t collect_prefix();
+
+  std::int64_t resident_events() const { return app_.resident_events(); }
 
   /// Drains the fires triggered since the last poll.
   std::vector<WatchFire> poll();

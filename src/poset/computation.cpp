@@ -13,18 +13,19 @@ std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
 
 const Event& Computation::event(ProcId i, EventIndex idx) const {
   HBCT_DASSERT(i >= 0 && i < num_procs());
-  HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
-  return procs_[sz(i)][sz(idx - 1)];
+  HBCT_DASSERT(idx >= trimmed(i) + 1 && idx <= num_events(i));
+  return procs_[sz(i)][sz(idx - 1 - trimmed(i))];
 }
 
 VClockView Computation::vclock(ProcId i, EventIndex idx) const {
-  HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
+  HBCT_DASSERT(idx >= vclock_base(i) && idx <= num_events(i));
   const std::size_t n = procs_.size();
-  return VClockView(vclocks_[sz(i)].data() + sz(idx - 1) * n, n);
+  return VClockView(vclocks_[sz(i)].data() + sz(idx - vclock_base(i)) * n, n);
 }
 
 VClockView Computation::reverse_vclock(ProcId i, EventIndex idx) const {
   HBCT_DASSERT(idx >= 1 && idx <= num_events(i));
+  HBCT_DASSERT(trimmed_events_ == 0);
   if (rvcache_.dirty.load(std::memory_order_acquire)) {
     // Double-checked: concurrent readers (parallel detection branches) may
     // race to refresh after an online append. The mutex is global — refresh
@@ -62,18 +63,16 @@ const std::string& Computation::var_name(VarId v) const {
 std::int64_t Computation::value_at(ProcId i, VarId v, EventIndex pos) const {
   HBCT_DASSERT(i >= 0 && i < num_procs());
   HBCT_DASSERT(v >= 0 && v < num_vars());
-  HBCT_DASSERT(pos >= 0 && pos <= num_events(i));
-  return values_[sz(i)][sz(v)][sz(pos)];
+  HBCT_DASSERT(pos >= trimmed(i) && pos <= num_events(i));
+  return values_[sz(i)][sz(v)][sz(pos - trimmed(i))];
 }
 
 std::int32_t Computation::in_transit(ProcId from, ProcId to, const Cut& g) const {
   HBCT_DASSERT(from >= 0 && from < num_procs());
   HBCT_DASSERT(to >= 0 && to < num_procs());
-  const auto& sends = sends_to_[sz(from)][sz(to)];
-  if (sends.empty()) return 0;
-  const auto& recvs = recvs_from_[sz(to)][sz(from)];
-  const std::int32_t sent = sends[sz(g[sz(from)])];
-  const std::int32_t rcvd = recvs.empty() ? 0 : recvs[sz(g[sz(to)])];
+  if (sends_to_[sz(from)][sz(to)].empty()) return 0;
+  const std::int32_t sent = sends_up_to(from, to, g[sz(from)]);
+  const std::int32_t rcvd = recvs_up_to(to, from, g[sz(to)]);
   HBCT_DASSERT(sent >= rcvd);
   return sent - rcvd;
 }
@@ -197,13 +196,17 @@ void Computation::meet_irreducible_of(ProcId i, EventIndex idx,
 }
 
 std::optional<EventId> Computation::find_label(std::string_view label) const {
+  // Only resident events are searchable; reclaimed prefixes lost their
+  // payloads (and with them their labels).
   for (ProcId i = 0; i < num_procs(); ++i)
-    for (EventIndex k = 1; k <= num_events(i); ++k)
+    for (EventIndex k = trimmed(i) + 1; k <= num_events(i); ++k)
       if (event(i, k).label == label) return EventId{i, k};
   return std::nullopt;
 }
 
 Computation Computation::prefix(const Cut& k) const {
+  HBCT_ASSERT_MSG(trimmed_events_ == 0,
+                  "prefix of a GC'd computation is not supported");
   HBCT_ASSERT_MSG(is_consistent(k), "prefix requires a consistent cut");
   Computation out;
   const std::size_t n = sz(num_procs());
@@ -327,6 +330,9 @@ void Computation::compute_rvclocks() const {
   // merges the reverse clock of its matching receive. The arenas are
   // pre-sized so recv_rclock can hold views into them (the same-process
   // successor row is always written before its predecessor reads it).
+  HBCT_ASSERT_MSG(trimmed_events_ == 0,
+                  "reverse clocks need the whole computation; prefix GC "
+                  "discarded part of it");
   const std::size_t n = procs_.size();
   rvcache_.clocks.assign(n, {});
   for (std::size_t i = 0; i < n; ++i)
@@ -361,6 +367,8 @@ void Computation::compute_rvclocks() const {
 }
 
 void Computation::validate() const {
+  HBCT_ASSERT_MSG(trimmed_events_ == 0,
+                  "validate needs the whole computation");
   const std::size_t n = procs_.size();
   // Linearization covers every event exactly once and respects both process
   // order and send-before-receive.

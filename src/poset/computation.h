@@ -20,6 +20,7 @@
 #include "poset/cut.h"
 #include "poset/event.h"
 #include "poset/vclock.h"
+#include "util/assert.h"
 
 namespace hbct {
 
@@ -33,11 +34,28 @@ class Computation {
 
   std::int32_t num_procs() const { return static_cast<std::int32_t>(procs_.size()); }
   EventIndex num_events(ProcId i) const {
-    return static_cast<EventIndex>(procs_[static_cast<std::size_t>(i)].size());
+    return trimmed(i) +
+           static_cast<EventIndex>(procs_[static_cast<std::size_t>(i)].size());
   }
-  /// |E| — total number of events across all processes.
+  /// |E| — total number of events across all processes (including events
+  /// whose storage was reclaimed by prefix GC; indices stay absolute).
   std::int64_t total_events() const { return total_events_; }
   std::int64_t num_messages() const { return num_messages_; }
+
+  // ---- Prefix garbage collection (OnlineAppender::collect_prefix) ----------
+
+  /// Events of process i whose storage was reclaimed: positions 1..trimmed(i)
+  /// are no longer resident (payloads, clock rows, timeline entries and
+  /// channel counters below the trim cut are gone). All public indices stay
+  /// absolute — accessors subtract the offset internally — but reading a
+  /// reclaimed position is an error. 0 on every builder-produced computation.
+  EventIndex trimmed(ProcId i) const {
+    return trim_.empty() ? 0 : trim_[static_cast<std::size_t>(i)];
+  }
+  /// Total events reclaimed across all processes.
+  std::int64_t trimmed_events() const { return trimmed_events_; }
+  /// Events currently resident in memory.
+  std::int64_t resident_events() const { return total_events_ - trimmed_events_; }
 
   /// Event payload; `idx` is 1-based.
   const Event& event(ProcId i, EventIndex idx) const;
@@ -78,7 +96,10 @@ class Computation {
   /// The full precomputed timeline of variable v on process i:
   /// timeline[pos] = value after pos events. Lets hot loops hoist the
   /// per-call bounds checks and indirections out of their inner loop.
+  /// Positions are absolute, so this view is only available while no prefix
+  /// has been reclaimed (trimmed storage starts at offset trimmed(i)).
   const std::vector<std::int64_t>& value_timeline(ProcId i, VarId v) const {
+    HBCT_DASSERT(trimmed(i) == 0);
     return values_[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
   }
 
@@ -109,14 +130,18 @@ class Computation {
   std::int32_t sends_up_to(ProcId from, ProcId to, EventIndex pos) const {
     const auto& t = sends_to_[static_cast<std::size_t>(from)]
                              [static_cast<std::size_t>(to)];
-    return t.empty() ? 0 : t[static_cast<std::size_t>(pos)];
+    if (t.empty()) return 0;
+    HBCT_DASSERT(pos >= trimmed(from));
+    return t[static_cast<std::size_t>(pos - trimmed(from))];
   }
   /// Messages received at `to` from `from` among the first `pos` events of
   /// `to`.
   std::int32_t recvs_up_to(ProcId to, ProcId from, EventIndex pos) const {
     const auto& t = recvs_from_[static_cast<std::size_t>(to)]
                                [static_cast<std::size_t>(from)];
-    return t.empty() ? 0 : t[static_cast<std::size_t>(pos)];
+    if (t.empty()) return 0;
+    HBCT_DASSERT(pos >= trimmed(to));
+    return t[static_cast<std::size_t>(pos - trimmed(to))];
   }
 
   // ---- Cut geometry --------------------------------------------------------
@@ -188,6 +213,15 @@ class Computation {
   void finalize();            // computes clocks and tables (builder path)
   void compute_rvclocks() const;  // (re)derives the reverse clocks
 
+  /// Absolute index of the first retained vclock arena row of process i.
+  /// After a trim one boundary row (the clock of event trimmed(i)) is kept
+  /// so consistency tests and online clock seeding keep working at the trim
+  /// cut itself.
+  EventIndex vclock_base(ProcId i) const {
+    const EventIndex t = trimmed(i);
+    return t == 0 ? 1 : t;
+  }
+
   /// Reverse-clock cache: recomputed lazily after OnlineAppender
   /// invalidates it, with double-checked locking so the parallel detection
   /// fan-outs can share one Computation race-free. The wrapper restores the
@@ -242,6 +276,12 @@ class Computation {
 
   std::int64_t total_events_ = 0;
   std::int64_t num_messages_ = 0;
+
+  /// Per-process count of events reclaimed by prefix GC; empty (the builder
+  /// path, and online sessions before their first collection) means nothing
+  /// was ever trimmed.
+  std::vector<EventIndex> trim_;
+  std::int64_t trimmed_events_ = 0;
 };
 
 }  // namespace hbct

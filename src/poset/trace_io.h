@@ -12,10 +12,20 @@
 //   ev <proc> send <to-proc> <msg-id> [label=...] [writes...]
 //   ev <proc> recv <msg-id> [label=...] [writes...]
 //   end
+//
+// A compact binary form ("hbct-btrace v1") carries the same information:
+// the magic line followed by length-prefixed records with varint-encoded
+// payloads (grammar below, namespace wire). Both forms round-trip through
+// each other. The record codec doubles as the serve layer's wire format —
+// a session stream is the same records without the magic or the kProcs /
+// kEnd framing requirements of a trace file.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "poset/computation.h"
 
@@ -36,5 +46,99 @@ struct TraceParseResult {
 /// reported in `error`.
 TraceParseResult read_trace(std::istream& is);
 TraceParseResult trace_from_string(const std::string& text);
+
+// ---- Binary form ("hbct-btrace v1") -----------------------------------------
+
+/// Serializes `c` as magic + records (kProcs, kVar*, kInit*, events in
+/// linearization order, kEnd).
+void write_trace_binary(std::ostream& os, const Computation& c);
+std::string trace_to_binary_string(const Computation& c);
+
+/// Parses a binary trace. Never throws; any malformed input — truncated
+/// length prefix, oversized varint, out-of-range field, duplicate message
+/// id, recv before send — is reported in `error`.
+TraceParseResult read_trace_binary(std::istream& is);
+TraceParseResult trace_from_binary_string(std::string_view bytes);
+
+namespace wire {
+
+/// First line of a binary trace file. Session wire streams omit it.
+inline constexpr std::string_view kBinaryMagic = "hbct-btrace v1\n";
+
+/// Hard caps keeping a malicious stream from ballooning one record.
+inline constexpr std::size_t kMaxRecordBytes = std::size_t{1} << 20;
+inline constexpr std::size_t kMaxNameBytes = 4096;
+
+/// LEB128: 7 value bits per byte, high bit = continuation, <= 10 bytes.
+void put_varint(std::string& out, std::uint64_t v);
+/// Zigzag-mapped varint for signed payload values.
+void put_zigzag(std::string& out, std::int64_t v);
+
+/// One variable assignment carried by an event record. Variables are
+/// referenced by registration index (the order of kVar records).
+struct WireWrite {
+  std::uint32_t var = 0;
+  std::int64_t value = 0;
+
+  friend bool operator==(const WireWrite&, const WireWrite&) = default;
+};
+
+/// One decoded record. Field usage by kind:
+///   kProcs     nprocs
+///   kVar       name
+///   kInit      proc, var, value
+///   kInternal  proc, writes, label
+///   kSend      proc, peer, msg, writes, label
+///   kRecv      proc, msg, writes, label
+///   kEnd       (none)
+struct Record {
+  enum class Kind : std::uint8_t {
+    kProcs = 1,
+    kVar = 2,
+    kInit = 3,
+    kInternal = 4,
+    kSend = 5,
+    kRecv = 6,
+    kEnd = 7,
+  };
+
+  Kind kind = Kind::kInternal;
+  std::int32_t nprocs = 0;
+  std::string name;
+  std::int32_t proc = 0;
+  std::uint32_t var = 0;
+  std::int64_t value = 0;
+  std::int32_t peer = 0;
+  std::uint64_t msg = 0;
+  std::vector<WireWrite> writes;
+  std::string label;
+};
+
+/// Appends one record as varint(payload length) + payload.
+void encode_record(std::string& out, const Record& r);
+
+/// Incremental decoder over a length-prefixed record stream. feed() bytes
+/// in arbitrary chunks; next() yields complete records. An error is sticky:
+/// every later next() repeats it (a corrupted stream has no resync point).
+class Decoder {
+ public:
+  enum class Status { kRecord, kNeedMore, kError };
+
+  void feed(std::string_view bytes);
+  Status next(Record* out);
+
+  const std::string& error() const { return err_; }
+  /// Bytes fed but not yet consumed by a completed record.
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  Status fail(const std::string& msg);
+
+  std::string buf_;
+  std::size_t off_ = 0;
+  std::string err_;
+};
+
+}  // namespace wire
 
 }  // namespace hbct

@@ -1,0 +1,234 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hbct {
+namespace serve {
+
+namespace {
+
+std::int32_t default_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<std::int32_t>(hw < 4 ? 4 : hw);
+}
+
+}  // namespace
+
+StreamingService::StreamingService(ServiceOptions opt)
+    : opt_(opt),
+      pool_(opt.pool != nullptr ? opt.pool : &ThreadPool::shared()),
+      trace_(opt.trace),
+      shards_(static_cast<std::size_t>(
+          opt.num_shards > 0 ? opt.num_shards : default_shards())) {
+  MetricsRegistry& reg =
+      trace_ != nullptr ? trace_->metrics() : MetricsRegistry::global();
+  records_ = &reg.counter("serve.records");
+  events_ = &reg.counter("serve.events");
+  fires_ = &reg.counter("serve.fires");
+  failures_ = &reg.counter("serve.session_failures");
+  gc_rounds_ = &reg.counter("serve.gc.rounds");
+  gc_reclaimed_ = &reg.counter("serve.gc.reclaimed_events");
+  opened_ = &reg.counter("serve.sessions_opened");
+  closed_ = &reg.counter("serve.sessions_closed");
+  open_sessions_ = &reg.gauge("serve.open_sessions");
+  resident_ = &reg.gauge("serve.resident_events");
+  resident_peak_ = &reg.gauge("serve.resident_events.peak");
+  ingest_ns_ = &reg.histogram("serve.ingest.ns");
+  fire_ns_ = &reg.histogram("serve.fire_latency.ns");
+}
+
+StreamingService::~StreamingService() {
+  // Pump tasks capture `this` (for metrics); make sure none outlive us.
+  pool_->wait_idle();
+}
+
+StreamingService::Shard& StreamingService::shard_of(SessionId sid) const {
+  return shards_[static_cast<std::size_t>(sid) % shards_.size()];
+}
+
+std::shared_ptr<StreamingService::Entry> StreamingService::find(
+    SessionId sid) const {
+  Shard& sh = shard_of(sid);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  auto it = sh.sessions.find(sid);
+  return it == sh.sessions.end() ? nullptr : it->second;
+}
+
+SessionId StreamingService::open(
+    const SessionConfig& cfg,
+    const std::function<void(OnlineMonitor&)>& setup) {
+  HBCT_ASSERT_MSG(cfg.num_procs > 0, "session needs at least one process");
+  SessionConfig c = cfg;
+  if (c.budget.trace == nullptr) c.budget.trace = trace_;
+  const SessionId sid = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto entry = std::make_shared<Entry>(sid, c);
+  entry->session.set_fire_histogram(fire_ns_);
+  if (setup) setup(entry->session.monitor());
+  Shard& sh = shard_of(sid);
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.sessions.emplace(sid, std::move(entry));
+  }
+  opened_->add(1);
+  open_sessions_->add(1);
+  return sid;
+}
+
+bool StreamingService::post(SessionId sid, std::string bytes) {
+  auto e = find(sid);
+  if (e == nullptr) return false;
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lk(e->mu);
+    e->inbox.push_back(std::move(bytes));
+    if (!e->scheduled) {
+      e->scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) pool_->submit([this, e] { pump(e); });
+  return true;
+}
+
+bool StreamingService::post(SessionId sid, const wire::Record& r) {
+  std::string bytes;
+  wire::encode_record(bytes, r);
+  return post(sid, std::move(bytes));
+}
+
+bool StreamingService::finish(SessionId sid) {
+  wire::Record end;
+  end.kind = wire::Record::Kind::kEnd;
+  return post(sid, end);
+}
+
+void StreamingService::absorb(Entry& e, const SessionStats& before,
+                              const SessionStats& after) {
+  records_->add(static_cast<std::uint64_t>(after.records - before.records));
+  events_->add(static_cast<std::uint64_t>(after.events - before.events));
+  fires_->add(static_cast<std::uint64_t>(after.fires - before.fires));
+  gc_rounds_->add(
+      static_cast<std::uint64_t>(after.gc_rounds - before.gc_rounds));
+  gc_reclaimed_->add(static_cast<std::uint64_t>(after.reclaimed_events -
+                                                before.reclaimed_events));
+  if (before.state != SessionState::kFailed &&
+      after.state == SessionState::kFailed) {
+    failures_->add(1);
+  }
+  resident_->add(after.resident_events - e.gauged_resident);
+  e.gauged_resident = after.resident_events;
+  resident_peak_->max_of(resident_->value());
+}
+
+void StreamingService::pump(const std::shared_ptr<Entry>& e) {
+  for (;;) {
+    std::string chunk;
+    {
+      std::lock_guard<std::mutex> lk(e->mu);
+      if (e->inbox.empty()) {
+        e->scheduled = false;
+        return;
+      }
+      chunk = std::move(e->inbox.front());
+      e->inbox.pop_front();
+    }
+    // Apply outside the inbox-pop critical section conceptually, but under
+    // the same mutex: only this pump touches the Session (the `scheduled`
+    // flag guarantees a single pump per session), while post() may briefly
+    // hold the mutex to enqueue the next chunk.
+    std::lock_guard<std::mutex> lk(e->mu);
+    ScopedSpan span(trace_, "serve.ingest");
+    const auto t0 = std::chrono::steady_clock::now();
+    const SessionStats before = e->session.stats();
+    const std::size_t nrec = e->session.ingest(chunk);
+    const SessionStats after = e->session.stats();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    ingest_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    absorb(*e, before, after);
+    span.arg("session", e->session.id());
+    span.arg("records", static_cast<std::int64_t>(nrec));
+  }
+}
+
+void StreamingService::drain() { pool_->wait_idle(); }
+
+std::vector<WatchFire> StreamingService::poll(SessionId sid) {
+  auto e = find(sid);
+  if (e == nullptr) return {};
+  std::lock_guard<std::mutex> lk(e->mu);
+  return e->session.poll();
+}
+
+SessionStats StreamingService::stats(SessionId sid) const {
+  auto e = find(sid);
+  if (e == nullptr) return {};
+  std::lock_guard<std::mutex> lk(e->mu);
+  return e->session.stats();
+}
+
+SessionState StreamingService::state(SessionId sid) const {
+  auto e = find(sid);
+  if (e == nullptr) return SessionState::kFailed;
+  std::lock_guard<std::mutex> lk(e->mu);
+  return e->session.state();
+}
+
+std::string StreamingService::error(SessionId sid) const {
+  auto e = find(sid);
+  if (e == nullptr) return {};
+  std::lock_guard<std::mutex> lk(e->mu);
+  return e->session.error();
+}
+
+bool StreamingService::close(SessionId sid) {
+  std::shared_ptr<Entry> e;
+  {
+    Shard& sh = shard_of(sid);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    auto it = sh.sessions.find(sid);
+    if (it == sh.sessions.end()) return false;
+    e = std::move(it->second);
+    sh.sessions.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lk(e->mu);
+    resident_->add(-e->gauged_resident);
+    e->gauged_resident = 0;
+  }
+  closed_->add(1);
+  open_sessions_->add(-1);
+  return true;
+}
+
+std::size_t StreamingService::num_sessions() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    n += sh.sessions.size();
+  }
+  return n;
+}
+
+std::int64_t StreamingService::resident_events() const {
+  std::int64_t n = 0;
+  for (const Shard& sh : shards_) {
+    std::vector<std::shared_ptr<Entry>> entries;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      entries.reserve(sh.sessions.size());
+      for (const auto& [sid, e] : sh.sessions) entries.push_back(e);
+    }
+    for (const auto& e : entries) {
+      std::lock_guard<std::mutex> lk(e->mu);
+      n += e->session.stats().resident_events;
+    }
+  }
+  return n;
+}
+
+}  // namespace serve
+}  // namespace hbct

@@ -1,0 +1,177 @@
+#include "serve/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hbct {
+namespace serve {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kOpen: return "open";
+    case SessionState::kFinished: return "finished";
+    case SessionState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Session::Session(SessionId id, const SessionConfig& cfg)
+    : id_(id), cfg_(cfg), mon_(cfg.num_procs) {
+  mon_.set_budget(cfg_.budget);
+}
+
+bool Session::fail(std::string msg) {
+  if (state_ != SessionState::kFailed) {
+    state_ = SessionState::kFailed;
+    error_ = std::move(msg);
+    stats_.state = state_;
+  }
+  return false;
+}
+
+void Session::after_event() {
+  ++stats_.events;
+  if (cfg_.gc_interval_events > 0 && ++since_gc_ >= cfg_.gc_interval_events) {
+    since_gc_ = 0;
+    collect();
+  }
+}
+
+bool Session::apply(const wire::Record& r) {
+  using Kind = wire::Record::Kind;
+  if (state_ == SessionState::kFailed) return false;
+  if (state_ == SessionState::kFinished)
+    return fail("record after end of stream");
+
+  const auto feed = [&](AppendError e, const char* what) {
+    if (e == AppendError::kNone) return true;
+    return fail(std::string(what) + ": " + to_string(e));
+  };
+  // Writes trail their event record; labels never affect verdicts and are
+  // dropped on ingestion.
+  const auto tail = [&](const wire::Record& rec) {
+    for (const auto& w : rec.writes) {
+      if (w.var >= vars_.size()) return fail("write to unregistered variable");
+      if (!feed(mon_.try_write(rec.proc, vars_[w.var], w.value), "write"))
+        return false;
+    }
+    return true;
+  };
+
+  const std::size_t fired_before = fires_.size();
+  std::chrono::steady_clock::time_point t0;
+  if (fire_ns_ != nullptr) t0 = std::chrono::steady_clock::now();
+
+  switch (r.kind) {
+    case Kind::kProcs:
+      if (r.nprocs != cfg_.num_procs)
+        return fail("stream declares a different process count");
+      break;
+    case Kind::kVar:
+      vars_.push_back(mon_.var(r.name));
+      break;
+    case Kind::kInit:
+      if (r.var >= vars_.size()) return fail("init of unregistered variable");
+      if (!feed(mon_.try_set_initial(r.proc, vars_[r.var], r.value), "init"))
+        return false;
+      break;
+    case Kind::kInternal:
+      if (!feed(mon_.try_internal(r.proc), "internal")) return false;
+      after_event();
+      if (!tail(r)) return false;
+      break;
+    case Kind::kSend: {
+      if (msgs_.count(r.msg) != 0) return fail("duplicate in-flight msg id");
+      MsgId m = kNoMsg;
+      if (!feed(mon_.try_send(r.proc, r.peer, &m), "send")) return false;
+      msgs_.emplace(r.msg, m);
+      after_event();
+      if (!tail(r)) return false;
+      break;
+    }
+    case Kind::kRecv: {
+      auto it = msgs_.find(r.msg);
+      if (it == msgs_.end()) return fail("recv of unsent or delivered msg id");
+      if (!feed(mon_.try_receive(r.proc, it->second), "recv")) return false;
+      msgs_.erase(it);
+      after_event();
+      if (!tail(r)) return false;
+      break;
+    }
+    case Kind::kEnd:
+      finish();
+      break;
+  }
+
+  ++stats_.records;
+  auto fired = mon_.poll();
+  if (!fired.empty()) {
+    stats_.fires += static_cast<std::int64_t>(fired.size());
+    fires_.insert(fires_.end(), std::make_move_iterator(fired.begin()),
+                  std::make_move_iterator(fired.end()));
+    if (fire_ns_ != nullptr && fires_.size() > fired_before) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      fire_ns_->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+    }
+  }
+  return true;
+}
+
+std::size_t Session::ingest(std::string_view bytes) {
+  if (state_ == SessionState::kFailed) return 0;
+  dec_.feed(bytes);
+  std::size_t applied = 0;
+  wire::Record r;
+  for (;;) {
+    switch (dec_.next(&r)) {
+      case wire::Decoder::Status::kRecord:
+        if (!apply(r)) return applied;
+        ++applied;
+        break;
+      case wire::Decoder::Status::kNeedMore:
+        return applied;
+      case wire::Decoder::Status::kError:
+        fail("decode: " + dec_.error());
+        return applied;
+    }
+  }
+}
+
+void Session::finish() {
+  if (state_ != SessionState::kOpen) return;
+  mon_.finish();
+  state_ = SessionState::kFinished;
+  stats_.state = state_;
+}
+
+std::vector<WatchFire> Session::poll() {
+  auto fired = mon_.poll();
+  if (!fired.empty()) {
+    stats_.fires += static_cast<std::int64_t>(fired.size());
+    fires_.insert(fires_.end(), std::make_move_iterator(fired.begin()),
+                  std::make_move_iterator(fired.end()));
+  }
+  std::vector<WatchFire> out;
+  out.swap(fires_);
+  return out;
+}
+
+std::int64_t Session::collect() {
+  const std::int64_t reclaimed = mon_.collect_prefix();
+  ++stats_.gc_rounds;
+  stats_.reclaimed_events += reclaimed;
+  return reclaimed;
+}
+
+SessionStats Session::stats() const {
+  SessionStats s = stats_;
+  s.resident_events = mon_.resident_events();
+  s.state = state_;
+  return s;
+}
+
+}  // namespace serve
+}  // namespace hbct

@@ -1,0 +1,110 @@
+// One streaming-detection session: a single execution's event stream,
+// decoded from the binary wire format (poset/trace_io, namespace wire) into
+// an OnlineMonitor, with periodic prefix garbage collection keeping the
+// session's resident memory proportional to its open frontier.
+//
+// A session is deliberately single-threaded: the StreamingService serializes
+// all access per session and runs many sessions concurrently. Malformed
+// input — undecodable bytes or appends the monitor rejects (AppendError) —
+// fails only this session: state() flips to kFailed, the error string says
+// why, and every later ingest is ignored. The host process never crashes on
+// a bad stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/budget.h"
+#include "obs/metrics.h"
+#include "online/monitor.h"
+#include "poset/trace_io.h"
+
+namespace hbct {
+namespace serve {
+
+using SessionId = std::int64_t;
+
+enum class SessionState : std::uint8_t {
+  kOpen,      // accepting events
+  kFinished,  // end-of-stream applied; final verdicts fired
+  kFailed,    // malformed stream; error() says why
+};
+
+const char* to_string(SessionState s);
+
+struct SessionConfig {
+  std::int32_t num_procs = 1;
+  /// Per-round evaluation budget handed to the session's monitor.
+  Budget budget{};
+  /// Run a prefix-GC round after this many applied events; <= 0 disables
+  /// automatic collection (collect() still works).
+  std::int64_t gc_interval_events = 4096;
+};
+
+struct SessionStats {
+  std::int64_t records = 0;          // wire records applied
+  std::int64_t events = 0;           // events appended
+  std::int64_t fires = 0;            // watch fires produced
+  std::int64_t gc_rounds = 0;        // prefix collections run
+  std::int64_t reclaimed_events = 0; // events reclaimed by GC
+  std::int64_t resident_events = 0;  // events currently in memory
+  SessionState state = SessionState::kOpen;
+};
+
+class Session {
+ public:
+  Session(SessionId id, const SessionConfig& cfg);
+
+  SessionId id() const { return id_; }
+  /// For watch registration at open time (before any event arrives).
+  OnlineMonitor& monitor() { return mon_; }
+
+  SessionState state() const { return state_; }
+  const std::string& error() const { return error_; }
+
+  /// Decodes and applies a chunk of wire bytes; returns records applied.
+  /// Event labels in the stream are ignored (they never affect verdicts).
+  std::size_t ingest(std::string_view bytes);
+  /// Applies one already-decoded record; false once the session failed.
+  bool apply(const wire::Record& r);
+  /// Ends the stream explicitly (equivalent to a kEnd record).
+  void finish();
+
+  /// Drains the watch fires accumulated since the last poll.
+  std::vector<WatchFire> poll();
+  /// Runs a prefix-GC round now; returns events reclaimed.
+  std::int64_t collect();
+
+  SessionStats stats() const;
+
+  /// When set, the apply time of every record that produced at least one
+  /// watch fire is recorded here (the service wires its fire-latency
+  /// histogram in; nullptr skips the timing entirely).
+  void set_fire_histogram(Histogram* h) { fire_ns_ = h; }
+
+ private:
+  bool fail(std::string msg);
+  void after_event();
+
+  SessionId id_;
+  SessionConfig cfg_;
+  OnlineMonitor mon_;
+  wire::Decoder dec_;
+  SessionState state_ = SessionState::kOpen;
+  std::string error_;
+  std::vector<VarId> vars_;  // wire registration index -> monitor VarId
+  /// In-flight wire msg ids only: delivered entries are erased, so the map
+  /// is O(open channels). A reused id after delivery reads as a fresh
+  /// message; ids must be unique among in-flight messages.
+  std::unordered_map<std::uint64_t, MsgId> msgs_;
+  std::vector<WatchFire> fires_;
+  SessionStats stats_;
+  std::int64_t since_gc_ = 0;
+  Histogram* fire_ns_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace hbct

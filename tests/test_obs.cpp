@@ -156,6 +156,41 @@ TEST(Metrics, HistogramRecordAndPercentiles) {
   EXPECT_EQ(Histogram::Snapshot{}.percentile(0.5), 0u);
 }
 
+TEST(Metrics, HistogramPercentileEdgeCases) {
+  // Empty histogram: every quantile is 0, never a crash or a division by
+  // zero — the streaming bench reads p99 off possibly-idle histograms.
+  {
+    Histogram h;
+    const Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.percentile(0.0), 0u);
+    EXPECT_EQ(s.percentile(0.5), 0u);
+    EXPECT_EQ(s.percentile(0.99), 0u);
+    EXPECT_EQ(s.percentile(1.0), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  }
+  // A single sample lands every quantile in that sample's bucket.
+  {
+    Histogram h;
+    h.record(1000);
+    const Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    const std::uint64_t hi =
+        Histogram::bucket_hi(Histogram::bucket_of(1000));
+    EXPECT_EQ(s.percentile(0.5), hi);
+    EXPECT_EQ(s.percentile(0.99), hi);
+    EXPECT_EQ(s.percentile(0.5), s.percentile(0.0));
+  }
+  // A single zero sample: bucket 0's exclusive upper bound is 1.
+  {
+    Histogram h;
+    h.record(0);
+    const Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.percentile(0.5), Histogram::bucket_hi(0));
+    EXPECT_EQ(s.count, 1u);
+  }
+}
+
 TEST(Metrics, CounterAndGauge) {
   MetricsRegistry reg;
   Counter& c = reg.counter("c");

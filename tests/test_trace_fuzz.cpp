@@ -95,5 +95,141 @@ TEST(TraceFuzz, TruncationsAtEveryPrefixAreHandled) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// ---- Binary form ---------------------------------------------------------------
+
+/// Byte-level mutation for the binary form: uniform random bytes (the
+/// binary grammar has no free text to skew toward — every byte matters).
+std::string mutate_binary(Rng& rng, std::string s) {
+  const auto pick = [&] {
+    return static_cast<char>(rng.next_below(256));
+  };
+  if (s.empty()) return std::string(1, pick());
+  const std::size_t at = rng.next_below(s.size());
+  switch (rng.next_below(3)) {
+    case 0:
+      s[at] = pick();
+      break;
+    case 1:
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(at), pick());
+      break;
+    default:
+      s.erase(s.begin() + static_cast<std::ptrdiff_t>(at));
+      break;
+  }
+  return s;
+}
+
+class BinaryTraceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryTraceFuzz, MutatedBinaryTracesNeverCrash) {
+  Rng rng(GetParam() * 53 + 11);
+  const Computation c = random_comp(GetParam());
+  const std::string valid = trace_to_binary_string(c);
+
+  // Sanity: the unmutated bytes round-trip to the identical computation.
+  TraceParseResult base = trace_from_binary_string(valid);
+  ASSERT_TRUE(base.ok) << base.error;
+  EXPECT_EQ(trace_to_binary_string(base.computation), valid);
+  EXPECT_EQ(trace_to_string(base.computation), trace_to_string(c));
+
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes = valid;
+    const std::size_t n = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) bytes = mutate_binary(rng, bytes);
+
+    const TraceParseResult r = trace_from_binary_string(bytes);
+    if (!r.ok) {
+      EXPECT_FALSE(r.error.empty()) << "round " << round;
+    } else {
+      const std::string printed = trace_to_binary_string(r.computation);
+      const TraceParseResult r2 = trace_from_binary_string(printed);
+      ASSERT_TRUE(r2.ok) << "reprint failed: " << r2.error;
+      EXPECT_EQ(trace_to_binary_string(r2.computation), printed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryTraceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(BinaryTraceFuzz, TruncationsAtEveryPrefixAreErrors) {
+  const Computation c = random_comp(99);
+  const std::string valid = trace_to_binary_string(c);
+  // The binary grammar requires a complete `end` record, so every strict
+  // prefix — including ones cutting a length prefix or varint mid-byte —
+  // must report an error, never crash, never return a computation.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const TraceParseResult r =
+        trace_from_binary_string(std::string_view(valid).substr(0, len));
+    EXPECT_FALSE(r.ok) << "prefix " << len;
+    EXPECT_FALSE(r.error.empty()) << "prefix " << len;
+  }
+}
+
+TEST(BinaryTraceFuzz, HandCraftedMalformedRecords) {
+  const auto parse_records = [](const std::vector<std::string>& payloads) {
+    std::string bytes(wire::kBinaryMagic);
+    for (const std::string& p : payloads) {
+      wire::put_varint(bytes, p.size());
+      bytes += p;
+    }
+    return trace_from_binary_string(bytes);
+  };
+  const auto rec = [](const wire::Record& r) {
+    std::string s;
+    wire::encode_record(s, r);
+    return s;
+  };
+  wire::Record procs;
+  procs.kind = wire::Record::Kind::kProcs;
+  procs.nprocs = 2;
+  wire::Record send;
+  send.kind = wire::Record::Kind::kSend;
+  send.proc = 0;
+  send.peer = 1;
+  send.msg = 5;
+  wire::Record end;
+  end.kind = wire::Record::Kind::kEnd;
+
+  // Duplicate message ids are a clean parse error.
+  {
+    std::string bytes(wire::kBinaryMagic);
+    bytes += rec(procs) + rec(send) + rec(send) + rec(end);
+    const TraceParseResult r = trace_from_binary_string(bytes);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("duplicate"), std::string::npos) << r.error;
+  }
+  // An 11-byte varint inside a payload can never be valid.
+  {
+    std::string payload(1, '\x01');  // kProcs
+    payload += std::string(11, '\xff');
+    const TraceParseResult r = parse_records({payload});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("varint"), std::string::npos) << r.error;
+  }
+  // A declared record length beyond the cap is rejected up front.
+  {
+    std::string bytes(wire::kBinaryMagic);
+    wire::put_varint(bytes, wire::kMaxRecordBytes + 1);
+    const TraceParseResult r = trace_from_binary_string(bytes);
+    EXPECT_FALSE(r.ok);
+  }
+  // Trailing payload bytes after the known fields are rejected.
+  {
+    const TraceParseResult r = parse_records({std::string("\x07junk", 5)});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("trailing"), std::string::npos) << r.error;
+  }
+  // Bytes after the end record are rejected.
+  {
+    std::string bytes(wire::kBinaryMagic);
+    bytes += rec(procs) + rec(end);
+    bytes.push_back('\x00');
+    const TraceParseResult r = trace_from_binary_string(bytes);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("after"), std::string::npos) << r.error;
+  }
+}
+
 }  // namespace
 }  // namespace hbct

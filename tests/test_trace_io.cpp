@@ -1,6 +1,8 @@
 // Tests for the text trace format: round-trips and error reporting.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "poset/generate.h"
 #include "poset/trace_io.h"
 
@@ -124,6 +126,81 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<BadTraceCase>& info) {
       return info.param.name;
     });
+
+// ---- Binary form: text <-> binary round-trip properties ------------------------
+
+TEST(TraceIoBinary, RoundTripRandomComputations) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    GenOptions opt;
+    opt.num_procs = 3 + static_cast<std::int32_t>(seed % 3);
+    opt.events_per_proc = 6;
+    opt.seed = seed;
+    Computation a = generate_random(opt);
+
+    const std::string bytes = trace_to_binary_string(a);
+    TraceParseResult parsed = trace_from_binary_string(bytes);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    parsed.computation.validate();
+    // The canonical text form is the equality oracle for both directions:
+    // binary decode must land on the same computation the text form names.
+    EXPECT_EQ(trace_to_string(parsed.computation), trace_to_string(a));
+    // And the binary print of the parse is byte-identical (idempotence).
+    EXPECT_EQ(trace_to_binary_string(parsed.computation), bytes);
+  }
+}
+
+TEST(TraceIoBinary, TextToBinaryAndBackPreservesEverything) {
+  const std::string text =
+      "hbct-trace v1\n"
+      "procs 2\n"
+      "var x\n"
+      "init 0 x 5\n"
+      "ev 0 internal label=boot x=7\n"
+      "ev 0 send 1 0\n"
+      "ev 1 recv 0 x=9\n"
+      "end\n";
+  auto from_text = trace_from_string(text);
+  ASSERT_TRUE(from_text.ok) << from_text.error;
+
+  const std::string bytes = trace_to_binary_string(from_text.computation);
+  auto from_binary = trace_from_binary_string(bytes);
+  ASSERT_TRUE(from_binary.ok) << from_binary.error;
+
+  // Full circle: text -> computation -> binary -> computation -> text.
+  EXPECT_EQ(trace_to_string(from_binary.computation), text);
+  const Computation& c = from_binary.computation;
+  EXPECT_EQ(c.value_at(0, 0, 0), 5);
+  EXPECT_EQ(c.value_at(0, 0, 1), 7);
+  EXPECT_EQ(c.value_at(1, 0, 1), 9);
+  ASSERT_TRUE(c.find_label("boot").has_value());
+}
+
+TEST(TraceIoBinary, StreamInterfaceMatchesStringInterface) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 5;
+  opt.seed = 7;
+  const Computation a = generate_random(opt);
+
+  std::ostringstream os;
+  write_trace_binary(os, a);
+  EXPECT_EQ(os.str(), trace_to_binary_string(a));
+
+  std::istringstream is(os.str());
+  TraceParseResult r = read_trace_binary(is);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(trace_to_string(r.computation), trace_to_string(a));
+}
+
+TEST(TraceIoBinary, RejectsTextMagicAndViceVersa) {
+  GenOptions opt;
+  opt.num_procs = 2;
+  opt.events_per_proc = 3;
+  opt.seed = 3;
+  const Computation a = generate_random(opt);
+  EXPECT_FALSE(trace_from_binary_string(trace_to_string(a)).ok);
+  EXPECT_FALSE(trace_from_string(trace_to_binary_string(a)).ok);
+}
 
 }  // namespace
 }  // namespace hbct

@@ -62,6 +62,35 @@ def check_report(path, doc):
     return "report"
 
 
+STREAMING_KEYS = {"sessions", "gc_interval_events", "events",
+                  "events_per_sec", "resident_peak", "gc_reclaimed_events",
+                  "gc_rounds", "fire_p50_ns", "fire_p99_ns"}
+
+
+def check_streaming(path, name, s):
+    """The optional per-row extension emitted by bench_streaming."""
+    if s.keys() != STREAMING_KEYS:
+        fail(path, f"row {name!r} streaming keys {sorted(s.keys())} != "
+                   f"{sorted(STREAMING_KEYS)}")
+    for k, v in s.items():
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(path, f"row {name!r} streaming.{k} is not a number")
+    if s["sessions"] <= 0 or s["events"] <= 0:
+        fail(path, f"row {name!r} streaming has no sessions/events")
+    if not s["fire_p50_ns"] <= s["fire_p99_ns"]:
+        fail(path, f"row {name!r} fire-latency percentiles not monotone")
+    if s["gc_interval_events"] <= 0 and s["gc_rounds"] != 0:
+        fail(path, f"row {name!r} reports GC rounds with GC disabled")
+    if s["gc_interval_events"] > 0:
+        # Bounded residency is the artifact's headline claim: with GC on the
+        # peak must not be the whole stream (a small multiple of
+        # sessions * interval; 8x absorbs inbox lag between pump runs).
+        bound = 8 * s["sessions"] * s["gc_interval_events"]
+        if s["resident_peak"] >= min(s["events"], bound):
+            fail(path, f"row {name!r} resident_peak {s['resident_peak']} "
+                       f"not bounded (events={s['events']}, bound={bound})")
+
+
 def check_bench(path, doc):
     if not isinstance(doc.get("rows"), list) or not doc["rows"]:
         fail(path, "no rows")
@@ -78,6 +107,8 @@ def check_bench(path, doc):
             fail(path, f"row {row['name']!r} median outside [min, max]")
         if row["report"] is not None:
             check_report(f"{path}:{row['name']}", row["report"])
+        if "streaming" in row:
+            check_streaming(path, row["name"], row["streaming"])
     return f"bench ({len(doc['rows'])} rows)"
 
 
