@@ -4,6 +4,7 @@
 #include <random>
 
 #include "lattice/lattice.h"
+#include "predicate/equilevel.h"
 #include "util/string_util.h"
 
 namespace hbct {
@@ -17,6 +18,7 @@ const char* to_string(AuditCheck c) {
     case AuditCheck::kConjunctiveDecomp: return "conjunctive-decomposition";
     case AuditCheck::kDisjunctiveDecomp: return "disjunctive-decomposition";
     case AuditCheck::kLocalDependence: return "local-dependence";
+    case AuditCheck::kEquilevelDiagonal: return "equilevel-diagonal";
     case AuditCheck::kForbiddenOracle: return "forbidden-oracle";
     case AuditCheck::kForbiddenDownOracle: return "forbidden-down-oracle";
     case AuditCheck::kNegationSemantics: return "negation-semantics";
@@ -224,6 +226,23 @@ void check_local(const Lattice& lat, const SatVec& sat,
                 {cex_a, cex_b});
 }
 
+/// Equilevel: every satisfying cut must lie on the diagonal chain
+/// (l, ..., l). One off-diagonal satisfying cut refutes the class (and
+/// would make the equilevel-scan route unsound).
+void check_equilevel_class(const Lattice& lat, const SatVec& sat,
+                           std::vector<AuditViolation>& out) {
+  for (NodeId v = 0; v < lat.size(); ++v) {
+    if (!sat[v]) continue;
+    const Cut& g = lat.cut(v);
+    if (is_equilevel_cut(g)) continue;
+    add_violation(out, AuditCheck::kEquilevelDiagonal,
+                  strfmt("p holds at the off-diagonal cut %s",
+                         g.to_string().c_str()),
+                  {g});
+    return;
+  }
+}
+
 /// forbidden(): for a false cut g and i = forbidden(g), no satisfying cut
 /// above g may keep coordinate i (dually below for forbidden_down).
 void check_oracle(const Lattice& lat, const Predicate& p, const SatVec& sat,
@@ -302,6 +321,10 @@ ClassSet run_class_checks(const Lattice& lat, const SatVec& sat, ClassSet cls,
   if (cls & kClassLocal) {
     check_local(lat, sat, out);
     checked |= kClassLocal;
+  }
+  if (cls & kClassEquilevel) {
+    check_equilevel_class(lat, sat, out);
+    checked |= kClassEquilevel;
   }
   return checked;
 }
@@ -404,6 +427,17 @@ void sampled_audit(const Computation& c, const PredicatePtr& p, ClassSet cls,
   }
 
   if (cls & kClassStable) r.checked |= kClassStable;
+  if (cls & kClassEquilevel) {
+    r.checked |= kClassEquilevel;
+    for (const Cut& g : sat_pool) {
+      if (is_equilevel_cut(g)) continue;
+      add_violation(r.violations, AuditCheck::kEquilevelDiagonal,
+                    strfmt("p holds at the off-diagonal cut %s",
+                           g.to_string().c_str()),
+                    {g});
+      break;
+    }
+  }
   if (cls & kClassObserverIndependent) {
     r.checked |= kClassObserverIndependent;
     if (any_walk_hit && any_walk_missed)

@@ -55,6 +55,7 @@ enum class AuditCheck {
   kConjunctiveDecomp,
   kDisjunctiveDecomp,
   kLocalDependence,
+  kEquilevelDiagonal,
   kForbiddenOracle,
   kForbiddenDownOracle,
   kNegationSemantics,

@@ -57,6 +57,15 @@ DetectPlan plan_unary(Op op, const PredShape& s, bool allow_exponential) {
                ? plan(Algo::kStableFinal, "stable-final", "O(n)")
                : plan(Algo::kStableInitial, "stable-initial", "O(n)");
 
+  // Equilevel: the satisfying set lives on the diagonal chain, so EF is a
+  // chain scan, and EG/AG are decided by the chain plus the observation
+  // that any off-diagonal consistent cut falsifies the predicate. AF is NOT
+  // chain-decidable (observations can dodge the diagonal entirely) and
+  // falls through to the ordinary routes.
+  if ((cls & kClassEquilevel) &&
+      (op == Op::kEF || op == Op::kEG || op == Op::kAG))
+    return plan(Algo::kEquilevelScan, "equilevel-scan", "O(n^2 min|E_i|)");
+
   switch (op) {
     case Op::kEF:
       if (s.disjunctive_form)

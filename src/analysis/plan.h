@@ -42,6 +42,7 @@ enum class Algo {
   kStableFinal,      // EF/AF of a stable predicate: evaluate the final cut
   kStableInitial,    // EG/AG of a stable predicate: evaluate the initial cut
   kOiScan,           // single-observation scan (EF==AF, observer-independent)
+  kEquilevelScan,    // diagonal-chain scan (EF/EG/AG, equilevel)
   kEfDisjunctive,    // per-process candidate scan
   kGwWeakConjunctive,
   kChaseGargEf,      // linear advancement (needs forbidden())

@@ -1,0 +1,82 @@
+// Production-shaped scenario corpus with construction-proved verdicts.
+//
+// Each scenario builds a Computation from a named distributed-systems
+// pattern (MPI collectives, a lock-server mutex, ring leader election,
+// primary-backup replication) plus a battery of predicate/operator cells
+// whose expected verdicts are PROVED by the construction, not observed:
+// every `expect` below is justified by a happened-before argument in
+// scenarios.cpp, so the battery is ground truth the detector is judged
+// against (tests/test_corpus_golden.cpp), not a snapshot of its output.
+//
+// The same builders parameterize three tiers:
+//   golden tier   — small fixed options, canonical JSON under corpus/golden/
+//   property tier — round-trip and differential tests sweep options
+//   stress tier   — procs >= 128, >= 1M events; only stress_safe cells run
+//                   (their planned routes are near-linear in |E|).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/dispatch.h"
+#include "poset/computation.h"
+
+namespace hbct::corpus {
+
+struct CorpusOptions {
+  /// Total processes, including any coordinator the pattern needs. Builders
+  /// clamp to their structural minimum (e.g. the lock server needs >= 3).
+  std::int32_t procs = 4;
+  /// Rounds / sessions / updates — the per-process event count knob.
+  std::int32_t scale = 3;
+  /// Seed for the randomized parts (e.g. the election id permutation).
+  std::uint64_t seed = 2002;
+};
+
+/// One predicate/operator query plus its construction-proved verdict.
+struct BatteryCell {
+  /// Stable identifier, unique within the scenario; golden files key on it.
+  std::string name;
+  Op op;
+  PredicatePtr pred;
+  /// Second operand for kEU/kAU; null otherwise.
+  PredicatePtr until_q;
+  Verdict expect;
+  /// True when the planned route is cheap enough for the stress tier
+  /// (near-linear in |E|); quadratic-in-|E| routes stay golden-tier only.
+  bool stress_safe = false;
+};
+
+struct Scenario {
+  std::string name;
+  CorpusOptions options;  // the options the builder actually honoured
+  Computation computation;
+  std::vector<BatteryCell> battery;
+};
+
+using ScenarioBuilder = Scenario (*)(const CorpusOptions&);
+
+struct ScenarioSpec {
+  const char* name;
+  const char* summary;
+  ScenarioBuilder build;
+};
+
+/// All scenarios in registry order (the order golden files are generated
+/// and diffed in).
+const std::vector<ScenarioSpec>& scenario_registry();
+
+/// Builds one scenario by registry name; asserts the name exists.
+Scenario build_scenario(std::string_view name, const CorpusOptions& opt);
+
+// Individual builders (also reachable through the registry).
+Scenario mpi_barrier(const CorpusOptions& opt);
+Scenario mpi_alltoall(const CorpusOptions& opt);
+Scenario peterson(const CorpusOptions& opt);
+Scenario peterson_bug(const CorpusOptions& opt);
+Scenario election(const CorpusOptions& opt);
+Scenario replication(const CorpusOptions& opt);
+
+}  // namespace hbct::corpus

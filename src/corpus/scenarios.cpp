@@ -1,0 +1,481 @@
+// Scenario builders. Every BatteryCell::expect is proved by the
+// happened-before structure the builder creates — the comments carry the
+// arguments, and tests/test_corpus_golden.cpp holds the detector to them.
+#include "corpus/scenario.h"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+#include "poset/builder.h"
+#include "predicate/channel.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "predicate/equilevel.h"
+#include "predicate/local.h"
+#include "predicate/relational.h"
+#include "util/assert.h"
+
+namespace hbct::corpus {
+
+namespace {
+
+BatteryCell cell(std::string name, Op op, PredicatePtr p, Verdict expect,
+                 bool stress_safe = false) {
+  return BatteryCell{std::move(name), op, std::move(p), nullptr, expect,
+                     stress_safe};
+}
+
+BatteryCell until_cell(std::string name, Op op, PredicatePtr p,
+                       PredicatePtr q, Verdict expect) {
+  return BatteryCell{std::move(name), op,     std::move(p),
+                     std::move(q),    expect, false};
+}
+
+/// Conjunction of `var >= k` over procs [first, n).
+PredicatePtr all_ge(std::int32_t first, std::int32_t n, const char* var,
+                    std::int64_t k) {
+  std::vector<LocalPredicatePtr> locals;
+  for (ProcId i = first; i < n; ++i)
+    locals.push_back(var_cmp(i, var, Cmp::kGe, k));
+  return make_conjunctive(std::move(locals));
+}
+
+PredicatePtr any_ge(std::int32_t n, const char* var, std::int64_t k) {
+  std::vector<LocalPredicatePtr> locals;
+  for (ProcId i = 0; i < n; ++i)
+    locals.push_back(var_cmp(i, var, Cmp::kGe, k));
+  return make_disjunctive(std::move(locals));
+}
+
+std::vector<VarRef> var_terms(std::int32_t n, const char* var) {
+  std::vector<VarRef> terms;
+  for (ProcId i = 0; i < n; ++i) terms.push_back({i, var});
+  return terms;
+}
+
+PredicatePtr progress_all(std::int32_t n, EventIndex k) {
+  std::vector<LocalPredicatePtr> locals;
+  for (ProcId i = 0; i < n; ++i) locals.push_back(progress_ge(i, k));
+  return make_conjunctive(std::move(locals));
+}
+
+}  // namespace
+
+// ---- mpi_barrier ------------------------------------------------------------
+//
+// Flat fan-in/fan-out barrier, `scale` rounds. Round r: every non-root
+// sends a join to root 0; root receives them all, writes phase = r+1 on
+// the last join, then sends a release to every non-root, which writes
+// phase = r+1 on its receive. Root does 2(n-1) events per round, everyone
+// else 2 — deliberately NOT equilevel-shaped for n >= 3.
+Scenario mpi_barrier(const CorpusOptions& opt) {
+  CorpusOptions o = opt;
+  o.procs = std::max<std::int32_t>(2, o.procs);
+  o.scale = std::max<std::int32_t>(1, o.scale);
+  const std::int32_t n = o.procs;
+  const std::int64_t rounds = o.scale;
+
+  ComputationBuilder b(n);
+  const VarId phase = b.var("phase");
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    std::vector<MsgId> joins;
+    for (ProcId i = 1; i < n; ++i) {
+      joins.push_back(b.send(i, 0));
+      b.label(i, "join");
+    }
+    for (ProcId i = 1; i < n; ++i) b.receive(0, joins[i - 1]);
+    b.write(0, phase, r + 1);
+    std::vector<MsgId> rels;
+    for (ProcId i = 1; i < n; ++i) {
+      rels.push_back(b.send(0, i));
+      b.label(0, "release");
+    }
+    for (ProcId i = 1; i < n; ++i) {
+      b.receive(i, rels[i - 1]);
+      b.write(i, phase, r + 1);
+    }
+  }
+
+  Scenario s;
+  s.name = "mpi_barrier";
+  s.options = o;
+  s.computation = std::move(b).build();
+
+  // Final cut: phase = rounds everywhere.
+  s.battery.push_back(cell("ef-all-phases-final", Op::kEF,
+                           all_ge(0, n, "phase", rounds), Verdict::kHolds));
+  s.battery.push_back(cell("af-terminated", Op::kAF, make_terminated(),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  // phase_a = r+1 needs release r, which needs every join r, and proc b's
+  // join of round r >= 1 follows its phase = r write: skew is at most 1.
+  const ProcId pa = n >= 3 ? 1 : 1;
+  const ProcId pb = n >= 3 ? 2 : 0;
+  s.battery.push_back(cell(
+      "ag-phase-skew-le-1", Op::kAG,
+      diff_le({pa, "phase"}, {pb, "phase"}, 1), Verdict::kHolds,
+      /*stress_safe=*/true));
+  s.battery.push_back(cell("ef-phase-skew-ge-2", Op::kEF,
+                           make_not(diff_le({pa, "phase"}, {pb, "phase"}, 1)),
+                           Verdict::kFails));
+  // One join per round, and the next join follows the round's release,
+  // which follows root's receive of this one.
+  s.battery.push_back(cell("ag-join-channel-le-1", Op::kAG,
+                           channel_bound_le(1, 0, 1), Verdict::kHolds,
+                           /*stress_safe=*/true));
+  // Consistent cut: proc 1 sent its first join, root received nothing.
+  s.battery.push_back(cell("ef-join-in-flight", Op::kEF,
+                           channel_bound_ge(1, 0, 1), Verdict::kHolds));
+  // The final cut is diagonal only for n == 2 (root does 2(n-1) events per
+  // round, everyone else 2), and termination holds nowhere else.
+  s.battery.push_back(cell(
+      "ef-equilevel-terminated", Op::kEF, make_equilevel(make_terminated()),
+      n == 2 ? Verdict::kHolds : Verdict::kFails, /*stress_safe=*/true));
+  // Any lattice path leaves the diagonal at its first step when n >= 2.
+  s.battery.push_back(cell("eg-equilevel-true", Op::kEG,
+                           make_equilevel(make_true()), Verdict::kFails,
+                           /*stress_safe=*/true));
+  return s;
+}
+
+// ---- mpi_alltoall -----------------------------------------------------------
+//
+// Ring neighbour exchange, `scale` rounds: every proc sends to (i+1) mod n
+// and receives from (i-1) mod n, writing rounds = r+1 on the receive.
+// Every proc does exactly 2 events per round — the equilevel host.
+Scenario mpi_alltoall(const CorpusOptions& opt) {
+  CorpusOptions o = opt;
+  o.procs = std::max<std::int32_t>(2, o.procs);
+  o.scale = std::max<std::int32_t>(1, o.scale);
+  const std::int32_t n = o.procs;
+  const std::int64_t rounds = o.scale;
+
+  ComputationBuilder b(n);
+  const VarId rv = b.var("rounds");
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    std::vector<MsgId> ms;
+    for (ProcId i = 0; i < n; ++i) ms.push_back(b.send(i, (i + 1) % n));
+    for (ProcId i = 0; i < n; ++i) {
+      b.receive(i, ms[(i + n - 1) % n]);
+      b.write(i, rv, r + 1);
+    }
+  }
+
+  Scenario s;
+  s.name = "mpi_alltoall";
+  s.options = o;
+  s.computation = std::move(b).build();
+
+  // The final cut is the diagonal (2*rounds, ..., 2*rounds).
+  s.battery.push_back(cell(
+      "ef-equilevel-all-rounds", Op::kEF,
+      make_equilevel(all_ge(0, n, "rounds", rounds)), Verdict::kHolds,
+      /*stress_safe=*/true));
+  // The all-sent diagonal cut (1, ..., 1) is consistent.
+  s.battery.push_back(cell("ef-equilevel-all-sent", Op::kEF,
+                           make_equilevel(progress_all(n, 1)),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ag-equilevel-true", Op::kAG,
+                           make_equilevel(make_true()), Verdict::kFails,
+                           /*stress_safe=*/true));
+  s.battery.push_back(cell("eg-equilevel-true", Op::kEG,
+                           make_equilevel(make_true()), Verdict::kFails,
+                           /*stress_safe=*/true));
+  // rounds_1 = r+1 needs proc 0's round-r send, which follows its round
+  // r-1 receive (rounds_0 = r): neighbour skew is at most 1.
+  s.battery.push_back(cell("ag-neighbor-skew-le-1", Op::kAG,
+                           diff_le({1, "rounds"}, {0, "rounds"}, 1),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ef-all-rounds-conj", Op::kEF,
+                           all_ge(0, n, "rounds", rounds), Verdict::kHolds));
+  s.battery.push_back(cell("ef-any-rounds-disj", Op::kEF,
+                           any_ge(n, "rounds", rounds), Verdict::kHolds,
+                           /*stress_safe=*/true));
+  // Proc 0's round-1 send needs only the ring chain behind it, not proc
+  // 1's receive: with >= 2 rounds two messages sit in channel 0 -> 1.
+  s.battery.push_back(cell(
+      "ag-channel-window-le-1", Op::kAG, channel_bound_le(0, 1, 1),
+      rounds >= 2 ? Verdict::kFails : Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ef-channel-2-in-flight", Op::kEF,
+                           channel_bound_ge(0, 1, 2),
+                           rounds >= 2 ? Verdict::kHolds : Verdict::kFails));
+  s.battery.push_back(cell("af-terminated", Op::kAF, make_terminated(),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(
+      cell("ef-sum-total", Op::kEF,
+           sum_ge(var_terms(n, "rounds"), std::int64_t{n} * rounds),
+           Verdict::kHolds));
+  return s;
+}
+
+// ---- peterson / peterson_bug ------------------------------------------------
+//
+// Mutual exclusion through a serializing lock server (the last proc).
+// Contender i, session s: send req -> recv grant (cs = 1) -> send release
+// (cs = 0). The server interleaves nothing: it receives the release of
+// each grant before issuing the next, so any cut with cs_j = 1 includes
+// every earlier holder's cs = 0 write (their release happened-before this
+// grant), and the next grant to anyone else happens-after cs_j = 0.
+// peterson_bug drops that wait once — in session 0 the server grants
+// contender 1 without collecting contender 0's release.
+namespace {
+
+Scenario lock_server(const CorpusOptions& opt, bool buggy) {
+  CorpusOptions o = opt;
+  o.procs = std::max<std::int32_t>(3, o.procs);
+  o.scale = std::max<std::int32_t>(1, o.scale);
+  const std::int32_t n = o.procs;
+  const ProcId srv = n - 1;
+  const std::int32_t contenders = n - 1;
+  const std::int64_t sessions = o.scale;
+
+  ComputationBuilder b(n);
+  const VarId cs = b.var("cs");
+
+  const auto serial_session = [&](ProcId i) {
+    const MsgId req = b.send(i, srv);
+    b.label(i, "req");
+    b.receive(srv, req);
+    const MsgId grant = b.send(srv, i);
+    b.label(srv, "grant");
+    b.receive(i, grant);
+    b.write(i, cs, 1);
+    const MsgId rel = b.send(i, srv);
+    b.write(i, cs, 0);
+    b.label(i, "release");
+    b.receive(srv, rel);
+  };
+
+  for (std::int64_t sess = 0; sess < sessions; ++sess) {
+    if (buggy && sess == 0) {
+      // Both grants issued before any release is collected.
+      const MsgId req0 = b.send(0, srv);
+      b.receive(srv, req0);
+      const MsgId req1 = b.send(1, srv);
+      b.receive(srv, req1);
+      const MsgId g0 = b.send(srv, 0);
+      const MsgId g1 = b.send(srv, 1);
+      b.receive(0, g0);
+      b.write(0, cs, 1);
+      b.receive(1, g1);
+      b.write(1, cs, 1);
+      const MsgId r0 = b.send(0, srv);
+      b.write(0, cs, 0);
+      b.receive(srv, r0);
+      const MsgId r1 = b.send(1, srv);
+      b.write(1, cs, 0);
+      b.receive(srv, r1);
+      for (ProcId i = 2; i < contenders; ++i) serial_session(i);
+    } else {
+      for (ProcId i = 0; i < contenders; ++i) serial_session(i);
+    }
+  }
+
+  Scenario s;
+  s.name = buggy ? "peterson_bug" : "peterson";
+  s.options = o;
+  s.computation = std::move(b).build();
+
+  const Verdict both = buggy ? Verdict::kHolds : Verdict::kFails;
+  const Verdict mutex = buggy ? Verdict::kFails : Verdict::kHolds;
+  s.battery.push_back(
+      cell("ef-both-in-cs", Op::kEF,
+           make_conjunctive({var_cmp(0, "cs", Cmp::kEq, 1),
+                             var_cmp(1, "cs", Cmp::kEq, 1)}),
+           both));
+  s.battery.push_back(
+      cell("ag-mutex", Op::kAG,
+           make_disjunctive({var_cmp(0, "cs", Cmp::kEq, 0),
+                             var_cmp(1, "cs", Cmp::kEq, 0)}),
+           mutex));
+  // The canonical order grants contender 0 before contender 1 ever enters.
+  s.battery.push_back(until_cell("eu-cs0-before-cs1", Op::kEU,
+                                 var_cmp(1, "cs", Cmp::kEq, 0),
+                                 var_cmp(0, "cs", Cmp::kEq, 1),
+                                 Verdict::kHolds));
+  s.battery.push_back(cell("ef-cs0", Op::kEF, var_cmp(0, "cs", Cmp::kEq, 1),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("af-terminated", Op::kAF, make_terminated(),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  return s;
+}
+
+}  // namespace
+
+Scenario peterson(const CorpusOptions& opt) {
+  return lock_server(opt, /*buggy=*/false);
+}
+
+Scenario peterson_bug(const CorpusOptions& opt) {
+  return lock_server(opt, /*buggy=*/true);
+}
+
+// ---- election ---------------------------------------------------------------
+//
+// Chang–Roberts on a unidirectional ring with a seed-shuffled id
+// permutation. Every proc launches its id clockwise; a token survives a
+// hop only if it beats the receiver's id; the maximum id returns to its
+// owner, which writes elected = 1 and floods leader_id around the ring.
+// `scale` prepends internal "work" events so the knob still grows |E|.
+Scenario election(const CorpusOptions& opt) {
+  CorpusOptions o = opt;
+  o.procs = std::max<std::int32_t>(2, o.procs);
+  o.scale = std::max<std::int32_t>(0, o.scale);
+  const std::int32_t n = o.procs;
+
+  std::vector<std::int64_t> id(n);
+  for (std::int32_t i = 0; i < n; ++i) id[i] = i + 1;
+  std::mt19937_64 rng(o.seed);
+  std::shuffle(id.begin(), id.end(), rng);
+  const ProcId leader = static_cast<ProcId>(
+      std::max_element(id.begin(), id.end()) - id.begin());
+  const std::int64_t max_id = id[leader];
+
+  ComputationBuilder b(n);
+  const VarId elected = b.var("elected");
+  const VarId leader_id = b.var("leader_id");
+  for (std::int64_t r = 0; r < o.scale; ++r)
+    for (ProcId i = 0; i < n; ++i) b.internal(i);
+
+  struct Token {
+    std::int64_t id;
+    ProcId at;
+    MsgId msg;
+  };
+  std::vector<Token> toks;
+  for (ProcId i = 0; i < n; ++i) toks.push_back({id[i], i, -1});
+  while (!toks.empty()) {
+    for (Token& t : toks) {
+      t.msg = b.send(t.at, (t.at + 1) % n);
+      t.at = (t.at + 1) % n;
+    }
+    std::vector<Token> live;
+    for (Token& t : toks) {
+      b.receive(t.at, t.msg);
+      if (t.id == id[t.at]) {
+        b.write(t.at, elected, 1);
+        b.write(t.at, leader_id, t.id);
+      } else if (t.id > id[t.at]) {
+        live.push_back(t);
+      }
+    }
+    toks = std::move(live);
+  }
+  // Leader floods the result once around the ring; the hop before the
+  // leader stops the token.
+  MsgId ann = b.send(leader, (leader + 1) % n);
+  for (ProcId at = (leader + 1) % n; at != leader; at = (at + 1) % n) {
+    b.receive(at, ann);
+    b.write(at, leader_id, max_id);
+    if ((at + 1) % n != leader) ann = b.send(at, (at + 1) % n);
+  }
+
+  Scenario s;
+  s.name = "election";
+  s.options = o;
+  s.computation = std::move(b).build();
+
+  s.battery.push_back(cell("ef-leader-elected", Op::kEF,
+                           var_cmp(leader, "elected", Cmp::kEq, 1),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  // elected is written by the unique maximum's owner only.
+  s.battery.push_back(cell("ag-at-most-one-leader", Op::kAG,
+                           sum_le(var_terms(n, "elected"), 1),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ef-two-leaders", Op::kEF,
+                           sum_ge(var_terms(n, "elected"), 2),
+                           Verdict::kFails));
+  s.battery.push_back(cell("af-all-learn-leader", Op::kAF,
+                           all_ge(0, n, "leader_id", max_id),
+                           Verdict::kHolds));
+  s.battery.push_back(cell("af-terminated", Op::kAF, make_terminated(),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  return s;
+}
+
+// ---- replication ------------------------------------------------------------
+//
+// Primary-backup with a one-update ack window. Update u (1-based):
+// primary logs u, broadcasts, each backup applies u and acks, primary
+// commits u on the last ack. The window bounds every skew the battery
+// asserts: log leads applied by <= 1, applied leads committed by <= 1,
+// committed never leads applied.
+Scenario replication(const CorpusOptions& opt) {
+  CorpusOptions o = opt;
+  o.procs = std::max<std::int32_t>(2, o.procs);
+  o.scale = std::max<std::int32_t>(1, o.scale);
+  const std::int32_t n = o.procs;
+  const std::int64_t updates = o.scale;
+
+  ComputationBuilder b(n);
+  const VarId log_v = b.var("log");
+  const VarId applied = b.var("applied");
+  const VarId committed = b.var("committed");
+  for (std::int64_t u = 1; u <= updates; ++u) {
+    b.internal(0);
+    b.write(0, log_v, u);
+    std::vector<MsgId> ups, acks;
+    for (ProcId i = 1; i < n; ++i) ups.push_back(b.send(0, i));
+    for (ProcId i = 1; i < n; ++i) {
+      b.receive(i, ups[i - 1]);
+      b.write(i, applied, u);
+      acks.push_back(b.send(i, 0));
+    }
+    for (ProcId i = 1; i < n; ++i) b.receive(0, acks[i - 1]);
+    b.write(0, committed, u);
+  }
+
+  Scenario s;
+  s.name = "replication";
+  s.options = o;
+  s.computation = std::move(b).build();
+
+  s.battery.push_back(cell("ag-log-lead-le-1", Op::kAG,
+                           diff_le({0, "log"}, {1, "applied"}, 1),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ag-applied-lead-le-1", Op::kAG,
+                           diff_le({1, "applied"}, {0, "committed"}, 1),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ag-committed-le-applied", Op::kAG,
+                           diff_le({0, "committed"}, {1, "applied"}, 0),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  s.battery.push_back(cell("ef-all-applied", Op::kEF,
+                           all_ge(1, n, "applied", updates),
+                           Verdict::kHolds));
+  s.battery.push_back(cell("ef-over-commit", Op::kEF,
+                           sum_ge({{0, "committed"}}, updates + 1),
+                           Verdict::kFails));
+  s.battery.push_back(cell("ag-update-channel-le-1", Op::kAG,
+                           channel_bound_le(0, 1, 1), Verdict::kHolds,
+                           /*stress_safe=*/true));
+  s.battery.push_back(cell("af-terminated", Op::kAF, make_terminated(),
+                           Verdict::kHolds, /*stress_safe=*/true));
+  return s;
+}
+
+// ---- registry ---------------------------------------------------------------
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> kRegistry = {
+      {"mpi_barrier", "flat fan-in/fan-out barrier, root-coordinated",
+       &mpi_barrier},
+      {"mpi_alltoall", "ring neighbour exchange, uniform event counts",
+       &mpi_alltoall},
+      {"peterson", "lock-server mutual exclusion, serialized grants",
+       &peterson},
+      {"peterson_bug", "lock-server mutex with one lost release wait",
+       &peterson_bug},
+      {"election", "Chang-Roberts ring election, shuffled ids", &election},
+      {"replication", "primary-backup with a one-update ack window",
+       &replication},
+  };
+  return kRegistry;
+}
+
+Scenario build_scenario(std::string_view name, const CorpusOptions& opt) {
+  for (const ScenarioSpec& spec : scenario_registry())
+    if (name == spec.name) return spec.build(opt);
+  HBCT_ASSERT_MSG(false, "unknown corpus scenario");
+}
+
+}  // namespace hbct::corpus

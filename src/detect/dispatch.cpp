@@ -10,6 +10,7 @@
 #include "detect/disjunctive.h"
 #include "detect/ef_linear.h"
 #include "detect/eg_linear.h"
+#include "detect/equilevel.h"
 #include "detect/parallel.h"
 #include "detect/until.h"
 #include "predicate/conjunctive.h"
@@ -52,6 +53,9 @@ DetectResult detect_unary(const Computation& c, Op op, const PredicatePtr& p,
     case Algo::kStableFinal:
     case Algo::kStableInitial:
       return detect_stable(c, *p, op, opt.budget);
+
+    case Algo::kEquilevelScan:
+      return detect_equilevel(c, *p, op, opt.budget);
 
     case Algo::kEfDisjunctive:
       return detect_ef_disjunctive(c, *as_disjunctive(p), opt.budget);

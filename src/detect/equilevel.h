@@ -1,0 +1,30 @@
+// Diagonal-chain detection for equilevel predicates (kClassEquilevel).
+//
+// All satisfying cuts of an equilevel predicate lie on the chain
+// C_l = (l, ..., l), l = 0..L = min_i |E_i|, so:
+//
+//   EF p : ∃ consistent C_l with p(C_l) — scan the chain upward; the first
+//          hit is the least satisfying cut.
+//   AG p : any off-diagonal consistent cut falsifies p, and one exists as
+//          soon as n >= 2 and |E| >= 1 (advance the initial cut by the
+//          first linearization event). Otherwise (n <= 1, or no events)
+//          every consistent cut is on the chain: scan it.
+//   EG p : a lattice path advances one process at a time, so with n >= 2 it
+//          leaves the diagonal at its very first step — EG fails whenever
+//          n >= 2 and |E| >= 1. For n <= 1 the chain IS the only path.
+//   AF   : not chain-decidable (observations can avoid the diagonal
+//          entirely); the planner never routes AF here.
+//
+// Each chain cut costs one O(n^2) consistency test plus one evaluation:
+// O(n^2 min|E_i|) total, against the worst-case-exponential fallback the
+// same predicates would otherwise take.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace hbct {
+
+DetectResult detect_equilevel(const Computation& c, const Predicate& p, Op op,
+                              const Budget& budget);
+
+}  // namespace hbct

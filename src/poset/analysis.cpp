@@ -38,7 +38,7 @@ std::int32_t computation_height(const Computation& c) {
     std::int32_t prev = 0;
     if (eid.index > 1)
       prev = h[ix.of(EventId{eid.proc, eid.index - 1})];
-    const Event& ev = c.event(eid);
+    const EventView ev = c.event_view(eid);
     if (ev.kind == EventKind::kReceive) {
       // Locate the send: the peer process owns it; find via the message id
       // recorded on the event by scanning that process's events once would

@@ -1,6 +1,7 @@
 #include "poset/computation.h"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 
 #include "util/assert.h"
@@ -12,14 +13,25 @@ std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
 }  // namespace
 
 const Event& Computation::event(ProcId i, EventIndex idx) const {
+  HBCT_DASSERT(!is_view());  // event() needs owning storage; use event_view()
   HBCT_DASSERT(i >= 0 && i < num_procs());
   HBCT_DASSERT(idx >= trimmed(i) + 1 && idx <= num_events(i));
   return procs_[sz(i)][sz(idx - 1 - trimmed(i))];
 }
 
+EventView Computation::event_view(ProcId i, EventIndex idx) const {
+  HBCT_DASSERT(i >= 0 && i < num_procs());
+  HBCT_DASSERT(idx >= trimmed(i) + 1 && idx <= num_events(i));
+  if (arena_)
+    return EventView(arena_->events[sz(i)][sz(idx - 1)], arena_->writes_pool,
+                     arena_->labels_pool);
+  return EventView(procs_[sz(i)][sz(idx - 1 - trimmed(i))]);
+}
+
 VClockView Computation::vclock(ProcId i, EventIndex idx) const {
   HBCT_DASSERT(idx >= vclock_base(i) && idx <= num_events(i));
   const std::size_t n = procs_.size();
+  if (arena_) return VClockView(arena_->vclocks[sz(i)] + sz(idx - 1) * n, n);
   return VClockView(vclocks_[sz(i)].data() + sz(idx - vclock_base(i)) * n, n);
 }
 
@@ -64,13 +76,14 @@ std::int64_t Computation::value_at(ProcId i, VarId v, EventIndex pos) const {
   HBCT_DASSERT(i >= 0 && i < num_procs());
   HBCT_DASSERT(v >= 0 && v < num_vars());
   HBCT_DASSERT(pos >= trimmed(i) && pos <= num_events(i));
+  if (arena_) return arena_timeline(i, v)[sz(pos)];
   return values_[sz(i)][sz(v)][sz(pos - trimmed(i))];
 }
 
 std::int32_t Computation::in_transit(ProcId from, ProcId to, const Cut& g) const {
   HBCT_DASSERT(from >= 0 && from < num_procs());
   HBCT_DASSERT(to >= 0 && to < num_procs());
-  if (sends_to_[sz(from)][sz(to)].empty()) return 0;
+  if (!channel_active(from, to)) return 0;
   const std::int32_t sent = sends_up_to(from, to, g[sz(from)]);
   const std::int32_t rcvd = recvs_up_to(to, from, g[sz(to)]);
   HBCT_DASSERT(sent >= rcvd);
@@ -81,7 +94,7 @@ std::int64_t Computation::in_transit_total(const Cut& g) const {
   std::int64_t t = 0;
   for (ProcId i = 0; i < num_procs(); ++i)
     for (ProcId j = 0; j < num_procs(); ++j)
-      if (!sends_to_[sz(i)][sz(j)].empty()) t += in_transit(i, j, g);
+      if (channel_active(i, j)) t += in_transit(i, j, g);
   return t;
 }
 
@@ -200,11 +213,67 @@ std::optional<EventId> Computation::find_label(std::string_view label) const {
   // payloads (and with them their labels).
   for (ProcId i = 0; i < num_procs(); ++i)
     for (EventIndex k = trimmed(i) + 1; k <= num_events(i); ++k)
-      if (event(i, k).label == label) return EventId{i, k};
+      if (event_view(i, k).label == label) return EventId{i, k};
   return std::nullopt;
 }
 
+Computation Computation::from_arena(MappedArenaPtr arena,
+                                    std::vector<std::string> var_names) {
+  Computation c;
+  c.arena_ = std::move(arena);
+  const MappedArena& a = *c.arena_;
+  HBCT_ASSERT(static_cast<std::int32_t>(var_names.size()) == a.nvars);
+  c.procs_.resize(sz(a.nprocs));  // empty inners: shape only
+  c.total_events_ = a.total_events;
+  c.num_messages_ = a.num_messages;
+  c.var_names_ = std::move(var_names);
+  for (VarId v = 0; v < static_cast<VarId>(c.var_names_.size()); ++v)
+    c.var_ids_.emplace(c.var_names_[sz(v)], v);
+  // The linearization section has EventId's exact layout; one bulk copy
+  // keeps linearization() returning a plain vector in both modes.
+  static_assert(sizeof(EventId) == 8 && std::is_trivially_copyable_v<EventId>);
+  c.linearization_.resize(static_cast<std::size_t>(a.total_events));
+  if (a.total_events > 0)
+    std::memcpy(c.linearization_.data(), a.linearization,
+                sizeof(EventId) * static_cast<std::size_t>(a.total_events));
+  return c;
+}
+
+Computation Computation::materialize() const {
+  if (!is_view()) return *this;
+  Computation out;
+  const std::size_t n = sz(num_procs());
+  const std::size_t nv = sz(num_vars());
+  out.procs_.resize(n);
+  out.var_names_ = var_names_;
+  out.var_ids_ = var_ids_;
+  out.linearization_ = linearization_;
+  for (ProcId i = 0; i < num_procs(); ++i) {
+    auto& dst = out.procs_[sz(i)];
+    dst.reserve(sz(num_events(i)));
+    for (EventIndex k = 1; k <= num_events(i); ++k) {
+      const EventView v = event_view(i, k);
+      Event e;
+      e.kind = v.kind;
+      e.peer = v.peer;
+      e.msg = v.msg;
+      e.label = std::string(v.label);
+      e.writes.reserve(v.num_writes());
+      for (std::size_t w = 0; w < v.num_writes(); ++w)
+        e.writes.push_back(v.write_at(w));
+      dst.push_back(std::move(e));
+    }
+  }
+  out.initial_.assign(n, std::vector<std::int64_t>(nv, 0));
+  for (ProcId i = 0; i < num_procs(); ++i)
+    for (VarId v = 0; v < num_vars(); ++v)
+      out.initial_[sz(i)][sz(v)] = value_at(i, v, 0);
+  out.finalize();
+  return out;
+}
+
 Computation Computation::prefix(const Cut& k) const {
+  if (is_view()) return materialize().prefix(k);
   HBCT_ASSERT_MSG(trimmed_events_ == 0,
                   "prefix of a GC'd computation is not supported");
   HBCT_ASSERT_MSG(is_consistent(k), "prefix requires a consistent cut");
@@ -336,7 +405,8 @@ void Computation::compute_rvclocks() const {
   const std::size_t n = procs_.size();
   rvcache_.clocks.assign(n, {});
   for (std::size_t i = 0; i < n; ++i)
-    rvcache_.clocks[i].assign(procs_[i].size() * n, 0);
+    rvcache_.clocks[i].assign(
+        sz(num_events(static_cast<ProcId>(i))) * n, 0);
   auto row = [&](ProcId i, EventIndex idx) {
     return rvcache_.clocks[sz(i)].data() + sz(idx - 1) * n;
   };
@@ -344,7 +414,7 @@ void Computation::compute_rvclocks() const {
   VClock rvc(n);
   for (auto it = linearization_.rbegin(); it != linearization_.rend(); ++it) {
     const EventId& eid = *it;
-    const Event& ev = event(eid);
+    const EventView ev = event_view(eid);
     // rvc(e)[j] counts events f on j with e <= f; start from the successor
     // on the same process (if any).
     if (eid.index < num_events(eid.proc)) {
@@ -378,7 +448,7 @@ void Computation::validate() const {
     HBCT_ASSERT(eid.proc >= 0 && sz(eid.proc) < n);
     HBCT_ASSERT(eid.index == seen[sz(eid.proc)] + 1);
     seen[sz(eid.proc)] = eid.index;
-    const Event& ev = event(eid);
+    const EventView ev = event_view(eid);
     if (ev.kind == EventKind::kSend) {
       HBCT_ASSERT(ev.msg != kNoMsg);
       HBCT_ASSERT(!sent.count(ev.msg));
@@ -390,7 +460,7 @@ void Computation::validate() const {
     }
   }
   for (std::size_t i = 0; i < n; ++i)
-    HBCT_ASSERT(seen[i] == static_cast<EventIndex>(procs_[i].size()));
+    HBCT_ASSERT(seen[i] == num_events(static_cast<ProcId>(i)));
 
   // Clock sanity: vc(e)[proc(e)] == index(e); clocks strictly increase along
   // a process; rvc(e)[proc(e)] counts the suffix.

@@ -7,6 +7,14 @@
 // channel prefix counters are all precomputed so that the predicate
 // detectors' inner loops are O(n) or O(1) per step, matching the cost model
 // used in the paper's complexity claims.
+//
+// Two storage modes share one interface:
+//   owning  the builder/online path: per-event vectors plus flat clock and
+//           timeline arenas computed by finalize().
+//   view    zero-copy over a MappedArena (poset/arena.h): every accessor
+//           reads straight from the mapped hbct-mtrace sections. Loading is
+//           O(procs + vars) allocations; event() is unavailable (payloads
+//           are packed) — use event_view(), which works in both modes.
 #pragma once
 
 #include <atomic>
@@ -17,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "poset/arena.h"
 #include "poset/cut.h"
 #include "poset/event.h"
 #include "poset/vclock.h"
@@ -34,9 +43,26 @@ class Computation {
 
   std::int32_t num_procs() const { return static_cast<std::int32_t>(procs_.size()); }
   EventIndex num_events(ProcId i) const {
+    if (arena_) return arena_->counts[static_cast<std::size_t>(i)];
     return trimmed(i) +
            static_cast<EventIndex>(procs_[static_cast<std::size_t>(i)].size());
   }
+
+  /// True when this computation borrows from a MappedArena (mtrace load)
+  /// instead of owning its event storage. View computations are frozen:
+  /// OnlineAppender refuses them and event() is unavailable.
+  bool is_view() const { return arena_ != nullptr; }
+
+  /// Wraps a fully-validated arena (the mtrace loader's product) without
+  /// copying event data. `var_names` carries the VarNames section in
+  /// registration order; its size must equal arena->nvars.
+  static Computation from_arena(MappedArenaPtr arena,
+                                std::vector<std::string> var_names);
+
+  /// Deep-copies a view computation into owning storage (recomputing the
+  /// derived tables via the builder-path finalize). Owning computations
+  /// return a plain copy.
+  Computation materialize() const;
   /// |E| — total number of events across all processes (including events
   /// whose storage was reclaimed by prefix GC; indices stay absolute).
   std::int64_t total_events() const { return total_events_; }
@@ -57,9 +83,16 @@ class Computation {
   /// Events currently resident in memory.
   std::int64_t resident_events() const { return total_events_ - trimmed_events_; }
 
-  /// Event payload; `idx` is 1-based.
+  /// Event payload; `idx` is 1-based. Owning mode only (view-mode events
+  /// are packed records, not Event structs) — use event_view() for code
+  /// that must serve both modes.
   const Event& event(ProcId i, EventIndex idx) const;
   const Event& event(EventId e) const { return event(e.proc, e.index); }
+
+  /// Mode-independent event payload view; valid while the computation (and
+  /// its arena) is alive.
+  EventView event_view(ProcId i, EventIndex idx) const;
+  EventView event_view(EventId e) const { return event_view(e.proc, e.index); }
 
   /// Fidge-Mattern clock of the event (1-based idx). The view points into
   /// the computation's flat clock arena: valid while the computation is
@@ -98,9 +131,16 @@ class Computation {
   /// per-call bounds checks and indirections out of their inner loop.
   /// Positions are absolute, so this view is only available while no prefix
   /// has been reclaimed (trimmed storage starts at offset trimmed(i)).
-  const std::vector<std::int64_t>& value_timeline(ProcId i, VarId v) const {
+  /// The view is invalidated by OnlineAppender growth, exactly as the
+  /// underlying storage is.
+  TimelineView value_timeline(ProcId i, VarId v) const {
+    if (arena_)
+      return TimelineView(arena_timeline(i, v),
+                          static_cast<std::size_t>(num_events(i)) + 1);
     HBCT_DASSERT(trimmed(i) == 0);
-    return values_[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+    const auto& tl =
+        values_[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)];
+    return TimelineView(tl.data(), tl.size());
   }
 
   /// Convenience: value of variable v on process i in global state G.
@@ -119,6 +159,7 @@ class Computation {
 
   /// True when any message was ever sent from `from` to `to`.
   bool channel_active(ProcId from, ProcId to) const {
+    if (arena_) return arena_channel(arena_->sends, from, to) != nullptr;
     return !sends_to_[static_cast<std::size_t>(from)]
                      [static_cast<std::size_t>(to)]
                          .empty();
@@ -128,6 +169,10 @@ class Computation {
   /// consistency requirement, so incremental evaluators may call it on cuts
   /// that are transiently inconsistent mid-seek.
   std::int32_t sends_up_to(ProcId from, ProcId to, EventIndex pos) const {
+    if (arena_) {
+      const std::int32_t* t = arena_channel(arena_->sends, from, to);
+      return t == nullptr ? 0 : t[static_cast<std::size_t>(pos)];
+    }
     const auto& t = sends_to_[static_cast<std::size_t>(from)]
                              [static_cast<std::size_t>(to)];
     if (t.empty()) return 0;
@@ -137,6 +182,10 @@ class Computation {
   /// Messages received at `to` from `from` among the first `pos` events of
   /// `to`.
   std::int32_t recvs_up_to(ProcId to, ProcId from, EventIndex pos) const {
+    if (arena_) {
+      const std::int32_t* t = arena_channel(arena_->recvs, to, from);
+      return t == nullptr ? 0 : t[static_cast<std::size_t>(pos)];
+    }
     const auto& t = recvs_from_[static_cast<std::size_t>(to)]
                                [static_cast<std::size_t>(from)];
     if (t.empty()) return 0;
@@ -213,6 +262,21 @@ class Computation {
   void finalize();            // computes clocks and tables (builder path)
   void compute_rvclocks() const;  // (re)derives the reverse clocks
 
+  /// Timeline row of variable v on process i inside the arena.
+  const std::int64_t* arena_timeline(ProcId i, VarId v) const {
+    return arena_->values[static_cast<std::size_t>(i) *
+                              static_cast<std::size_t>(arena_->nvars) +
+                          static_cast<std::size_t>(v)];
+  }
+  /// Channel prefix-counter table of the arena's dense n*n pointer matrix;
+  /// nullptr marks an inactive channel.
+  const std::int32_t* arena_channel(const std::vector<const std::int32_t*>& m,
+                                    ProcId owner, ProcId peer) const {
+    return m[static_cast<std::size_t>(owner) *
+                 static_cast<std::size_t>(num_procs()) +
+             static_cast<std::size_t>(peer)];
+  }
+
   /// Absolute index of the first retained vclock arena row of process i.
   /// After a trim one boundary row (the clock of event trimmed(i)) is kept
   /// so consistency tests and online clock seeding keep working at the trim
@@ -252,6 +316,12 @@ class Computation {
       return *this;
     }
   };
+
+  /// View-mode backing; non-null puts the accessors on their arena
+  /// branches. procs_ is still resized to nprocs (with empty inner vectors)
+  /// so num_procs() and the geometry code shares one shape; vclocks_,
+  /// values_, initial_ and the channel tables stay empty.
+  MappedArenaPtr arena_;
 
   std::vector<std::vector<Event>> procs_;
   /// Per-process flat clock arena, stride num_procs: vclocks_[i] stores the

@@ -12,7 +12,7 @@ namespace {
 
 std::string event_text(const Computation& c, const EventId& eid,
                        const DiagramOptions& opt) {
-  const Event& ev = c.event(eid);
+  const EventView ev = c.event_view(eid);
   std::ostringstream os;
   if (opt.show_labels && !ev.label.empty())
     os << ev.label;
@@ -29,8 +29,10 @@ std::string event_text(const Computation& c, const EventId& eid,
       break;
   }
   if (opt.show_writes)
-    for (const Assignment& a : ev.writes)
+    for (std::size_t k = 0; k < ev.num_writes(); ++k) {
+      const Assignment a = ev.write_at(k);
       os << " " << c.var_name(a.var) << "=" << a.value;
+    }
   return os.str();
 }
 

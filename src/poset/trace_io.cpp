@@ -13,10 +13,13 @@ namespace hbct {
 
 namespace {
 
-void write_event_tail(std::ostream& os, const Computation& c, const Event& ev) {
+void write_event_tail(std::ostream& os, const Computation& c,
+                      const EventView& ev) {
   if (!ev.label.empty()) os << " label=" << ev.label;
-  for (const Assignment& a : ev.writes)
+  for (std::size_t k = 0; k < ev.num_writes(); ++k) {
+    const Assignment a = ev.write_at(k);
     os << " " << c.var_name(a.var) << "=" << a.value;
+  }
   os << "\n";
 }
 
@@ -32,7 +35,7 @@ void write_trace(std::ostream& os, const Computation& c) {
       if (init != 0) os << "init " << i << " " << c.var_name(v) << " " << init << "\n";
     }
   for (const EventId& eid : c.linearization()) {
-    const Event& ev = c.event(eid);
+    const EventView ev = c.event_view(eid);
     os << "ev " << eid.proc << " ";
     switch (ev.kind) {
       case EventKind::kInternal:
@@ -477,7 +480,7 @@ std::string trace_to_binary_string(const Computation& c) {
       emit(ir);
     }
   for (const EventId& eid : c.linearization()) {
-    const Event& ev = c.event(eid);
+    const EventView ev = c.event_view(eid);
     wire::Record er;
     switch (ev.kind) {
       case EventKind::kInternal:
@@ -495,9 +498,11 @@ std::string trace_to_binary_string(const Computation& c) {
     }
     er.proc = eid.proc;
     er.label = ev.label;
-    for (const Assignment& a : ev.writes)
+    for (std::size_t k = 0; k < ev.num_writes(); ++k) {
+      const Assignment a = ev.write_at(k);
       er.writes.push_back(
           wire::WireWrite{static_cast<std::uint32_t>(a.var), a.value});
+    }
     emit(er);
   }
   r = wire::Record{};

@@ -1,0 +1,45 @@
+#include "predicate/equilevel.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace hbct {
+
+bool is_equilevel_cut(const Cut& g) {
+  for (std::size_t i = 1; i < g.size(); ++i)
+    if (g[i] != g[0]) return false;
+  return true;
+}
+
+namespace {
+
+class EquilevelPredicate final : public Predicate {
+ public:
+  explicit EquilevelPredicate(PredicatePtr inner) : inner_(std::move(inner)) {
+    HBCT_ASSERT(inner_);
+  }
+
+  bool eval(const Computation& c, const Cut& g) const override {
+    return is_equilevel_cut(g) && inner_->eval(c, g);
+  }
+
+  ClassSet classes(const Computation&) const override {
+    return kClassEquilevel;
+  }
+
+  std::string describe() const override {
+    return "equilevel(" + inner_->describe() + ")";
+  }
+
+ private:
+  PredicatePtr inner_;
+};
+
+}  // namespace
+
+PredicatePtr make_equilevel(PredicatePtr inner) {
+  return std::make_shared<EquilevelPredicate>(std::move(inner));
+}
+
+}  // namespace hbct

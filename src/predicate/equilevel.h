@@ -1,0 +1,27 @@
+// Equilevel predicates: satisfying cuts confined to the diagonal chain.
+//
+// A cut is *equilevel* when every process has executed the same number of
+// events: G = (l, l, ..., l). The consistent equilevel cuts form a chain
+// C_0 < C_1 < ... < C_L (L = min_i |E_i|) inside the cut lattice, so a
+// predicate whose satisfying cuts all lie on that chain is detected by
+// scanning at most L + 1 cuts instead of walking the lattice — the
+// equilevel-scan route of the dispatcher (kClassEquilevel,
+// detect/equilevel.h). Canonical examples: round-synchronized protocol
+// invariants ("all processes are between the same barrier pair"), checked
+// at the barrier levels.
+#pragma once
+
+#include "predicate/predicate.h"
+
+namespace hbct {
+
+/// True at cut g iff g is equilevel (all components equal).
+bool is_equilevel_cut(const Cut& g);
+
+/// inner ∧ "the cut is equilevel". The satisfying set is the inner
+/// predicate's restricted to the diagonal, so the result always carries
+/// kClassEquilevel (and nothing else: the restriction breaks the lattice
+/// closure properties the other classes encode).
+PredicatePtr make_equilevel(PredicatePtr inner);
+
+}  // namespace hbct

@@ -122,7 +122,7 @@ LocalEval::LocalEval(const Computation& c, const LocalPredicate& p)
       // would (never earlier).
       const auto v = c.var_id(s.var);
       if (!v.has_value()) break;
-      timeline_ = &c.value_timeline(p.proc(), *v);
+      timeline_ = c.value_timeline(p.proc(), *v);
       kind_ = s.kind;
       op_ = s.op;
       rhs_ = s.rhs;

@@ -97,8 +97,7 @@ class LocalEval {
   bool operator()(EventIndex pos) const {
     switch (kind_) {
       case LocalSpec::Kind::kVarCmp:
-        return cmp_eval(op_, (*timeline_)[static_cast<std::size_t>(pos)],
-                        rhs_);
+        return cmp_eval(op_, timeline_[static_cast<std::size_t>(pos)], rhs_);
       case LocalSpec::Kind::kPosCmp:
         return cmp_eval(op_, pos, rhs_);
       case LocalSpec::Kind::kConst:
@@ -114,7 +113,7 @@ class LocalEval {
   const Computation* c_;
   const LocalPredicate* p_;
   LocalSpec::Kind kind_ = LocalSpec::Kind::kOpaque;
-  const std::vector<std::int64_t>* timeline_ = nullptr;  // kVarCmp
+  TimelineView timeline_;  // kVarCmp
   Cmp op_ = Cmp::kEq;
   std::int64_t rhs_ = 0;
   bool const_ = false;

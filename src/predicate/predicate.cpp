@@ -31,6 +31,7 @@ std::string classes_to_string(ClassSet s) {
       {kClassLinear, "linear"},
       {kClassPostLinear, "post-linear"},
       {kClassRegular, "regular"},
+      {kClassEquilevel, "equilevel"},
   };
   std::string out;
   for (const auto& [flag, name] : kNames) {

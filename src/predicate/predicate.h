@@ -40,6 +40,13 @@ enum : ClassSet {
   kClassLinear = 1u << 5,
   kClassPostLinear = 1u << 6,
   kClassRegular = 1u << 7,
+  /// Every satisfying cut is a diagonal cut (l, l, ..., l): the satisfying
+  /// set lies on the equilevel chain C_0 < C_1 < ... < C_min|E_i|. Detection
+  /// reduces to scanning that chain (detect/equilevel.h); EF/EG/AG become
+  /// O(n^2 min|E_i|). Not implied by and not implying any other class —
+  /// diagonal sets are generally neither meet- nor join-closed relative to
+  /// the full lattice walk structure the other algorithms rely on.
+  kClassEquilevel = 1u << 8,
 };
 
 /// Applies the containment rules until fixpoint.

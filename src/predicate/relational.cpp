@@ -57,7 +57,7 @@ class SumCursor final : public EvalCursor {
  public:
   struct Term {
     ProcId proc;
-    const std::vector<std::int64_t>* tl;
+    TimelineView tl;
     std::int64_t sign;
   };
 
@@ -65,16 +65,16 @@ class SumCursor final : public EvalCursor {
             Cmp op, std::int64_t k)
       : EvalCursor(c, g), terms_(std::move(terms)), op_(op), k_(k) {
     for (const Term& t : terms_)
-      sum_ += t.sign * (*t.tl)[static_cast<std::size_t>(
-                  g[static_cast<std::size_t>(t.proc)])];
+      sum_ += t.sign *
+              t.tl[static_cast<std::size_t>(g[static_cast<std::size_t>(t.proc)])];
   }
 
   void on_update(ProcId i, EventIndex old_pos) override {
     const EventIndex now = cut()[static_cast<std::size_t>(i)];
     for (const Term& t : terms_)
       if (t.proc == i)
-        sum_ += t.sign * ((*t.tl)[static_cast<std::size_t>(now)] -
-                          (*t.tl)[static_cast<std::size_t>(old_pos)]);
+        sum_ += t.sign * (t.tl[static_cast<std::size_t>(now)] -
+                          t.tl[static_cast<std::size_t>(old_pos)]);
   }
 
   bool value() override { return cmp_eval(op_, sum_, k_); }
@@ -99,7 +99,7 @@ EvalCursorPtr make_sum_cursor(const Computation& c, const Cut& g,
     const auto v = c.var_id(ts[i].var);
     if (!v.has_value()) return nullptr;
     terms.push_back(
-        {ts[i].proc, &c.value_timeline(ts[i].proc, *v), signs[i]});
+        {ts[i].proc, c.value_timeline(ts[i].proc, *v), signs[i]});
   }
   return std::make_unique<SumCursor>(c, g, std::move(terms), op, k);
 }

@@ -1,0 +1,80 @@
+#include "alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<bool> g_on{false};
+
+void* counted_alloc(std::size_t n) {
+  if (g_on.load(std::memory_order_relaxed))
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  if (g_on.load(std::memory_order_relaxed))
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n ? n : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+namespace hbct::testhooks {
+
+std::uint64_t alloc_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+bool set_alloc_counting(bool on) {
+  return g_on.exchange(on, std::memory_order_relaxed);
+}
+
+}  // namespace hbct::testhooks
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  if (g_on.load(std::memory_order_relaxed))
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  if (g_on.load(std::memory_order_relaxed))
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,35 @@
+// Global allocation counting for the zero-copy ingestion tests.
+//
+// alloc_hook.cpp replaces ::operator new/new[] with versions that bump a
+// counter while counting is enabled (and forward to malloc either way).
+// The mtrace view-mode test uses the delta to prove that loading a trace
+// N times larger does not allocate more — i.e. the loader performs no
+// per-event heap allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace hbct::testhooks {
+
+/// Total counted ::operator new calls (only those made while enabled).
+std::uint64_t alloc_count();
+
+/// Turns counting on/off; returns the previous state.
+bool set_alloc_counting(bool on);
+
+/// RAII: enables counting for the scope, exposes the delta.
+class AllocCountScope {
+ public:
+  AllocCountScope() : prev_(set_alloc_counting(true)), base_(alloc_count()) {}
+  ~AllocCountScope() { set_alloc_counting(prev_); }
+  AllocCountScope(const AllocCountScope&) = delete;
+  AllocCountScope& operator=(const AllocCountScope&) = delete;
+
+  std::uint64_t count() const { return alloc_count() - base_; }
+
+ private:
+  bool prev_;
+  std::uint64_t base_;
+};
+
+}  // namespace hbct::testhooks

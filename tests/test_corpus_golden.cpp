@@ -1,0 +1,138 @@
+// Golden-verdict regression tier (ctest label: corpus-golden).
+//
+// For every corpus scenario at its pinned golden parameterization:
+//   1. the detector must reproduce the construction-proved verdict of
+//      every battery cell, with a witness that re-certifies,
+//   2. the canonical golden document must match corpus/golden/<name>.json
+//      byte for byte (HBCT_REGEN_GOLDEN=1 rewrites the files instead),
+//   3. the document must be byte-identical when the computation is
+//      re-ingested through every trace format: text, btrace, mtrace in
+//      copy mode and mtrace in zero-copy view mode.
+//
+// A verdict change, a routing change (algorithm strings are pinned), a
+// witness regression, or a work-counter drift all show up as a one-line
+// git diff under corpus/golden/.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "corpus/golden.h"
+#include "corpus/scenario.h"
+#include "obs/json.h"
+#include "poset/mtrace.h"
+#include "poset/trace_io.h"
+
+namespace hbct::corpus {
+namespace {
+
+CorpusOptions golden_options() {
+  CorpusOptions o;
+  o.procs = 4;
+  o.scale = 3;
+  o.seed = 2002;
+  return o;
+}
+
+std::string golden_path(const std::string& scenario) {
+  return std::string(HBCT_CORPUS_GOLDEN_DIR) + "/" + scenario + ".json";
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  *ok = static_cast<bool>(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class CorpusGolden : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const ScenarioSpec& spec() const {
+    return scenario_registry()[GetParam()];
+  }
+};
+
+TEST_P(CorpusGolden, DetectorMatchesConstructionProvedVerdicts) {
+  const Scenario s = spec().build(golden_options());
+  const auto outcomes = run_battery(s.computation, s.battery);
+  ASSERT_EQ(outcomes.size(), s.battery.size());
+  for (const CellOutcome& o : outcomes) {
+    EXPECT_EQ(o.got, o.expect) << spec().name << "/" << o.name << " via "
+                               << o.algorithm;
+    EXPECT_TRUE(o.witness_ok) << spec().name << "/" << o.name << " via "
+                              << o.algorithm;
+  }
+}
+
+TEST_P(CorpusGolden, DocumentMatchesCommittedGolden) {
+  const Scenario s = spec().build(golden_options());
+  const std::string doc = golden_document(s);
+
+  std::string err;
+  ASSERT_TRUE(json_validate(doc, &err)) << err;
+
+  const std::string path = golden_path(s.name);
+  if (std::getenv("HBCT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << doc;
+    return;
+  }
+  bool ok = false;
+  const std::string committed = read_file(path, &ok);
+  ASSERT_TRUE(ok) << path
+                  << " missing; run with HBCT_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(doc, committed)
+      << "golden drift for " << s.name
+      << "; inspect with git diff after HBCT_REGEN_GOLDEN=1";
+}
+
+TEST_P(CorpusGolden, DocumentBitIdenticalAcrossIngestionPaths) {
+  Scenario s = spec().build(golden_options());
+  const std::string reference = golden_document(s);
+
+  // Text.
+  {
+    const TraceParseResult r =
+        trace_from_string(trace_to_string(s.computation));
+    ASSERT_TRUE(r.ok) << r.error;
+    Scenario t{s.name, s.options, r.computation, s.battery};
+    EXPECT_EQ(golden_document(t), reference) << "text ingestion drifted";
+  }
+  // Binary stream (btrace).
+  {
+    const TraceParseResult r =
+        trace_from_binary_string(trace_to_binary_string(s.computation));
+    ASSERT_TRUE(r.ok) << r.error;
+    Scenario t{s.name, s.options, r.computation, s.battery};
+    EXPECT_EQ(golden_document(t), reference) << "btrace ingestion drifted";
+  }
+  // mtrace, owning copy and zero-copy view of the same bytes.
+  {
+    const std::string bytes = mtrace_to_string(s.computation);
+    MtraceLoadResult view = mtrace_from_bytes(bytes);
+    ASSERT_TRUE(view.ok) << view.error;
+    Scenario t{s.name, s.options, std::move(view.computation), s.battery};
+    EXPECT_EQ(golden_document(t), reference) << "mtrace view drifted";
+
+    MtraceLoadResult copy = mtrace_from_bytes(bytes);
+    ASSERT_TRUE(copy.ok) << copy.error;
+    Scenario u{s.name, s.options, copy.computation.materialize(),
+               s.battery};
+    EXPECT_EQ(golden_document(u), reference)
+        << "materialized mtrace ingestion drifted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, CorpusGolden,
+    ::testing::Range<std::size_t>(0, scenario_registry().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return scenario_registry()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace hbct::corpus

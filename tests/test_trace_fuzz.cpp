@@ -6,6 +6,7 @@
 #include <string>
 
 #include "poset/generate.h"
+#include "poset/mtrace.h"
 #include "poset/trace_io.h"
 #include "util/rng.h"
 
@@ -228,6 +229,102 @@ TEST(BinaryTraceFuzz, HandCraftedMalformedRecords) {
     const TraceParseResult r = trace_from_binary_string(bytes);
     EXPECT_FALSE(r.ok);
     EXPECT_NE(r.error.find("after"), std::string::npos) << r.error;
+  }
+}
+
+// ---- mtrace (mmap form) -----------------------------------------------------
+//
+// The mtrace loader is the memory-safety boundary of the zero-copy path:
+// whatever it accepts is later dereferenced WITHOUT bounds checks by the
+// arena views and the detectors. Every failure must be a typed
+// MtraceError with a message — never a crash, never an unvalidated
+// computation.
+
+class MtraceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MtraceFuzz, MutatedMtraceBytesNeverCrash) {
+  Rng rng(GetParam() * 67 + 29);
+  const Computation c = random_comp(GetParam());
+  const std::string valid = mtrace_to_string(c);
+
+  // Sanity: the unmutated bytes round-trip byte-identically.
+  MtraceLoadResult base = mtrace_from_bytes(valid);
+  ASSERT_TRUE(base.ok) << base.error;
+  EXPECT_EQ(mtrace_to_string(base.computation), valid);
+
+  for (int round = 0; round < 300; ++round) {
+    std::string bytes = valid;
+    const std::size_t n = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) bytes = mutate_binary(rng, bytes);
+
+    const MtraceLoadResult r = mtrace_from_bytes(bytes);
+    if (!r.ok) {
+      EXPECT_NE(r.code, MtraceError::kNone) << "round " << round;
+      EXPECT_FALSE(r.error.empty()) << "round " << round;
+    } else {
+      // Anything accepted must re-serialize to a loadable fixpoint.
+      const std::string printed = mtrace_to_string(r.computation);
+      const MtraceLoadResult r2 = mtrace_from_bytes(printed);
+      ASSERT_TRUE(r2.ok) << "reprint failed: " << r2.error;
+      EXPECT_EQ(mtrace_to_string(r2.computation), printed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtraceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(MtraceFuzz, TruncationsAtEveryPrefixAreTypedErrors) {
+  const Computation c = random_comp(41);
+  const std::string valid = mtrace_to_string(c);
+  // Section offsets are absolute, so every strict prefix loses at least
+  // the linearization tail: all of them must fail with a typed error.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const MtraceLoadResult r =
+        mtrace_from_bytes(std::string_view(valid).substr(0, len));
+    EXPECT_FALSE(r.ok) << "prefix " << len;
+    EXPECT_NE(r.code, MtraceError::kNone) << "prefix " << len;
+    EXPECT_FALSE(r.error.empty()) << "prefix " << len;
+  }
+}
+
+TEST(MtraceFuzz, CraftedHeadersReportTheRightError) {
+  const Computation c = random_comp(42);
+  const std::string valid = mtrace_to_string(c);
+
+  const auto load_with = [&](std::size_t at, char v) {
+    std::string bytes = valid;
+    bytes[at] = v;
+    return mtrace_from_bytes(bytes);
+  };
+
+  // Shorter than one header.
+  {
+    const MtraceLoadResult r =
+        mtrace_from_bytes(std::string_view(valid).substr(0, 63));
+    EXPECT_EQ(r.code, MtraceError::kTruncated);
+  }
+  // Magic damage.
+  EXPECT_EQ(load_with(0, 'X').code, MtraceError::kBadMagic);
+  // Unsupported version (offset 8: u32 version).
+  EXPECT_EQ(load_with(8, '\x7f').code, MtraceError::kBadHeader);
+  // nprocs out of range (offset 16: i32 nprocs; 0x80 in the high byte
+  // makes it negative).
+  EXPECT_EQ(load_with(19, '\x80').code, MtraceError::kBadHeader);
+  // Section-table damage trips the checksum before any section is read
+  // (offset 64 is the first table entry's id).
+  EXPECT_EQ(load_with(64, '\x7e').code, MtraceError::kBadChecksum);
+
+  // Every single-byte corruption anywhere in the file either fails with a
+  // typed error or round-trips; exhaustive over the whole (small) file.
+  for (std::size_t at = 0; at < valid.size(); ++at) {
+    std::string bytes = valid;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x2a);
+    const MtraceLoadResult r = mtrace_from_bytes(bytes);
+    if (!r.ok) {
+      EXPECT_NE(r.code, MtraceError::kNone) << "offset " << at;
+      EXPECT_FALSE(r.error.empty()) << "offset " << at;
+    }
   }
 }
 

@@ -91,6 +91,36 @@ def check_streaming(path, name, s):
                        f"not bounded (events={s['events']}, bound={bound})")
 
 
+INGEST_KEYS = {"format", "events", "input_bytes", "rss_delta_kb",
+               "events_per_sec", "speedup_vs_text"}
+INGEST_FORMATS = {"text", "btrace", "mtrace-copy", "mtrace-map"}
+
+
+def check_ingest(path, name, s):
+    """The optional per-row extension emitted by bench_ingest."""
+    if s.keys() != INGEST_KEYS:
+        fail(path, f"row {name!r} ingest keys {sorted(s.keys())} != "
+                   f"{sorted(INGEST_KEYS)}")
+    if s["format"] not in INGEST_FORMATS:
+        fail(path, f"row {name!r} unknown ingest format {s['format']!r}")
+    for k in INGEST_KEYS - {"format"}:
+        if not isinstance(s[k], (int, float)) or isinstance(s[k], bool):
+            fail(path, f"row {name!r} ingest.{k} is not a number")
+    if s["events"] <= 0 or s["input_bytes"] <= 0:
+        fail(path, f"row {name!r} ingest has no events/bytes")
+    if s["rss_delta_kb"] < 0:
+        fail(path, f"row {name!r} ingest.rss_delta_kb is negative")
+    if s["events_per_sec"] <= 0:
+        fail(path, f"row {name!r} ingest throughput not positive")
+    # The artifact's headline claim: the text parse is the 1.0x reference
+    # and the zero-copy mmap view beats it by an order of magnitude.
+    if s["format"] == "text" and s["speedup_vs_text"] != 1:
+        fail(path, f"row {name!r} text reference speedup is "
+                   f"{s['speedup_vs_text']}, expected 1")
+    if s["format"] == "mtrace-map" and s["speedup_vs_text"] < 1:
+        fail(path, f"row {name!r} zero-copy load slower than the text parse")
+
+
 def check_bench(path, doc):
     if not isinstance(doc.get("rows"), list) or not doc["rows"]:
         fail(path, "no rows")
@@ -109,6 +139,8 @@ def check_bench(path, doc):
             check_report(f"{path}:{row['name']}", row["report"])
         if "streaming" in row:
             check_streaming(path, row["name"], row["streaming"])
+        if "ingest" in row:
+            check_ingest(path, row["name"], row["ingest"])
     return f"bench ({len(doc['rows'])} rows)"
 
 
