@@ -11,8 +11,9 @@
 //   hbct> quit
 //
 // Commands: any CTL query, `diagram`, `stats`, `vars`, `classes <state
-// formula>`, `lint <query>`, `audit <state formula>`, `trace on|off`,
-// `trace save <file>`, `report`, `help`, `quit`.
+// formula>`, `lint <query>`, `audit <state formula>`, `optimize <query>`,
+// `opt on|off`, `trace on|off`, `trace save <file>`, `report`, `help`,
+// `quit`.
 // With --audit, every query runs a full pre-flight class audit and prints
 // the lint findings (see DESIGN.md §9 for the warning-code catalog).
 #include <cstdio>
@@ -35,6 +36,8 @@ void help() {
       "  classes <formula>    predicate classes + algorithm dispatch map\n"
       "  lint <query>         predicted dispatch plan + W-code findings\n"
       "  audit <formula>      verify claimed predicate classes (E-codes)\n"
+      "  optimize <query>     cost-model rewrite plan + class inference\n"
+      "  opt on|off           evaluate queries with optimize=kApply\n"
       "  trace on|off         span-trace subsequent queries\n"
       "  trace save <file>    write the last traced query as Chrome JSON\n"
       "  report               hbct.report/1 JSON for the last query\n"
@@ -45,16 +48,19 @@ void help() {
 }
 
 void run_query(const Computation& c, const std::string& text, bool audit,
-               bool trace, std::optional<DetectResult>& last) {
+               bool trace, bool optimize, std::optional<DetectResult>& last) {
   DispatchOptions opt;
   if (audit) opt.audit = AuditMode::kFull;
   opt.trace = trace;
+  if (optimize) opt.optimize = OptimizeMode::kApply;
   auto r = ctl::evaluate_query(c, text, opt);
   if (!r.ok) {
     std::printf("error: %s\n", r.error.c_str());
     return;
   }
   last = r.result;
+  for (const RewriteStep& s : r.result.rewrites)
+    std::printf("  rewrite %s\n", to_string(s).c_str());
   const char* verdict = r.result.verdict == Verdict::kUnknown
                             ? "UNKNOWN"
                             : r.result.holds() ? "TRUE" : "FALSE";
@@ -130,6 +136,35 @@ void lint(const Computation& c, const std::string& text) {
   std::printf("%s", render_diagnostics(ds).c_str());
 }
 
+/// Runs the cost-model optimizer in analysis mode: the rewrite chain it
+/// would apply, the plan/cost delta, and the class-inference derivation
+/// for the operand.
+void show_optimize(const Computation& c, const std::string& text) {
+  auto parsed = ctl::parse_query(text);
+  if (!parsed.ok) {
+    std::printf("parse error: %s\n", parsed.error.c_str());
+    return;
+  }
+  const std::string err = ctl::validate_query(c, parsed.query);
+  if (!err.empty()) {
+    std::printf("error: %s\n", err.c_str());
+    return;
+  }
+  const ctl::OptimizeOutcome oc = ctl::optimize_query(c, parsed.query);
+  if (!oc.changed) {
+    std::printf("already optimal: %s (cost %.0f)\n", oc.plan_before.c_str(),
+                oc.cost_before);
+  } else {
+    std::printf("plan: %s (cost %.0f) => %s (cost %.0f)\n",
+                oc.plan_before.c_str(), oc.cost_before, oc.plan_after.c_str(),
+                oc.cost_after);
+    for (const RewriteStep& s : oc.steps)
+      std::printf("  %s\n", to_string(s).c_str());
+  }
+  if (oc.inference.classes != 0 || oc.inference.co_classes != 0)
+    std::printf("inference:\n%s", to_string(oc.inference.derivation).c_str());
+}
+
 /// Compiles a state formula and audits its claimed classes on the trace.
 void audit(const Computation& c, const std::string& text) {
   auto parsed = ctl::parse_query(text);
@@ -201,6 +236,7 @@ int main(int argc, char** argv) {
 
   std::string line;
   bool trace_mode = false;
+  bool optimize_mode = false;
   std::optional<DetectResult> last;
   for (;;) {
     std::printf("hbct> ");
@@ -238,8 +274,16 @@ int main(int argc, char** argv) {
       lint(c, cmd.substr(5));
     } else if (starts_with(cmd, "audit ")) {
       audit(c, cmd.substr(6));
+    } else if (starts_with(cmd, "optimize ")) {
+      show_optimize(c, cmd.substr(9));
+    } else if (cmd == "opt on") {
+      optimize_mode = true;
+      std::printf("optimizer on: queries run with optimize=kApply\n");
+    } else if (cmd == "opt off") {
+      optimize_mode = false;
+      std::printf("optimizer off\n");
     } else {
-      run_query(c, cmd, audit_mode, trace_mode, last);
+      run_query(c, cmd, audit_mode, trace_mode, optimize_mode, last);
     }
   }
   return 0;

@@ -20,6 +20,10 @@ const char* to_string(DiagSeverity s) {
   return "?";
 }
 
+std::string to_string(const RewriteStep& s) {
+  return s.rule + ": " + s.before + " => " + s.after;
+}
+
 std::string to_string(const Diagnostic& d) {
   std::ostringstream os;
   os << to_string(d.code);

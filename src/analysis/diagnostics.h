@@ -38,6 +38,13 @@ enum class DiagCode : std::uint16_t {
                               //       split (cost multiplies by the width)
   kAssertedClasses = 7,       // W007: user-asserted class bits are load-
                               //       bearing and unverified (audit advised)
+  kRewriteApplied = 8,        // W008: the optimizer applied (or, under
+                              //       kAnalyzeOnly, proposes) an equivalence-
+                              //       preserving rewrite from the rule
+                              //       catalog (analysis/rules.h)
+  kRedundantSubformula = 9,   // W009: a subformula was constant or redundant
+                              //       (idempotent / absorbed / foldable) and
+                              //       contributes nothing to the verdict
   // ---- Audit errors ----------------------------------------------------
   kClassAuditFailed = 101,    // E101: claimed class bit refuted
   kOracleContractViolated = 102,  // E102: forbidden()/forbidden_down() lie
@@ -70,6 +77,26 @@ struct Diagnostic {
   /// "split the disjunction: EF(a || b) = EF(a) || EF(b)".
   std::string suggestion;
 };
+
+/// One equivalence-preserving rewrite performed (or proposed) by the query
+/// optimizer (analysis/optimize.h). `rule` names an entry of the rule
+/// catalog in analysis/rules.h; `before`/`after` render the rewritten
+/// subformula; `span` anchors the step to the byte range of the *original*
+/// query text it transformed (rewrites are source-span-preserving, so a
+/// chain of steps can always be traced back to the user's input).
+struct RewriteStep {
+  std::string rule;
+  /// The rule's one-line soundness note, e.g. "EF distributes over ∨".
+  std::string note;
+  std::string before;
+  std::string after;
+  SourceSpan span;
+
+  friend bool operator==(const RewriteStep&, const RewriteStep&) = default;
+};
+
+/// "rule: before => after".
+std::string to_string(const RewriteStep& s);
 
 /// "W001" / "E102".
 std::string to_string(DiagCode c);

@@ -1,0 +1,85 @@
+// Syntactic predicate-class inference over the CTL AST.
+//
+// compile_state lowers many atoms to structurally classified predicates
+// (local, conjunctive, relational...), but mixed sums — `pos(0)+pos(1) > 3`,
+// sums over pos() and variables, subtraction shapes — fall through to the
+// classless arith_fallback and today dispatch straight into the exponential
+// search (W001). Most of those predicates *do* belong to Table-1 classes;
+// the membership is just invisible to the dynamic_cast-based shape probe.
+//
+// infer_classes derives class bits bottom-up from the *syntax* of the
+// formula plus per-computation monotonicity facts, the same facts the
+// relational predicates consult:
+//
+//   atom judgments     Σ of non-decreasing terms ≥ k is up-closed (stable)
+//                      and join-closed (post-linear); ≤ k is down-closed,
+//                      hence meet-closed (linear) and observer-independent,
+//                      and its negation is stable. Mirrored for
+//                      non-increasing sums. pos(i) == pos(j) on a 2-process
+//                      computation is equilevel. Single-process atoms are
+//                      local. All-constant sums are constant.
+//   connective algebra && and || combine exactly like the AndPredicate /
+//                      OrPredicate class algebra (∩ under the closure
+//                      masks); ! swaps a formula's classes with the classes
+//                      of its negation.
+//
+// Every inference carries class bits for the formula AND for its negation
+// (the `co_classes`) as a pair, so negation is a swap instead of a loss —
+// this is what lets `!(sum <= k)` keep the stable bit the compiler's
+// generic NotPredicate drops. Each derived bit comes with a Derivation tree
+// (one node per AST node, premises per child) naming the judgment and its
+// instantiated side conditions; the derivation is machine-checkable in that
+// the claimed bits of every subtree can be handed to audit_predicate and
+// must never be refuted (tests/test_optimize.cpp does exactly this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ctl/formula.h"
+#include "predicate/predicate.h"
+
+namespace hbct::ctl {
+
+/// One node of the derivation tree justifying the inferred bits of one AST
+/// node. `classes`/`co_classes` are closure-saturated; `rule` names the
+/// judgment ("atom-monotone", "and-meet", "not-dual", ...); `detail` states
+/// the instantiated side conditions ("every term non-decreasing on this
+/// computation"); `span` anchors to the subformula's byte range in the
+/// query text; `premises` mirror the AST children left to right.
+struct Derivation {
+  std::string rule;
+  ClassSet classes = 0;
+  ClassSet co_classes = 0;
+  std::string detail;
+  SourceSpan span;
+  std::vector<Derivation> premises;
+};
+
+/// Result of inference on one (sub)formula: class bits of the formula, of
+/// its negation, and the derivation justifying both.
+struct Inference {
+  ClassSet classes = 0;
+  ClassSet co_classes = 0;
+  Derivation derivation;
+
+  /// True when the formula is down-closed (its negation is stable): the
+  /// costable-collapse rewrite applies to EF/AF of such a formula.
+  bool down_closed() const { return (co_classes & kClassStable) != 0; }
+};
+
+/// Infers class bits for the state formula `n` on computation `c`.
+/// Temporal nodes (outside a state formula) infer nothing. A null node
+/// infers nothing.
+Inference infer_classes(const Computation& c, const NodePtr& n);
+
+/// Indented multi-line rendering of the derivation tree.
+std::string to_string(const Derivation& d);
+
+/// The leaf judgments (nodes with no premises), left to right. These are
+/// the atoms the auditor cannot see through; everything above them follows
+/// by the connective algebra.
+std::vector<const Derivation*> derivation_leaves(const Derivation& d);
+
+}  // namespace hbct::ctl

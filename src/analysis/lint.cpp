@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "analysis/infer.h"
+#include "analysis/optimize.h"
 #include "analysis/plan.h"
+#include "analysis/rules.h"
 #include "ctl/parser.h"
 
 namespace hbct::ctl {
@@ -91,6 +94,61 @@ std::vector<Diagnostic> lint_query(const Computation& c, const Query& q,
   const DetectPlan plan = plan_unary(q.op, sp, allow_exponential);
   out = plan_diagnostics(q.op, *p.pred, sp, plan);
   anchor(out, q.p->span);
+  return out;
+}
+
+namespace {
+
+/// Softens a W004 finding whose operand the inference engine *can*
+/// classify: the structural probe is blind to arithmetic monotonicity (and
+/// to co-classes through negation), but the syntactic judgments are not,
+/// so "no structural class" overstates the cost cliff.
+void amend_unclassified(const Computation& c, const NodePtr& operand,
+                        std::vector<Diagnostic>& ds) {
+  if (!operand) return;
+  for (Diagnostic& d : ds) {
+    if (d.code != DiagCode::kUnclassifiedPredicate) continue;
+    if (d.span != operand->span) continue;
+    const Inference inf = infer_classes(c, operand);
+    if (inf.classes == 0 && inf.co_classes == 0) continue;
+    d.severity = DiagSeverity::kInfo;
+    d.message +=
+        "; however, syntactic inference derives " +
+        (inf.classes != 0 ? classes_to_string(inf.classes)
+                          : "co-classes " + classes_to_string(inf.co_classes)) +
+        " for it";
+    d.suggestion = rule_info(RuleId::kInferClasses).suggestion;
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_query(const Computation& c, const Query& q,
+                                   bool allow_exponential,
+                                   OptimizeMode optimize) {
+  if (optimize == OptimizeMode::kOff)
+    return lint_query(c, q, allow_exponential);
+
+  OptimizeOutcome oc = optimize_query(c, q, allow_exponential);
+  if (optimize == OptimizeMode::kApply) {
+    std::vector<Diagnostic> out =
+        optimize_diagnostics(oc, OptimizeMode::kApply);
+    out.insert(out.end(), std::make_move_iterator(oc.residual.begin()),
+               std::make_move_iterator(oc.residual.end()));
+    return out;
+  }
+
+  // kAnalyzeOnly: the as-written findings, inference-amended, plus the
+  // chain the optimizer proposes.
+  std::vector<Diagnostic> out = lint_query(c, q, allow_exponential);
+  if (q.temporal) {
+    amend_unclassified(c, q.p, out);
+    amend_unclassified(c, q.q, out);
+  }
+  std::vector<Diagnostic> ds =
+      optimize_diagnostics(oc, OptimizeMode::kAnalyzeOnly);
+  out.insert(out.end(), std::make_move_iterator(ds.begin()),
+             std::make_move_iterator(ds.end()));
   return out;
 }
 

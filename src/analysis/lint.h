@@ -30,6 +30,20 @@ namespace hbct::ctl {
 std::vector<Diagnostic> lint_query(const Computation& c, const Query& q,
                                    bool allow_exponential = true);
 
+/// Optimizer-aware lint. kOff matches the overload above exactly.
+/// kAnalyzeOnly keeps the as-written findings but (a) appends a W008 line
+/// for every rewrite the optimizer would apply, and (b) softens W004
+/// unclassified-predicate findings to info severity when the syntactic
+/// inference engine (analysis/infer.h) derives class bits the structural
+/// probe cannot see — e.g. the stability of `pos(0)+pos(1) > 3`, or, via
+/// co-class propagation, the linearity of `!(sum >= k)` over
+/// non-decreasing terms. kApply reports what the *chosen* plan looks like:
+/// the applied chain followed by the residual findings of the rewritten
+/// (class-refined) query.
+std::vector<Diagnostic> lint_query(const Computation& c, const Query& q,
+                                   bool allow_exponential,
+                                   OptimizeMode optimize);
+
 /// Parse + lint in one call. A parse failure returns an empty list (there
 /// is nothing to anchor to); use parse_query directly to see the error.
 std::vector<Diagnostic> lint_query(const Computation& c,

@@ -1,5 +1,6 @@
 #include "analysis/plan.h"
 
+#include "analysis/rules.h"
 #include "predicate/conjunctive.h"
 #include "predicate/disjunctive.h"
 #include "util/string_util.h"
@@ -206,26 +207,27 @@ std::vector<Diagnostic> plan_diagnostics(Op op, const Predicate& p,
                        pl.refused ? "; allow_exponential is off, so the "
                                     "verdict degrades to kUnknown"
                                   : "");
+    // Suggestions are rendered from the rewrite-rule catalog, so the lint
+    // names the exact rule optimize=kApply would run (analysis/rules.h is
+    // the single source of truth for the texts).
     switch (op) {
       case Op::kEF:
-        d.suggestion = "rewrite the operand in DNF: EF(p1 || p2) = "
-                       "EF(p1) || EF(p2) dispatches each disjunct separately";
+      case Op::kAF:
+        d.suggestion = rule_info(op == Op::kEF ? RuleId::kEfDnfSplit
+                                               : RuleId::kAdvisoryBudget)
+                           .suggestion;
         break;
       case Op::kAG:
-        d.suggestion = "rewrite the operand in CNF: AG(p1 && p2) = "
-                       "AG(p1) && AG(p2) dispatches each conjunct separately";
+        d.suggestion = rule_info(RuleId::kAgCnfSplit).suggestion;
         break;
       case Op::kEU:
-        d.suggestion = "make p conjunctive and q linear (with a forbidden() "
-                       "oracle) to enable A3";
+        d.suggestion = rule_info(RuleId::kAdvisoryEuA3).suggestion;
         break;
       case Op::kAU:
-        d.suggestion = "make both operands disjunctive to enable the "
-                       "au-disjunctive duality";
+        d.suggestion = rule_info(RuleId::kAdvisoryAuDual).suggestion;
         break;
       default:
-        d.suggestion = "EG/AF admit no distributive split; set a Budget or "
-                       "allow_exponential=false to bound the search";
+        d.suggestion = rule_info(RuleId::kAdvisoryBudget).suggestion;
         break;
     }
     out.push_back(std::move(d));

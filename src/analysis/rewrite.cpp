@@ -1,0 +1,519 @@
+#include "analysis/rewrite.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/rules.h"
+
+namespace hbct::ctl {
+
+namespace {
+
+NodePtr mk(Node n) { return std::make_shared<const Node>(std::move(n)); }
+
+NodePtr mk_const(bool v, SourceSpan span) {
+  Node n;
+  n.kind = v ? Node::Kind::kTrue : Node::Kind::kFalse;
+  n.span = span;
+  return mk(std::move(n));
+}
+
+NodePtr with_children(const Node& proto, std::vector<NodePtr> ch) {
+  Node n = proto;
+  n.children = std::move(ch);
+  return mk(std::move(n));
+}
+
+bool term_eq(const Term& a, const Term& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Term::Kind::kConst: return a.value == b.value;
+    case Term::Kind::kVar: return a.proc == b.proc && a.var == b.var;
+    case Term::Kind::kPos: return a.proc == b.proc;
+    case Term::Kind::kInTransit: return a.from == b.from && a.to == b.to;
+  }
+  return false;
+}
+
+bool sum_eq(const Sum& a, const Sum& b) {
+  if (a.terms.size() != b.terms.size()) return false;
+  for (std::size_t i = 0; i < a.terms.size(); ++i)
+    if (a.terms[i].first != b.terms[i].first ||
+        !term_eq(a.terms[i].second, b.terms[i].second))
+      return false;
+  return true;
+}
+
+Cmp flip_cmp(Cmp op) {
+  switch (op) {
+    case Cmp::kLt: return Cmp::kGe;
+    case Cmp::kLe: return Cmp::kGt;
+    case Cmp::kEq: return Cmp::kNe;
+    case Cmp::kNe: return Cmp::kEq;
+    case Cmp::kGe: return Cmp::kLt;
+    case Cmp::kGt: return Cmp::kLe;
+  }
+  return op;
+}
+
+/// Constant value of an atom with no state-dependent term, if it is one.
+std::optional<bool> atom_constant(const Atom& a) {
+  std::int64_t k = 0;
+  for (const auto& [coef, t] : a.lhs.terms) {
+    if (t.kind != Term::Kind::kConst) return std::nullopt;
+    k += coef * t.value;
+  }
+  std::int64_t r = 0;
+  for (const auto& [coef, t] : a.rhs.terms) {
+    if (t.kind != Term::Kind::kConst) return std::nullopt;
+    r += coef * t.value;
+  }
+  return cmp_eval(a.op, k, r);
+}
+
+struct Ctx {
+  std::vector<RewriteStep>* steps;
+};
+
+void record(Ctx& cx, RuleId id, const Node& before, const NodePtr& after) {
+  const RuleInfo& ri = rule_info(id);
+  RewriteStep s;
+  s.rule = ri.name;
+  s.note = ri.soundness;
+  s.before = to_string(before);
+  s.after = to_string(*after);
+  s.span = before.span;
+  cx.steps->push_back(std::move(s));
+}
+
+NodePtr drop_children(Ctx& cx, RuleId id, const Node& cur,
+                      const std::vector<bool>& keep, bool unit) {
+  std::vector<NodePtr> ch;
+  for (std::size_t i = 0; i < cur.children.size(); ++i)
+    if (keep[i]) ch.push_back(cur.children[i]);
+  NodePtr after;
+  if (ch.empty())
+    after = mk_const(unit, cur.span);
+  else if (ch.size() == 1)
+    after = ch[0];
+  else
+    after = with_children(cur, std::move(ch));
+  record(cx, id, cur, after);
+  return after;
+}
+
+/// Applies at most one boolean-layer rule at the root of `cur` (whose
+/// children are already normalized). Returns `cur` unchanged when none
+/// fires.
+NodePtr step_local(const NodePtr& cur, Ctx& cx) {
+  const Node& n = *cur;
+  switch (n.kind) {
+    case Node::Kind::kAtom: {
+      if (auto v = atom_constant(n.atom)) {
+        NodePtr after = mk_const(*v, n.span);
+        record(cx, RuleId::kConstFold, n, after);
+        return after;
+      }
+      return cur;
+    }
+    case Node::Kind::kNot: {
+      const NodePtr& ch = n.children[0];
+      switch (ch->kind) {
+        case Node::Kind::kTrue:
+        case Node::Kind::kFalse: {
+          NodePtr after = mk_const(ch->kind == Node::Kind::kFalse, n.span);
+          record(cx, RuleId::kConstFold, n, after);
+          return after;
+        }
+        case Node::Kind::kNot: {
+          NodePtr after = ch->children[0];
+          record(cx, RuleId::kNnfPush, n, after);
+          return after;
+        }
+        case Node::Kind::kAtom: {
+          Node a = *ch;
+          a.atom.op = flip_cmp(ch->atom.op);
+          a.span = n.span;
+          NodePtr after = mk(std::move(a));
+          record(cx, RuleId::kNnfPush, n, after);
+          return after;
+        }
+        case Node::Kind::kAnd:
+        case Node::Kind::kOr: {
+          Node m;
+          m.kind = ch->kind == Node::Kind::kAnd ? Node::Kind::kOr
+                                                : Node::Kind::kAnd;
+          m.span = n.span;
+          for (const NodePtr& g : ch->children) {
+            Node neg;
+            neg.kind = Node::Kind::kNot;
+            neg.span = g->span;
+            neg.children = {g};
+            m.children.push_back(mk(std::move(neg)));
+          }
+          NodePtr after = mk(std::move(m));
+          record(cx, RuleId::kNnfPush, n, after);
+          return after;
+        }
+        default:
+          return cur;  // !channels_empty, !terminated, !temporal: no rule
+      }
+    }
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr: {
+      const bool is_and = n.kind == Node::Kind::kAnd;
+      // flatten: splice nested same-operator children.
+      if (std::any_of(n.children.begin(), n.children.end(),
+                      [&](const NodePtr& c) { return c->kind == n.kind; })) {
+        std::vector<NodePtr> ch;
+        for (const NodePtr& c : n.children) {
+          if (c->kind == n.kind)
+            ch.insert(ch.end(), c->children.begin(), c->children.end());
+          else
+            ch.push_back(c);
+        }
+        NodePtr after = with_children(n, std::move(ch));
+        record(cx, RuleId::kFlatten, n, after);
+        return after;
+      }
+      // const-fold: absorber short-circuits, units drop out.
+      const auto absorber =
+          is_and ? Node::Kind::kFalse : Node::Kind::kTrue;
+      const auto unit = is_and ? Node::Kind::kTrue : Node::Kind::kFalse;
+      for (const NodePtr& c : n.children)
+        if (c->kind == absorber) {
+          NodePtr after = mk_const(!is_and, n.span);
+          record(cx, RuleId::kConstFold, n, after);
+          return after;
+        }
+      if (std::any_of(n.children.begin(), n.children.end(),
+                      [&](const NodePtr& c) { return c->kind == unit; })) {
+        std::vector<bool> keep(n.children.size(), true);
+        for (std::size_t i = 0; i < n.children.size(); ++i)
+          if (n.children[i]->kind == unit) keep[i] = false;
+        return drop_children(cx, RuleId::kConstFold, n, keep, is_and);
+      }
+      // dedup: idempotence.
+      {
+        std::vector<bool> keep(n.children.size(), true);
+        bool any = false;
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+          if (!keep[i]) continue;
+          for (std::size_t j = i + 1; j < n.children.size(); ++j)
+            if (keep[j] && node_equal(n.children[i], n.children[j])) {
+              keep[j] = false;
+              any = true;
+            }
+        }
+        if (any)
+          return drop_children(cx, RuleId::kDedupIdempotent, n, keep,
+                               is_and);
+      }
+      // absorption: in p || (p && q), the conjunction drops; dually for &&.
+      {
+        const auto inner =
+            is_and ? Node::Kind::kOr : Node::Kind::kAnd;
+        std::vector<bool> keep(n.children.size(), true);
+        bool any = false;
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+          if (n.children[i]->kind != inner) continue;
+          for (std::size_t j = 0; j < n.children.size(); ++j) {
+            if (j == i || !keep[j] || n.children[j]->kind == inner)
+              continue;
+            for (const NodePtr& g : n.children[i]->children)
+              if (node_equal(g, n.children[j])) {
+                keep[i] = false;
+                any = true;
+                break;
+              }
+            if (!keep[i]) break;
+          }
+        }
+        if (any) return drop_children(cx, RuleId::kAbsorb, n, keep, is_and);
+      }
+      return cur;
+    }
+    default:
+      return cur;
+  }
+}
+
+/// Applies at most one temporal-layer rule at the root of `cur`.
+NodePtr step_temporal(const NodePtr& cur, Ctx& cx) {
+  const Node& n = *cur;
+  const auto is_unary_temporal = [](const NodePtr& c, Op op) {
+    return c->kind == Node::Kind::kTemporal && c->op == op &&
+           c->children.size() == 1;
+  };
+  switch (n.kind) {
+    case Node::Kind::kNot: {
+      const NodePtr& ch = n.children[0];
+      if (ch->kind != Node::Kind::kTemporal || ch->children.size() != 1)
+        return cur;
+      Op dual;
+      switch (ch->op) {
+        case Op::kEF: dual = Op::kAG; break;
+        case Op::kAG: dual = Op::kEF; break;
+        case Op::kAF: dual = Op::kEG; break;
+        case Op::kEG: dual = Op::kAF; break;
+        default: return cur;  // EU/AU duals need a release operator
+      }
+      Node neg;
+      neg.kind = Node::Kind::kNot;
+      neg.span = ch->children[0]->span;
+      neg.children = {ch->children[0]};
+      Node m;
+      m.kind = Node::Kind::kTemporal;
+      m.op = dual;
+      m.span = n.span;
+      m.children = {mk(std::move(neg))};
+      NodePtr after = mk(std::move(m));
+      record(cx, RuleId::kNotTemporalDual, n, after);
+      return after;
+    }
+    case Node::Kind::kTemporal: {
+      if (n.children.size() == 1 && is_unary_temporal(n.children[0], n.op) &&
+          (n.op == Op::kEF || n.op == Op::kAF || n.op == Op::kEG ||
+           n.op == Op::kAG)) {
+        NodePtr after = n.children[0];
+        record(cx, RuleId::kTemporalIdempotent, n, after);
+        return after;
+      }
+      return cur;
+    }
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr: {
+      const bool is_and = n.kind == Node::Kind::kAnd;
+      const Op merge_op = is_and ? Op::kAG : Op::kEF;
+      // merge: EF a || EF b => EF(a || b); AG a && AG b => AG(a && b).
+      std::vector<std::size_t> mergeable;
+      for (std::size_t i = 0; i < n.children.size(); ++i)
+        if (is_unary_temporal(n.children[i], merge_op))
+          mergeable.push_back(i);
+      if (mergeable.size() >= 2) {
+        Node inner;
+        inner.kind = n.kind;
+        inner.span = n.span;
+        for (std::size_t i : mergeable)
+          inner.children.push_back(n.children[i]->children[0]);
+        Node merged;
+        merged.kind = Node::Kind::kTemporal;
+        merged.op = merge_op;
+        merged.span = n.span;
+        merged.children = {mk(std::move(inner))};
+        NodePtr merged_node = mk(std::move(merged));
+        NodePtr after;
+        if (mergeable.size() == n.children.size()) {
+          after = merged_node;
+        } else {
+          std::vector<NodePtr> ch;
+          std::size_t next = 0;
+          for (std::size_t i = 0; i < n.children.size(); ++i) {
+            if (next < mergeable.size() && mergeable[next] == i) {
+              if (next == 0) ch.push_back(merged_node);
+              ++next;
+            } else {
+              ch.push_back(n.children[i]);
+            }
+          }
+          after = with_children(n, std::move(ch));
+        }
+        record(cx, is_and ? RuleId::kMergeAgAnd : RuleId::kMergeEfOr, n,
+               after);
+        return after;
+      }
+      // reflexive absorption: p || EF p => EF p (also AF); p && AG p =>
+      // AG p (also EG).
+      std::vector<bool> keep(n.children.size(), true);
+      bool any = false;
+      for (std::size_t i = 0; i < n.children.size(); ++i) {
+        const NodePtr& c = n.children[i];
+        if (c->kind != Node::Kind::kTemporal || c->children.size() != 1)
+          continue;
+        const bool absorbing =
+            is_and ? (c->op == Op::kAG || c->op == Op::kEG)
+                   : (c->op == Op::kEF || c->op == Op::kAF);
+        if (!absorbing) continue;
+        for (std::size_t j = 0; j < n.children.size(); ++j)
+          if (j != i && keep[j] &&
+              node_equal(n.children[j], c->children[0])) {
+            keep[j] = false;
+            any = true;
+          }
+      }
+      if (any)
+        return drop_children(cx, RuleId::kTemporalAbsorb, n, keep, is_and);
+      return cur;
+    }
+    default:
+      return cur;
+  }
+}
+
+NodePtr walk(const NodePtr& n, Ctx& cx, bool temporal_rules) {
+  if (!n) return n;
+  std::vector<NodePtr> ch;
+  ch.reserve(n->children.size());
+  bool changed = false;
+  for (const NodePtr& c : n->children) {
+    NodePtr c2 = walk(c, cx, temporal_rules);
+    changed = changed || c2 != c;
+    ch.push_back(std::move(c2));
+  }
+  NodePtr cur = changed ? with_children(*n, std::move(ch)) : n;
+  NodePtr next = step_local(cur, cx);
+  if (temporal_rules && next == cur) next = step_temporal(cur, cx);
+  // A rule fired: its result may expose further rewrites both below (De
+  // Morgan creates fresh negations) and at the root; re-walk it. Every
+  // rule strictly shrinks the formula or pushes !/temporal depth down, so
+  // this terminates.
+  if (next != cur) return walk(next, cx, temporal_rules);
+  return cur;
+}
+
+// ---- DNF/CNF ---------------------------------------------------------------
+
+bool is_literal(const NodePtr& n) {
+  switch (n->kind) {
+    case Node::Kind::kAtom:
+    case Node::Kind::kChannelsEmpty:
+    case Node::Kind::kTerminated:
+    case Node::Kind::kTrue:
+    case Node::Kind::kFalse:
+      return true;
+    case Node::Kind::kNot:
+      return is_literal(n->children[0]);
+    default:
+      return false;
+  }
+}
+
+using Clause = std::vector<NodePtr>;
+
+/// Clauses of `n` for DNF (`inner_and` true: clauses are conjunctions) or
+/// CNF (false: clauses are disjunctions). False on budget overflow or a
+/// non-state subformula.
+bool clauses_of(const NodePtr& n, bool inner_and, std::size_t max_terms,
+                std::vector<Clause>& out) {
+  if (is_literal(n)) {
+    out.push_back({n});
+    return out.size() <= max_terms;
+  }
+  const auto outer =
+      inner_and ? Node::Kind::kOr : Node::Kind::kAnd;
+  const auto inner = inner_and ? Node::Kind::kAnd : Node::Kind::kOr;
+  if (n->kind == outer) {
+    for (const NodePtr& c : n->children)
+      if (!clauses_of(c, inner_and, max_terms, out)) return false;
+    return true;
+  }
+  if (n->kind == inner) {
+    std::vector<Clause> acc{{}};
+    for (const NodePtr& c : n->children) {
+      std::vector<Clause> cs;
+      if (!clauses_of(c, inner_and, max_terms, cs)) return false;
+      std::vector<Clause> next;
+      if (acc.size() * cs.size() > max_terms) return false;
+      for (const Clause& a : acc)
+        for (const Clause& b : cs) {
+          Clause m = a;
+          m.insert(m.end(), b.begin(), b.end());
+          next.push_back(std::move(m));
+        }
+      acc = std::move(next);
+    }
+    out.insert(out.end(), acc.begin(), acc.end());
+    return out.size() <= max_terms;
+  }
+  return false;  // temporal operator: not a state formula
+}
+
+NodePtr rebuild(std::vector<Clause> clauses, bool inner_and,
+                SourceSpan span) {
+  std::vector<NodePtr> parts;
+  parts.reserve(clauses.size());
+  for (Clause& cl : clauses) {
+    if (cl.size() == 1) {
+      parts.push_back(std::move(cl[0]));
+      continue;
+    }
+    Node m;
+    m.kind = inner_and ? Node::Kind::kAnd : Node::Kind::kOr;
+    m.span = span;
+    m.children = std::move(cl);
+    parts.push_back(mk(std::move(m)));
+  }
+  if (parts.size() == 1) return parts[0];
+  Node m;
+  m.kind = inner_and ? Node::Kind::kOr : Node::Kind::kAnd;
+  m.span = span;
+  m.children = std::move(parts);
+  return mk(std::move(m));
+}
+
+NodePtr to_normal_form(const NodePtr& n, bool inner_and,
+                       std::size_t max_terms) {
+  if (!n) return nullptr;
+  std::vector<Clause> clauses;
+  if (!clauses_of(n, inner_and, max_terms, clauses) || clauses.empty())
+    return nullptr;
+  return rebuild(std::move(clauses), inner_and, n->span);
+}
+
+}  // namespace
+
+bool node_equal(const NodePtr& a, const NodePtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  if (a->kind == Node::Kind::kAtom)
+    return a->atom.op == b->atom.op && sum_eq(a->atom.lhs, b->atom.lhs) &&
+           sum_eq(a->atom.rhs, b->atom.rhs);
+  if (a->kind == Node::Kind::kTemporal && a->op != b->op) return false;
+  if (a->children.size() != b->children.size()) return false;
+  for (std::size_t i = 0; i < a->children.size(); ++i)
+    if (!node_equal(a->children[i], b->children[i])) return false;
+  return true;
+}
+
+Rewritten normalize(const NodePtr& n) {
+  Rewritten r;
+  Ctx cx{&r.steps};
+  r.node = walk(n, cx, /*temporal_rules=*/false);
+  return r;
+}
+
+Rewritten rescue_temporal(const NodePtr& n) {
+  Rewritten r;
+  Ctx cx{&r.steps};
+  r.node = walk(n, cx, /*temporal_rules=*/true);
+  return r;
+}
+
+NodePtr to_dnf(const NodePtr& n, std::size_t max_terms) {
+  return to_normal_form(n, /*inner_and=*/true, max_terms);
+}
+
+NodePtr to_cnf(const NodePtr& n, std::size_t max_terms) {
+  return to_normal_form(n, /*inner_and=*/false, max_terms);
+}
+
+Query reframe(const NodePtr& root) {
+  Query q;
+  q.root = root;
+  if (root && root->kind == Node::Kind::kTemporal &&
+      !contains_temporal(root->children[0]) &&
+      (root->children.size() < 2 ||
+       !contains_temporal(root->children[1]))) {
+    q.temporal = true;
+    q.op = root->op;
+    q.p = root->children[0];
+    if (root->children.size() == 2) q.q = root->children[1];
+  } else {
+    q.temporal = false;
+    q.p = root;
+  }
+  return q;
+}
+
+}  // namespace hbct::ctl

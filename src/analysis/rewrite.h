@@ -1,0 +1,63 @@
+// Equivalence-preserving rewrites over the CTL AST.
+//
+// Two layers, both driven by the rule catalog in analysis/rules.h and both
+// recording every application as a RewriteStep (rule name, soundness note,
+// before/after rendering, source span of the rewritten subformula):
+//
+//   normalize        boolean-layer normal form: constant folding, flatten,
+//                    negation push-down (NNF), idempotent dedup,
+//                    absorption. Purely syntactic, computation-free.
+//   rescue_temporal  temporal-layer rescue for formulas outside the
+//                    Section 4 fragment: CTL dualities (!EF p => AG !p),
+//                    idempotent collapse (EF EF p => EF p), distributive
+//                    merges (EF a || EF b => EF(a || b)), and reflexive
+//                    absorption (p || EF p => EF p). Includes everything
+//                    normalize does.
+//
+// Soundness: each rule is a CTL equivalence on the lattice-of-cuts
+// semantics (catalog entries carry the one-line argument; DESIGN.md §16
+// the full ones). Both passes terminate: every rule strictly decreases
+// the formula size or the total depth of negations/temporal nesting.
+//
+// to_dnf/to_cnf put a temporal-free state formula in disjunctive or
+// conjunctive normal form under a term budget, for the EF/AG distribution
+// rewrites (the catalog's ef-dnf-split / ag-cnf-split); reframe re-derives
+// the Query fragment view from a rewritten root exactly as the parser
+// would have.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ctl/formula.h"
+
+namespace hbct::ctl {
+
+struct Rewritten {
+  NodePtr node;
+  std::vector<RewriteStep> steps;
+};
+
+/// Boolean-layer normalization to fixpoint. Equivalence- and
+/// span-preserving; never touches temporal operators.
+Rewritten normalize(const NodePtr& n);
+
+/// normalize plus the temporal-layer rescue rules, to fixpoint.
+Rewritten rescue_temporal(const NodePtr& n);
+
+/// Bounded DNF/CNF conversion of a temporal-free formula already in
+/// negation normal form. Returns nullptr when the conversion would exceed
+/// `max_terms` clauses (or the formula contains a temporal operator).
+NodePtr to_dnf(const NodePtr& n, std::size_t max_terms);
+NodePtr to_cnf(const NodePtr& n, std::size_t max_terms);
+
+/// Structural equality of two formulas (spans ignored).
+bool node_equal(const NodePtr& a, const NodePtr& b);
+
+/// Re-derives the Query envelope (fragment view) from a rewritten root,
+/// mirroring the parser's detection of a single temporal operator over
+/// temporal-free operands.
+Query reframe(const NodePtr& root);
+
+}  // namespace hbct::ctl

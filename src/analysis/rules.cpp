@@ -1,0 +1,13 @@
+#include "analysis/rules.h"
+
+#include <cstring>
+
+namespace hbct {
+
+const RuleInfo* find_rule(const std::string& name) {
+  for (const RuleInfo& r : kRuleCatalog)
+    if (std::strcmp(r.name, name.c_str()) == 0) return &r;
+  return nullptr;
+}
+
+}  // namespace hbct

@@ -1,0 +1,188 @@
+// The rewrite-rule catalog: the single source of truth for every
+// equivalence-preserving transformation the CTL query optimizer can apply
+// and every rewrite-shaped suggestion the lint can print.
+//
+// Each entry carries the machine-readable rule name (stable — it appears in
+// RewriteStep::rule, the hbct.report/1 "rewrites" array, and W008
+// diagnostics), a one-line summary, the soundness argument (the lattice- or
+// CTL-theoretic fact that makes the rewrite verdict-preserving; DESIGN.md
+// §16 expands each into a full argument), and the suggestion text the lint
+// renders when the rule would apply but has not been run (W001/W004/W005).
+//
+// This header is AST-free on purpose: analysis/plan.cpp (hbct_analysis)
+// renders suggestions from it without linking the CTL layer, while
+// analysis/rewrite.cpp (hbct_ctl) implements the transformations. Advisory
+// entries (kAdvisory* — no mechanical rewrite exists, e.g. "make q linear")
+// have apply = false and only ever appear as suggestions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hbct {
+
+enum class RuleId : std::uint8_t {
+  // ---- Boolean-layer rewrites (state formulas) -------------------------
+  kConstFold,       // fold true/false through !/&&/|| and constant atoms
+  kFlatten,         // (a && (b && c)) => (a && b && c); dually for ||
+  kNnfPush,         // push ! through &&/|| (De Morgan) and into atoms (flip
+                    // the comparison); eliminates double negation
+  kDedupIdempotent, // p && p => p; p || p => p
+  kAbsorb,          // p || (p && q) => p; p && (p || q) => p
+  // ---- Temporal-layer rewrites (rescue into the Section 4 fragment) ----
+  kTemporalIdempotent,  // EF EF p => EF p (also AF/EG/AG)
+  kNotTemporalDual,     // !EF p => AG !p, !AG p => EF !p, !AF p => EG !p,
+                        // !EG p => AF !p
+  kMergeEfOr,           // EF a || EF b => EF(a || b)
+  kMergeAgAnd,          // AG a && AG b => AG(a && b)
+  kTemporalAbsorb,      // p || EF p => EF p; p && AG p => AG p
+  // ---- Dispatch-shaping rewrites (operand restructuring) ---------------
+  kEfDnfSplit,      // put the EF/AF operand in DNF so the disjunctive /
+                    // or-split routes fire: EF(p1 || p2) = EF p1 || EF p2
+  kAgCnfSplit,      // dually CNF for AG: AG(p1 && p2) = AG p1 && AG p2
+  kInferClasses,    // attach syntactically inferred class bits to a
+                    // structurally classless operand (analysis/infer.h) so
+                    // dispatch can take a polynomial Table-1 route
+  kCostableCollapse,// EF/AF p with !p stable (p down-closed): p can only
+                    // ever hold if it holds at the initial cut => evaluate
+                    // the bare state formula there (O(1)). Dually EG/AG p
+                    // with p stable collapse to p at the initial cut.
+  // ---- Advisory-only entries (no mechanical rewrite) -------------------
+  kAdvisoryEuA3,    // make p conjunctive and q linear to enable A3
+  kAdvisoryAuDual,  // make both AU operands disjunctive
+  kAdvisoryBudget,  // EG/AF admit no distributive split; bound the search
+};
+
+struct RuleInfo {
+  RuleId id;
+  /// Stable machine name ("ef-dnf-split"); keys RewriteStep::rule.
+  const char* name;
+  const char* summary;
+  /// Why the rewrite preserves the verdict on every computation.
+  const char* soundness;
+  /// Lint suggestion text (rendered into W001/W004 etc.).
+  const char* suggestion;
+  /// True when the optimizer can apply the rule mechanically; advisory
+  /// entries only ever appear as suggestions.
+  bool apply;
+  /// True when an application of this rule evidences a constant or
+  /// redundant subformula (reported as W009 rather than W008).
+  bool redundancy;
+};
+
+inline constexpr RuleInfo kRuleCatalog[] = {
+    {RuleId::kConstFold, "const-fold",
+     "fold constant subformulas through the boolean connectives",
+     "true/false are units and absorbers of &&/||; a constant atom has one "
+     "truth value on every cut",
+     "the subformula is constant; fold it away (optimize=kApply does this)",
+     true, true},
+    {RuleId::kFlatten, "flatten",
+     "flatten nested same-operator conjunctions/disjunctions",
+     "&& and || are associative over the cut lattice", "", true, false},
+    {RuleId::kNnfPush, "nnf-push",
+     "push negation to the atoms (negation normal form)",
+     "De Morgan's laws hold pointwise per cut; a negated comparison is the "
+     "complementary comparison",
+     "push the negation inward (nnf-push) so the operand exposes its "
+     "&&/|| structure to the dispatcher",
+     true, false},
+    {RuleId::kDedupIdempotent, "dedup-idempotent",
+     "drop duplicate conjuncts/disjuncts",
+     "&& and || are idempotent", "remove the duplicate operand", true, true},
+    {RuleId::kAbsorb, "absorb",
+     "absorption: p || (p && q) => p and p && (p || q) => p",
+     "p && q implies p; p implies p || q (pointwise per cut)",
+     "the enclosing operand absorbs the subformula", true, true},
+    {RuleId::kTemporalIdempotent, "temporal-idempotent",
+     "collapse stacked identical temporal operators (EF EF p => EF p)",
+     "EF/AF/EG/AG are idempotent on the reflexive-path semantics of the cut "
+     "lattice",
+     "collapse the nested temporal operator (temporal-idempotent) to "
+     "re-enter the Section 4 fragment",
+     true, false},
+    {RuleId::kNotTemporalDual, "not-temporal-dual",
+     "rewrite a negated temporal operator by its CTL dual",
+     "!EF p = AG !p and !AF p = EG !p on every path structure "
+     "(complement duality of E/A and F/G)",
+     "replace the negated temporal operator by its dual "
+     "(not-temporal-dual) to re-enter the Section 4 fragment",
+     true, false},
+    {RuleId::kMergeEfOr, "merge-ef-or",
+     "EF a || EF b => EF(a || b)",
+     "EF distributes over || in CTL: a cut reachable satisfying a or one "
+     "satisfying b exists iff one satisfying a||b exists",
+     "merge the EF disjuncts (merge-ef-or) into one fragment query", true,
+     false},
+    {RuleId::kMergeAgAnd, "merge-ag-and",
+     "AG a && AG b => AG(a && b)",
+     "AG distributes over && in CTL (dual of EF over ||)",
+     "merge the AG conjuncts (merge-ag-and) into one fragment query", true,
+     false},
+    {RuleId::kTemporalAbsorb, "temporal-absorb",
+     "p || EF p => EF p; p && AG p => AG p",
+     "paths are reflexive: p at the current cut implies EF p, and AG p "
+     "implies p",
+     "the temporal operand absorbs the bare copy (temporal-absorb)", true,
+     true},
+    {RuleId::kEfDnfSplit, "ef-dnf-split",
+     "put the operand in DNF so EF/AF distribute over the disjuncts",
+     "EF(p1 || p2) = EF(p1) || EF(p2): a satisfying cut for the disjunction "
+     "is a satisfying cut for some disjunct",
+     "rewrite the operand in DNF: EF(p1 || p2) = EF(p1) || EF(p2) "
+     "dispatches each disjunct separately (rule ef-dnf-split; "
+     "optimize=kApply does this automatically)",
+     true, false},
+    {RuleId::kAgCnfSplit, "ag-cnf-split",
+     "put the operand in CNF so AG distributes over the conjuncts",
+     "AG(p1 && p2) = AG(p1) && AG(p2): the conjunction holds everywhere iff "
+     "each conjunct does",
+     "rewrite the operand in CNF: AG(p1 && p2) = AG(p1) && AG(p2) "
+     "dispatches each conjunct separately (rule ag-cnf-split; "
+     "optimize=kApply does this automatically)",
+     true, false},
+    {RuleId::kInferClasses, "infer-classes",
+     "attach machine-derived class bits to a structurally classless operand",
+     "the bits are derived bottom-up by the judgments of analysis/infer.h "
+     "(each with a machine-checkable derivation tree audited against the "
+     "Section 4 lattice definitions), so dispatch may rely on them exactly "
+     "as on structural classes",
+     "the operand's classes are inferable from its syntax; run with "
+     "optimize=kApply to route by the inferred classes (rule infer-classes)",
+     true, false},
+    {RuleId::kCostableCollapse, "costable-collapse",
+     "EF/AF of a down-closed predicate — dually EG/AG of a stable one — is "
+     "its value at the initial cut",
+     "every cut contains the initial cut, so a down-closed predicate "
+     "satisfied anywhere is satisfied initially (and a stable predicate "
+     "satisfied initially is satisfied everywhere); conversely the initial "
+     "cut starts every path",
+     "the operand's monotonicity pins the verdict at the initial cut: the "
+     "query reduces to one evaluation there (rule costable-collapse)",
+     true, false},
+    {RuleId::kAdvisoryEuA3, "advisory-eu-a3",
+     "E[p U q] runs A3 when p is conjunctive and q linear", "",
+     "make p conjunctive and q linear (with a forbidden() oracle) to "
+     "enable A3",
+     false, false},
+    {RuleId::kAdvisoryAuDual, "advisory-au-dual",
+     "A[p U q] has a polynomial duality for disjunctive operands", "",
+     "make both operands disjunctive to enable the au-disjunctive duality",
+     false, false},
+    {RuleId::kAdvisoryBudget, "advisory-budget",
+     "EG/AF admit no distributive split", "",
+     "EG/AF admit no distributive split; set a Budget or "
+     "allow_exponential=false to bound the search",
+     false, false},
+};
+
+inline const RuleInfo& rule_info(RuleId id) {
+  for (const RuleInfo& r : kRuleCatalog)
+    if (r.id == id) return r;
+  return kRuleCatalog[0];  // unreachable: every RuleId is in the catalog
+}
+
+/// Catalog lookup by stable name; nullptr when unknown.
+const RuleInfo* find_rule(const std::string& name);
+
+}  // namespace hbct

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/lint.h"
+#include "analysis/optimize.h"
 #include "detect/brute_force.h"
 #include "predicate/channel.h"
 #include "predicate/conjunctive.h"
@@ -308,19 +309,51 @@ std::string validate_query(const Computation& c, const Query& q) {
   return err;
 }
 
-EvalResult evaluate_query(const Computation& c, const Query& q,
-                          const DispatchOptions& opt) {
+namespace {
+
+/// Evaluates a (validated) query. When `oc` is non-null the query came out
+/// of the optimizer under OptimizeMode::kApply: its pre-compiled (possibly
+/// class-refined) operands are used, the applied rewrite chain is attached
+/// to the result, and diagnostics come from the optimizer's residual
+/// findings (a fresh lint of the rewritten text could not see the refined
+/// classes and would contradict the actual route).
+EvalResult evaluate_plain(const Computation& c, const Query& q,
+                          const DispatchOptions& opt,
+                          const OptimizeOutcome* oc) {
   EvalResult out;
-  out.error = validate_query(c, q);
-  if (!out.error.empty()) return out;
+
+  const auto attach_optimizer = [&]() {
+    if (oc == nullptr) return;
+    out.result.rewrites = oc->steps;
+    if (opt.audit != AuditMode::kOff) {
+      std::vector<Diagnostic> ds =
+          optimize_diagnostics(*oc, OptimizeMode::kApply);
+      ds.insert(ds.end(), oc->residual.begin(), oc->residual.end());
+      // Keep any audit errors detect() raised; everything else is
+      // re-stated by the optimizer's findings.
+      for (Diagnostic& d : out.result.diagnostics)
+        if (d.severity == DiagSeverity::kError) ds.push_back(std::move(d));
+      out.result.diagnostics = std::move(ds);
+    }
+  };
 
   // Outside the paper's fragment (nested temporal operators, or boolean
   // structure over temporal subformulas): evaluate on the explicit lattice.
   if (!q.temporal && q.root && contains_temporal(q.root)) {
     if (opt.audit != AuditMode::kOff) {
       out.result.plan = "lattice-nested-ctl (exponential)";
-      out.result.diagnostics = lint_query(c, q, opt.allow_exponential);
+      out.result.diagnostics = oc != nullptr
+                                   ? oc->residual
+                                   : lint_query(c, q, opt.allow_exponential);
+      if (oc != nullptr) {
+        std::vector<Diagnostic> ds =
+            optimize_diagnostics(*oc, OptimizeMode::kApply);
+        ds.insert(ds.end(), out.result.diagnostics.begin(),
+                  out.result.diagnostics.end());
+        out.result.diagnostics = std::move(ds);
+      }
     }
+    if (oc != nullptr) out.result.rewrites = oc->steps;
     auto lat = Lattice::try_build(c, opt.budget.max_states);
     if (!lat) {
       out.error = strfmt(
@@ -342,23 +375,28 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
     return out;
   }
 
-  CompileResult p = compile_state(q.p);
-  if (!p.ok) {
-    out.error = p.error;
-    return out;
+  PredicatePtr ppred = oc != nullptr ? oc->p : nullptr;
+  if (!ppred) {
+    CompileResult p = compile_state(q.p);
+    if (!p.ok) {
+      out.error = p.error;
+      return out;
+    }
+    ppred = p.pred;
   }
   if (!q.temporal) {
     out.ok = true;
     out.result.algorithm = "state-eval(initial)";
     if (opt.audit != AuditMode::kOff)
       out.result.plan = "state-eval(initial) (O(1) evals)";
-    out.result.verdict = verdict_of(p.pred->eval(c, c.initial_cut()));
+    out.result.verdict = verdict_of(ppred->eval(c, c.initial_cut()));
     ++out.result.stats.predicate_evals;
     out.algorithm = out.result.algorithm;
+    attach_optimizer();
     return out;
   }
-  PredicatePtr qpred;
-  if (q.op == Op::kEU || q.op == Op::kAU) {
+  PredicatePtr qpred = oc != nullptr ? oc->q : nullptr;
+  if (!qpred && (q.op == Op::kEU || q.op == Op::kAU)) {
     CompileResult qq = compile_state(q.q);
     if (!qq.ok) {
       out.error = qq.error;
@@ -366,8 +404,8 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
     }
     qpred = qq.pred;
   }
-  out.result = detect(c, q.op, p.pred, qpred, opt);
-  if (opt.audit != AuditMode::kOff) {
+  out.result = detect(c, q.op, ppred, qpred, opt);
+  if (oc == nullptr && opt.audit != AuditMode::kOff) {
     // detect() raised the lint findings span-less (it never sees the query
     // text). Substitute the source-anchored versions and keep the audit
     // errors, which have no source anchor to gain.
@@ -376,8 +414,42 @@ EvalResult evaluate_query(const Computation& c, const Query& q,
       if (d.severity == DiagSeverity::kError) ds.push_back(std::move(d));
     out.result.diagnostics = std::move(ds);
   }
+  attach_optimizer();
   out.algorithm = out.result.algorithm;
   out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+EvalResult evaluate_query(const Computation& c, const Query& q,
+                          const DispatchOptions& opt) {
+  EvalResult out;
+  out.error = validate_query(c, q);
+  if (!out.error.empty()) return out;
+
+  if (opt.optimize == OptimizeMode::kOff) return evaluate_plain(c, q, opt, nullptr);
+
+  OptimizeOutcome oc = optimize_query(c, q, opt.allow_exponential);
+  if (opt.optimize == OptimizeMode::kApply && oc.changed)
+    return evaluate_plain(c, oc.query, opt, &oc);
+  if (opt.optimize == OptimizeMode::kApply && !oc.changed) {
+    // Nothing improved: evaluate as written, but still report that the
+    // optimizer ran (empty chain).
+    return evaluate_plain(c, q, opt, &oc);
+  }
+
+  // kAnalyzeOnly: evaluate the original query untouched, then attach the
+  // chain the optimizer *would* apply.
+  out = evaluate_plain(c, q, opt, nullptr);
+  if (opt.audit != AuditMode::kOff) {
+    std::vector<Diagnostic> ds =
+        optimize_diagnostics(oc, OptimizeMode::kAnalyzeOnly);
+    out.result.diagnostics.insert(out.result.diagnostics.end(),
+                                  std::make_move_iterator(ds.begin()),
+                                  std::make_move_iterator(ds.end()));
+  }
+  out.result.rewrites = std::move(oc.steps);
   return out;
 }
 

@@ -63,6 +63,11 @@ struct DetectResult {
   /// The span tracer of this run; null unless DispatchOptions::trace was
   /// set. Shared so the result stays copyable.
   TraceHandle trace;
+  /// The equivalence-preserving rewrite chain the query optimizer applied
+  /// (OptimizeMode::kApply) or proposes (kAnalyzeOnly), in application
+  /// order. Empty when optimization is off or nothing rewrites. Populated
+  /// by ctl::evaluate_query; predicate-level detect() never rewrites.
+  std::vector<RewriteStep> rewrites;
 
   bool definite() const { return verdict != Verdict::kUnknown; }
   /// Deprecated two-valued accessor; defined only for definite verdicts

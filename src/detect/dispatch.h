@@ -29,6 +29,23 @@ enum class AuditMode {
   kFull,
 };
 
+/// What the CTL query optimizer (analysis/optimize.h) is allowed to do for
+/// a query evaluated through ctl::evaluate_query. Predicate-level detect()
+/// calls never rewrite (there is no AST to rewrite).
+enum class OptimizeMode {
+  /// No optimization; queries evaluate exactly as written. The default.
+  kOff,
+  /// Run the optimizer's analysis and attach the rewrite chain it *would*
+  /// apply (DetectResult::rewrites, W008/W009 diagnostics), but evaluate
+  /// the original query. Never changes the verdict, plan, or algorithm.
+  kAnalyzeOnly,
+  /// Apply the chosen equivalence-preserving rewrite chain and evaluate the
+  /// optimized query. Verdicts are bit-identical to kOff on unbudgeted
+  /// runs (the rewrites are sound); routes — and therefore budget behavior
+  /// and witnesses — may differ, always within the three-valued contract.
+  kApply,
+};
+
 struct DispatchOptions {
   /// Resource bounds honoured by every algorithm on the route: state cap
   /// for the exponential fallbacks, work budget (cut steps + predicate
@@ -64,6 +81,10 @@ struct DispatchOptions {
   bool trace = false;
   /// Budgets for AuditMode::kFull (lattice cap, sample count, seed).
   AuditOptions audit_options;
+  /// Query-level rewrite optimization (ctl::evaluate_query only); see
+  /// OptimizeMode. Appended last so aggregate initializers of the earlier
+  /// fields keep compiling.
+  OptimizeMode optimize = OptimizeMode::kOff;
 };
 
 /// Detects `op`(p) — or `op`(p, q) for kEU/kAU — on the computation.

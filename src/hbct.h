@@ -21,8 +21,12 @@
 
 #include "analysis/audit.h"
 #include "analysis/diagnostics.h"
+#include "analysis/infer.h"
 #include "analysis/lint.h"
+#include "analysis/optimize.h"
 #include "analysis/plan.h"
+#include "analysis/rewrite.h"
+#include "analysis/rules.h"
 #include "ctl/compile.h"
 #include "ctl/formula.h"
 #include "ctl/parser.h"

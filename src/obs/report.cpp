@@ -81,6 +81,17 @@ std::string report_json(const DetectResult& r, const ReportOptions& opt) {
   }
   w.kv("witness_path_len", static_cast<std::uint64_t>(r.witness_path.size()));
 
+  w.key("rewrites").begin_array();
+  for (const RewriteStep& s : r.rewrites) {
+    w.begin_object();
+    w.kv("rule", s.rule);
+    w.kv("note", s.note);
+    w.kv("before", s.before);
+    w.kv("after", s.after);
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("diagnostics").begin_array();
   for (const Diagnostic& d : r.diagnostics) {
     w.begin_object();

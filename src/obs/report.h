@@ -14,6 +14,9 @@
 //     "stats":       { "<field>": n, ... },  // from the DetectStats X-macro
 //     "witness_cut": [k0, k1, ...] | null,
 //     "witness_path_len": n,
+//     "rewrites":    [ {"rule","note","before","after"}, ... ],
+//                    // the optimizer's applied (kApply) or proposed
+//                    // (kAnalyzeOnly) chain; [] when optimize was off
 //     "diagnostics": [ {"code","severity","message"}, ... ],
 //     "metrics":     { "counters": {..}, "gauges": {..},
 //                      "histograms": { name: {"count","sum","p50","p90",

@@ -41,9 +41,15 @@ std::string render(Op op, const PredShape& s) {
 }  // namespace
 
 ClassReport classify(const Predicate& p, const Computation& c) {
+  return classify(p, c, /*inferred_extra=*/0);
+}
+
+ClassReport classify(const Predicate& p, const Computation& c,
+                     ClassSet inferred_extra) {
   ClassReport r;
   r.holds_initially = p.eval(c, c.initial_cut());
-  const PredShape s = shape_for(p, c);
+  PredShape s = shape_for(p, c);
+  s.classes = close_classes(s.classes | inferred_extra);
   r.classes = s.classes;
   // The same planner detect() routes through, so the report can never drift
   // from the dispatch again (tests/test_plan_parity.cpp pins this).

@@ -19,6 +19,14 @@ struct ClassReport {
 /// operator would dispatch to (mirrors detect/dispatch.cpp).
 ClassReport classify(const Predicate& p, const Computation& c);
 
+/// Same, with machine-derived extra class bits unioned in before planning
+/// (closure-saturated). The CTL optimizer's inference engine
+/// (analysis/infer.h) lives above this layer, so callers pass the bits
+/// down; the report then shows the routes optimize=kApply would unlock via
+/// make_refined rather than the structural-probe-only dispatch.
+ClassReport classify(const Predicate& p, const Computation& c,
+                     ClassSet inferred_extra);
+
 /// Multi-line human-readable rendering of the report.
 std::string to_string(const ClassReport& r);
 

@@ -327,6 +327,63 @@ class AssertedPredicate final : public Predicate {
   std::string desc_;
 };
 
+// ---- Inference-refined wrapper ---------------------------------------------
+
+/// Forwards everything to the wrapped predicate but unions machine-derived
+/// class bits (analysis/infer.h) into classes(). The structural probes
+/// (as_conjunctive / as_disjunctive dynamic casts) do not see through the
+/// wrapper, so the optimizer only installs it when the class-based route it
+/// unlocks outranks the structural ones.
+class RefinedPredicate final : public Predicate {
+ public:
+  RefinedPredicate(PredicatePtr inner, ClassSet extra, ClassSet neg_extra)
+      : inner_(std::move(inner)),
+        extra_(close_classes(extra)),
+        neg_extra_(close_classes(neg_extra)) {}
+
+  bool eval(const Computation& c, const Cut& g) const override {
+    return inner_->eval(c, g);
+  }
+  ClassSet classes(const Computation& c) const override {
+    return close_classes(inner_->classes(c) | extra_);
+  }
+  std::string describe() const override { return inner_->describe(); }
+  ProcId forbidden(const Computation& c, const Cut& g) const override {
+    return inner_->forbidden(c, g);
+  }
+  ProcId forbidden_down(const Computation& c, const Cut& g) const override {
+    return inner_->forbidden_down(c, g);
+  }
+  bool has_forbidden() const override { return inner_->has_forbidden(); }
+  bool has_forbidden_down() const override {
+    return inner_->has_forbidden_down();
+  }
+  bool classes_asserted() const override {
+    return inner_->classes_asserted();
+  }
+  PredicatePtr negate() const override {
+    return make_refined(inner_->negate(), neg_extra_, extra_);
+  }
+  std::optional<bool> as_constant() const override {
+    return inner_->as_constant();
+  }
+  std::vector<PredicatePtr> disjuncts() const override {
+    return inner_->disjuncts();
+  }
+  std::vector<PredicatePtr> conjuncts() const override {
+    return inner_->conjuncts();
+  }
+  EvalCursorPtr make_cursor(const Computation& c,
+                            const Cut& g) const override {
+    return inner_->make_cursor(c, g);
+  }
+
+ private:
+  PredicatePtr inner_;
+  ClassSet extra_;
+  ClassSet neg_extra_;
+};
+
 }  // namespace
 
 PredicatePtr Predicate::negate() const {
@@ -413,6 +470,14 @@ PredicatePtr make_terminated() {
   return make_stable(
       [](const Computation& c, const Cut& g) { return g == c.final_cut(); },
       "terminated");
+}
+
+PredicatePtr make_refined(PredicatePtr p, ClassSet extra,
+                          ClassSet negation_extra) {
+  HBCT_ASSERT(p);
+  if (extra == 0 && negation_extra == 0) return p;
+  return std::make_shared<RefinedPredicate>(std::move(p), extra,
+                                            negation_extra);
 }
 
 }  // namespace hbct

@@ -171,4 +171,15 @@ PredicatePtr make_stable(std::function<bool(const Computation&, const Cut&)> fn,
 /// predicate (termination).
 PredicatePtr make_terminated();
 
+/// Unions machine-derived class bits into p's classes() (and
+/// `negation_extra` into its negation's), forwarding everything else. The
+/// CTL query optimizer installs this for bits the syntactic inference
+/// engine (analysis/infer.h) derives but the structural probe cannot see —
+/// e.g. the stability of `pos(0)+pos(1) > 3`. Returns p unchanged when
+/// both sets are empty. Unlike make_asserted the bits do not report
+/// classes_asserted(): they come with a machine-checkable derivation, not
+/// a user claim.
+PredicatePtr make_refined(PredicatePtr p, ClassSet extra,
+                          ClassSet negation_extra = 0);
+
 }  // namespace hbct

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/optimize.h"
 #include "analysis/plan.h"
 #include "ctl/compile.h"
 #include "detect/dispatch.h"
@@ -182,6 +183,38 @@ TEST(PlanParity, ResultPlanFieldMatchesAlgorithm) {
       EXPECT_TRUE(starts_with(r.algorithm, name))
           << r.plan << " vs " << r.algorithm;
     }
+  }
+}
+
+/// The optimizer extends the parity contract: under OptimizeMode::kApply the
+/// outcome's plan_after must name the algorithm the rewritten query actually
+/// dispatches to, and the chosen candidate can never be priced above the
+/// query as written (the original is always a candidate; ties keep it).
+TEST(PlanParity, OptimizerPlanAfterMatchesDispatchedAlgorithm) {
+  const Computation c = comp(13);
+  DispatchOptions opt;
+  opt.optimize = OptimizeMode::kApply;
+  const char* queries[] = {
+      "EF(pos(0) + pos(1) > 3)",   // infer-classes reroute
+      "!AG(v0@P0 >= 1)",           // not-temporal-dual rescue
+      "EF(v0@P0 >= 1) || EF(v1@P1 >= 1)",  // merge-ef-or
+      "EF(v0@P0 >= 1 && v1@P1 <= 3)",      // already optimal
+      "AG(v0@P0 >= 0)",
+      "AF(terminated)",
+  };
+  for (const char* text : queries) {
+    const auto parsed = ctl::parse_query(text);
+    ASSERT_TRUE(parsed.ok) << text;
+    const ctl::OptimizeOutcome oc = ctl::optimize_query(c, parsed.query);
+    EXPECT_LE(oc.cost_after, oc.cost_before) << text;
+    const auto r = ctl::evaluate_query(c, text, opt);
+    ASSERT_TRUE(r.ok) << text << ": " << r.error;
+    // plan_after is "<name> (<cost>)"; the name prefixes the algorithm.
+    const std::string name = oc.plan_after.substr(0, oc.plan_after.find(" ("));
+    ASSERT_FALSE(name.empty()) << text;
+    EXPECT_TRUE(starts_with(r.result.algorithm, name))
+        << text << ": plan_after " << oc.plan_after << " vs algorithm "
+        << r.result.algorithm;
   }
 }
 

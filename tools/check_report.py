@@ -40,16 +40,34 @@ def check_spans(path, spans):
             fail(path, f"span {i} ({s['name']}) never closed")
 
 
+def check_rewrites(path, rewrites):
+    """The optimizer's rewrite chain: every step names a catalog rule and
+    renders the before/after forms (src/analysis/rules.h)."""
+    if not isinstance(rewrites, list):
+        fail(path, "rewrites is not an array")
+    for i, s in enumerate(rewrites):
+        for k in ("rule", "note", "before", "after"):
+            if k not in s:
+                fail(path, f"rewrite {i} missing {k!r}")
+            if not isinstance(s[k], str):
+                fail(path, f"rewrite {i} field {k!r} is not a string")
+        if not s["rule"]:
+            fail(path, f"rewrite {i} has an empty rule name")
+        if not s["before"] or not s["after"]:
+            fail(path, f"rewrite {i} ({s['rule']!r}) missing before/after")
+
+
 def check_report(path, doc):
     for k in ("schema", "verdict", "bound", "algorithm", "plan", "stats",
-              "witness_cut", "witness_path_len", "diagnostics", "metrics",
-              "spans"):
+              "witness_cut", "witness_path_len", "rewrites", "diagnostics",
+              "metrics", "spans"):
         if k not in doc:
             fail(path, f"missing key {k!r}")
     if doc["verdict"] not in VERDICTS:
         fail(path, f"bad verdict {doc['verdict']!r}")
     if doc["bound"] not in BOUNDS:
         fail(path, f"bad bound {doc['bound']!r}")
+    check_rewrites(path, doc["rewrites"])
     if not all(isinstance(v, int) for v in doc["stats"].values()):
         fail(path, "non-integer stats counter")
     if doc["spans"] is not None:

@@ -1,0 +1,259 @@
+// Standalone CTL query linter: parse + class-inference + cost-model
+// optimizer over query files, without running any detection.
+//
+//   $ hbct_lint --sim token_mutex examples/queries/mutex.qry
+//   $ hbct_lint --trace run.trace --fix my_queries.qry
+//   $ hbct_lint --corpus
+//
+// Query files hold one query per line; blank lines and `#` comments are
+// skipped. Every query is linted against the chosen computation (a sim
+// workload by default, a recorded trace with --trace), then pushed through
+// the cost-model optimizer (analysis/optimize.h).
+//
+// Exit status is the contract the CI lint job relies on: nonzero when any
+// query still dispatches to an exponential (W001) or intractable (W002)
+// route *after* the optimizer has applied every rewrite it knows — i.e.
+// when no applicable rewrite exists and a human has to restructure the
+// query. A W001 the optimizer can reroute (e.g. a stable-inferable sum, a
+// DNF-splittable operand) prints the chain and passes.
+//
+// --fix prints the optimized form next to each rewritten query so it can
+// be pasted back into the source file.
+//
+// --corpus sweeps the scenario corpus batteries instead (predicate-level,
+// no query text): purely informational, always exit 0 — the corpus
+// intentionally keeps exponential cells (e.g. an ef-dfs fallback) as
+// dispatcher coverage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hbct.h"
+#include "corpus/scenario.h"
+
+using namespace hbct;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [query-file...]\n"
+      "  -q <query>       lint one query given inline (repeatable)\n"
+      "  --trace <file>   lint against a recorded trace ('-' = stdin)\n"
+      "  --sim <name>     lint against a sim workload: token_mutex, ra_mutex,\n"
+      "                   leader_election, token_ring, producer_consumer,\n"
+      "                   barrier (default: token_mutex)\n"
+      "  --procs <n>      workload processes (default 4)\n"
+      "  --scale <n>      workload rounds/items (default 3)\n"
+      "  --fix            print the optimizer's rewritten form\n"
+      "  --corpus         informational sweep over the scenario batteries\n",
+      argv0);
+  return 64;
+}
+
+bool build_sim(const std::string& name, std::int32_t procs, std::int32_t scale,
+               Computation& out) {
+  if (name == "token_mutex")
+    out = sim::make_token_mutex(procs, scale, /*inject_violation=*/true).run({});
+  else if (name == "ra_mutex")
+    out = sim::make_ra_mutex(procs, scale).run({});
+  else if (name == "leader_election")
+    out = sim::make_leader_election(procs).run({});
+  else if (name == "token_ring")
+    out = sim::make_token_ring(procs, scale).run({});
+  else if (name == "producer_consumer")
+    out = sim::make_producer_consumer(procs * scale, scale).run({});
+  else if (name == "barrier")
+    out = sim::make_barrier(procs, scale).run({});
+  else
+    return false;
+  return true;
+}
+
+bool is_cliff(const Diagnostic& d) {
+  return d.code == DiagCode::kExponentialFallback ||
+         d.code == DiagCode::kIntractableClass;
+}
+
+/// Lints one query; returns false when an exponential/intractable dispatch
+/// survives the optimizer (the CI-failing condition).
+bool lint_one(const Computation& c, const std::string& origin,
+              const std::string& text, bool fix) {
+  std::printf("%s: %s\n", origin.c_str(), text.c_str());
+  const auto parsed = ctl::parse_query(text);
+  if (!parsed.ok) {
+    std::printf("  parse error: %s\n", parsed.error.c_str());
+    return false;
+  }
+  const std::string err = ctl::validate_query(c, parsed.query);
+  if (!err.empty()) {
+    std::printf("  error: %s\n", err.c_str());
+    return false;
+  }
+
+  const auto as_written = ctl::lint_query(c, parsed.query);
+  for (const Diagnostic& d : as_written)
+    std::printf("  %s\n", to_string(d).c_str());
+
+  const ctl::OptimizeOutcome oc = ctl::optimize_query(c, parsed.query);
+  if (oc.changed) {
+    std::printf("  optimizer: %s (cost %.0f) => %s (cost %.0f)\n",
+                oc.plan_before.c_str(), oc.cost_before, oc.plan_after.c_str(),
+                oc.cost_after);
+    for (const RewriteStep& s : oc.steps)
+      std::printf("    %s\n", to_string(s).c_str());
+    if (fix) std::printf("  fixed: %s\n", to_string(oc.query).c_str());
+  }
+
+  for (const Diagnostic& d : oc.residual) {
+    if (!is_cliff(d)) continue;
+    std::printf("  FAIL %s: no applicable rewrite%s%s\n",
+                to_string(d.code).c_str(),
+                d.suggestion.empty() ? "" : "; ", d.suggestion.c_str());
+    return false;
+  }
+  // W003 nested-temporal formulas also have no rewrite into the fragment.
+  for (const Diagnostic& d : oc.residual)
+    if (d.code == DiagCode::kNestedTemporal) {
+      std::printf("  FAIL W003: no applicable rewrite; %s\n",
+                  d.suggestion.c_str());
+      return false;
+    }
+  std::printf("  ok\n");
+  return true;
+}
+
+int run_corpus() {
+  for (const corpus::ScenarioSpec& spec : corpus::scenario_registry()) {
+    const corpus::Scenario s = spec.build({});
+    std::printf("%s: %d procs, %lld events, %zu cells\n", s.name.c_str(),
+                s.computation.num_procs(),
+                static_cast<long long>(s.computation.total_events()),
+                s.battery.size());
+    for (const corpus::BatteryCell& cell : s.battery) {
+      const PredShape sp = shape_of(cell.pred, s.computation);
+      DetectPlan plan;
+      std::vector<Diagnostic> ds;
+      if (cell.op == Op::kEU || cell.op == Op::kAU) {
+        const PredShape sq = shape_of(cell.until_q, s.computation);
+        plan = plan_until(cell.op, sp, sq, /*all_q_disjuncts_linear=*/false,
+                          /*allow_exponential=*/true);
+        ds = plan_diagnostics(cell.op, *cell.pred, sp, plan);
+      } else {
+        plan = plan_unary(cell.op, sp, /*allow_exponential=*/true);
+        ds = plan_diagnostics(cell.op, *cell.pred, sp, plan);
+      }
+      std::printf("  %-28s %s\n", cell.name.c_str(),
+                  plan_to_string(plan).c_str());
+      for (const Diagnostic& d : ds)
+        std::printf("    %s\n", to_string(d).c_str());
+    }
+  }
+  return 0;  // informational: the corpus keeps exponential cells on purpose
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sim_name = "token_mutex";
+  std::string trace_path;
+  std::int32_t procs = 4, scale = 3;
+  bool fix = false, corpus_mode = false;
+  std::vector<std::string> inline_queries;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--fix") {
+      fix = true;
+    } else if (a == "--corpus") {
+      corpus_mode = true;
+    } else if (a == "-q") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      inline_queries.push_back(v);
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      trace_path = v;
+    } else if (a == "--sim") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      sim_name = v;
+    } else if (a == "--procs") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      procs = std::atoi(v);
+    } else if (a == "--scale") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      scale = std::atoi(v);
+    } else if (a == "--help" || a == "-h") {
+      return usage(argv[0]);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(a);
+    }
+  }
+
+  if (corpus_mode) return run_corpus();
+  if (files.empty() && inline_queries.empty()) return usage(argv[0]);
+
+  Computation c;
+  if (!trace_path.empty()) {
+    TraceParseResult parsed;
+    if (trace_path == "-") {
+      parsed = read_trace(std::cin);
+    } else {
+      std::ifstream in(trace_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+        return 66;
+      }
+      parsed = read_trace(in);
+    }
+    if (!parsed.ok) {
+      std::fprintf(stderr, "trace error: %s\n", parsed.error.c_str());
+      return 65;
+    }
+    c = std::move(parsed.computation);
+  } else if (!build_sim(sim_name, procs, scale, c)) {
+    std::fprintf(stderr, "unknown workload %s\n", sim_name.c_str());
+    return usage(argv[0]);
+  }
+
+  int failures = 0;
+  for (std::size_t i = 0; i < inline_queries.size(); ++i)
+    if (!lint_one(c, strfmt("<arg %zu>", i + 1), inline_queries[i], fix))
+      ++failures;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 66;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::string q(trim(line));
+      if (q.empty() || q[0] == '#') continue;
+      if (!lint_one(c, strfmt("%s:%d", path.c_str(), lineno), q, fix))
+        ++failures;
+    }
+  }
+  if (failures > 0)
+    std::printf("%d quer%s with no applicable rewrite\n", failures,
+                failures == 1 ? "y" : "ies");
+  return failures > 0 ? 1 : 0;
+}
