@@ -6,6 +6,7 @@
 // which tools/check_report.py validates in the bench-diff CI step.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "bench_report.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "predicate/local.h"
 #include "predicate/predicate.h"
@@ -31,6 +33,7 @@ struct StreamPlan {
   int sessions = 8;
   std::int64_t rounds = 12'500;  // 2 events per round per session
   std::int64_t gc_interval = 4096;  // <= 0: GC off
+  bool recorder = true;  // flight recorder enabled during the pass
 };
 
 struct StreamOutcome {
@@ -87,6 +90,7 @@ std::vector<std::string> build_chunks(std::int64_t rounds) {
 /// One full pass: open, stream, drain; outcome read off the tracer metrics.
 void run_streams(const StreamPlan& plan, const std::vector<std::string>& chunks,
                  StreamOutcome* out) {
+  FlightRecorder::global().set_enabled(plan.recorder);
   Tracer tracer;
   serve::ServiceOptions opt;
   opt.trace = &tracer;
@@ -114,6 +118,7 @@ void run_streams(const StreamPlan& plan, const std::vector<std::string>& chunks,
   for (const std::string& chunk : chunks)
     for (SessionId sid : sids) svc.post(sid, chunk);
   svc.drain();
+  FlightRecorder::global().set_enabled(true);
 
   if (out != nullptr) {
     out->events = 0;
@@ -166,15 +171,52 @@ bool emit_streaming_json(const char* path) {
     StreamPlan plan;
   };
   const Config configs[] = {
-      {"streaming/8x25k/gc", "8 sessions x 25k events, gc every 4096",
-       {8, 12'500, 4096}},
       {"streaming/8x25k/nogc", "8 sessions x 25k events, gc off",
-       {8, 12'500, 0}},
+       {8, 12'500, 0, true}},
       {"streaming/32x5k/gc", "32 sessions x 5k events, gc every 1024",
-       {32, 2'500, 1024}},
+       {32, 2'500, 1024, true}},
   };
 
   std::vector<StreamingRow> rows;
+
+  // Flight-recorder A/B on the flagship config, passes interleaved so
+  // drift and allocator state land on both sides equally (separate timing
+  // blocks show spread far above the gating overhead being measured).
+  {
+    StreamPlan rec{8, 12'500, 4096, true};
+    StreamPlan norec = rec;
+    norec.recorder = false;
+    const auto chunks = build_chunks(rec.rounds);
+    StreamingRow rrow, nrow;
+    rrow.base.name = "streaming/8x25k/gc";
+    rrow.base.label = "8 sessions x 25k events, gc every 4096";
+    rrow.plan = rec;
+    nrow.base.name = "streaming/8x25k/gc/norec";
+    nrow.base.label =
+        "8 sessions x 25k events, gc every 4096, flight recorder off";
+    nrow.plan = norec;
+    run_streams(rec, chunks, nullptr);  // warmup
+    run_streams(norec, chunks, nullptr);
+    std::vector<double> rec_ns, norec_ns;
+    for (int i = 0; i < 9; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      run_streams(rec, chunks, &rrow.outcome);
+      auto t1 = std::chrono::steady_clock::now();
+      run_streams(norec, chunks, &nrow.outcome);
+      auto t2 = std::chrono::steady_clock::now();
+      rec_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+      norec_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+              .count()));
+    }
+    rrow.base.ns = Summary::of(std::move(rec_ns));
+    nrow.base.ns = Summary::of(std::move(norec_ns));
+    rows.push_back(std::move(rrow));
+    rows.push_back(std::move(nrow));
+  }
+
   for (const Config& c : configs) {
     const auto chunks = build_chunks(c.plan.rounds);
     StreamingRow row;
@@ -214,6 +256,7 @@ bool emit_streaming_json(const char* path) {
     w.kv("gc_rounds", r.outcome.gc_rounds);
     w.kv("fire_p50_ns", r.outcome.fire_p50_ns);
     w.kv("fire_p99_ns", r.outcome.fire_p99_ns);
+    w.kv("recorder", r.plan.recorder);
     w.end_object();
     w.end_object();
   }

@@ -1,0 +1,415 @@
+// Watch throughput under mixed watch classes: watches/sec the streaming
+// service sustains per class — conjunctive, disjunctive, invariant, stable,
+// channel, relational (both riding watch_stable with predicates that are
+// stable by construction on the generated stream), and until — at a fixed
+// fire-latency objective, plus a recorder-on vs recorder-off A/B pair
+// measuring the always-on flight recorder's gating overhead.
+//
+// The BENCH_watch.json artifact (schema hbct.bench/1) extends each row with
+// a "watch" object validated by tools/check_report.py and diffed by
+// tools/bench_diff.py in CI.
+//
+// Stream shape (2 processes): round r sends msg r from P0 (writing x = r)
+// and, once r >= lag, delivers msg r - lag to P1 (writing y = r - lag). The
+// channel 0->1 therefore holds ~lag messages from warmup onwards and never
+// drains — channel_bound_ge(0,1,lag) is stable on this stream — and x, y
+// are monotone nondecreasing, so sum_ge is stable too. Each class arms one
+// watch that fires mid-stream (latency samples) and several that never fire
+// (sustained evaluation cost).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_report.h"
+#include "obs/expose.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
+#include "predicate/channel.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
+#include "predicate/local.h"
+#include "predicate/predicate.h"
+#include "predicate/relational.h"
+#include "serve/service.h"
+#include "util/assert.h"
+
+namespace hbct {
+namespace {
+
+using serve::SessionConfig;
+using serve::SessionId;
+using serve::SessionState;
+using serve::StreamingService;
+
+constexpr std::int64_t kLag = 64;  // in-flight messages after warmup
+
+struct WatchPlan {
+  std::string cls;        // row label; "mixed" = one of each
+  int sessions = 4;
+  std::int64_t rounds = 4'000;
+  bool recorder = true;   // flight recorder enabled during the pass
+};
+
+struct WatchOutcome {
+  std::int64_t events = 0;
+  std::int64_t watches = 0;
+  std::int64_t fires = 0;
+  std::uint64_t fire_p50_ns = 0;
+  std::uint64_t fire_p99_ns = 0;
+};
+
+std::vector<std::string> build_chunks(std::int64_t rounds) {
+  std::vector<std::string> chunks;
+  {
+    wire::Record procs;
+    procs.kind = wire::Record::Kind::kProcs;
+    procs.nprocs = 2;
+    wire::Record var;
+    var.kind = wire::Record::Kind::kVar;
+    var.name = "x";
+    wire::Record var2;
+    var2.kind = wire::Record::Kind::kVar;
+    var2.name = "y";
+    std::string head;
+    wire::encode_record(head, procs);
+    wire::encode_record(head, var);
+    wire::encode_record(head, var2);
+    // Initial values so relational sums read defined state everywhere.
+    wire::Record init;
+    init.kind = wire::Record::Kind::kInit;
+    init.proc = 0;
+    init.var = 0;
+    init.value = 0;
+    wire::encode_record(head, init);
+    init.proc = 1;
+    init.var = 1;
+    wire::encode_record(head, init);
+    chunks.push_back(std::move(head));
+  }
+  std::string chunk;
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    wire::Record send;
+    send.kind = wire::Record::Kind::kSend;
+    send.proc = 0;
+    send.peer = 1;
+    send.msg = static_cast<std::uint64_t>(r);
+    send.writes.push_back({0, r});  // x = r
+    wire::encode_record(chunk, send);
+    if (r >= kLag) {
+      wire::Record recv;
+      recv.kind = wire::Record::Kind::kRecv;
+      recv.proc = 1;
+      recv.msg = static_cast<std::uint64_t>(r - kLag);
+      recv.writes.push_back({1, r - kLag});  // y = r - lag
+      wire::encode_record(chunk, recv);
+    }
+    if (r % 512 == 511) chunks.push_back(std::exchange(chunk, {}));
+  }
+  {
+    // The last kLag messages stay in flight on purpose: the channel never
+    // drains, keeping channel_bound_ge stable through the end of stream.
+    wire::Record end;
+    end.kind = wire::Record::Kind::kEnd;
+    wire::encode_record(chunk, end);
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
+/// Registers the watches of one class on a fresh monitor; returns how many
+/// were armed. `target` is the mid-stream firing threshold.
+std::int64_t arm(OnlineMonitor& m, const std::string& cls,
+                 std::int64_t rounds) {
+  const std::int64_t target = rounds / 2;
+  const auto xv = [&](Cmp op, std::int64_t k) {
+    return var_cmp(0, "x", op, k);
+  };
+  const auto yv = [&](Cmp op, std::int64_t k) {
+    return var_cmp(1, "y", op, k);
+  };
+  if (cls == "conjunctive") {
+    m.watch_possibly(
+        make_conjunctive({xv(Cmp::kEq, target), yv(Cmp::kEq, target)}));
+    m.watch_possibly(make_conjunctive({xv(Cmp::kLt, 0), yv(Cmp::kLt, 0)}));
+    m.watch_possibly(make_conjunctive({xv(Cmp::kEq, -1), yv(Cmp::kEq, -2)}));
+    return 3;
+  }
+  if (cls == "disjunctive") {
+    m.watch_possibly(
+        make_disjunctive({xv(Cmp::kEq, target), yv(Cmp::kEq, target)}));
+    m.watch_possibly(make_disjunctive({xv(Cmp::kLt, 0), yv(Cmp::kLt, 0)}));
+    m.watch_possibly(make_disjunctive({xv(Cmp::kEq, -1), yv(Cmp::kEq, -2)}));
+    return 3;
+  }
+  if (cls == "invariant") {
+    // AG(x < target or y < target): violated mid-stream once both advance.
+    m.watch_invariant(
+        make_disjunctive({xv(Cmp::kLt, target), yv(Cmp::kLt, target)}));
+    m.watch_invariant(make_disjunctive({xv(Cmp::kGe, 0), yv(Cmp::kGe, -1)}));
+    return 2;
+  }
+  if (cls == "stable") {
+    const std::int64_t fire_at = rounds;  // ~half the stream's 2r - lag events
+    m.watch_stable(make_stable(
+        [fire_at](const Computation&, const Cut& g) {
+          return g.total() >= fire_at;
+        },
+        "progress"));
+    m.watch_stable(make_stable(
+        [](const Computation&, const Cut&) { return false; }, "never"));
+    return 2;
+  }
+  if (cls == "channel") {
+    // Stable on this stream: occupancy of 0->1 reaches kLag at warmup and
+    // never drops below it (the tail messages are never delivered).
+    m.watch_stable(channel_bound_ge(0, 1, static_cast<std::int32_t>(kLag)));
+    m.watch_stable(channel_bound_ge(0, 1, 1 << 30));
+    return 2;
+  }
+  if (cls == "relational") {
+    // x + y is monotone nondecreasing, so sum_ge is stable.
+    m.watch_stable(sum_ge({{0, "x"}, {1, "y"}}, target));
+    m.watch_stable(sum_ge({{0, "x"}, {1, "y"}}, std::int64_t{1} << 60));
+    return 2;
+  }
+  if (cls == "until") {
+    // E[x >= 0 U P1-progress]: streaming A3 decides once I_q is observed.
+    m.watch_until(make_conjunctive({xv(Cmp::kGe, 0)}),
+                  PredicatePtr(progress_ge(1, (rounds - kLag) / 2)));
+    m.watch_until(make_conjunctive({xv(Cmp::kGe, 0)}),
+                  PredicatePtr(progress_ge(1, rounds * 16)));
+    return 2;
+  }
+  HBCT_ASSERT(cls == "mixed");
+  std::int64_t n = 0;
+  for (const char* c : {"conjunctive", "disjunctive", "invariant", "stable",
+                        "channel", "relational", "until"})
+    n += arm(m, c, rounds);
+  return n;
+}
+
+void run_watches(const WatchPlan& plan, const std::vector<std::string>& chunks,
+                 WatchOutcome* out) {
+  FlightRecorder::global().set_enabled(plan.recorder);
+  Tracer tracer;
+  serve::ServiceOptions opt;
+  opt.trace = &tracer;
+  StreamingService svc(opt);
+
+  SessionConfig cfg;
+  cfg.num_procs = 2;
+  std::int64_t watches = 0;
+  std::vector<SessionId> sids;
+  for (int k = 0; k < plan.sessions; ++k) {
+    sids.push_back(svc.open(cfg, [&](OnlineMonitor& m) {
+      m.var("x");
+      m.var("y");
+      watches += arm(m, plan.cls, plan.rounds);
+    }));
+  }
+  for (const std::string& chunk : chunks)
+    for (SessionId sid : sids) svc.post(sid, chunk);
+  svc.drain();
+  FlightRecorder::global().set_enabled(true);
+
+  if (out != nullptr) {
+    out->events = 0;
+    out->fires = 0;
+    out->watches = watches;
+    for (SessionId sid : sids) {
+      if (svc.state(sid) != SessionState::kFinished) {
+        std::fprintf(stderr, "session failed: %s\n", svc.error(sid).c_str());
+        std::abort();
+      }
+      const auto st = svc.stats(sid);
+      out->events += st.events;
+      out->fires += st.fires;
+    }
+    const MetricsSnapshot snap = tracer.metrics().snapshot();
+    // Mixed rows read the combined fire-latency histogram; single-class
+    // rows their class series (invariant/channel/relational label under
+    // their WatchKind: invariant, stable, stable).
+    std::string hname = "serve.fire_latency.ns";
+    if (plan.cls == "conjunctive" || plan.cls == "disjunctive" ||
+        plan.cls == "invariant" || plan.cls == "until")
+      hname = labeled(hname, "class", plan.cls);
+    else if (plan.cls != "mixed")
+      hname = labeled(hname, "class", "stable");
+    auto it = snap.histograms.find(hname);
+    if (it != snap.histograms.end()) {
+      out->fire_p50_ns = it->second.percentile(0.5);
+      out->fire_p99_ns = it->second.percentile(0.99);
+    }
+  }
+}
+
+void BM_watch_class(benchmark::State& state, const char* cls) {
+  WatchPlan plan;
+  plan.cls = cls;
+  const auto chunks = build_chunks(plan.rounds);
+  for (auto _ : state) run_watches(plan, chunks, nullptr);
+  state.SetItemsProcessed(state.iterations() * plan.sessions *
+                          (2 * plan.rounds - kLag));
+}
+BENCHMARK_CAPTURE(BM_watch_class, conjunctive, "conjunctive");
+BENCHMARK_CAPTURE(BM_watch_class, stable, "stable");
+BENCHMARK_CAPTURE(BM_watch_class, mixed, "mixed");
+
+// ---- BENCH_watch.json --------------------------------------------------------
+
+struct WatchRow {
+  benchio::BenchRow base;
+  WatchPlan plan;
+  WatchOutcome outcome;
+};
+
+/// Fire-latency objective every row is measured against: p99 of the class's
+/// fire latency must sit under this for the row to report met_p99 = true.
+constexpr std::uint64_t kP99TargetNs = 250'000;  // 250 us
+
+bool emit_watch_json(const char* path) {
+  struct Config {
+    const char* name;
+    const char* label;
+    WatchPlan plan;
+  };
+  const Config configs[] = {
+      {"watch/conjunctive", "4 sessions, conjunctive watches",
+       {"conjunctive", 4, 4'000, true}},
+      {"watch/disjunctive", "4 sessions, disjunctive watches",
+       {"disjunctive", 4, 4'000, true}},
+      {"watch/invariant", "4 sessions, invariant watches",
+       {"invariant", 4, 4'000, true}},
+      {"watch/stable", "4 sessions, stable watches",
+       {"stable", 4, 4'000, true}},
+      {"watch/channel", "4 sessions, channel watches (stable ride)",
+       {"channel", 4, 4'000, true}},
+      {"watch/relational", "4 sessions, relational watches (stable ride)",
+       {"relational", 4, 4'000, true}},
+      {"watch/until", "4 sessions, until watches",
+       {"until", 4, 4'000, true}},
+  };
+
+  std::vector<WatchRow> rows;
+  for (const Config& c : configs) {
+    const auto chunks = build_chunks(c.plan.rounds);
+    WatchRow row;
+    row.base.name = c.name;
+    row.base.label = c.label;
+    row.plan = c.plan;
+    row.base.ns =
+        benchio::time_ns(7, [&] { run_watches(c.plan, chunks, &row.outcome); });
+    rows.push_back(std::move(row));
+  }
+
+  // Recorder A/B: alternate recorder-on and recorder-off passes of the same
+  // mixed workload so clock drift, allocator state, and thermal throttle
+  // land on both sides equally — separate blocks showed run-to-run spread
+  // an order of magnitude above the gating overhead being measured.
+  {
+    WatchPlan rec{"mixed", 4, 4'000, true};
+    WatchPlan norec = rec;
+    norec.recorder = false;
+    const auto chunks = build_chunks(rec.rounds);
+    WatchRow rrow, nrow;
+    rrow.base.name = "watch/mixed/rec";
+    rrow.base.label = "4 sessions, one of each class, recorder on";
+    rrow.plan = rec;
+    nrow.base.name = "watch/mixed/norec";
+    nrow.base.label = "4 sessions, one of each class, recorder off";
+    nrow.plan = norec;
+    run_watches(rec, chunks, nullptr);  // warmup
+    run_watches(norec, chunks, nullptr);
+    std::vector<double> rec_ns, norec_ns;
+    for (int i = 0; i < 15; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      run_watches(rec, chunks, &rrow.outcome);
+      auto t1 = std::chrono::steady_clock::now();
+      run_watches(norec, chunks, &nrow.outcome);
+      auto t2 = std::chrono::steady_clock::now();
+      rec_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+      norec_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+              .count()));
+    }
+    rrow.base.ns = Summary::of(std::move(rec_ns));
+    nrow.base.ns = Summary::of(std::move(norec_ns));
+    rows.push_back(std::move(rrow));
+    rows.push_back(std::move(nrow));
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", benchio::kBenchSchema);
+  w.kv("bench", "watch");
+  w.key("rows").begin_array();
+  for (const WatchRow& r : rows) {
+    w.begin_object();
+    w.kv("name", r.base.name);
+    w.kv("label", r.base.label);
+    w.kv("iters", static_cast<std::uint64_t>(r.base.ns.count));
+    w.key("ns");
+    benchio::write_summary(w, r.base.ns);
+    w.key("report").raw("null");
+    w.key("watch").begin_object();
+    w.kv("class", r.plan.cls);
+    w.kv("sessions", static_cast<std::uint64_t>(r.plan.sessions));
+    w.kv("watches", static_cast<std::int64_t>(r.outcome.watches));
+    w.kv("events", static_cast<std::int64_t>(r.outcome.events));
+    // Nominal watch evaluations (every armed watch sees every event of its
+    // session) over median wall time: the headline watches/sec figure.
+    const double evals = static_cast<double>(r.outcome.watches) /
+                         r.plan.sessions *
+                         static_cast<double>(r.outcome.events);
+    w.kv("watch_evals_per_sec",
+         r.base.ns.median > 0 ? evals * 1e9 / r.base.ns.median : 0.0);
+    w.kv("fires", static_cast<std::int64_t>(r.outcome.fires));
+    w.kv("fire_p50_ns", r.outcome.fire_p50_ns);
+    w.kv("fire_p99_ns", r.outcome.fire_p99_ns);
+    w.kv("p99_target_ns", kP99TargetNs);
+    w.kv("met_p99", r.outcome.fire_p99_ns <= kP99TargetNs);
+    w.kv("recorder", r.plan.recorder);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string doc = w.take();
+  std::string err;
+  if (!json_validate(doc, &err)) {
+    std::fprintf(stderr, "bench json invalid: %s\n", err.c_str());
+    return false;
+  }
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu rows)\n", path, rows.size());
+  return true;
+}
+
+}  // namespace
+}  // namespace hbct
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const char* out = std::getenv("HBCT_BENCH_JSON");
+  return hbct::emit_watch_json(out != nullptr ? out : "BENCH_watch.json") ? 0
+                                                                          : 1;
+}

@@ -43,6 +43,8 @@ void help() {
       "  report               hbct.report/1 JSON for the last query\n"
       "  diagram              ASCII space-time diagram\n"
       "  stats                concurrency metrics (height, width, ...)\n"
+      "  stat                 live process metrics (top-style table over\n"
+      "                       the global registry: detections, serve.*)\n"
       "  vars                 variable names\n"
       "  help | quit\n");
 }
@@ -264,6 +266,21 @@ int main(int argc, char** argv) {
       std::printf("%s", render_diagram(c).c_str());
     } else if (cmd == "stats") {
       std::printf("%s\n", analyze(c).to_string().c_str());
+    } else if (cmd == "stat") {
+      // In-process attach: the same table hbct_stat renders from scrape
+      // files, read straight off the global registry.
+      const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+      std::printf("%s", render_stat_table(snap).c_str());
+      std::printf("detections: holds=%llu fails=%llu unknown=%llu\n",
+                  static_cast<unsigned long long>(
+                      snap.counters.count("detect.verdict.holds")
+                          ? snap.counters.at("detect.verdict.holds") : 0),
+                  static_cast<unsigned long long>(
+                      snap.counters.count("detect.verdict.fails")
+                          ? snap.counters.at("detect.verdict.fails") : 0),
+                  static_cast<unsigned long long>(
+                      snap.counters.count("detect.verdict.unknown")
+                          ? snap.counters.at("detect.verdict.unknown") : 0));
     } else if (cmd == "vars") {
       for (VarId v = 0; v < c.num_vars(); ++v)
         std::printf("%s ", c.var_name(v).c_str());

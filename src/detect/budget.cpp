@@ -1,6 +1,7 @@
 #include "detect/budget.h"
 
 #include "detect/detector.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/assert.h"
@@ -12,6 +13,12 @@ void record_budget_trip(Tracer* t, BoundReason r) {
   t->metrics()
       .counter(std::string("budget.trips.") + to_string(r))
       .add(1);
+}
+
+void record_flight_trip(BoundReason r) {
+  static const std::uint16_t kTrip =
+      FlightRecorder::global().intern("budget.trip", "reason", "");
+  FlightRecorder::global().anomaly(kTrip, static_cast<std::int64_t>(r), 0);
 }
 
 const char* to_string(Verdict v) {

@@ -60,6 +60,13 @@ const char* to_string(BoundReason r);
 /// callers guard on `t != nullptr`.
 void record_budget_trip(Tracer* t, BoundReason r);
 
+/// Raises a "budget.trip" anomaly on the global flight recorder. Unlike
+/// record_budget_trip this runs on EVERY trip, traced or not — the flight
+/// recorder is the always-on layer, and a trip is exactly the kind of
+/// anomaly whose surrounding window it exists to capture. Out of line so
+/// budget.h need not include obs/flight.h.
+void record_flight_trip(BoundReason r);
+
 inline Verdict verdict_of(bool holds) {
   return holds ? Verdict::kHolds : Verdict::kFails;
 }
@@ -158,6 +165,7 @@ class BudgetTracker {
     if (reason_ != BoundReason::kNone) return;
     reason_ = r;
     if (b_.trace != nullptr) record_budget_trip(b_.trace, r);
+    record_flight_trip(r);
   }
 
   bool exceeded() const { return reason_ != BoundReason::kNone; }

@@ -4,6 +4,7 @@
 
 #include "analysis/plan.h"
 #include "detect/ag_linear.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "detect/conjunctive_gw.h"
@@ -310,7 +311,13 @@ DetectResult detect_routed(const Computation& c, Op op, const PredicatePtr& p,
   if (!claims_ok) {
     // A refuted class claim voids the soundness of every class-specific
     // route; degrade to indefinite rather than risk a wrong definite
-    // verdict (the Kleene contract of detect/budget.h).
+    // verdict (the Kleene contract of detect/budget.h). An audit failure
+    // also means a predicate lied about its class — exactly the incident a
+    // flight-recorder window should capture.
+    static const std::uint16_t kAuditFail =
+        FlightRecorder::global().intern("audit.fail", "op", "");
+    FlightRecorder::global().anomaly(kAuditFail,
+                                     static_cast<std::int64_t>(op), 0);
     pre.algorithm = std::string(plan.name) + " (audit failed)";
     pre.verdict = Verdict::kUnknown;
     pre.bound = BoundReason::kAuditFailed;
@@ -334,9 +341,19 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
   if (op == Op::kEU || op == Op::kAU)
     HBCT_ASSERT_MSG(q, "EU/AU require two predicates");
 
+  // Always-on flight span around the whole detection (a few ns; see
+  // obs/flight.h) so anomaly dumps show what detections surrounded the
+  // incident even when the opt-in tracer is off.
+  static const std::uint16_t kDetect =
+      FlightRecorder::global().intern("detect", "op", "verdict");
+  FlightScope flight(FlightRecorder::global(), kDetect,
+                     static_cast<std::int64_t>(op), -1);
+
   if (!opt.trace) {
     DetectResult r = detect_routed(c, op, p, q, opt);
     finish_metrics(r, opt.budget.trace);
+    flight.args(static_cast<std::int64_t>(op),
+                static_cast<std::int64_t>(r.verdict));
     return r;
   }
 
@@ -354,6 +371,8 @@ DetectResult detect(const Computation& c, Op op, const PredicatePtr& p,
     root.arg("verdict", static_cast<std::int64_t>(r.verdict));
   }
   finish_metrics(r, tracer.get());
+  flight.args(static_cast<std::int64_t>(op),
+              static_cast<std::int64_t>(r.verdict));
   r.trace = std::move(tracer);
   return r;
 }

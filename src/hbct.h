@@ -45,9 +45,12 @@
 #include "lattice/irreducible.h"
 #include "lattice/lattice.h"
 #include "lattice/path_count.h"
+#include "obs/expose.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "online/appender.h"
 #include "online/monitor.h"

@@ -1,0 +1,567 @@
+#include "obs/expose.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "obs/slo.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+/// Splits a registry name `base{label="v",...}` into base + label block.
+void split_labels(std::string_view name, std::string_view* base,
+                  std::string_view* labels) {
+  const std::size_t br = name.find('{');
+  if (br == std::string_view::npos) {
+    *base = name;
+    *labels = {};
+  } else {
+    *base = name.substr(0, br);
+    *labels = name.substr(br);  // includes the braces
+  }
+}
+
+/// hbct_ prefix, dots and dashes to underscores. Labels pass through.
+std::string mangle(std::string_view base) {
+  std::string out = "hbct_";
+  for (char c : base)
+    out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// `{a="1"}` + (le, "4096") -> `{a="1",le="4096"}`; empty + ... -> `{le=...}`.
+std::string merge_label(std::string_view labels, std::string_view key,
+                        std::string_view value) {
+  std::string out;
+  if (labels.empty()) {
+    out = "{";
+  } else {
+    out = std::string(labels.substr(0, labels.size() - 1));  // drop '}'
+    out += ',';
+  }
+  out += key;
+  out += "=\"";
+  out += escape_label_value(value);
+  out += "\"}";
+  return out;
+}
+
+void type_line(std::string& out, std::string& last_family,
+               const std::string& family, std::string_view source,
+               const char* type) {
+  if (family == last_family) return;
+  last_family = family;
+  // The HELP line carries the registry-side (dotted) name so a parser can
+  // reconstruct the snapshot without guessing at the underscore mangling.
+  out += "# HELP " + family + " source=" + std::string(source) + "\n";
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value) {
+  std::string out = std::string(merge_label("", key, value));
+  std::string_view base, labels;
+  split_labels(name, &base, &labels);
+  if (labels.empty())
+    return std::string(base) + out;
+  return std::string(base) + merge_label(labels, key, value);
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap,
+                              const ExpositionOptions& opt) {
+  std::string out;
+  std::string last_family;
+  char buf[64];
+
+  for (const auto& [name, v] : snap.counters) {
+    std::string_view base, labels;
+    split_labels(name, &base, &labels);
+    const std::string family = mangle(base) + "_total";
+    type_line(out, last_family, family, base, "counter");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", v);
+    out += family + std::string(labels) + buf;
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    std::string_view base, labels;
+    split_labels(name, &base, &labels);
+    const std::string family = mangle(base);
+    type_line(out, last_family, family, base, "gauge");
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
+    out += family + std::string(labels) + buf;
+  }
+  if (opt.timestamp_ns != 0) {
+    const std::string family = "hbct_exposition_timestamp_ns";
+    type_line(out, last_family, family, "exposition.timestamp_ns", "gauge");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", opt.timestamp_ns);
+    out += family + buf;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string_view base, labels;
+    split_labels(name, &base, &labels);
+    const std::string family = mangle(base);
+    type_line(out, last_family, family, base, "histogram");
+    // Cumulative buckets on the fixed log2 boundaries; empty buckets are
+    // skipped (the cumulative count is unchanged there), +Inf always
+    // emitted. This is exactly the layout the log2 histogram was built
+    // for: fixed boundaries, merge-by-addition, no re-binning.
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.counts[b] == 0) continue;
+      cum += h.counts[b];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, Histogram::bucket_hi(b));
+      out += family + "_bucket" + merge_label(labels, "le", buf);
+      std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cum);
+      out += buf;
+    }
+    out += family + "_bucket" + merge_label(labels, "le", "+Inf");
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.sum);
+    out += family + "_sum" + std::string(labels) + buf;
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", h.count);
+    out += family + "_count" + std::string(labels) + buf;
+  }
+  return out;
+}
+
+// ---- Parser ------------------------------------------------------------------
+
+namespace {
+
+struct Family {
+  std::string source;  // dotted registry name from the HELP line
+  std::string type;    // counter | gauge | histogram
+};
+
+/// One exposition sample line: mangled name, raw label block, value text.
+struct Sample {
+  std::string_view name;
+  std::string_view labels;  // "{...}" or empty
+  std::string_view value;
+};
+
+bool parse_sample(std::string_view line, Sample* s) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  s->name = line.substr(0, i);
+  if (s->name.empty()) return false;
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string_view::npos) return false;
+    s->labels = line.substr(i, close - i + 1);
+    i = close + 1;
+  } else {
+    s->labels = {};
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  s->value = line.substr(i + 1);
+  return !s->value.empty();
+}
+
+/// Pulls one label's value out of a raw `{a="x",le="42"}` block.
+bool label_value(std::string_view labels, std::string_view key,
+                 std::string* out) {
+  const std::string pat = std::string(key) + "=\"";
+  const std::size_t at = labels.find(pat);
+  if (at == std::string_view::npos) return false;
+  std::string v;
+  for (std::size_t i = at + pat.size(); i < labels.size(); ++i) {
+    char c = labels[i];
+    if (c == '\\' && i + 1 < labels.size()) {
+      ++i;
+      c = labels[i] == 'n' ? '\n' : labels[i];
+    } else if (c == '"') {
+      *out = std::move(v);
+      return true;
+    }
+    v += c;
+  }
+  return false;
+}
+
+/// Removes the le label from a raw block: `{a="x",le="42"}` -> `{a="x"}`.
+std::string strip_le(std::string_view labels) {
+  const std::size_t at = labels.find("le=\"");
+  if (at == std::string_view::npos) return std::string(labels);
+  std::size_t end = labels.find('"', at + 4);
+  HBCT_ASSERT(end != std::string_view::npos);
+  ++end;  // past the closing quote
+  std::string out(labels.substr(0, at));
+  std::string_view rest = labels.substr(end);
+  if (!out.empty() && out.back() == ',' && (rest.empty() || rest[0] == '}'))
+    out.pop_back();
+  if (!rest.empty() && rest[0] == ',' && !out.empty() && out.back() == '{')
+    rest.remove_prefix(1);
+  out += rest;
+  return out == "{}" ? std::string() : out;
+}
+
+std::size_t bucket_of_le(std::string_view le) {
+  if (le == "+Inf") return Histogram::kBuckets - 1;
+  const std::uint64_t hi = std::strtoull(std::string(le).c_str(), nullptr, 10);
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+    if (Histogram::bucket_hi(b) == hi) return b;
+  return Histogram::kBuckets;  // not a log2 boundary
+}
+
+}  // namespace
+
+bool parse_prometheus(std::string_view text, MetricsSnapshot* out,
+                      std::string* err) {
+  const auto fail = [&](std::size_t lineno, const std::string& what) {
+    if (err != nullptr)
+      *err = "line " + std::to_string(lineno) + ": " + what;
+    return false;
+  };
+  std::map<std::string, Family, std::less<>> families;
+  // Histogram assembly state: per (source+labels) cumulative walk.
+  struct HistState {
+    Histogram::Snapshot snap;
+    std::uint64_t last_cum = 0;
+    std::uint64_t last_le_bucket = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::size_t lineno = 0;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t nl = text.find('\n', at);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(at, nl - at);
+    at = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP <family> source=<dotted>" and "# TYPE <family> <type>".
+      Sample s;
+      if (line.rfind("# HELP ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) continue;
+        std::string_view src = rest.substr(sp + 1);
+        if (src.rfind("source=", 0) == 0)
+          families[std::string(rest.substr(0, sp))].source =
+              std::string(src.substr(7));
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos)
+          return fail(lineno, "malformed TYPE line");
+        families[std::string(rest.substr(0, sp))].type =
+            std::string(rest.substr(sp + 1));
+      }
+      (void)s;
+      continue;
+    }
+    if (line.rfind("hbct_", 0) != 0) continue;  // foreign exposition line
+    Sample s;
+    if (!parse_sample(line, &s)) return fail(lineno, "malformed sample");
+
+    // Resolve the family: exact name, else histogram/counter suffix forms.
+    std::string fam(s.name);
+    std::string suffix;
+    auto it = families.find(fam);
+    if (it == families.end() || it->second.type.empty()) {
+      for (const char* suf : {"_bucket", "_sum", "_count"}) {
+        const std::string_view sv(suf);
+        if (fam.size() > sv.size() &&
+            fam.compare(fam.size() - sv.size(), sv.size(), sv) == 0) {
+          const std::string trimmed = fam.substr(0, fam.size() - sv.size());
+          auto it2 = families.find(trimmed);
+          if (it2 != families.end() && it2->second.type == "histogram") {
+            fam = trimmed;
+            suffix = std::string(sv);
+            it = it2;
+            break;
+          }
+        }
+      }
+    }
+    if (it == families.end() && suffix.empty())
+      it = families.find(fam);
+    if (it == families.end() || it->second.source.empty())
+      return fail(lineno, "sample without HELP/TYPE metadata: " + fam);
+    const Family& f = it->second;
+    const std::string dotted = f.source + strip_le(s.labels);
+
+    if (f.type == "counter") {
+      const std::string base =
+          f.source;  // counter family already lost its _total in HELP? no:
+      (void)base;
+      out->counters[dotted] =
+          std::strtoull(std::string(s.value).c_str(), nullptr, 10);
+    } else if (f.type == "gauge") {
+      out->gauges[dotted] =
+          std::strtoll(std::string(s.value).c_str(), nullptr, 10);
+    } else if (f.type == "histogram") {
+      HistState& hs = hists[dotted];
+      if (suffix == "_bucket") {
+        std::string le;
+        if (!label_value(s.labels, "le", &le))
+          return fail(lineno, "bucket without le label");
+        const std::size_t b = bucket_of_le(le);
+        if (b >= Histogram::kBuckets)
+          return fail(lineno, "le is not a log2 bucket boundary: " + le);
+        const std::uint64_t cum =
+            std::strtoull(std::string(s.value).c_str(), nullptr, 10);
+        if (cum < hs.last_cum)
+          return fail(lineno, "histogram buckets not monotone");
+        if (le != "+Inf") {
+          hs.snap.counts[b] = cum - hs.last_cum;
+          hs.last_cum = cum;
+          hs.last_le_bucket = b;
+        }
+      } else if (suffix == "_sum") {
+        hs.snap.sum = std::strtoull(std::string(s.value).c_str(), nullptr, 10);
+      } else if (suffix == "_count") {
+        hs.snap.count =
+            std::strtoull(std::string(s.value).c_str(), nullptr, 10);
+      } else {
+        return fail(lineno, "unexpected histogram sample " + fam);
+      }
+    } else {
+      return fail(lineno, "unknown family type '" + f.type + "'");
+    }
+  }
+  for (auto& [name, hs] : hists) {
+    if (hs.snap.count < hs.last_cum)
+      return fail(0, "histogram " + name + " count below bucket total");
+    out->histograms[name] = hs.snap;
+  }
+  return true;
+}
+
+// ---- Exporter ----------------------------------------------------------------
+
+Exporter::Exporter(const MetricsRegistry& reg, Sink sink)
+    : Exporter(reg, std::move(sink), Options{}) {}
+
+Exporter::Exporter(const MetricsRegistry& reg, Sink sink, Options opt)
+    : reg_(reg), sink_(std::move(sink)), opt_(opt) {
+  HBCT_ASSERT(sink_);
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (cv_.wait_for(lk, opt_.period, [this] { return stop_; })) return;
+      lk.unlock();
+      export_now();
+      lk.lock();
+    }
+  });
+}
+
+Exporter::~Exporter() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Exporter::export_now() {
+  const MetricsSnapshot snap = reg_.snapshot();
+  if (opt_.slos != nullptr) opt_.slos->evaluate(snap);
+  ExpositionOptions eo;
+  eo.timestamp_ns = steady_ns();
+  sink_(render_prometheus(snap, eo));
+  exports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool write_file_atomic(const std::string& path, std::string_view text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---- Stat table --------------------------------------------------------------
+
+namespace {
+
+std::uint64_t counter_or0(const MetricsSnapshot& s, const std::string& n) {
+  auto it = s.counters.find(n);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+std::int64_t gauge_or0(const MetricsSnapshot& s, const std::string& n) {
+  auto it = s.gauges.find(n);
+  return it == s.gauges.end() ? 0 : it->second;
+}
+
+const Histogram::Snapshot* hist_of(const MetricsSnapshot& s,
+                                   const std::string& n) {
+  auto it = s.histograms.find(n);
+  return it == s.histograms.end() ? nullptr : &it->second;
+}
+
+std::string human_rate(double per_sec) {
+  char buf[48];
+  if (per_sec >= 1e6)
+    std::snprintf(buf, sizeof(buf), "%.2fM/s", per_sec / 1e6);
+  else if (per_sec >= 1e3)
+    std::snprintf(buf, sizeof(buf), "%.1fk/s", per_sec / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.1f/s", per_sec);
+  return buf;
+}
+
+std::string human_ns(std::uint64_t ns) {
+  char buf[48];
+  if (ns >= 1'000'000'000ull)
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  else if (ns >= 1'000'000ull)
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  else if (ns >= 1'000ull)
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_stat_table(const MetricsSnapshot& snap,
+                              const MetricsSnapshot* prev,
+                              const SloTracker* slos) {
+  std::string out;
+  char buf[256];
+
+  // Rate window from the embedded exposition timestamps, when present.
+  double dt_s = 0;
+  if (prev != nullptr) {
+    const std::int64_t t1 = gauge_or0(snap, "exposition.timestamp_ns");
+    const std::int64_t t0 = gauge_or0(*prev, "exposition.timestamp_ns");
+    if (t1 > t0) dt_s = static_cast<double>(t1 - t0) / 1e9;
+  }
+  const auto rate = [&](const std::string& counter) -> std::string {
+    if (dt_s <= 0) return "-";
+    const double d = static_cast<double>(counter_or0(snap, counter)) -
+                     static_cast<double>(counter_or0(*prev, counter));
+    return human_rate(d / dt_s);
+  };
+
+  std::snprintf(buf, sizeof(buf),
+                "sessions  open=%lld  opened=%llu  closed=%llu  failed=%llu\n",
+                static_cast<long long>(gauge_or0(snap, "serve.open_sessions")),
+                static_cast<unsigned long long>(
+                    counter_or0(snap, "serve.sessions_opened")),
+                static_cast<unsigned long long>(
+                    counter_or0(snap, "serve.sessions_closed")),
+                static_cast<unsigned long long>(
+                    counter_or0(snap, "serve.session_failures")));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "events    total=%llu  rate=%s  records=%llu  fires=%llu\n",
+      static_cast<unsigned long long>(counter_or0(snap, "serve.events")),
+      rate("serve.events").c_str(),
+      static_cast<unsigned long long>(counter_or0(snap, "serve.records")),
+      static_cast<unsigned long long>(counter_or0(snap, "serve.fires")));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      "memory    resident=%lld events (peak %lld)  gc_rounds=%llu  "
+      "reclaimed=%llu\n",
+      static_cast<long long>(gauge_or0(snap, "serve.resident_events")),
+      static_cast<long long>(gauge_or0(snap, "serve.resident_events.peak")),
+      static_cast<unsigned long long>(counter_or0(snap, "serve.gc.rounds")),
+      static_cast<unsigned long long>(
+          counter_or0(snap, "serve.gc.reclaimed_events")));
+  out += buf;
+  if (const auto* h = hist_of(snap, "serve.ingest.ns")) {
+    std::snprintf(buf, sizeof(buf),
+                  "ingest    chunks=%llu  p50=%s  p99=%s\n",
+                  static_cast<unsigned long long>(h->count),
+                  human_ns(h->percentile(0.5)).c_str(),
+                  human_ns(h->percentile(0.99)).c_str());
+    out += buf;
+  }
+
+  // Per-watch-class rows: any serve.fires{class="..."} series present.
+  std::vector<std::string> classes;
+  const std::string prefix = "serve.fires{class=\"";
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::size_t end = name.find('"', prefix.size());
+    if (end != std::string::npos)
+      classes.push_back(name.substr(prefix.size(), end - prefix.size()));
+  }
+  if (!classes.empty()) {
+    std::snprintf(buf, sizeof(buf), "\n%-14s %10s %10s %10s %10s\n", "class",
+                  "fires", "rate", "fire p50", "fire p99");
+    out += buf;
+    for (const std::string& cls : classes) {
+      const std::string fires_name = labeled("serve.fires", "class", cls);
+      const auto* h =
+          hist_of(snap, labeled("serve.fire_latency.ns", "class", cls));
+      std::snprintf(buf, sizeof(buf), "%-14s %10llu %10s %10s %10s\n",
+                    cls.c_str(),
+                    static_cast<unsigned long long>(
+                        counter_or0(snap, fires_name)),
+                    rate(fires_name).c_str(),
+                    h != nullptr ? human_ns(h->percentile(0.5)).c_str() : "-",
+                    h != nullptr ? human_ns(h->percentile(0.99)).c_str() : "-");
+      out += buf;
+    }
+  }
+
+  if (slos != nullptr) {
+    const std::vector<SloStatus> st = slos->peek(snap);
+    if (!st.empty()) {
+      std::snprintf(buf, sizeof(buf), "\n%-24s %12s %12s  %s\n", "slo",
+                    "objective", "measured", "status");
+      out += buf;
+      for (const SloStatus& s : st) {
+        std::snprintf(
+            buf, sizeof(buf), "%-24s p%-2.0f<=%-6s %12s  %s\n",
+            s.spec.name.c_str(), s.spec.quantile * 100,
+            human_ns(s.spec.max_ns).c_str(),
+            s.evaluated ? human_ns(s.measured_ns).c_str() : "-",
+            !s.evaluated ? "no data" : (s.breached ? "BREACH" : "ok"));
+        out += buf;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hbct

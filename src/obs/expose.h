@@ -1,0 +1,112 @@
+// Live metrics exposition: Prometheus text-format rendering of a
+// MetricsSnapshot, a periodic snapshot exporter, and the top-style stat
+// table shared by tools/hbct_stat and the debug REPL.
+//
+// The log2 histogram layout of obs/metrics.h was designed for exactly this
+// export: buckets are fixed at powers of two, never resize, and merge by
+// addition, so a histogram renders directly as the cumulative
+// `_bucket{le="..."}` series Prometheus expects — no re-binning, no
+// per-scrape allocation beyond the output string.
+//
+// Label convention: a metric registered under `name{key="value",...}`
+// (see labeled()) renders with those labels attached; the base name is
+// mangled `hbct_` + dots-to-underscores. The serve.* family uses this for
+// its per-watch-class (and optionally per-session) series.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hbct {
+
+class SloTracker;
+
+/// Builds a labeled registry name: labeled("serve.fires", "class", "conj")
+/// == `serve.fires{class="conj"}`. Additional labels append with
+/// labeled(labeled(...), ...) producing `name{a="1",b="2"}`. Label values
+/// are escaped (backslash, quote, newline) per the Prometheus text format.
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value);
+
+struct ExpositionOptions {
+  /// Stamped into the hbct_exposition_timestamp_ns gauge so two snapshots
+  /// yield rates; 0 = omit.
+  std::uint64_t timestamp_ns = 0;
+};
+
+/// Renders the snapshot in the Prometheus text exposition format (v0.0.4):
+/// one `# TYPE` line per metric family, counters with a `_total` suffix,
+/// histograms as cumulative `_bucket{le="..."}` + `_sum` + `_count`.
+std::string render_prometheus(const MetricsSnapshot& snap,
+                              const ExpositionOptions& opt = {});
+
+/// Parses a document produced by render_prometheus back into a snapshot
+/// (the hbct_stat tool reads scrape files; tests round-trip). Histogram
+/// bucket counts are recovered exactly because the `le` boundaries are the
+/// fixed log2 layout. Returns false on malformed input with a message in
+/// `err`. Unknown hbct_-prefixed families fail; foreign lines are ignored.
+bool parse_prometheus(std::string_view text, MetricsSnapshot* out,
+                      std::string* err = nullptr);
+
+/// Periodic snapshot exporter: every `period` it snapshots the registry,
+/// renders the exposition text, and hands it to the sink (typically a
+/// write-to-temp-then-rename file writer; see write_file_atomic). When an
+/// SloTracker is attached, each snapshot is also evaluated against the
+/// objectives (breach side effects included). Stops on destruction.
+class Exporter {
+ public:
+  using Sink = std::function<void(const std::string& exposition)>;
+
+  struct Options {
+    std::chrono::milliseconds period{1000};
+    SloTracker* slos = nullptr;  // not owned; optional
+  };
+
+  Exporter(const MetricsRegistry& reg, Sink sink);  // default Options
+  Exporter(const MetricsRegistry& reg, Sink sink, Options opt);
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Snapshot + render + SLO-evaluate + sink, immediately, on the calling
+  /// thread. The periodic thread calls exactly this.
+  void export_now();
+
+  std::uint64_t exports() const {
+    return exports_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const MetricsRegistry& reg_;
+  Sink sink_;
+  Options opt_;
+  std::atomic<std::uint64_t> exports_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Writes `text` to `path` via a temp file + rename so scrapers never see a
+/// half-written exposition. Returns false (with errno intact) on failure.
+bool write_file_atomic(const std::string& path, std::string_view text);
+
+/// Renders the top-style stat table: session/event/GC overview, per-class
+/// watch rows with fire-latency percentiles, and SLO status when `slos` is
+/// non-null. `prev` (an earlier snapshot of the same registry) turns
+/// counters into rates using the embedded exposition timestamps.
+std::string render_stat_table(const MetricsSnapshot& snap,
+                              const MetricsSnapshot* prev = nullptr,
+                              const SloTracker* slos = nullptr);
+
+}  // namespace hbct

@@ -1,0 +1,223 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/assert.h"
+
+namespace hbct {
+
+namespace {
+
+std::uint32_t flight_tid() {
+  // The dense per-thread id also used for metric shards: consecutive pool
+  // workers land on distinct rings by construction.
+  return static_cast<std::uint32_t>(obs_detail::shard_index());
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Config{}) {}
+
+FlightRecorder::FlightRecorder(Config cfg) : cfg_(cfg) {
+  std::size_t cap = std::bit_ceil(std::max<std::size_t>(cfg_.ring_capacity, 8));
+  cfg_.ring_capacity = cap;
+  mask_ = cap - 1;
+  for (Shard& sh : shards_) sh.slots = std::make_unique<Slot[]>(cap);
+  // Id 0 is the unnamed sentinel so a zero-initialized (torn) record never
+  // aliases a real site.
+  names_.push_back({"?", "", ""});
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* rec = new FlightRecorder();  // never destroyed
+  return *rec;
+}
+
+std::uint64_t FlightRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint16_t FlightRecorder::intern(std::string_view name,
+                                     std::string_view arg0,
+                                     std::string_view arg1) {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i].name == name) return static_cast<std::uint16_t>(i);
+  HBCT_ASSERT_MSG(names_.size() < 0xffff, "flight name table exhausted");
+  names_.push_back(
+      {std::string(name), std::string(arg0), std::string(arg1)});
+  return static_cast<std::uint16_t>(names_.size() - 1);
+}
+
+std::string FlightRecorder::name_of(std::uint16_t id) const {
+  std::lock_guard<std::mutex> lk(names_mu_);
+  return id < names_.size() ? names_[id].name : std::string("?");
+}
+
+void FlightRecorder::write(Kind kind, std::uint16_t name, std::uint64_t ts_ns,
+                           std::uint64_t dur_ns, std::int64_t a0,
+                           std::int64_t a1, std::uint64_t* ticket_out) {
+  Shard& sh = shards_[flight_tid() % kShards];
+  const std::uint64_t ticket =
+      sh.tickets.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = sh.slots[ticket & mask_];
+  // Per-slot seqlock: odd while writing, 2*(ticket+1) once published.
+  s.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.rec.ts_ns = ts_ns;
+  s.rec.dur_ns = dur_ns;
+  s.rec.a0 = a0;
+  s.rec.a1 = a1;
+  s.rec.ticket = ticket;
+  s.rec.tid = flight_tid();
+  s.rec.name = name;
+  s.rec.kind = kind;
+  s.seq.store(2 * (ticket + 1), std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket_out != nullptr) *ticket_out = ticket;
+}
+
+void FlightRecorder::span(std::uint16_t name, std::uint64_t start_ns,
+                          std::uint64_t end_ns, std::int64_t a0,
+                          std::int64_t a1) {
+  if (!enabled()) return;
+  write(Kind::kSpan, name, start_ns,
+        end_ns >= start_ns ? end_ns - start_ns : 0, a0, a1, nullptr);
+}
+
+void FlightRecorder::instant(std::uint16_t name, std::int64_t a0,
+                             std::int64_t a1) {
+  if (!enabled()) return;
+  write(Kind::kInstant, name, now_ns(), 0, a0, a1, nullptr);
+}
+
+std::uint64_t FlightRecorder::anomaly(std::uint16_t name, std::int64_t a0,
+                                      std::int64_t a1) {
+  if (!enabled()) return kNoTrigger;
+  std::uint64_t ticket = kNoTrigger;
+  write(Kind::kAnomaly, name, now_ns(), 0, a0, a1, &ticket);
+  anomalies_.fetch_add(1, std::memory_order_relaxed);
+
+  DumpSink sink;
+  {
+    std::lock_guard<std::mutex> lk(sink_mu_);
+    if (sink_) {
+      const std::uint64_t now = now_ns();
+      const std::uint64_t last = last_dump_ns_.load(std::memory_order_relaxed);
+      if (cfg_.min_dump_gap_ns == 0 || last == 0 ||
+          now - last >= cfg_.min_dump_gap_ns) {
+        last_dump_ns_.store(now, std::memory_order_relaxed);
+        sink = sink_;
+      }
+    }
+  }
+  if (sink) {
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    sink(dump_chrome(ticket), name_of(name));
+  }
+  return ticket;
+}
+
+void FlightRecorder::set_dump_sink(DumpSink sink) {
+  std::lock_guard<std::mutex> lk(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  Stats s;
+  s.recorded = recorded_.load(std::memory_order_relaxed);
+  s.anomalies = anomalies_.load(std::memory_order_relaxed);
+  s.dumps = dumps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::snapshot() const {
+  const std::uint64_t now = now_ns();
+  const std::uint64_t horizon =
+      now > cfg_.window_ns ? now - cfg_.window_ns : 0;
+  std::vector<Record> out;
+  for (const Shard& sh : shards_) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      const Slot& s = sh.slots[i];
+      const std::uint64_t before = s.seq.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
+      Record r = s.rec;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != before) continue;  // torn
+      // A span's *end* must fall inside the window; its start may precede
+      // the horizon (long spans survive the cutoff).
+      if (r.ts_ns + r.dur_ns < horizon) continue;
+      out.push_back(r);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns : a.ticket < b.ticket;
+  });
+  return out;
+}
+
+std::string FlightRecorder::dump_chrome(std::uint64_t trigger_ticket) const {
+  const std::vector<Record> recs = snapshot();
+  std::vector<NameEntry> names;
+  {
+    std::lock_guard<std::mutex> lk(names_mu_);
+    names = names_;
+  }
+  const auto entry = [&](std::uint16_t id) -> const NameEntry& {
+    return id < names.size() ? names[id] : names[0];
+  };
+  // trace_event timestamps are microseconds; three decimals keep the ns.
+  const auto us = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1000.0;
+  };
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  w.begin_object()
+      .kv("name", "process_name")
+      .kv("ph", "M")
+      .kv("pid", std::int64_t{1})
+      .kv("tid", std::int64_t{0});
+  w.key("args").begin_object().kv("name", "hbct-flight").end_object();
+  w.end_object();
+  for (const Record& r : recs) {
+    const NameEntry& ne = entry(r.name);
+    w.begin_object().kv("name", ne.name).kv("cat", "flight");
+    if (r.kind == Kind::kSpan) {
+      w.kv("ph", "X").kv("ts", us(r.ts_ns)).kv("dur", us(r.dur_ns));
+    } else {
+      // Anomalies render as global-scope instants so they are visible
+      // across the whole track height.
+      w.kv("ph", "i").kv("s", r.kind == Kind::kAnomaly ? "g" : "t");
+      w.kv("ts", us(r.ts_ns));
+    }
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(r.tid));
+    w.key("args").begin_object();
+    w.kv(ne.arg0.empty() ? std::string_view("a0") : std::string_view(ne.arg0),
+         r.a0);
+    w.kv(ne.arg1.empty() ? std::string_view("a1") : std::string_view(ne.arg1),
+         r.a1);
+    if (r.kind == Kind::kAnomaly) w.kv("anomaly", std::int64_t{1});
+    if (trigger_ticket != kNoTrigger && r.ticket == trigger_ticket)
+      w.kv("trigger", std::int64_t{1});
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ns");
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace hbct

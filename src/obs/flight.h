@@ -1,0 +1,198 @@
+// Always-on flight recorder: a fixed-capacity, lock-free ring of compact
+// span/instant records that costs a handful of nanoseconds per record and
+// is therefore left enabled in production. When an anomaly strikes — a
+// budget trip, an audit failure, a wire decode error, a session isolation
+// failure, an SLO breach — the recorder snapshots the recent window into a
+// Chrome-trace-compatible dump with the triggering record marked, so the
+// incident can be explained after the fact without re-running with the
+// (opt-in, heavier) span tracer of obs/trace.h.
+//
+// Write-path design — the same sharded cache-line-padded slot layout as
+// MetricsRegistry's counters: records land in one of kShards rings indexed
+// by the dense per-thread id, each ring a power-of-two array of slots with
+// a relaxed fetch_add ticket counter. A writer never takes a lock and never
+// waits: it claims a ticket, stamps the slot's sequence odd, writes the
+// record, and publishes the sequence even (a per-slot seqlock). Readers
+// (snapshot/dump, rare) skip slots whose sequence is odd or changed across
+// the copy. The one un-detectable tear needs two writers racing on one slot
+// a full ring apart — i.e. the ring wrapped entirely during a single ~20ns
+// write — and even then the damage is one garbled diagnostic record, never
+// corrupted JSON (record payloads are integers; names are table-bounded).
+//
+// Record names are interned into a small table (fixed low-cardinality
+// taxonomy, as with spans); call sites resolve the id once into a
+// function-local static and pass integers ever after. Variable data rides
+// in two int64 args whose labels are part of the interned name entry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hbct {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  enum class Kind : std::uint8_t { kSpan, kInstant, kAnomaly };
+
+  /// One compact record: 48 bytes, all integers. `name` indexes the intern
+  /// table; a0/a1 carry the two args the name entry labels.
+  struct Record {
+    std::uint64_t ts_ns = 0;   // start (spans) or occurrence time
+    std::uint64_t dur_ns = 0;  // 0 for instants/anomalies
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+    std::uint64_t ticket = 0;  // global-ish order within a shard
+    std::uint32_t tid = 0;
+    std::uint16_t name = 0;
+    Kind kind = Kind::kInstant;
+  };
+
+  struct Config {
+    /// Slots per shard, rounded up to a power of two. 4096 slots x 16
+    /// shards x 64 bytes = 4 MiB resident, ~65k records retained.
+    std::size_t ring_capacity = 4096;
+    /// Dump horizon: records older than this are dropped from snapshots.
+    std::uint64_t window_ns = 30ull * 1'000'000'000ull;
+    /// Floor between two automatic anomaly dumps (0 = dump on every
+    /// anomaly). Protects against dump storms when a whole fleet of
+    /// sessions trips at once; explicit dump_chrome() calls are never
+    /// limited.
+    std::uint64_t min_dump_gap_ns = 0;
+  };
+
+  FlightRecorder();  // default Config
+  explicit FlightRecorder(Config cfg);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every built-in instrumentation site writes
+  /// to. Enabled from the first use; never destroyed.
+  static FlightRecorder& global();
+
+  /// Interns a record name with its two arg labels; returns a stable id.
+  /// Re-interning the same name returns the same id (labels of the first
+  /// registration win). Call once per site, keep the id in a static.
+  std::uint16_t intern(std::string_view name, std::string_view arg0 = {},
+                       std::string_view arg1 = {});
+  /// Name for an id; "?" when out of range (torn record).
+  std::string name_of(std::uint16_t id) const;
+
+  /// Cheap on/off switch probed first on every write path (one relaxed
+  /// load). The A/B rows of bench_streaming/bench_watch toggle this.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // ---- Write path (lock-free, wait-free) ----------------------------------
+  void span(std::uint16_t name, std::uint64_t start_ns, std::uint64_t end_ns,
+            std::int64_t a0 = 0, std::int64_t a1 = 0);
+  void instant(std::uint16_t name, std::int64_t a0 = 0, std::int64_t a1 = 0);
+  /// Records an anomaly and, when a dump sink is installed (and the dump
+  /// gap allows), synchronously snapshots the window and hands the Chrome
+  /// JSON to the sink. Returns the anomaly's ticket for explicit dumps.
+  std::uint64_t anomaly(std::uint16_t name, std::int64_t a0 = 0,
+                        std::int64_t a1 = 0);
+
+  std::uint64_t now_ns() const;
+
+  // ---- Snapshot / dump (rare; locks only the name table) ------------------
+  /// All valid records within the window, oldest first.
+  std::vector<Record> snapshot() const;
+  /// Chrome trace_event JSON of the current window. When `trigger_ticket`
+  /// matches a record's ticket, that record is marked with a "trigger": 1
+  /// arg (and anomalies always carry "anomaly": 1), so the triggering event
+  /// is findable in chrome://tracing / Perfetto.
+  std::string dump_chrome(std::uint64_t trigger_ticket = kNoTrigger) const;
+
+  static constexpr std::uint64_t kNoTrigger = ~std::uint64_t{0};
+
+  /// Sink invoked on every anomaly (rate-limited by min_dump_gap_ns) with
+  /// the dump and the anomaly's interned name. Replaces any previous sink;
+  /// pass nullptr to disarm. The sink runs on the tripping thread — keep it
+  /// quick (write a file, enqueue).
+  using DumpSink =
+      std::function<void(const std::string& chrome_json, std::string_view
+                         anomaly_name)>;
+  void set_dump_sink(DumpSink sink);
+
+  struct Stats {
+    std::uint64_t recorded = 0;   // records written (all kinds)
+    std::uint64_t anomalies = 0;  // anomaly records among them
+    std::uint64_t dumps = 0;      // sink invocations
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = write in progress; even = 2*(ticket+1).
+    std::atomic<std::uint64_t> seq{0};
+    Record rec;
+  };
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> tickets{0};
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  void write(Kind kind, std::uint16_t name, std::uint64_t ts_ns,
+             std::uint64_t dur_ns, std::int64_t a0, std::int64_t a1,
+             std::uint64_t* ticket_out);
+
+  Config cfg_;
+  std::size_t mask_;  // ring_capacity - 1 (power of two)
+  std::array<Shard, kShards> shards_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> anomalies_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> last_dump_ns_{0};
+
+  mutable std::mutex names_mu_;
+  struct NameEntry {
+    std::string name, arg0, arg1;
+  };
+  std::vector<NameEntry> names_;
+
+  mutable std::mutex sink_mu_;
+  DumpSink sink_;
+};
+
+/// RAII flight span: one clock read at construction, a record at scope
+/// exit. Disabled-recorder cost is two relaxed loads.
+class FlightScope {
+ public:
+  FlightScope(FlightRecorder& rec, std::uint16_t name, std::int64_t a0 = 0,
+              std::int64_t a1 = 0)
+      : rec_(rec), name_(name), a0_(a0), a1_(a1) {
+    if (rec_.enabled()) t0_ = rec_.now_ns();
+  }
+  ~FlightScope() {
+    if (rec_.enabled() && t0_ != 0)
+      rec_.span(name_, t0_, rec_.now_ns(), a0_, a1_);
+  }
+
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+  void args(std::int64_t a0, std::int64_t a1) {
+    a0_ = a0;
+    a1_ = a1;
+  }
+
+ private:
+  FlightRecorder& rec_;
+  std::uint64_t t0_ = 0;
+  std::uint16_t name_;
+  std::int64_t a0_, a1_;
+};
+
+}  // namespace hbct

@@ -8,26 +8,68 @@
 
 namespace hbct {
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at s[at], or 0 when
+/// the bytes there are ill-formed (bad lead byte, truncated or non-
+/// continuation tail, overlong encoding, surrogate, or > U+10FFFF).
+std::size_t utf8_seq_len(std::string_view s, std::size_t at) {
+  const unsigned char b0 = static_cast<unsigned char>(s[at]);
+  std::size_t len;
+  std::uint32_t cp, min;
+  if (b0 < 0x80) return 1;
+  if ((b0 & 0xe0) == 0xc0) {
+    len = 2; cp = b0 & 0x1f; min = 0x80;
+  } else if ((b0 & 0xf0) == 0xe0) {
+    len = 3; cp = b0 & 0x0f; min = 0x800;
+  } else if ((b0 & 0xf8) == 0xf0) {
+    len = 4; cp = b0 & 0x07; min = 0x10000;
+  } else {
+    return 0;  // continuation or invalid lead byte
+  }
+  if (at + len > s.size()) return 0;
+  for (std::size_t i = 1; i < len; ++i) {
+    const unsigned char b = static_cast<unsigned char>(s[at + i]);
+    if ((b & 0xc0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3f);
+  }
+  if (cp < min) return 0;                      // overlong
+  if (cp >= 0xd800 && cp <= 0xdfff) return 0;  // surrogate
+  if (cp > 0x10ffff) return 0;
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (unsigned char ch : s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const unsigned char ch = static_cast<unsigned char>(s[i]);
     switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (ch < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += static_cast<char>(ch);
-        }
+      case '"': out += "\\\""; continue;
+      case '\\': out += "\\\\"; continue;
+      case '\b': out += "\\b"; continue;
+      case '\f': out += "\\f"; continue;
+      case '\n': out += "\\n"; continue;
+      case '\r': out += "\\r"; continue;
+      case '\t': out += "\\t"; continue;
+      default: break;
+    }
+    if (ch < 0x20 || ch == 0x7f) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+      out += buf;
+    } else if (ch < 0x80) {
+      out += static_cast<char>(ch);
+    } else if (const std::size_t len = utf8_seq_len(s, i); len != 0) {
+      out += s.substr(i, len);
+      i += len - 1;
+    } else {
+      // One replacement char per ill-formed byte keeps the output valid
+      // UTF-8 (and thus the whole document loadable) no matter what a
+      // hostile session id or span name smuggled in.
+      out += "\\ufffd";
     }
   }
   return out;

@@ -15,6 +15,12 @@
 namespace hbct {
 
 /// Escapes `s` as the contents of a JSON string literal (no quotes added).
+/// Control characters (including 0x7F) become \u escapes; well-formed UTF-8
+/// passes through; each ill-formed byte (bad lead, truncated tail, overlong
+/// form, surrogate, > U+10FFFF) is replaced with an escaped U+FFFD so the
+/// output is ASCII-clean — a hostile span name or session id can never render
+/// an emitted document unloadable. Every string the obs layer writes
+/// (Chrome traces, flight dumps, bench reports) funnels through here.
 std::string json_escape(std::string_view s);
 
 class JsonWriter {

@@ -127,12 +127,28 @@ void MetricsRegistry::absorb(const DetectStats& st) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Two phases so the periodic exporter never holds the map mutex while
+  // summing shards: collect stable metric pointers under the lock (the
+  // mutex only guards map mutation — registration racing with a snapshot),
+  // then read the slot values lock-free. A histogram with many shards takes
+  // long enough to sum that doing it under mu_ would stall every
+  // registration on the hot path.
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cs.reserve(counters_.size());
+    gs.reserve(gauges_.size());
+    hs.reserve(histograms_.size());
+    for (const auto& [name, c] : counters_) cs.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gs.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) hs.emplace_back(name, h.get());
+  }
   MetricsSnapshot out;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_)
-    out.histograms[name] = h->snapshot();
+  for (auto& [name, c] : cs) out.counters[std::move(name)] = c->value();
+  for (auto& [name, g] : gs) out.gauges[std::move(name)] = g->value();
+  for (auto& [name, h] : hs) out.histograms[std::move(name)] = h->snapshot();
   return out;
 }
 

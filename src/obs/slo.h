@@ -1,0 +1,86 @@
+// Per-watch-class SLO tracking: latency objectives ("conjunctive watch
+// fires within 50µs at p99") evaluated from metrics snapshots, with breach
+// counters and a flight-recorder dump on the ok->breach transition.
+//
+// Evaluation is snapshot-driven rather than per-sample: the log2 histograms
+// already aggregate every fire latency lock-free on the hot path, so the
+// tracker only reads percentiles at scrape cadence (the Exporter calls
+// evaluate() on each export). Breach accounting is edge-triggered — one
+// counter increment and one flight anomaly per ok->breach transition, not
+// per scrape — so a sustained breach does not melt the anomaly dump sink.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hbct {
+
+class FlightRecorder;
+
+/// One objective: percentile(quantile) of `histogram` must stay <= max_ns.
+struct SloSpec {
+  std::string name;       // "fire-p99/conjunctive" — breach counter label
+  std::string histogram;  // registry histogram name, labels included
+  double quantile = 0.99;
+  std::uint64_t max_ns = 0;
+  /// Objectives are not evaluated until the histogram holds this many
+  /// samples (a single slow fire at startup is not a breach).
+  std::uint64_t min_count = 1;
+};
+
+struct SloStatus {
+  SloSpec spec;
+  bool evaluated = false;  // histogram present with >= min_count samples
+  bool breached = false;
+  std::uint64_t measured_ns = 0;  // percentile estimate when evaluated
+  std::uint64_t samples = 0;
+};
+
+class SloTracker {
+ public:
+  /// Breach counters register as `slo.breaches{slo="<name>"}` in `reg`
+  /// (defaults to the global registry). Breaches also raise a "slo.breach"
+  /// anomaly on the global flight recorder, which triggers its dump sink.
+  explicit SloTracker(MetricsRegistry* reg = nullptr);
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  void add(SloSpec spec);
+
+  /// Convenience spec for the serve fire-latency family of one watch class:
+  /// percentile(q) of serve.fire_latency.ns{class="<cls>"} <= max_ns.
+  static SloSpec fire_latency(std::string_view watch_class, double quantile,
+                              std::uint64_t max_ns);
+
+  /// Evaluates every objective against the snapshot. Side effects on the
+  /// ok->breach edge only: breach counter increment + flight anomaly (which
+  /// invokes the recorder's dump sink, if armed). Recovery rearms the edge.
+  std::vector<SloStatus> evaluate(const MetricsSnapshot& snap);
+
+  /// Pure evaluation: statuses only, no counters, no anomalies. The stat
+  /// table renders from this.
+  std::vector<SloStatus> peek(const MetricsSnapshot& snap) const;
+
+  /// Total ok->breach transitions observed by evaluate().
+  std::uint64_t breaches() const;
+
+ private:
+  struct Entry {
+    SloSpec spec;
+    Counter* breach_counter = nullptr;  // resolved at add()
+    bool breached = false;              // edge-detector state
+  };
+  SloStatus eval_one(const SloSpec& spec, const MetricsSnapshot& snap) const;
+
+  MetricsRegistry& reg_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::uint64_t total_breaches_ = 0;
+};
+
+}  // namespace hbct

@@ -1,6 +1,7 @@
 #include "online/monitor.h"
 
 #include "detect/until.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "util/assert.h"
 #include "util/string_util.h"
@@ -10,6 +11,17 @@ namespace hbct {
 namespace {
 std::size_t sz(std::int32_t v) { return static_cast<std::size_t>(v); }
 }  // namespace
+
+const char* to_string(WatchKind k) {
+  switch (k) {
+    case WatchKind::kConjunctive: return "conjunctive";
+    case WatchKind::kInvariant: return "invariant";
+    case WatchKind::kDisjunctive: return "disjunctive";
+    case WatchKind::kStable: return "stable";
+    case WatchKind::kUntil: return "until";
+  }
+  return "?";
+}
 
 OnlineMonitor::OnlineMonitor(std::int32_t num_procs) : app_(num_procs) {}
 
@@ -72,6 +84,12 @@ void OnlineMonitor::finish() {
   if (finished_) return;
   finished_ = true;
   ScopedSpan span(budget_.trace, "monitor.finish");
+  static const std::uint16_t kFinish = FlightRecorder::global().intern(
+      "monitor.finish", "events", "watches");
+  FlightScope flight(
+      FlightRecorder::global(), kFinish, events_seen(),
+      static_cast<std::int64_t>(conj_.size() + disj_.size() +
+                                stable_.size() + until_.size()));
   BudgetTracker t(budget_, work_);
   round_ = &t;
   for (auto& w : conj_) step_conj(w);
@@ -142,9 +160,14 @@ void OnlineMonitor::fire(WatchId id, Cut cut, const std::string& what,
   f.holds = verdict == Verdict::kHolds;
   f.cut = std::move(cut);
   f.at_event = events_seen();
+  f.kind = kinds_[sz(id)];
   f.description = what;
   pending_.push_back(std::move(f));
   fired_[sz(id)] = true;
+  static const std::uint16_t kFire =
+      FlightRecorder::global().intern("watch.fire", "watch", "verdict");
+  FlightRecorder::global().instant(kFire, id,
+                                   static_cast<std::int64_t>(verdict));
 }
 
 WatchId OnlineMonitor::watch_possibly(ConjunctivePredicatePtr p) {
@@ -157,6 +180,7 @@ WatchId OnlineMonitor::watch_possibly(ConjunctivePredicatePtr p) {
   ConjWatch w;
   w.id = next_id_++;
   fired_.push_back(false);
+  kinds_.push_back(WatchKind::kConjunctive);
   w.pred = std::move(p);
   w.violation_of_invariant = false;
   w.cand.assign(sz(n), -1);
@@ -179,6 +203,7 @@ WatchId OnlineMonitor::watch_invariant(DisjunctivePredicatePtr p) {
   ConjWatch w;
   w.id = next_id_++;
   fired_.push_back(false);
+  kinds_.push_back(WatchKind::kInvariant);
   w.pred = notp;
   w.violation_of_invariant = true;
   w.cand.assign(sz(n), -1);
@@ -199,6 +224,7 @@ WatchId OnlineMonitor::watch_possibly(DisjunctivePredicatePtr p) {
   DisjWatch w;
   w.id = next_id_++;
   fired_.push_back(false);
+  kinds_.push_back(WatchKind::kDisjunctive);
   w.pred = std::move(p);
   w.scan.assign(sz(n), 0);
   disj_.push_back(std::move(w));
@@ -218,6 +244,7 @@ WatchId OnlineMonitor::watch_until(ConjunctivePredicatePtr p,
   UntilWatch w;
   w.id = next_id_++;
   fired_.push_back(false);
+  kinds_.push_back(WatchKind::kUntil);
   w.p = std::move(p);
   w.q = std::move(q);
   w.cand = app_.computation().initial_cut();
@@ -234,6 +261,7 @@ WatchId OnlineMonitor::watch_stable(PredicatePtr p) {
   StableWatch w;
   w.id = next_id_++;
   fired_.push_back(false);
+  kinds_.push_back(WatchKind::kStable);
   w.pred = std::move(p);
   stable_.push_back(std::move(w));
   BudgetTracker t(budget_, work_);
@@ -445,6 +473,9 @@ Cut OnlineMonitor::min_watch_frontier() const {
 
 std::int64_t OnlineMonitor::collect_prefix() {
   ScopedSpan span(budget_.trace, "monitor.gc");
+  static const std::uint16_t kGc = FlightRecorder::global().intern(
+      "monitor.gc", "reclaimed", "resident");
+  FlightScope flight(FlightRecorder::global(), kGc);
   const Computation& c = app_.computation();
   const std::int32_t n = c.num_procs();
   Cut b = min_watch_frontier();
@@ -471,6 +502,7 @@ std::int64_t OnlineMonitor::collect_prefix() {
   }
   const std::int64_t reclaimed = app_.collect_prefix(b);
   span.arg("reclaimed", reclaimed);
+  flight.args(reclaimed, app_.resident_events());
   return reclaimed;
 }
 
@@ -483,6 +515,11 @@ std::vector<WatchFire> OnlineMonitor::poll() {
 bool OnlineMonitor::fired(WatchId w) const {
   HBCT_ASSERT(w >= 0 && sz(w) < fired_.size());
   return fired_[sz(w)];
+}
+
+WatchKind OnlineMonitor::watch_class(WatchId w) const {
+  HBCT_ASSERT(w >= 0 && sz(w) < kinds_.size());
+  return kinds_[sz(w)];
 }
 
 }  // namespace hbct

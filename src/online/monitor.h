@@ -41,6 +41,19 @@ namespace hbct {
 
 using WatchId = std::int32_t;
 
+/// The algorithmic class a watch runs under — the label observability
+/// aggregates by (per-class fire counters/latency histograms in the serve
+/// layer, per-class SLOs, bench_watch's mixed-class rows). Bounded, fixed
+/// cardinality by construction.
+enum class WatchKind : std::uint8_t {
+  kConjunctive,  // watch_possibly(conjunctive)
+  kInvariant,    // watch_invariant (AG via the conjunctive machinery)
+  kDisjunctive,  // watch_possibly(disjunctive)
+  kStable,       // watch_stable (channel/relational predicates ride here)
+  kUntil,        // watch_until (streaming A3)
+};
+const char* to_string(WatchKind k);
+
 struct WatchFire {
   WatchId watch = -1;
   /// The verdict this fire reports. Most watches only fire positively;
@@ -58,6 +71,8 @@ struct WatchFire {
   /// Sequence number of the event (1-based index into the observation)
   /// whose arrival triggered the fire; 0 when fired at registration.
   std::int64_t at_event = 0;
+  /// Class of the watch that fired (== watch_class(watch)).
+  WatchKind kind = WatchKind::kConjunctive;
   std::string description;
 };
 
@@ -152,6 +167,9 @@ class OnlineMonitor {
   /// True when watch `w` has fired (whether or not polled yet).
   bool fired(WatchId w) const;
 
+  /// The class `w` was registered under.
+  WatchKind watch_class(WatchId w) const;
+
   const Computation& computation() const { return app_.computation(); }
   Cut current_cut() const { return app_.current_cut(); }
   std::int64_t events_seen() const { return computation().total_events(); }
@@ -209,6 +227,7 @@ class OnlineMonitor {
   std::vector<UntilWatch> until_;
   std::vector<WatchFire> pending_;
   std::vector<bool> fired_;
+  std::vector<WatchKind> kinds_;  // indexed by WatchId
   WatchId next_id_ = 0;
   bool finished_ = false;
   Budget budget_;

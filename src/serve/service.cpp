@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/expose.h"
+#include "obs/flight.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -38,6 +40,15 @@ StreamingService::StreamingService(ServiceOptions opt)
   resident_peak_ = &reg.gauge("serve.resident_events.peak");
   ingest_ns_ = &reg.histogram("serve.ingest.ns");
   fire_ns_ = &reg.histogram("serve.fire_latency.ns");
+  reg_ = &reg;
+  fire_inst_.latency = fire_ns_;
+  for (std::size_t k = 0; k < Session::kNumWatchKinds; ++k) {
+    const char* cls = to_string(static_cast<WatchKind>(k));
+    fire_inst_.class_fires[k] =
+        &reg.counter(labeled("serve.fires", "class", cls));
+    fire_inst_.class_latency[k] =
+        &reg.histogram(labeled("serve.fire_latency.ns", "class", cls));
+  }
 }
 
 StreamingService::~StreamingService() {
@@ -65,7 +76,14 @@ SessionId StreamingService::open(
   if (c.budget.trace == nullptr) c.budget.trace = trace_;
   const SessionId sid = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto entry = std::make_shared<Entry>(sid, c);
-  entry->session.set_fire_histogram(fire_ns_);
+  entry->session.set_fire_instruments(fire_inst_);
+  if (opt_.per_session_metrics) {
+    const std::string s = std::to_string(sid);
+    entry->s_records = &reg_->counter(labeled("serve.records", "session", s));
+    entry->s_fires = &reg_->counter(labeled("serve.fires", "session", s));
+    entry->s_resident =
+        &reg_->gauge(labeled("serve.resident_events", "session", s));
+  }
   if (setup) setup(entry->session.monitor());
   Shard& sh = shard_of(sid);
   {
@@ -121,6 +139,11 @@ void StreamingService::absorb(Entry& e, const SessionStats& before,
   resident_->add(after.resident_events - e.gauged_resident);
   e.gauged_resident = after.resident_events;
   resident_peak_->max_of(resident_->value());
+  if (e.s_records != nullptr) {
+    e.s_records->add(static_cast<std::uint64_t>(after.records - before.records));
+    e.s_fires->add(static_cast<std::uint64_t>(after.fires - before.fires));
+    e.s_resident->set(after.resident_events);
+  }
 }
 
 void StreamingService::pump(const std::shared_ptr<Entry>& e) {
@@ -141,6 +164,9 @@ void StreamingService::pump(const std::shared_ptr<Entry>& e) {
     // hold the mutex to enqueue the next chunk.
     std::lock_guard<std::mutex> lk(e->mu);
     ScopedSpan span(trace_, "serve.ingest");
+    static const std::uint16_t kIngest = FlightRecorder::global().intern(
+        "serve.ingest", "session", "records");
+    FlightScope flight(FlightRecorder::global(), kIngest, e->session.id());
     const auto t0 = std::chrono::steady_clock::now();
     const SessionStats before = e->session.stats();
     const std::size_t nrec = e->session.ingest(chunk);
@@ -151,6 +177,7 @@ void StreamingService::pump(const std::shared_ptr<Entry>& e) {
     absorb(*e, before, after);
     span.arg("session", e->session.id());
     span.arg("records", static_cast<std::int64_t>(nrec));
+    flight.args(e->session.id(), static_cast<std::int64_t>(nrec));
   }
 }
 
@@ -198,6 +225,7 @@ bool StreamingService::close(SessionId sid) {
     std::lock_guard<std::mutex> lk(e->mu);
     resident_->add(-e->gauged_resident);
     e->gauged_resident = 0;
+    if (e->s_resident != nullptr) e->s_resident->set(0);
   }
   closed_->add(1);
   open_sessions_->add(-1);

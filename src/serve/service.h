@@ -43,6 +43,12 @@ struct ServiceOptions {
   /// Receives "serve.ingest" / "monitor.gc" spans; its metrics registry
   /// takes the serve.* metrics. nullptr = no spans, global registry.
   Tracer* trace = nullptr;
+  /// Also register per-session labeled series (serve.records{session="N"},
+  /// serve.fires{session="N"}, serve.resident_events{session="N"}). Off by
+  /// default: label cardinality grows with every session ever opened, which
+  /// is fine for a debugging run and wrong for a long-lived deployment. The
+  /// per-watch-class series are bounded and therefore always on.
+  bool per_session_metrics = false;
 };
 
 class StreamingService {
@@ -87,6 +93,10 @@ class StreamingService {
     std::deque<std::string> inbox;
     bool scheduled = false;          // a pump task is queued or running
     std::int64_t gauged_resident = 0;  // last value folded into the gauge
+    // Per-session labeled series; null unless per_session_metrics.
+    Counter* s_records = nullptr;
+    Counter* s_fires = nullptr;
+    Gauge* s_resident = nullptr;
 
     Entry(SessionId id, const SessionConfig& cfg) : session(id, cfg) {}
   };
@@ -120,6 +130,11 @@ class StreamingService {
   Gauge* resident_peak_;
   Histogram* ingest_ns_;
   Histogram* fire_ns_;
+  /// Per-watch-class series (serve.fires{class=...} and
+  /// serve.fire_latency.ns{class=...}), indexed by WatchKind. Bounded
+  /// cardinality, always registered.
+  Session::FireInstruments fire_inst_;
+  MetricsRegistry* reg_;
 };
 
 }  // namespace serve

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/flight.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -27,6 +28,12 @@ bool Session::fail(std::string msg) {
     state_ = SessionState::kFailed;
     error_ = std::move(msg);
     stats_.state = state_;
+    // Session isolation kicking in (malformed stream, decode error, append
+    // rejection) is an anomaly worth a flight-recorder window: the dump
+    // shows what the service was doing when the bad stream arrived.
+    static const std::uint16_t kFail = FlightRecorder::global().intern(
+        "serve.session_fail", "session", "records");
+    FlightRecorder::global().anomaly(kFail, id_, stats_.records);
   }
   return false;
 }
@@ -62,7 +69,7 @@ bool Session::apply(const wire::Record& r) {
 
   const std::size_t fired_before = fires_.size();
   std::chrono::steady_clock::time_point t0;
-  if (fire_ns_ != nullptr) t0 = std::chrono::steady_clock::now();
+  if (time_fires_) t0 = std::chrono::steady_clock::now();
 
   switch (r.kind) {
     case Kind::kProcs:
@@ -111,10 +118,24 @@ bool Session::apply(const wire::Record& r) {
     stats_.fires += static_cast<std::int64_t>(fired.size());
     fires_.insert(fires_.end(), std::make_move_iterator(fired.begin()),
                   std::make_move_iterator(fired.end()));
-    if (fire_ns_ != nullptr && fires_.size() > fired_before) {
-      const auto dt = std::chrono::steady_clock::now() - t0;
-      fire_ns_->record(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+    if (fires_.size() > fired_before) {
+      // Fire latency: time from the record's arrival to the fire becoming
+      // observable. Recorded once in the combined histogram and once per
+      // firing class (the same apply produced them all).
+      std::uint64_t ns = 0;
+      if (time_fires_) {
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+        if (inst_.latency != nullptr) inst_.latency->record(ns);
+      }
+      for (std::size_t i = fired_before; i < fires_.size(); ++i) {
+        const std::size_t k = static_cast<std::size_t>(fires_[i].kind);
+        if (k >= kNumWatchKinds) continue;
+        if (inst_.class_fires[k] != nullptr) inst_.class_fires[k]->add(1);
+        if (time_fires_ && inst_.class_latency[k] != nullptr)
+          inst_.class_latency[k]->record(ns);
+      }
     }
   }
   return true;
@@ -151,6 +172,13 @@ std::vector<WatchFire> Session::poll() {
   auto fired = mon_.poll();
   if (!fired.empty()) {
     stats_.fires += static_cast<std::int64_t>(fired.size());
+    // Registration-time fires (no triggering record, hence no latency
+    // sample) still count toward their class.
+    for (const WatchFire& f : fired) {
+      const std::size_t k = static_cast<std::size_t>(f.kind);
+      if (k < kNumWatchKinds && inst_.class_fires[k] != nullptr)
+        inst_.class_fires[k]->add(1);
+    }
     fires_.insert(fires_.end(), std::make_move_iterator(fired.begin()),
                   std::make_move_iterator(fired.end()));
   }

@@ -11,6 +11,7 @@
 // a bad stream.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -80,10 +81,32 @@ class Session {
 
   SessionStats stats() const;
 
-  /// When set, the apply time of every record that produced at least one
-  /// watch fire is recorded here (the service wires its fire-latency
-  /// histogram in; nullptr skips the timing entirely).
-  void set_fire_histogram(Histogram* h) { fire_ns_ = h; }
+  /// Number of WatchKind values (index instruments by
+  /// static_cast<std::size_t>(kind)).
+  static constexpr std::size_t kNumWatchKinds = 5;
+
+  /// Metric hooks the service wires in at open(): the combined fire-latency
+  /// histogram, plus optional per-watch-class latency histograms and fire
+  /// counters (label convention `serve.*{class="<kind>"}`, see obs/expose.h).
+  /// Null members skip their recording; an all-null struct also skips the
+  /// clock reads.
+  struct FireInstruments {
+    Histogram* latency = nullptr;  // serve.fire_latency.ns, all classes
+    std::array<Histogram*, kNumWatchKinds> class_latency{};
+    std::array<Counter*, kNumWatchKinds> class_fires{};
+  };
+  void set_fire_instruments(const FireInstruments& fi) {
+    inst_ = fi;
+    time_fires_ = fi.latency != nullptr;
+    for (const Histogram* h : fi.class_latency)
+      time_fires_ = time_fires_ || h != nullptr;
+  }
+  /// Compatibility shim: combined-latency-only instrumentation.
+  void set_fire_histogram(Histogram* h) {
+    FireInstruments fi;
+    fi.latency = h;
+    set_fire_instruments(fi);
+  }
 
  private:
   bool fail(std::string msg);
@@ -103,7 +126,8 @@ class Session {
   std::vector<WatchFire> fires_;
   SessionStats stats_;
   std::int64_t since_gc_ = 0;
-  Histogram* fire_ns_ = nullptr;
+  FireInstruments inst_;
+  bool time_fires_ = false;
 };
 
 }  // namespace serve

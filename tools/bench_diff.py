@@ -62,6 +62,23 @@ def main():
               f"{args.threshold:.0%} (report-only, not failing the build)")
     else:
         print("\nno cell regressed beyond the threshold")
+
+    # Flight-recorder A/B pairs (rows differing only by a /norec suffix, or
+    # a /norec sibling of a /gc row): print the gating overhead measured in
+    # the current run — the telemetry layer's always-on claim is <= 2%.
+    for name in sorted(cur):
+        if not name.endswith("/norec"):
+            continue
+        base_name = name[: -len("/norec")]
+        on_name = next((n for n in (base_name + "/rec", base_name)
+                        if n in cur), None)
+        if on_name is None:
+            continue
+        on = cur[on_name]["ns"]["median"]
+        off = cur[name]["ns"]["median"]
+        if off:
+            print(f"recorder overhead {on_name} vs {name}: "
+                  f"{(on - off) / off:+.2%}")
     return 0
 
 

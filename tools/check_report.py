@@ -7,7 +7,9 @@ Auto-detects each file's kind and validates it:
 
   hbct.report/1   run report (src/obs/report.h)
   hbct.bench/1    bench artifact (bench/bench_report.h)
-  Chrome trace    trace_event JSON (Tracer::chrome_trace_json)
+  Chrome trace    trace_event JSON (Tracer::chrome_trace_json and
+                  FlightRecorder::dump_chrome)
+  exposition      Prometheus text scrape (obs/expose.h render_prometheus)
 
 Exit 0 when every file validates; the CI observability job runs this over
 the artifacts produced by example_traced_detection and the bench binaries.
@@ -82,7 +84,7 @@ def check_report(path, doc):
 
 STREAMING_KEYS = {"sessions", "gc_interval_events", "events",
                   "events_per_sec", "resident_peak", "gc_reclaimed_events",
-                  "gc_rounds", "fire_p50_ns", "fire_p99_ns"}
+                  "gc_rounds", "fire_p50_ns", "fire_p99_ns", "recorder"}
 
 
 def check_streaming(path, name, s):
@@ -90,7 +92,11 @@ def check_streaming(path, name, s):
     if s.keys() != STREAMING_KEYS:
         fail(path, f"row {name!r} streaming keys {sorted(s.keys())} != "
                    f"{sorted(STREAMING_KEYS)}")
+    if not isinstance(s["recorder"], bool):
+        fail(path, f"row {name!r} streaming.recorder is not a bool")
     for k, v in s.items():
+        if k == "recorder":
+            continue
         if not isinstance(v, (int, float)) or isinstance(v, bool):
             fail(path, f"row {name!r} streaming.{k} is not a number")
     if s["sessions"] <= 0 or s["events"] <= 0:
@@ -107,6 +113,38 @@ def check_streaming(path, name, s):
         if s["resident_peak"] >= min(s["events"], bound):
             fail(path, f"row {name!r} resident_peak {s['resident_peak']} "
                        f"not bounded (events={s['events']}, bound={bound})")
+
+
+WATCH_KEYS = {"class", "sessions", "watches", "events",
+              "watch_evals_per_sec", "fires", "fire_p50_ns", "fire_p99_ns",
+              "p99_target_ns", "met_p99", "recorder"}
+WATCH_CLASSES = {"conjunctive", "disjunctive", "invariant", "stable",
+                 "channel", "relational", "until", "mixed"}
+
+
+def check_watch(path, name, s):
+    """The optional per-row extension emitted by bench_watch."""
+    if s.keys() != WATCH_KEYS:
+        fail(path, f"row {name!r} watch keys {sorted(s.keys())} != "
+                   f"{sorted(WATCH_KEYS)}")
+    if s["class"] not in WATCH_CLASSES:
+        fail(path, f"row {name!r} unknown watch class {s['class']!r}")
+    for k in ("met_p99", "recorder"):
+        if not isinstance(s[k], bool):
+            fail(path, f"row {name!r} watch.{k} is not a bool")
+    for k in WATCH_KEYS - {"class", "met_p99", "recorder"}:
+        if not isinstance(s[k], (int, float)) or isinstance(s[k], bool):
+            fail(path, f"row {name!r} watch.{k} is not a number")
+    if s["sessions"] <= 0 or s["watches"] <= 0 or s["events"] <= 0:
+        fail(path, f"row {name!r} watch has no sessions/watches/events")
+    if s["watch_evals_per_sec"] <= 0:
+        fail(path, f"row {name!r} watch throughput not positive")
+    if s["fires"] <= 0:
+        fail(path, f"row {name!r} armed watches never fired")
+    if not s["fire_p50_ns"] <= s["fire_p99_ns"]:
+        fail(path, f"row {name!r} fire-latency percentiles not monotone")
+    if s["met_p99"] != (s["fire_p99_ns"] <= s["p99_target_ns"]):
+        fail(path, f"row {name!r} met_p99 inconsistent with percentiles")
 
 
 INGEST_KEYS = {"format", "events", "input_bytes", "rss_delta_kb",
@@ -157,6 +195,8 @@ def check_bench(path, doc):
             check_report(f"{path}:{row['name']}", row["report"])
         if "streaming" in row:
             check_streaming(path, row["name"], row["streaming"])
+        if "watch" in row:
+            check_watch(path, row["name"], row["watch"])
         if "ingest" in row:
             check_ingest(path, row["name"], row["ingest"])
     return f"bench ({len(doc['rows'])} rows)"
@@ -175,9 +215,103 @@ def check_chrome(path, doc):
     return f"chrome trace ({len(events)} events)"
 
 
+EXPOSITION_TYPES = {"counter", "gauge", "histogram"}
+
+
+def check_exposition(path, text):
+    """Prometheus text-format scrape (obs/expose.h render_prometheus):
+    every hbct_ sample belongs to a declared TYPE family, counters carry the
+    _total suffix, and histogram bucket series are cumulative-monotone with
+    a final +Inf bucket equal to _count."""
+    families = {}          # family -> type
+    hist = {}              # (family, labels-sans-le) -> [(le, cum), ...]
+    hist_count = {}        # same key -> _count value
+    nsamples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in EXPOSITION_TYPES:
+                    fail(path, f"line {lineno}: unknown type {parts[3]!r}")
+                families[parts[2]] = parts[3]
+            continue
+        try:
+            name_labels, value = line.rsplit(None, 1)
+            val = float(value)
+        except ValueError:
+            fail(path, f"line {lineno}: malformed sample {line!r}")
+        if "{" in name_labels:
+            name, labels = name_labels.split("{", 1)
+            labels = "{" + labels
+        else:
+            name, labels = name_labels, ""
+        if not name.startswith("hbct_"):
+            continue
+        nsamples += 1
+        # Resolve the sample to its family: exact (gauge/counter) or the
+        # histogram series suffixes.
+        if name in families:
+            family = name
+            if families[family] == "counter" and not name.endswith("_total"):
+                fail(path, f"line {lineno}: counter sample {name!r} "
+                           f"without _total suffix")
+        else:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in families:
+                    family = name[: -len(suffix)]
+                    break
+            else:
+                fail(path, f"line {lineno}: sample {name!r} has no TYPE line")
+            if families[family] != "histogram":
+                fail(path, f"line {lineno}: {name!r} series on "
+                           f"non-histogram family {family!r}")
+            if name.endswith("_bucket"):
+                if 'le="' not in labels:
+                    fail(path, f"line {lineno}: bucket without le label")
+                pre, rest = labels.split('le="', 1)
+                le, post = rest.split('"', 1)
+                # Drop the comma that separated le from its neighbors.
+                sans_le = (pre + post).replace(',}', '}').replace('{,', '{')
+                sans_le = sans_le.replace(',,', ',')
+                if sans_le == "{}":
+                    sans_le = ""
+                key = (family, sans_le)
+                series = hist.setdefault(key, [])
+                if series and val < series[-1][1]:
+                    fail(path, f"line {lineno}: histogram {family!r} "
+                               f"buckets not monotone")
+                if series and series[-1][0] == "+Inf":
+                    fail(path, f"line {lineno}: bucket after +Inf")
+                series.append((le, val))
+            elif name.endswith("_count"):
+                hist_count[(family, labels)] = val
+    for (family, labels), series in hist.items():
+        if not series or series[-1][0] != "+Inf":
+            fail(path, f"histogram {family!r}{labels} missing +Inf bucket")
+        count = hist_count.get((family, labels))
+        if count is None:
+            fail(path, f"histogram {family!r}{labels} missing _count")
+        if series[-1][1] != count:
+            fail(path, f"histogram {family!r}{labels} +Inf bucket "
+                       f"{series[-1][1]} != _count {count}")
+    if nsamples == 0:
+        fail(path, "no hbct_ samples")
+    return f"exposition ({len(families)} families, {nsamples} samples)"
+
+
 def check_file(path):
     with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+        text = f.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        # Not JSON: a Prometheus exposition scrape is the only text kind.
+        if "# TYPE hbct_" in text:
+            return check_exposition(path, text)
+        raise
     schema = doc.get("schema") if isinstance(doc, dict) else None
     if schema == "hbct.report/1":
         return check_report(path, doc)

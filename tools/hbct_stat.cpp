@@ -1,0 +1,180 @@
+// Top-style view of a running hbct streaming service, read from Prometheus
+// exposition snapshots (the files the obs/expose.h Exporter writes).
+//
+//   $ hbct_stat /var/run/hbct/metrics.prom
+//   $ hbct_stat --prev old.prom new.prom          # rates from two scrapes
+//   $ hbct_stat --watch 2 /var/run/hbct/metrics.prom   # re-read every 2s
+//   $ hbct_stat --raw metrics.prom                # re-render the exposition
+//
+// The table shows sessions (open/opened/closed/failed), event totals and
+// rates, resident memory with GC counters, ingest latency percentiles, one
+// row per watch class (fires, rate, fire-latency p50/p99), and — when
+// --slo is given — SLO status evaluated against the snapshot. With two
+// snapshots (--prev, or successive reads under --watch) counters become
+// rates using the hbct_exposition_timestamp_ns gauge embedded in each
+// scrape. The same renderer backs the debug REPL's `stat` command, attached
+// in-process to the global registry.
+//
+//   --slo class=p99:50us   adds a fire-latency objective for a watch class
+//                          (conjunctive, disjunctive, invariant, stable,
+//                          until); repeatable.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/expose.h"
+#include "obs/slo.h"
+
+using namespace hbct;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <exposition-file>\n"
+               "  --prev <file>     earlier scrape of the same service; turns\n"
+               "                    counters into rates\n"
+               "  --watch <secs>    clear + re-read every <secs> seconds\n"
+               "  --slo <spec>      fire-latency objective, e.g.\n"
+               "                    --slo conjunctive=p99:50us (repeatable)\n"
+               "  --raw             print the parsed snapshot re-rendered as\n"
+               "                    exposition text (round-trip check)\n",
+               argv0);
+  return 64;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// "50us" / "2ms" / "1500ns" / "1s" -> nanoseconds; 0 on parse failure.
+std::uint64_t parse_ns(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0) return 0;
+  const std::string unit(end);
+  if (unit == "ns" || unit.empty()) return static_cast<std::uint64_t>(v);
+  if (unit == "us") return static_cast<std::uint64_t>(v * 1e3);
+  if (unit == "ms") return static_cast<std::uint64_t>(v * 1e6);
+  if (unit == "s") return static_cast<std::uint64_t>(v * 1e9);
+  return 0;
+}
+
+/// "--slo conjunctive=p99:50us" -> SloSpec via SloTracker::fire_latency.
+bool parse_slo(const std::string& arg, SloTracker* slos) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string cls = arg.substr(0, eq);
+  std::string rest = arg.substr(eq + 1);
+  if (rest.size() < 2 || rest[0] != 'p') return false;
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string::npos) return false;
+  const double pct = std::strtod(rest.substr(1, colon - 1).c_str(), nullptr);
+  const std::uint64_t ns = parse_ns(rest.substr(colon + 1));
+  if (pct <= 0 || pct > 100 || ns == 0) return false;
+  slos->add(SloTracker::fire_latency(cls, pct / 100.0, ns));
+  return true;
+}
+
+int render_once(const std::string& path, const std::string& prev_path,
+                const SloTracker* slos, bool raw) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "hbct_stat: cannot read %s\n", path.c_str());
+    return 66;
+  }
+  MetricsSnapshot snap;
+  std::string err;
+  if (!parse_prometheus(text, &snap, &err)) {
+    std::fprintf(stderr, "hbct_stat: %s: %s\n", path.c_str(), err.c_str());
+    return 65;
+  }
+  if (raw) {
+    ExpositionOptions eo;
+    auto it = snap.gauges.find("exposition.timestamp_ns");
+    if (it != snap.gauges.end())
+      eo.timestamp_ns = static_cast<std::uint64_t>(it->second);
+    std::fputs(render_prometheus(snap, eo).c_str(), stdout);
+    return 0;
+  }
+  MetricsSnapshot prev;
+  bool have_prev = false;
+  if (!prev_path.empty()) {
+    std::string prev_text;
+    if (!read_file(prev_path, &prev_text) ||
+        !parse_prometheus(prev_text, &prev, &err)) {
+      std::fprintf(stderr, "hbct_stat: bad --prev %s\n", prev_path.c_str());
+      return 65;
+    }
+    have_prev = true;
+  }
+  std::fputs(
+      render_stat_table(snap, have_prev ? &prev : nullptr, slos).c_str(),
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, prev_path;
+  int watch_secs = 0;
+  bool raw = false;
+  SloTracker slos;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--prev" && i + 1 < argc) {
+      prev_path = argv[++i];
+    } else if (a == "--watch" && i + 1 < argc) {
+      watch_secs = std::atoi(argv[++i]);
+      if (watch_secs <= 0) return usage(argv[0]);
+    } else if (a == "--slo" && i + 1 < argc) {
+      if (!parse_slo(argv[++i], &slos)) {
+        std::fprintf(stderr, "hbct_stat: bad --slo spec\n");
+        return usage(argv[0]);
+      }
+    } else if (a == "--raw") {
+      raw = true;
+    } else if (a == "-h" || a == "--help") {
+      return usage(argv[0]);
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  if (watch_secs == 0) return render_once(path, prev_path, &slos, raw);
+
+  // Watch mode: the previous read becomes the rate baseline. The file is
+  // re-read in place (the Exporter's atomic rename guarantees each read
+  // sees one complete scrape).
+  std::string prev_tmp;
+  for (;;) {
+    std::fputs("\x1b[H\x1b[2J", stdout);  // clear
+    const int rc = render_once(path, prev_tmp, &slos, raw);
+    if (rc != 0) return rc;
+    std::fflush(stdout);
+    // Keep this read as the next round's baseline via a temp copy.
+    std::string text;
+    if (read_file(path, &text)) {
+      prev_tmp = path + ".hbct_stat_prev";
+      write_file_atomic(prev_tmp, text);
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(watch_secs));
+  }
+}
