@@ -6,6 +6,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "obs/slo.h"
 #include "util/assert.h"
@@ -168,16 +169,38 @@ struct Sample {
   std::string_view value;
 };
 
+/// Index just past the '}' that closes the label block opening at
+/// `line[open]`, skipping over quoted values (honoring backslash escapes)
+/// so a '}' inside a label value never ends the block early. npos when the
+/// block is unterminated.
+std::size_t label_block_end(std::string_view line, std::size_t open) {
+  bool in_quotes = false;
+  for (std::size_t i = open + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '\\')
+        ++i;  // escaped char, even '"'
+      else if (c == '"')
+        in_quotes = false;
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == '}') {
+      return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
 bool parse_sample(std::string_view line, Sample* s) {
   std::size_t i = 0;
   while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
   s->name = line.substr(0, i);
   if (s->name.empty()) return false;
   if (i < line.size() && line[i] == '{') {
-    const std::size_t close = line.find('}', i);
+    const std::size_t close = label_block_end(line, i);
     if (close == std::string_view::npos) return false;
-    s->labels = line.substr(i, close - i + 1);
-    i = close + 1;
+    s->labels = line.substr(i, close - i);
+    i = close;
   } else {
     s->labels = {};
   }
@@ -186,42 +209,94 @@ bool parse_sample(std::string_view line, Sample* s) {
   return !s->value.empty();
 }
 
+/// One label of a raw block, with its extent in the original text so
+/// callers can splice labels out without re-escaping anything.
+struct LabelToken {
+  std::size_t begin = 0;     // key start
+  std::size_t end = 0;       // one past the value's closing quote
+  std::string_view key;
+  std::string_view raw;      // still-escaped bytes between the quotes
+};
+
+/// Walks `{k="v",...}` into key/value tokens, quote- and escape-aware.
+/// This is the one place label syntax is interpreted: a key merely
+/// *ending* in "le" or a value *containing* `le="` or '}' can no longer
+/// confuse the le-specific helpers below. False when malformed.
+bool scan_labels(std::string_view labels, std::vector<LabelToken>* out) {
+  if (labels.empty()) return true;
+  if (labels.size() < 2 || labels.front() != '{') return false;
+  std::size_t i = 1;
+  if (labels[i] == '}') return i + 1 == labels.size();
+  for (;;) {
+    LabelToken tok;
+    tok.begin = i;
+    while (i < labels.size() && labels[i] != '=') ++i;
+    if (i >= labels.size() || i == tok.begin) return false;
+    tok.key = labels.substr(tok.begin, i - tok.begin);
+    ++i;  // past '='
+    if (i >= labels.size() || labels[i] != '"') return false;
+    const std::size_t val = ++i;
+    while (i < labels.size() && labels[i] != '"') {
+      if (labels[i] == '\\') ++i;
+      ++i;
+    }
+    if (i >= labels.size()) return false;  // unterminated value
+    tok.raw = labels.substr(val, i - val);
+    tok.end = ++i;  // past the closing quote
+    if (out != nullptr) out->push_back(tok);
+    if (i >= labels.size()) return false;
+    if (labels[i] == '}') return i + 1 == labels.size();
+    if (labels[i] != ',') return false;
+    ++i;
+  }
+}
+
+std::string unescape_label_value(std::string_view raw) {
+  std::string out;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c == '\\' && i + 1 < raw.size()) {
+      ++i;
+      c = raw[i] == 'n' ? '\n' : raw[i];
+    }
+    out += c;
+  }
+  return out;
+}
+
 /// Pulls one label's value out of a raw `{a="x",le="42"}` block.
 bool label_value(std::string_view labels, std::string_view key,
                  std::string* out) {
-  const std::string pat = std::string(key) + "=\"";
-  const std::size_t at = labels.find(pat);
-  if (at == std::string_view::npos) return false;
-  std::string v;
-  for (std::size_t i = at + pat.size(); i < labels.size(); ++i) {
-    char c = labels[i];
-    if (c == '\\' && i + 1 < labels.size()) {
-      ++i;
-      c = labels[i] == 'n' ? '\n' : labels[i];
-    } else if (c == '"') {
-      *out = std::move(v);
-      return true;
-    }
-    v += c;
+  std::vector<LabelToken> toks;
+  if (!scan_labels(labels, &toks)) return false;
+  for (const LabelToken& t : toks) {
+    if (t.key != key) continue;
+    *out = unescape_label_value(t.raw);
+    return true;
   }
   return false;
 }
 
 /// Removes the le label from a raw block: `{a="x",le="42"}` -> `{a="x"}`.
+/// Splices the original text (no re-render), so the remaining block stays
+/// byte-identical to what render_prometheus emitted — the exact-round-trip
+/// key `source + labels` depends on that.
 std::string strip_le(std::string_view labels) {
-  const std::size_t at = labels.find("le=\"");
-  if (at == std::string_view::npos) return std::string(labels);
-  std::size_t end = labels.find('"', at + 4);
-  HBCT_ASSERT(end != std::string_view::npos);
-  ++end;  // past the closing quote
-  std::string out(labels.substr(0, at));
-  std::string_view rest = labels.substr(end);
-  if (!out.empty() && out.back() == ',' && (rest.empty() || rest[0] == '}'))
-    out.pop_back();
-  if (!rest.empty() && rest[0] == ',' && !out.empty() && out.back() == '{')
-    rest.remove_prefix(1);
-  out += rest;
-  return out == "{}" ? std::string() : out;
+  std::vector<LabelToken> toks;
+  if (!scan_labels(labels, &toks)) return std::string(labels);
+  for (const LabelToken& t : toks) {
+    if (t.key != "le") continue;
+    if (toks.size() == 1) return std::string();  // `{le="..."}` -> no block
+    std::size_t begin = t.begin;
+    std::size_t end = t.end;
+    if (end < labels.size() && labels[end] == ',')
+      ++end;  // not last: its separator follows
+    else if (labels[begin - 1] == ',')
+      --begin;  // last: its separator precedes
+    return std::string(labels.substr(0, begin)) +
+           std::string(labels.substr(end));
+  }
+  return std::string(labels);
 }
 
 std::size_t bucket_of_le(std::string_view le) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstring>
+#include <type_traits>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -18,6 +20,9 @@ std::uint32_t flight_tid() {
   return static_cast<std::uint32_t>(obs_detail::shard_index());
 }
 
+static_assert(std::is_trivially_copyable_v<FlightRecorder::Record>,
+              "Record is memcpy'd through the slot's atomic words");
+
 }  // namespace
 
 FlightRecorder::FlightRecorder() : FlightRecorder(Config{}) {}
@@ -26,6 +31,7 @@ FlightRecorder::FlightRecorder(Config cfg) : cfg_(cfg) {
   std::size_t cap = std::bit_ceil(std::max<std::size_t>(cfg_.ring_capacity, 8));
   cfg_.ring_capacity = cap;
   mask_ = cap - 1;
+  min_dump_gap_ns_.store(cfg_.min_dump_gap_ns, std::memory_order_relaxed);
   for (Shard& sh : shards_) sh.slots = std::make_unique<Slot[]>(cap);
   // Id 0 is the unnamed sentinel so a zero-initialized (torn) record never
   // aliases a real site.
@@ -70,17 +76,25 @@ void FlightRecorder::write(Kind kind, std::uint16_t name, std::uint64_t ts_ns,
   const std::uint64_t ticket =
       sh.tickets.fetch_add(1, std::memory_order_relaxed);
   Slot& s = sh.slots[ticket & mask_];
-  // Per-slot seqlock: odd while writing, 2*(ticket+1) once published.
+  Record rec;
+  std::memset(&rec, 0, sizeof(rec));  // padding too: the words are compared
+  rec.ts_ns = ts_ns;
+  rec.dur_ns = dur_ns;
+  rec.a0 = a0;
+  rec.a1 = a1;
+  rec.ticket = ticket;
+  rec.tid = flight_tid();
+  rec.name = name;
+  rec.kind = kind;
+  std::uint64_t packed[kRecordWords] = {};
+  std::memcpy(packed, &rec, sizeof(rec));
+  // Per-slot seqlock: odd while writing, 2*(ticket+1) once published. The
+  // payload words are relaxed atomics so a concurrent snapshot() is
+  // race-free; the seq re-check discards whatever it read mid-write.
   s.seq.store(2 * ticket + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
-  s.rec.ts_ns = ts_ns;
-  s.rec.dur_ns = dur_ns;
-  s.rec.a0 = a0;
-  s.rec.a1 = a1;
-  s.rec.ticket = ticket;
-  s.rec.tid = flight_tid();
-  s.rec.name = name;
-  s.rec.kind = kind;
+  for (std::size_t w = 0; w < kRecordWords; ++w)
+    s.words[w].store(packed[w], std::memory_order_relaxed);
   s.seq.store(2 * (ticket + 1), std::memory_order_release);
   recorded_.fetch_add(1, std::memory_order_relaxed);
   if (ticket_out != nullptr) *ticket_out = ticket;
@@ -111,10 +125,10 @@ std::uint64_t FlightRecorder::anomaly(std::uint16_t name, std::int64_t a0,
   {
     std::lock_guard<std::mutex> lk(sink_mu_);
     if (sink_) {
+      const std::uint64_t gap = min_dump_gap();
       const std::uint64_t now = now_ns();
       const std::uint64_t last = last_dump_ns_.load(std::memory_order_relaxed);
-      if (cfg_.min_dump_gap_ns == 0 || last == 0 ||
-          now - last >= cfg_.min_dump_gap_ns) {
+      if (gap == 0 || last == 0 || now - last >= gap) {
         last_dump_ns_.store(now, std::memory_order_relaxed);
         sink = sink_;
       }
@@ -150,9 +164,13 @@ std::vector<FlightRecorder::Record> FlightRecorder::snapshot() const {
       const Slot& s = sh.slots[i];
       const std::uint64_t before = s.seq.load(std::memory_order_acquire);
       if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
-      Record r = s.rec;
+      std::uint64_t packed[kRecordWords];
+      for (std::size_t w = 0; w < kRecordWords; ++w)
+        packed[w] = s.words[w].load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (s.seq.load(std::memory_order_relaxed) != before) continue;  // torn
+      Record r;
+      std::memcpy(&r, packed, sizeof(r));
       // A span's *end* must fall inside the window; its start may precede
       // the horizon (long spans survive the cutoff).
       if (r.ts_ns + r.dur_ns < horizon) continue;

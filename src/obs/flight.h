@@ -12,12 +12,15 @@
 // by the dense per-thread id, each ring a power-of-two array of slots with
 // a relaxed fetch_add ticket counter. A writer never takes a lock and never
 // waits: it claims a ticket, stamps the slot's sequence odd, writes the
-// record, and publishes the sequence even (a per-slot seqlock). Readers
-// (snapshot/dump, rare) skip slots whose sequence is odd or changed across
-// the copy. The one un-detectable tear needs two writers racing on one slot
-// a full ring apart — i.e. the ring wrapped entirely during a single ~20ns
-// write — and even then the damage is one garbled diagnostic record, never
-// corrupted JSON (record payloads are integers; names are table-bounded).
+// record, and publishes the sequence even (a per-slot seqlock). The record
+// payload itself is stored as relaxed-atomic 64-bit words, so a snapshot
+// racing a writer is defined behavior (TSan-clean); the sequence check
+// still discards any copy the writer overlapped. Readers (snapshot/dump,
+// rare) skip slots whose sequence is odd or changed across the copy. The
+// one un-detectable tear needs two writers racing on one slot a full ring
+// apart — i.e. the ring wrapped entirely during a single ~20ns write — and
+// even then the damage is one garbled diagnostic record, never corrupted
+// JSON (record payloads are integers; names are table-bounded).
 //
 // Record names are interned into a small table (fixed low-cardinality
 // taxonomy, as with spans); call sites resolve the id once into a
@@ -64,9 +67,11 @@ class FlightRecorder {
     std::uint64_t window_ns = 30ull * 1'000'000'000ull;
     /// Floor between two automatic anomaly dumps (0 = dump on every
     /// anomaly). Protects against dump storms when a whole fleet of
-    /// sessions trips at once; explicit dump_chrome() calls are never
-    /// limited.
-    std::uint64_t min_dump_gap_ns = 0;
+    /// sessions trips at once — rendering a multi-MB dump per anomaly on
+    /// the tripping thread is exactly what this guards against, so the
+    /// default is nonzero. Tunable at runtime via set_min_dump_gap();
+    /// explicit dump_chrome() calls are never limited.
+    std::uint64_t min_dump_gap_ns = 1'000'000'000;  // 1s
   };
 
   FlightRecorder();  // default Config
@@ -125,6 +130,17 @@ class FlightRecorder {
                          anomaly_name)>;
   void set_dump_sink(DumpSink sink);
 
+  /// Runtime control of the automatic-dump rate limit. The global()
+  /// recorder is constructed with default Config before any code runs, so
+  /// operators arming a sink on it tune the storm floor here (0 = dump on
+  /// every anomaly).
+  void set_min_dump_gap(std::uint64_t ns) {
+    min_dump_gap_ns_.store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t min_dump_gap() const {
+    return min_dump_gap_ns_.load(std::memory_order_relaxed);
+  }
+
   struct Stats {
     std::uint64_t recorded = 0;   // records written (all kinds)
     std::uint64_t anomalies = 0;  // anomaly records among them
@@ -133,10 +149,18 @@ class FlightRecorder {
   Stats stats() const;
 
  private:
+  static_assert(sizeof(Record) % sizeof(std::uint64_t) == 0,
+                "Record must pack into whole 64-bit words");
+  static constexpr std::size_t kRecordWords =
+      sizeof(Record) / sizeof(std::uint64_t);
+
   struct Slot {
     /// 0 = never written; odd = write in progress; even = 2*(ticket+1).
     std::atomic<std::uint64_t> seq{0};
-    Record rec;
+    /// The Record payload as relaxed-atomic words: a reader racing a
+    /// writer observes defined (possibly torn) values that the seq check
+    /// then discards, instead of a plain-load/plain-store data race.
+    std::array<std::atomic<std::uint64_t>, kRecordWords> words{};
   };
   struct alignas(64) Shard {
     std::atomic<std::uint64_t> tickets{0};
@@ -155,6 +179,7 @@ class FlightRecorder {
   std::atomic<std::uint64_t> anomalies_{0};
   std::atomic<std::uint64_t> dumps_{0};
   std::atomic<std::uint64_t> last_dump_ns_{0};
+  std::atomic<std::uint64_t> min_dump_gap_ns_{0};  // seeded from cfg_
 
   mutable std::mutex names_mu_;
   struct NameEntry {

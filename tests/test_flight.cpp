@@ -141,16 +141,45 @@ TEST(FlightDump, MinDumpGapRateLimitsAutomaticDumps) {
   EXPECT_TRUE(json_validate(dump));
 }
 
-/// Restores the global recorder's sink (and enabled flag) on scope exit so
-/// tests sharing the process-wide recorder cannot leak state.
+TEST(FlightDump, RuntimeGapSetterControlsAutomaticDumps) {
+  // The default gap is nonzero: a default-constructed recorder (the global
+  // instance is one) must not render a dump per anomaly during a storm.
+  EXPECT_GT(FlightRecorder::Config{}.min_dump_gap_ns, 0u);
+
+  FlightRecorder rec;  // default Config
+  EXPECT_EQ(rec.min_dump_gap(), FlightRecorder::Config{}.min_dump_gap_ns);
+  const std::uint16_t anom = rec.intern("gap.anomaly");
+  int sinks = 0;
+  rec.set_dump_sink([&](const std::string&, std::string_view) { ++sinks; });
+  // A burst under the default gap: only the first anomaly dumps.
+  for (int i = 0; i < 5; ++i) rec.anomaly(anom, i);
+  EXPECT_EQ(sinks, 1);
+  // Operators can retune the armed global recorder at runtime.
+  rec.set_min_dump_gap(0);
+  EXPECT_EQ(rec.min_dump_gap(), 0u);
+  for (int i = 0; i < 3; ++i) rec.anomaly(anom, i);
+  EXPECT_EQ(sinks, 4);
+  rec.set_min_dump_gap(~std::uint64_t{0} / 2);
+  for (int i = 0; i < 3; ++i) rec.anomaly(anom, i);
+  EXPECT_EQ(sinks, 4);
+  EXPECT_EQ(rec.stats().anomalies, 11u);
+}
+
+/// Restores the global recorder's sink (and enabled flag, and dump gap) on
+/// scope exit so tests sharing the process-wide recorder cannot leak state.
+/// The gap is zeroed while armed: the default 1s storm floor would swallow
+/// the dumps of every injection test after the first in a fast test run.
 class GlobalSinkGuard {
  public:
   explicit GlobalSinkGuard(FlightRecorder::DumpSink sink) {
     FlightRecorder::global().set_dump_sink(std::move(sink));
+    FlightRecorder::global().set_min_dump_gap(0);
   }
   ~GlobalSinkGuard() {
     FlightRecorder::global().set_dump_sink(nullptr);
     FlightRecorder::global().set_enabled(true);
+    FlightRecorder::global().set_min_dump_gap(
+        FlightRecorder::Config{}.min_dump_gap_ns);
   }
 };
 
@@ -349,6 +378,46 @@ TEST(Expose, EveryFamilyHasTypeLineAndCountersEndInTotal) {
   EXPECT_NE(text.find("hbct_e_f_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("hbct_e_f_sum 3"), std::string::npos);
   EXPECT_NE(text.find("hbct_e_f_count 1"), std::string::npos);
+}
+
+TEST(Expose, LabelKeysEndingInLeAreNotMistakenForBucketBoundaries) {
+  // "sample" and "percentile" both *end* in "le": a substring search for
+  // `le="` would read/strip the wrong label and reject the bucket line
+  // with a spurious "not a log2 boundary" error.
+  MetricsRegistry reg;
+  reg.counter(labeled("detect.evals", "percentile", "99")).add(3);
+  Histogram& h = reg.histogram(labeled("e.f", "sample", "4096"));
+  h.record(7);
+  h.record(100000);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string text = render_prometheus(snap);
+  MetricsSnapshot back;
+  std::string err;
+  ASSERT_TRUE(parse_prometheus(text, &back, &err)) << err;
+  EXPECT_EQ(back, snap);
+  ASSERT_EQ(back.histograms.count(labeled("e.f", "sample", "4096")), 1u);
+  EXPECT_EQ(back.counters.at(labeled("detect.evals", "percentile", "99")), 3u);
+}
+
+TEST(Expose, HostileLabelValuesRoundTrip) {
+  // '}' is legal inside a quoted label value (a find('}') parse truncates
+  // the block mid-value), and a value may even contain `le="` verbatim.
+  MetricsRegistry reg;
+  reg.counter(labeled("serve.fires", "session", "weird}id{x")).add(11);
+  reg.gauge(labeled("serve.depth", "note", "le=\"7\"")).set(-2);
+  Histogram& h = reg.histogram(labeled("e.f", "tag", "a}b,le=\"1\""));
+  h.record(42);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::string text = render_prometheus(snap);
+  MetricsSnapshot back;
+  std::string err;
+  ASSERT_TRUE(parse_prometheus(text, &back, &err)) << err;
+  EXPECT_EQ(back, snap);
+  EXPECT_EQ(back.counters.at(labeled("serve.fires", "session", "weird}id{x")),
+            11u);
+  EXPECT_EQ(back.gauges.at(labeled("serve.depth", "note", "le=\"7\"")), -2);
 }
 
 TEST(Expose, NonMonotoneBucketsRejected) {
