@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_report.h"
+#include "detect/until_inc.h"
 #include "obs/flight.h"
 #include "obs/trace.h"
 #include "predicate/local.h"
@@ -34,6 +35,11 @@ struct StreamPlan {
   std::int64_t rounds = 12'500;  // 2 events per round per session
   std::int64_t gc_interval = 4096;  // <= 0: GC off
   bool recorder = true;  // flight recorder enabled during the pass
+  /// Arm until watches too: one deciding mid-stream, one whose q never
+  /// holds, so the feed-time cost of the incremental evaluator is paid on
+  /// every event of the stream (the per-event-overhead A/B).
+  bool until_watch = false;
+  bool until_inc = true;  // incremental until evaluator (vs batch decision)
 };
 
 struct StreamOutcome {
@@ -41,6 +47,8 @@ struct StreamOutcome {
   std::int64_t resident_peak = 0;
   std::int64_t gc_reclaimed = 0;
   std::int64_t gc_rounds = 0;
+  std::int64_t until_inc_evals = 0;
+  std::int64_t until_dec_evals = 0;
   std::uint64_t fire_p50_ns = 0;
   std::uint64_t fire_p99_ns = 0;
 };
@@ -91,6 +99,7 @@ std::vector<std::string> build_chunks(std::int64_t rounds) {
 void run_streams(const StreamPlan& plan, const std::vector<std::string>& chunks,
                  StreamOutcome* out) {
   FlightRecorder::global().set_enabled(plan.recorder);
+  set_until_inc_enabled(plan.until_inc);
   Tracer tracer;
   serve::ServiceOptions opt;
   opt.trace = &tracer;
@@ -100,9 +109,10 @@ void run_streams(const StreamPlan& plan, const std::vector<std::string>& chunks,
   cfg.num_procs = 2;
   cfg.gc_interval_events = plan.gc_interval;
   const std::int64_t fire_at = plan.rounds;  // total events = 2*rounds
+  const std::int64_t rounds = plan.rounds;
   std::vector<SessionId> sids;
   for (int k = 0; k < plan.sessions; ++k) {
-    sids.push_back(svc.open(cfg, [fire_at](OnlineMonitor& m) {
+    sids.push_back(svc.open(cfg, [&](OnlineMonitor& m) {
       m.var("x");
       // Fires mid-stream: the fire-latency histogram gets one sample per
       // session, and the undecided scan keeps the evaluators honest.
@@ -113,12 +123,21 @@ void run_streams(const StreamPlan& plan, const std::vector<std::string>& chunks,
           "progress"));
       m.watch_possibly(make_conjunctive({var_cmp(0, "x", Cmp::kLt, 0),
                                          var_cmp(1, "x", Cmp::kLt, 0)}));
+      if (plan.until_watch) {
+        // One deciding mid-stream, one undecided to end of stream: the
+        // second keeps the feed-time table advance on every event.
+        m.watch_until(make_conjunctive({var_cmp(0, "x", Cmp::kGe, 0)}),
+                      PredicatePtr(progress_ge(1, rounds / 2)));
+        m.watch_until(make_conjunctive({var_cmp(0, "x", Cmp::kGe, 0)}),
+                      PredicatePtr(progress_ge(1, rounds * 16)));
+      }
     }));
   }
   for (const std::string& chunk : chunks)
     for (SessionId sid : sids) svc.post(sid, chunk);
   svc.drain();
   FlightRecorder::global().set_enabled(true);
+  set_until_inc_enabled(true);
 
   if (out != nullptr) {
     out->events = 0;
@@ -135,6 +154,10 @@ void run_streams(const StreamPlan& plan, const std::vector<std::string>& chunks,
         snap.counters.at("serve.gc.reclaimed_events"));
     out->gc_rounds =
         static_cast<std::int64_t>(snap.counters.at("serve.gc.rounds"));
+    out->until_inc_evals =
+        static_cast<std::int64_t>(snap.counters.at("serve.until.inc_evals"));
+    out->until_dec_evals =
+        static_cast<std::int64_t>(snap.counters.at("serve.until.dec_evals"));
     const Histogram::Snapshot fires =
         snap.histograms.at("serve.fire_latency.ns");
     out->fire_p50_ns = fires.percentile(0.5);
@@ -217,6 +240,46 @@ bool emit_streaming_json(const char* path) {
     rows.push_back(std::move(nrow));
   }
 
+  // Until-watch A/B: incremental evaluator on vs off on an otherwise
+  // identical stream, passes interleaved. This is the per-event feed
+  // overhead of the amortized EG table: one watch stays undecided to end
+  // of stream, so the inc side pays its table advance on every event. GC
+  // off on both sides — a batch until watch pins the whole prefix, and
+  // asymmetric reclaim work would contaminate the comparison.
+  {
+    StreamPlan inc{8, 12'500, 0, true, true, true};
+    StreamPlan batch = inc;
+    batch.until_inc = false;
+    const auto chunks = build_chunks(inc.rounds);
+    StreamingRow irow, brow;
+    irow.base.name = "streaming/8x25k/until/inc";
+    irow.base.label = "8 sessions x 25k events, until watches, incremental";
+    irow.plan = inc;
+    brow.base.name = "streaming/8x25k/until/batch";
+    brow.base.label = "8 sessions x 25k events, until watches, batch decision";
+    brow.plan = batch;
+    run_streams(inc, chunks, nullptr);  // warmup
+    run_streams(batch, chunks, nullptr);
+    std::vector<double> inc_ns, batch_ns;
+    for (int i = 0; i < 9; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      run_streams(inc, chunks, &irow.outcome);
+      auto t1 = std::chrono::steady_clock::now();
+      run_streams(batch, chunks, &brow.outcome);
+      auto t2 = std::chrono::steady_clock::now();
+      inc_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+      batch_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+              .count()));
+    }
+    irow.base.ns = Summary::of(std::move(inc_ns));
+    brow.base.ns = Summary::of(std::move(batch_ns));
+    rows.push_back(std::move(irow));
+    rows.push_back(std::move(brow));
+  }
+
   for (const Config& c : configs) {
     const auto chunks = build_chunks(c.plan.rounds);
     StreamingRow row;
@@ -257,6 +320,10 @@ bool emit_streaming_json(const char* path) {
     w.kv("fire_p50_ns", r.outcome.fire_p50_ns);
     w.kv("fire_p99_ns", r.outcome.fire_p99_ns);
     w.kv("recorder", r.plan.recorder);
+    w.kv("until_watch", r.plan.until_watch);
+    w.kv("until_inc", r.plan.until_inc);
+    w.kv("until_inc_evals", r.outcome.until_inc_evals);
+    w.kv("until_dec_evals", r.outcome.until_dec_evals);
     w.end_object();
     w.end_object();
   }

@@ -3,7 +3,17 @@
 // channel, relational (both riding watch_stable with predicates that are
 // stable by construction on the generated stream), and until — at a fixed
 // fire-latency objective, plus a recorder-on vs recorder-off A/B pair
-// measuring the always-on flight recorder's gating overhead.
+// measuring the always-on flight recorder's gating overhead and an
+// incremental-until vs batch-until A/B pair measuring the amortized A3
+// decision walk.
+//
+// Fire latency is measured from raw nanosecond samples (ServiceOptions::
+// fire_sample), not the serve histograms: the log2-bucketed histogram
+// rounds every percentile up to a power of two, which both hid real
+// regressions and manufactured apparent ones (a 33.5 ms "p99" that was one
+// cold first-fire landing in the 2^25 bucket). Every measured row runs one
+// discarded warm-up pass first, and A/B pairs interleave their passes so
+// clock drift and allocator state land on both sides equally.
 //
 // The BENCH_watch.json artifact (schema hbct.bench/1) extends each row with
 // a "watch" object validated by tools/check_report.py and diffed by
@@ -18,15 +28,20 @@
 // (sustained evaluation cost).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_report.h"
+#include "detect/until_inc.h"
 #include "obs/expose.h"
 #include "obs/flight.h"
 #include "obs/trace.h"
@@ -54,15 +69,51 @@ struct WatchPlan {
   int sessions = 4;
   std::int64_t rounds = 4'000;
   bool recorder = true;   // flight recorder enabled during the pass
+  bool until_inc = true;  // incremental until evaluator (vs batch decision)
 };
 
 struct WatchOutcome {
   std::int64_t events = 0;
   std::int64_t watches = 0;
   std::int64_t fires = 0;
-  std::uint64_t fire_p50_ns = 0;
-  std::uint64_t fire_p99_ns = 0;
 };
+
+/// Raw fire-latency samples, per class and combined, accumulated across
+/// every measured pass of a row (warm-up passes excluded). The mutex is
+/// required: sessions pump on pool threads and share one sink.
+struct RawLatency {
+  std::mutex mu;
+  std::array<std::vector<std::uint64_t>, serve::Session::kNumWatchKinds>
+      by_class;
+  std::vector<std::uint64_t> all;
+};
+
+/// Exact (nearest-rank) percentile over raw samples; 0 when empty.
+std::uint64_t percentile_ns(std::vector<std::uint64_t> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = std::ceil(q * static_cast<double>(v.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+/// The sample set a row's percentiles read: single-class rows their
+/// WatchKind series (channel/relational ride kStable), mixed rows the
+/// combined stream.
+const std::vector<std::uint64_t>& samples_for(const RawLatency& raw,
+                                              const std::string& cls) {
+  const auto k = [&](WatchKind w) -> const std::vector<std::uint64_t>& {
+    return raw.by_class[static_cast<std::size_t>(w)];
+  };
+  if (cls == "conjunctive") return k(WatchKind::kConjunctive);
+  if (cls == "disjunctive") return k(WatchKind::kDisjunctive);
+  if (cls == "invariant") return k(WatchKind::kInvariant);
+  if (cls == "until") return k(WatchKind::kUntil);
+  if (cls == "stable" || cls == "channel" || cls == "relational")
+    return k(WatchKind::kStable);
+  return raw.all;
+}
 
 std::vector<std::string> build_chunks(std::int64_t rounds) {
   std::vector<std::string> chunks;
@@ -180,11 +231,16 @@ std::int64_t arm(OnlineMonitor& m, const std::string& cls,
   }
   if (cls == "until") {
     // E[x >= 0 U P1-progress]: streaming A3 decides once I_q is observed.
-    m.watch_until(make_conjunctive({xv(Cmp::kGe, 0)}),
-                  PredicatePtr(progress_ge(1, (rounds - kLag) / 2)));
+    // Staggered thresholds make every watch decide at a different I_q, so
+    // each pass yields many independent fire-latency samples — enough that
+    // the p99 is a real percentile, not the single worst scheduler stall.
+    const std::int64_t span = rounds - kLag;
+    for (std::int64_t k = 1; k <= 8; ++k)
+      m.watch_until(make_conjunctive({xv(Cmp::kGe, 0)}),
+                    PredicatePtr(progress_ge(1, span * k / 10)));
     m.watch_until(make_conjunctive({xv(Cmp::kGe, 0)}),
                   PredicatePtr(progress_ge(1, rounds * 16)));
-    return 2;
+    return 9;
   }
   HBCT_ASSERT(cls == "mixed");
   std::int64_t n = 0;
@@ -195,11 +251,20 @@ std::int64_t arm(OnlineMonitor& m, const std::string& cls,
 }
 
 void run_watches(const WatchPlan& plan, const std::vector<std::string>& chunks,
-                 WatchOutcome* out) {
+                 WatchOutcome* out, RawLatency* raw = nullptr) {
   FlightRecorder::global().set_enabled(plan.recorder);
+  set_until_inc_enabled(plan.until_inc);
   Tracer tracer;
   serve::ServiceOptions opt;
   opt.trace = &tracer;
+  if (raw != nullptr) {
+    opt.fire_sample = [raw](WatchKind k, std::uint64_t ns) {
+      std::lock_guard<std::mutex> lk(raw->mu);
+      const std::size_t i = static_cast<std::size_t>(k);
+      if (i < raw->by_class.size()) raw->by_class[i].push_back(ns);
+      raw->all.push_back(ns);
+    };
+  }
   StreamingService svc(opt);
 
   SessionConfig cfg;
@@ -217,6 +282,7 @@ void run_watches(const WatchPlan& plan, const std::vector<std::string>& chunks,
     for (SessionId sid : sids) svc.post(sid, chunk);
   svc.drain();
   FlightRecorder::global().set_enabled(true);
+  set_until_inc_enabled(true);
 
   if (out != nullptr) {
     out->events = 0;
@@ -230,21 +296,6 @@ void run_watches(const WatchPlan& plan, const std::vector<std::string>& chunks,
       const auto st = svc.stats(sid);
       out->events += st.events;
       out->fires += st.fires;
-    }
-    const MetricsSnapshot snap = tracer.metrics().snapshot();
-    // Mixed rows read the combined fire-latency histogram; single-class
-    // rows their class series (invariant/channel/relational label under
-    // their WatchKind: invariant, stable, stable).
-    std::string hname = "serve.fire_latency.ns";
-    if (plan.cls == "conjunctive" || plan.cls == "disjunctive" ||
-        plan.cls == "invariant" || plan.cls == "until")
-      hname = labeled(hname, "class", plan.cls);
-    else if (plan.cls != "mixed")
-      hname = labeled(hname, "class", "stable");
-    auto it = snap.histograms.find(hname);
-    if (it != snap.histograms.end()) {
-      out->fire_p50_ns = it->second.percentile(0.5);
-      out->fire_p99_ns = it->second.percentile(0.99);
     }
   }
 }
@@ -267,11 +318,87 @@ struct WatchRow {
   benchio::BenchRow base;
   WatchPlan plan;
   WatchOutcome outcome;
+  std::uint64_t fire_p50_ns = 0;
+  std::uint64_t fire_p99_ns = 0;
+  std::uint64_t fire_samples = 0;
 };
 
 /// Fire-latency objective every row is measured against: p99 of the class's
 /// fire latency must sit under this for the row to report met_p99 = true.
 constexpr std::uint64_t kP99TargetNs = 250'000;  // 250 us
+
+/// Fills the row's percentile fields from its accumulated raw samples.
+void fill_latency(WatchRow& row, const RawLatency& raw) {
+  const std::vector<std::uint64_t>& s = samples_for(raw, row.plan.cls);
+  row.fire_samples = static_cast<std::uint64_t>(s.size());
+  row.fire_p50_ns = percentile_ns(s, 0.5);
+  row.fire_p99_ns = percentile_ns(s, 0.99);
+}
+
+/// One measured row: a pinned warm-up pass (cold-path fires and lazy
+/// statics excluded from the samples), then `iters` passes accumulating
+/// wall times and raw fire latencies.
+WatchRow measure_row(const char* name, const char* label,
+                     const WatchPlan& plan,
+                     const std::vector<std::string>& chunks, int iters) {
+  WatchRow row;
+  row.base.name = name;
+  row.base.label = label;
+  row.plan = plan;
+  run_watches(plan, chunks, nullptr);  // warm-up, discarded
+  RawLatency raw;
+  std::vector<double> ns;
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_watches(plan, chunks, &row.outcome, &raw);
+    const auto t1 = std::chrono::steady_clock::now();
+    ns.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  row.base.ns = Summary::of(std::move(ns));
+  fill_latency(row, raw);
+  return row;
+}
+
+/// An interleaved A/B pair: both sides warm up, then passes alternate
+/// A,B,A,B,... so clock drift, allocator state, and thermal throttle land
+/// on both sides equally — separate blocks showed run-to-run spread an
+/// order of magnitude above the deltas being measured.
+std::pair<WatchRow, WatchRow> measure_ab(
+    const char* name_a, const char* label_a, const WatchPlan& plan_a,
+    const char* name_b, const char* label_b, const WatchPlan& plan_b,
+    const std::vector<std::string>& chunks, int iters) {
+  WatchRow a, b;
+  a.base.name = name_a;
+  a.base.label = label_a;
+  a.plan = plan_a;
+  b.base.name = name_b;
+  b.base.label = label_b;
+  b.plan = plan_b;
+  run_watches(plan_a, chunks, nullptr);  // warm-up, both sides, discarded
+  run_watches(plan_b, chunks, nullptr);
+  RawLatency raw_a, raw_b;
+  std::vector<double> ns_a, ns_b;
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_watches(plan_a, chunks, &a.outcome, &raw_a);
+    const auto t1 = std::chrono::steady_clock::now();
+    run_watches(plan_b, chunks, &b.outcome, &raw_b);
+    const auto t2 = std::chrono::steady_clock::now();
+    ns_a.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    ns_b.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
+            .count()));
+  }
+  a.base.ns = Summary::of(std::move(ns_a));
+  b.base.ns = Summary::of(std::move(ns_b));
+  fill_latency(a, raw_a);
+  fill_latency(b, raw_b);
+  return {std::move(a), std::move(b)};
+}
 
 bool emit_watch_json(const char* path) {
   struct Config {
@@ -281,69 +408,60 @@ bool emit_watch_json(const char* path) {
   };
   const Config configs[] = {
       {"watch/conjunctive", "4 sessions, conjunctive watches",
-       {"conjunctive", 4, 4'000, true}},
+       {"conjunctive", 4, 4'000, true, true}},
       {"watch/disjunctive", "4 sessions, disjunctive watches",
-       {"disjunctive", 4, 4'000, true}},
+       {"disjunctive", 4, 4'000, true, true}},
       {"watch/invariant", "4 sessions, invariant watches",
-       {"invariant", 4, 4'000, true}},
+       {"invariant", 4, 4'000, true, true}},
       {"watch/stable", "4 sessions, stable watches",
-       {"stable", 4, 4'000, true}},
+       {"stable", 4, 4'000, true, true}},
       {"watch/channel", "4 sessions, channel watches (stable ride)",
-       {"channel", 4, 4'000, true}},
+       {"channel", 4, 4'000, true, true}},
       {"watch/relational", "4 sessions, relational watches (stable ride)",
-       {"relational", 4, 4'000, true}},
-      {"watch/until", "4 sessions, until watches",
-       {"until", 4, 4'000, true}},
+       {"relational", 4, 4'000, true, true}},
   };
 
   std::vector<WatchRow> rows;
   for (const Config& c : configs) {
     const auto chunks = build_chunks(c.plan.rounds);
-    WatchRow row;
-    row.base.name = c.name;
-    row.base.label = c.label;
-    row.plan = c.plan;
-    row.base.ns =
-        benchio::time_ns(7, [&] { run_watches(c.plan, chunks, &row.outcome); });
-    rows.push_back(std::move(row));
+    // Enough timed passes that per-class p99 tolerates a couple of
+    // scheduler stalls (4 deciding fires/pass -> ~200 samples) instead of
+    // degenerating to the max sample.
+    rows.push_back(measure_row(c.name, c.label, c.plan, chunks, 51));
   }
 
-  // Recorder A/B: alternate recorder-on and recorder-off passes of the same
-  // mixed workload so clock drift, allocator state, and thermal throttle
-  // land on both sides equally — separate blocks showed run-to-run spread
-  // an order of magnitude above the gating overhead being measured.
+  // Until A/B: incremental evaluator (feed-time amortized EG table) vs
+  // batch decision (full A3 walk at I_q). Same workload, interleaved.
   {
-    WatchPlan rec{"mixed", 4, 4'000, true};
+    // One session: this pair isolates decision latency at I_q, and a lone
+    // pump task cannot be preempted by a sibling session's pump mid-apply
+    // (which on a small box shows up as multi-ms scheduler stalls in the
+    // fire-latency tail that have nothing to do with the decision walk).
+    WatchPlan inc{"until", 1, 4'000, true, true};
+    WatchPlan batch = inc;
+    batch.until_inc = false;
+    const auto chunks = build_chunks(inc.rounds);
+    auto [a, b] = measure_ab(
+        "watch/until", "1 session, until watches, incremental", inc,
+        "watch/until/batch", "1 session, until watches, batch decision",
+        batch, chunks, 26);
+    rows.push_back(std::move(a));
+    rows.push_back(std::move(b));
+  }
+
+  // Recorder A/B: the always-on flight recorder's gating overhead on the
+  // mixed workload.
+  {
+    WatchPlan rec{"mixed", 4, 4'000, true, true};
     WatchPlan norec = rec;
     norec.recorder = false;
     const auto chunks = build_chunks(rec.rounds);
-    WatchRow rrow, nrow;
-    rrow.base.name = "watch/mixed/rec";
-    rrow.base.label = "4 sessions, one of each class, recorder on";
-    rrow.plan = rec;
-    nrow.base.name = "watch/mixed/norec";
-    nrow.base.label = "4 sessions, one of each class, recorder off";
-    nrow.plan = norec;
-    run_watches(rec, chunks, nullptr);  // warmup
-    run_watches(norec, chunks, nullptr);
-    std::vector<double> rec_ns, norec_ns;
-    for (int i = 0; i < 15; ++i) {
-      auto t0 = std::chrono::steady_clock::now();
-      run_watches(rec, chunks, &rrow.outcome);
-      auto t1 = std::chrono::steady_clock::now();
-      run_watches(norec, chunks, &nrow.outcome);
-      auto t2 = std::chrono::steady_clock::now();
-      rec_ns.push_back(static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-              .count()));
-      norec_ns.push_back(static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1)
-              .count()));
-    }
-    rrow.base.ns = Summary::of(std::move(rec_ns));
-    nrow.base.ns = Summary::of(std::move(norec_ns));
-    rows.push_back(std::move(rrow));
-    rows.push_back(std::move(nrow));
+    auto [a, b] = measure_ab(
+        "watch/mixed/rec", "4 sessions, one of each class, recorder on", rec,
+        "watch/mixed/norec", "4 sessions, one of each class, recorder off",
+        norec, chunks, 15);
+    rows.push_back(std::move(a));
+    rows.push_back(std::move(b));
   }
 
   JsonWriter w;
@@ -372,11 +490,13 @@ bool emit_watch_json(const char* path) {
     w.kv("watch_evals_per_sec",
          r.base.ns.median > 0 ? evals * 1e9 / r.base.ns.median : 0.0);
     w.kv("fires", static_cast<std::int64_t>(r.outcome.fires));
-    w.kv("fire_p50_ns", r.outcome.fire_p50_ns);
-    w.kv("fire_p99_ns", r.outcome.fire_p99_ns);
+    w.kv("fire_p50_ns", r.fire_p50_ns);
+    w.kv("fire_p99_ns", r.fire_p99_ns);
+    w.kv("fire_samples", r.fire_samples);
     w.kv("p99_target_ns", kP99TargetNs);
-    w.kv("met_p99", r.outcome.fire_p99_ns <= kP99TargetNs);
+    w.kv("met_p99", r.fire_p99_ns <= kP99TargetNs);
     w.kv("recorder", r.plan.recorder);
+    w.kv("until_inc", r.plan.until_inc);
     w.end_object();
     w.end_object();
   }

@@ -23,10 +23,12 @@
 // strict in the unknown value, as in Kleene's strong three-valued logic.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
 
+#include "util/assert.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -166,6 +168,50 @@ class BudgetTracker {
     reason_ = r;
     if (b_.trace != nullptr) record_budget_trip(b_.trace, r);
     record_flight_trip(r);
+  }
+
+  /// Charges `n` predicate evaluations against `st` with the exact
+  /// semantics of the canonical scan loop
+  ///
+  ///   repeat n times { if (!ok()) break; ++st.predicate_evals; }
+  ///
+  /// but in O(1) when only the work bound is active (the common case on
+  /// the budget ladders). Returns the number of evaluations actually
+  /// charged — n unless a bound tripped mid-span, in which case the
+  /// tracker is left tripped exactly as the loop would leave it. Deadline
+  /// and cancellation budgets fall back to the literal per-unit loop so
+  /// the clock-probe stride and poll points stay bit-identical too. `st`
+  /// must be the stats object this tracker watches. The incremental until
+  /// evaluator uses this to replay the batch sweep's budget arithmetic
+  /// over spans whose outcome it already knows (detect/until_inc.h).
+  std::uint64_t charge_evals(DetectStats& st, std::uint64_t n) {
+    HBCT_DASSERT(&st == &st_);
+    if (reason_ != BoundReason::kNone) return 0;
+    if (!active_) {
+      st.predicate_evals += n;
+      return n;
+    }
+    if (b_.deadline || b_.cancel != nullptr) {
+      std::uint64_t done = 0;
+      while (done < n && ok()) {
+        ++st.predicate_evals;
+        ++done;
+      }
+      return done;
+    }
+    // Work bound only: the loop charges one eval per check that passes.
+    // The check before the j-th eval of this span (0-based) sees
+    // spent + j work units, so it passes iff spent + j <= max_work.
+    const std::uint64_t spent = work() - base_;
+    if (spent > b_.max_work) {
+      trip(BoundReason::kStepBudget);
+      return 0;
+    }
+    const std::uint64_t allowed =
+        std::min<std::uint64_t>(n, b_.max_work - spent + 1);
+    st.predicate_evals += allowed;
+    if (allowed < n) trip(BoundReason::kStepBudget);
+    return allowed;
   }
 
   bool exceeded() const { return reason_ != BoundReason::kNone; }

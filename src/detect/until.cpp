@@ -5,6 +5,7 @@
 #include "detect/conjunctive_gw.h"
 #include "detect/ef_linear.h"
 #include "detect/parallel.h"
+#include "detect/until_inc.h"
 #include "obs/trace.h"
 #include "util/assert.h"
 
@@ -13,6 +14,16 @@ namespace hbct {
 DetectResult detect_eu_at(const Computation& c, const ConjunctivePredicate& p,
                           const Cut& iq, std::size_t parallelism,
                           const Budget& budget) {
+  if (until_inc_enabled()) {
+    // Shared-state mode: one transient EG(p) table serves every frontier
+    // branch, so overlapping sub-lattice sweeps are scanned once and
+    // replayed arithmetically after that. Bit-identical to the batch sweep
+    // below (verdict, witness, bound, stats) at every width and budget —
+    // tests/test_until_inc.cpp holds the two paths to that contract.
+    EgPrefixState state;
+    state.bind(c, p, /*instrumented=*/false);
+    return state.decide_at(iq, budget, /*want_path=*/true);
+  }
   DetectResult r;
   r.algorithm = "A3-eu (given I_q)";
   HBCT_ASSERT_MSG(c.is_consistent(iq), "I_q must be a consistent cut");

@@ -247,6 +247,7 @@ WatchId OnlineMonitor::watch_until(ConjunctivePredicatePtr p,
   kinds_.push_back(WatchKind::kUntil);
   w.p = std::move(p);
   w.q = std::move(q);
+  w.inc = until_inc_enabled();
   w.cand = app_.computation().initial_cut();
   until_.push_back(std::move(w));
   BudgetTracker t(budget_, work_);
@@ -373,6 +374,26 @@ void OnlineMonitor::step_until(UntilWatch& w) {
   span.arg("watch", w.id);
   const Computation& c = app_.computation();
 
+  // Incremental mode: push the EG(p) table over the newly frozen prefix
+  // before resuming the q-walk, so the eventual Theorem-7 decision is
+  // table arithmetic plus at most a tiny lazy extension instead of a full
+  // prefix sweep at fire time. Every physical evaluation is charged to the
+  // round budget; a tripped round suspends the scan mid-position and the
+  // table resumes exactly there next round. Each frozen position is
+  // evaluated at most once over the watch's lifetime (a conjunct stops
+  // scanning forever once its first false position is known), so the
+  // amortized feed cost is O(1) per event per watch.
+  if (w.inc) {
+    if (!w.eg.bound()) w.eg.bind(c, *w.p, /*instrumented=*/true);
+    // Per-round hot path: no span (a span per event per watch dominates the
+    // feed when tracing is on — the work is visible as until_inc_evals) and
+    // a reused limits buffer instead of a fresh Cut allocation.
+    if (w.limits.size() != sz(c.num_procs())) w.limits = Cut(sz(c.num_procs()));
+    for (ProcId i = 0; i < c.num_procs(); ++i)
+      w.limits[sz(i)] = frozen_limit(i);
+    w.eg.advance_to(w.limits, work_, round_);
+  }
+
   // Resume the Chase–Garg walk toward I_q over the frozen prefix. The walk
   // is monotone, so work already done never repeats; a forbidden process
   // exhausted (in frozen positions) — or a tripped round budget — suspends
@@ -406,8 +427,14 @@ void OnlineMonitor::step_until(UntilWatch& w) {
   // the events below it — stable under all extensions. The decision gets
   // the monitor's budget too; since the sub-computation below I_q never
   // changes, a kUnknown here would repeat identically on every retry, so
-  // the watch fires kUnknown immediately instead of spinning.
-  DetectResult r = detect_eu_at(c, *w.p, w.cand, 1, budget_);
+  // the watch fires kUnknown immediately instead of spinning. Incremental
+  // mode replays the decision off the fed table — bit-identical verdict,
+  // bound and charged stats; the witness path is skipped because prefix GC
+  // may have trimmed the linearization it would be rebuilt from, and
+  // WatchFire carries no path.
+  DetectResult r = w.inc
+                       ? w.eg.decide_at(w.cand, budget_, /*want_path=*/false)
+                       : detect_eu_at(c, *w.p, w.cand, 1, budget_);
   work_ += r.stats;
   w.done = true;
   const std::string what =
@@ -459,11 +486,25 @@ Cut OnlineMonitor::min_watch_frontier() const {
   for (const DisjWatch& w : disj_)
     if (!w.done)
       for (ProcId i = 0; i < n; ++i) pin(i, w.scan[sz(i)]);
-  for (const UntilWatch& w : until_)
-    if (!w.done)
+  for (const UntilWatch& w : until_) {
+    if (w.done) continue;
+    if (w.inc) {
+      // Incremental mode pins only what the evaluator may still read on
+      // each process: the q-walk's candidate position (eval/forbidden read
+      // there; join_irreducible_of reads cand+1, which is above the pin)
+      // and the EG table's scan resume point. Positions below both are
+      // never touched again — already-scanned prefix outcomes live in the
+      // table as stored indices, and a decided conjunct is pure
+      // arithmetic at decision time. DESIGN.md §18 spells out the case
+      // analysis; tests/test_until_inc.cpp pins it differentially.
+      for (ProcId i = 0; i < n; ++i)
+        pin(i, w.eg.scan_floor(i, /*fallback=*/w.cand[sz(i)]));
+    } else {
       // Theorem 7 decides E[p U q] from the whole sub-computation below
-      // I_q, so an undecided until watch pins the entire prefix.
+      // I_q, so an undecided batch until watch pins the entire prefix.
       for (ProcId i = 0; i < n; ++i) pin(i, 0);
+    }
+  }
   // Stable watches evaluate on the frontier only: no pin. Never retreat
   // below a previous collection.
   for (ProcId i = 0; i < n; ++i)
@@ -504,6 +545,23 @@ std::int64_t OnlineMonitor::collect_prefix() {
   span.arg("reclaimed", reclaimed);
   flight.args(reclaimed, app_.resident_events());
   return reclaimed;
+}
+
+std::size_t OnlineMonitor::watch_state_bytes() const {
+  const auto vec_bytes = [](const std::vector<EventIndex>& v) {
+    return v.capacity() * sizeof(EventIndex);
+  };
+  const auto cut_bytes = [](const Cut& g) {
+    return g.size() * sizeof(EventIndex);
+  };
+  std::size_t total = 0;
+  for (const ConjWatch& w : conj_)
+    total += sizeof(w) + vec_bytes(w.cand) + vec_bytes(w.scan);
+  for (const DisjWatch& w : disj_) total += sizeof(w) + vec_bytes(w.scan);
+  total += stable_.size() * sizeof(StableWatch);
+  for (const UntilWatch& w : until_)
+    total += sizeof(w) + cut_bytes(w.cand) + w.eg.state_bytes();
+  return total;
 }
 
 std::vector<WatchFire> OnlineMonitor::poll() {

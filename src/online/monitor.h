@@ -32,6 +32,7 @@
 
 #include "analysis/audit.h"
 #include "detect/budget.h"
+#include "detect/until_inc.h"
 #include "online/appender.h"
 #include "predicate/conjunctive.h"
 #include "predicate/disjunctive.h"
@@ -147,10 +148,12 @@ class OnlineMonitor {
   /// Per-process minimum position any live watch may still need to read.
   /// Starts at the frozen limits and is pulled down by every undecided
   /// watch: a conjunctive watch needs its candidate/scan positions, a
-  /// disjunctive watch its scan positions, and an until watch the whole
-  /// prefix below I_q (Theorem 7's decision reads the sub-computation under
-  /// the walk target, so it pins everything until it fires). Monotone
-  /// nondecreasing over the session's lifetime.
+  /// disjunctive watch its scan positions, and an until watch its q-walk
+  /// candidate and EG-table scan floors (incremental mode — the decision
+  /// replays off the table, so the already-scanned prefix is never re-read;
+  /// DESIGN.md §18) or the whole prefix below I_q (batch mode, where
+  /// Theorem 7's decision re-reads the entire sub-computation under the
+  /// walk target). Monotone nondecreasing over the session's lifetime.
   Cut min_watch_frontier() const;
 
   /// Reclaims the computation prefix below the min-watch frontier (lowered
@@ -160,6 +163,17 @@ class OnlineMonitor {
   std::int64_t collect_prefix();
 
   std::int64_t resident_events() const { return app_.resident_events(); }
+
+  /// Cumulative watch-evaluation work, including the incremental until
+  /// counters (until_inc_evals = feed-time table advances, until_dec_evals
+  /// = decision-time lazy extensions). The serve layer absorbs deltas of
+  /// this into its metrics registry.
+  const DetectStats& work() const { return work_; }
+
+  /// Approximate heap footprint of all live watch state (scan vectors,
+  /// candidate cuts, incremental until tables) — the serve layer's
+  /// watch-state sizing gauge.
+  std::size_t watch_state_bytes() const;
 
   /// Drains the fires triggered since the last poll.
   std::vector<WatchFire> poll();
@@ -202,7 +216,16 @@ class OnlineMonitor {
     PredicatePtr q;
     bool done = false;
     bool started = false;
-    Cut cand;  // Chase-Garg frontier toward I_q
+    /// Incremental mode, latched from until_inc_enabled() at registration
+    /// (flipping the global toggle mid-session is unsupported, as with the
+    /// cursor toggle): the EG(p) table advances at feed time and the
+    /// Theorem-7 decision replays off it, so the fire costs O(frontier)
+    /// new work instead of a prefix sweep. Also selects the tighter GC pin
+    /// in min_watch_frontier.
+    bool inc = false;
+    Cut cand;    // Chase-Garg frontier toward I_q
+    Cut limits;  // reused frozen-limits buffer (inc feed path, no realloc)
+    EgPrefixState eg;  // incremental EG(p) decision state (inc mode)
   };
 
   /// Largest local position of proc i whose state can no longer change.

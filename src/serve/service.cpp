@@ -38,10 +38,15 @@ StreamingService::StreamingService(ServiceOptions opt)
   open_sessions_ = &reg.gauge("serve.open_sessions");
   resident_ = &reg.gauge("serve.resident_events");
   resident_peak_ = &reg.gauge("serve.resident_events.peak");
+  watch_state_ = &reg.gauge("serve.watch_state.bytes");
+  watch_state_peak_ = &reg.gauge("serve.watch_state.bytes.peak");
+  until_inc_ = &reg.counter("serve.until.inc_evals");
+  until_dec_ = &reg.counter("serve.until.dec_evals");
   ingest_ns_ = &reg.histogram("serve.ingest.ns");
   fire_ns_ = &reg.histogram("serve.fire_latency.ns");
   reg_ = &reg;
   fire_inst_.latency = fire_ns_;
+  fire_inst_.raw_sample = opt_.fire_sample;
   for (std::size_t k = 0; k < Session::kNumWatchKinds; ++k) {
     const char* cls = to_string(static_cast<WatchKind>(k));
     fire_inst_.class_fires[k] =
@@ -139,6 +144,13 @@ void StreamingService::absorb(Entry& e, const SessionStats& before,
   resident_->add(after.resident_events - e.gauged_resident);
   e.gauged_resident = after.resident_events;
   resident_peak_->max_of(resident_->value());
+  watch_state_->add(after.watch_state_bytes - e.gauged_watch_bytes);
+  e.gauged_watch_bytes = after.watch_state_bytes;
+  watch_state_peak_->max_of(watch_state_->value());
+  until_inc_->add(
+      static_cast<std::uint64_t>(after.until_inc_evals - before.until_inc_evals));
+  until_dec_->add(
+      static_cast<std::uint64_t>(after.until_dec_evals - before.until_dec_evals));
   if (e.s_records != nullptr) {
     e.s_records->add(static_cast<std::uint64_t>(after.records - before.records));
     e.s_fires->add(static_cast<std::uint64_t>(after.fires - before.fires));
@@ -225,6 +237,8 @@ bool StreamingService::close(SessionId sid) {
     std::lock_guard<std::mutex> lk(e->mu);
     resident_->add(-e->gauged_resident);
     e->gauged_resident = 0;
+    watch_state_->add(-e->gauged_watch_bytes);
+    e->gauged_watch_bytes = 0;
     if (e->s_resident != nullptr) e->s_resident->set(0);
   }
   closed_->add(1);

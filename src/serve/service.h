@@ -43,6 +43,11 @@ struct ServiceOptions {
   /// Receives "serve.ingest" / "monitor.gc" spans; its metrics registry
   /// takes the serve.* metrics. nullptr = no spans, global registry.
   Tracer* trace = nullptr;
+  /// Raw fire-latency sink forwarded to every session's FireInstruments
+  /// (exact ns per fire, pre-histogram-quantization). Shared across all
+  /// sessions and called on pump threads — must be thread-safe. Benches
+  /// use it for true percentiles; leave null in production.
+  std::function<void(WatchKind, std::uint64_t)> fire_sample;
   /// Also register per-session labeled series (serve.records{session="N"},
   /// serve.fires{session="N"}, serve.resident_events{session="N"}). Off by
   /// default: label cardinality grows with every session ever opened, which
@@ -93,6 +98,7 @@ class StreamingService {
     std::deque<std::string> inbox;
     bool scheduled = false;          // a pump task is queued or running
     std::int64_t gauged_resident = 0;  // last value folded into the gauge
+    std::int64_t gauged_watch_bytes = 0;  // ditto, serve.watch_state.bytes
     // Per-session labeled series; null unless per_session_metrics.
     Counter* s_records = nullptr;
     Counter* s_fires = nullptr;
@@ -128,6 +134,10 @@ class StreamingService {
   Gauge* open_sessions_;
   Gauge* resident_;
   Gauge* resident_peak_;
+  Gauge* watch_state_;
+  Gauge* watch_state_peak_;
+  Counter* until_inc_;
+  Counter* until_dec_;
   Histogram* ingest_ns_;
   Histogram* fire_ns_;
   /// Per-watch-class series (serve.fires{class=...} and

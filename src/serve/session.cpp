@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "obs/flight.h"
+#include "predicate/conjunctive.h"
+#include "predicate/disjunctive.h"
 #include "util/assert.h"
 
 namespace hbct {
@@ -21,6 +23,57 @@ const char* to_string(SessionState s) {
 Session::Session(SessionId id, const SessionConfig& cfg)
     : id_(id), cfg_(cfg), mon_(cfg.num_procs) {
   mon_.set_budget(cfg_.budget);
+}
+
+WatchId Session::watch_query(const ctl::Query& query, OptimizeMode mode) {
+  ctl::Query q = query;
+  PredicatePtr p;
+  PredicatePtr qpred;
+  if (mode != OptimizeMode::kOff) {
+    // Cached: sessions register on an empty computation, so the analysis
+    // outcome is shared across every session opened on the same formula.
+    ctl::OptimizeOutcome o = ctl::optimize_query_cached(mon_.computation(), q);
+    if (mode == OptimizeMode::kApply && o.query.temporal &&
+        o.query.p != nullptr) {
+      q = o.query;
+      p = o.p;
+      qpred = o.q;
+    }
+    // else: keep the as-written form. In particular, costable-collapse on
+    // the empty registration-time computation is vacuous (every predicate
+    // probes down-closed/stable with zero events) and its non-temporal
+    // residue says nothing about the events this watch will observe.
+  }
+  if (!q.temporal || q.p == nullptr) return -1;
+  if (p == nullptr) {
+    ctl::CompileResult cp = ctl::compile_state(q.p);
+    if (!cp.ok) return -1;
+    p = cp.pred;
+  }
+  if ((q.op == Op::kEU || q.op == Op::kAU) && qpred == nullptr) {
+    if (q.q == nullptr) return -1;
+    ctl::CompileResult cq = ctl::compile_state(q.q);
+    if (!cq.ok) return -1;
+    qpred = cq.pred;
+  }
+  switch (q.op) {
+    case Op::kEF:
+      if (ConjunctivePredicatePtr conj = as_conjunctive(p))
+        return mon_.watch_possibly(conj);
+      if (DisjunctivePredicatePtr disj = as_disjunctive(p))
+        return mon_.watch_possibly(disj);
+      return -1;
+    case Op::kAG:
+      if (DisjunctivePredicatePtr disj = as_disjunctive(p))
+        return mon_.watch_invariant(disj);
+      return -1;
+    case Op::kEU:
+      if (ConjunctivePredicatePtr conj = as_conjunctive(p))
+        return mon_.watch_until(conj, qpred);
+      return -1;
+    default:
+      return -1;
+  }
 }
 
 bool Session::fail(std::string msg) {
@@ -135,6 +188,8 @@ bool Session::apply(const wire::Record& r) {
         if (inst_.class_fires[k] != nullptr) inst_.class_fires[k]->add(1);
         if (time_fires_ && inst_.class_latency[k] != nullptr)
           inst_.class_latency[k]->record(ns);
+        if (time_fires_ && inst_.raw_sample)
+          inst_.raw_sample(fires_[i].kind, ns);
       }
     }
   }
@@ -197,6 +252,9 @@ std::int64_t Session::collect() {
 SessionStats Session::stats() const {
   SessionStats s = stats_;
   s.resident_events = mon_.resident_events();
+  s.watch_state_bytes = static_cast<std::int64_t>(mon_.watch_state_bytes());
+  s.until_inc_evals = static_cast<std::int64_t>(mon_.work().until_inc_evals);
+  s.until_dec_evals = static_cast<std::int64_t>(mon_.work().until_dec_evals);
   s.state = state_;
   return s;
 }

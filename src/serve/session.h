@@ -13,11 +13,13 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/optimize.h"
 #include "detect/budget.h"
 #include "obs/metrics.h"
 #include "online/monitor.h"
@@ -52,6 +54,13 @@ struct SessionStats {
   std::int64_t gc_rounds = 0;        // prefix collections run
   std::int64_t reclaimed_events = 0; // events reclaimed by GC
   std::int64_t resident_events = 0;  // events currently in memory
+  /// Heap footprint of live watch state (scan vectors, candidate cuts,
+  /// incremental until tables) — serve.watch_state.bytes sizes it fleet-wide.
+  std::int64_t watch_state_bytes = 0;
+  /// Physical work of the incremental until evaluator: feed-time table
+  /// advances and decision-time lazy extensions (cumulative).
+  std::int64_t until_inc_evals = 0;
+  std::int64_t until_dec_evals = 0;
   SessionState state = SessionState::kOpen;
 };
 
@@ -62,6 +71,22 @@ class Session {
   SessionId id() const { return id_; }
   /// For watch registration at open time (before any event arrives).
   OnlineMonitor& monitor() { return mon_; }
+
+  /// Registers a watch for a parsed CTL query, routing by operator and
+  /// operand class: EF(conjunctive|disjunctive) -> watch_possibly,
+  /// AG(disjunctive) -> watch_invariant, E[p U q] with conjunctive p ->
+  /// watch_until. Under kApply (the default) the query first runs through
+  /// the optimizer — optimize_query_cached, so opening many sessions over
+  /// the same formula pays for inference/rewrite/costing once
+  /// (analysis.cache_hits counts the skips) — and the *chosen* form is
+  /// registered when it is still a routable temporal query; otherwise the
+  /// as-written form is kept (costable-collapse is vacuous on the empty
+  /// registration-time computation and says nothing about future events).
+  /// kAnalyzeOnly warms the cache but registers the query as written;
+  /// kOff skips analysis entirely. Returns -1 when the query does not fit
+  /// a streaming watch class.
+  WatchId watch_query(const ctl::Query& q,
+                      OptimizeMode mode = OptimizeMode::kApply);
 
   SessionState state() const { return state_; }
   const std::string& error() const { return error_; }
@@ -94,10 +119,17 @@ class Session {
     Histogram* latency = nullptr;  // serve.fire_latency.ns, all classes
     std::array<Histogram*, kNumWatchKinds> class_latency{};
     std::array<Counter*, kNumWatchKinds> class_fires{};
+    /// Optional raw sink: the exact nanosecond latency sample, once per
+    /// fire, before the histograms quantize it into log2 buckets (which
+    /// round every percentile to a power of two). Benches install this to
+    /// report true percentiles; the histogram path stays authoritative for
+    /// the service. Runs on the pump thread — must be thread-safe when
+    /// sessions share one sink.
+    std::function<void(WatchKind, std::uint64_t)> raw_sample;
   };
   void set_fire_instruments(const FireInstruments& fi) {
     inst_ = fi;
-    time_fires_ = fi.latency != nullptr;
+    time_fires_ = fi.latency != nullptr || fi.raw_sample != nullptr;
     for (const Histogram* h : fi.class_latency)
       time_fires_ = time_fires_ || h != nullptr;
   }

@@ -36,13 +36,23 @@ namespace hbct {
 ///   eval_fallback   — evaluations that fell back to a full scratch eval
 ///                     (together they partition the cursor-mode subset of
 ///                     predicate_evals; both zero on pure scratch paths)
+///   until_inc_evals — physical local evaluations the incremental until
+///                     state performed at feed time (amortized EG(p) scan
+///                     of newly frozen positions; online monitors only)
+///   until_dec_evals — physical local evaluations the incremental until
+///                     state performed at decision time (lazy extension
+///                     past the fed prefix; online monitors only — the
+///                     offline shared-state mode reports batch-identical
+///                     logical work and leaves both counters zero)
 #define HBCT_DETECT_STATS_FIELDS(X)          \
   X(predicate_evals, "evals", false)         \
   X(cut_steps, "steps", false)               \
   X(lattice_nodes, "nodes", true)            \
   X(lattice_edges, "edges", true)            \
   X(eval_incremental, "evals.inc", true)     \
-  X(eval_fallback, "evals.fb", true)
+  X(eval_fallback, "evals.fb", true)         \
+  X(until_inc_evals, "until.inc", true)      \
+  X(until_dec_evals, "until.dec", true)
 
 /// Counters describing the work one detection run performed.
 struct DetectStats {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ctl/parser.h"
 #include "obs/trace.h"
 #include "predicate/local.h"
 #include "predicate/predicate.h"
@@ -153,6 +154,31 @@ TEST(ServeSession, StreamsEventsAndFiresWatches) {
   EXPECT_EQ(st.records, 6);
   EXPECT_EQ(st.events, 2);
   EXPECT_EQ(st.fires, 1);
+}
+
+TEST(ServeSession, WatchQueryRoutesOptimizedQueriesToWatchKinds) {
+  Session s(1, two_proc_cfg());
+  s.monitor().var("x");
+  auto parse = [](const char* text) {
+    auto r = ctl::parse_query(text);
+    EXPECT_TRUE(r.ok) << text << ": " << r.error;
+    return r.query;
+  };
+  const WatchId ef = s.watch_query(parse("EF(x@P0 == 7)"));
+  ASSERT_GE(ef, 0);
+  const WatchId eu = s.watch_query(parse("E[x@P0 >= 0 U x@P0 == 7]"));
+  ASSERT_GE(eu, 0);
+  EXPECT_EQ(s.watch_query(parse("x@P0 >= 0")), -1)
+      << "non-temporal queries have no watch kind";
+
+  Record ev = internal_rec(0);
+  ev.writes.push_back({0, 7});
+  s.ingest(enc({procs_rec(2), var_rec("x"), init_rec(0, 0, 1), ev,
+                internal_rec(1), end_rec()}));
+  ASSERT_EQ(s.state(), SessionState::kFinished) << s.error();
+  const auto fires = s.poll();
+  ASSERT_EQ(fires.size(), 2u);
+  for (const auto& f : fires) EXPECT_TRUE(f.holds);
 }
 
 TEST(ServeSession, GcKeepsResidencyBounded) {

@@ -1,0 +1,408 @@
+// Differential suite for the incremental until evaluator (detect/until_inc):
+// the amortized EG(p) prefix table must be *observationally invisible* —
+// bit-identical verdicts, witness cuts, witness paths, bounds and stats
+// against the batch A3 decision, at every parallelism width and down a
+// budget ladder that trips mid-scan. Plus the online contracts the
+// amortization leans on: suspension/resume under round budgets, GC-on vs
+// GC-off invariance, and the tightened (but still sound) frontier pin.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/until.h"
+#include "detect/until_inc.h"
+#include "online/monitor.h"
+#include "poset/generate.h"
+#include "predicate/channel.h"
+#include "predicate/conjunctive.h"
+#include "predicate/local.h"
+#include "predicate/predicate.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hbct {
+namespace {
+
+bool same_stats(const DetectStats& a, const DetectStats& b) {
+#define HBCT_SAME_STATS_FIELD(field, label, skip) \
+  if (a.field != b.field) return false;
+  HBCT_DETECT_STATS_FIELDS(HBCT_SAME_STATS_FIELD)
+#undef HBCT_SAME_STATS_FIELD
+  return true;
+}
+
+std::string stats_diff(const DetectStats& a, const DetectStats& b) {
+  std::string out;
+#define HBCT_DIFF_STATS_FIELD(field, label, skip)                         \
+  if (a.field != b.field)                                                 \
+    out += std::string(label) + " " + std::to_string(a.field) + " vs " + \
+           std::to_string(b.field) + "; ";
+  HBCT_DETECT_STATS_FIELDS(HBCT_DIFF_STATS_FIELD)
+#undef HBCT_DIFF_STATS_FIELD
+  return out;
+}
+
+/// Full bit-identity: everything the result carries that the detection
+/// semantics define (branch-superseded parallel counters are excluded from
+/// the determinism contract by parallel.h, but A3's sweep merges branches
+/// 0..winner in index order, so even stats must match exactly).
+void expect_same_result(const DetectResult& a, const DetectResult& b,
+                        const char* where) {
+  EXPECT_EQ(a.verdict, b.verdict) << where;
+  EXPECT_EQ(a.bound, b.bound) << where;
+  EXPECT_EQ(a.algorithm, b.algorithm) << where;
+  EXPECT_EQ(a.witness_cut.has_value(), b.witness_cut.has_value()) << where;
+  if (a.witness_cut && b.witness_cut) {
+    EXPECT_EQ(*a.witness_cut, *b.witness_cut) << where;
+  }
+  EXPECT_EQ(a.witness_path, b.witness_path) << where;
+  EXPECT_TRUE(same_stats(a.stats, b.stats))
+      << where << ": " << stats_diff(a.stats, b.stats);
+}
+
+/// A seed-derived EU instance on the generated computation: p a 1–2
+/// conjunct comparison, q a linear progress/channel predicate that holds
+/// mid-computation for some seeds and never for others.
+struct EuInstance {
+  ConjunctivePredicatePtr p;
+  PredicatePtr q;
+};
+
+EuInstance make_instance(std::uint64_t seed) {
+  Rng rng(seed * 101 + 3);
+  std::vector<LocalPredicatePtr> conjs;
+  conjs.push_back(var_cmp(static_cast<ProcId>(rng.next_below(3)), "v0",
+                          static_cast<Cmp>(rng.next_below(6)),
+                          rng.next_in(0, 6)));
+  if (rng.next_below(2) == 0)
+    conjs.push_back(var_cmp(static_cast<ProcId>(rng.next_below(3)), "v1",
+                            static_cast<Cmp>(rng.next_below(6)),
+                            rng.next_in(0, 6)));
+  EuInstance inst;
+  inst.p = make_conjunctive(std::move(conjs));
+  PredicatePtr q = PredicatePtr(
+      progress_ge(static_cast<ProcId>(rng.next_below(3)),
+                  static_cast<EventIndex>(rng.next_in(1, 7))));
+  if (rng.next_below(3) == 0) q = make_and(q, all_channels_empty());
+  inst.q = std::move(q);
+  return inst;
+}
+
+/// Restores the process-global toggle even when an assertion throws.
+struct IncMode {
+  explicit IncMode(bool on) { set_until_inc_enabled(on); }
+  ~IncMode() { set_until_inc_enabled(true); }
+};
+
+// ---- Offline bit-identity -----------------------------------------------------
+
+class UntilIncDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UntilIncDifferential, OfflineBitIdenticalAcrossWidthsAndBudgets) {
+  const std::uint64_t seed = GetParam();
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 12;
+  opt.p_send = 0.3;
+  opt.seed = seed;
+  const Computation c = generate_random(opt);
+  const EuInstance inst = make_instance(seed);
+
+  // Widths: sequential, fixed fan-out, one-per-pool-worker. The budget
+  // ladder steps through trip points from "never" to "first eval".
+  const std::size_t widths[] = {1, 2, 0};
+  const std::uint64_t work_caps[] = {0, 512, 64, 8, 1};
+  for (std::size_t width : widths) {
+    for (std::uint64_t cap : work_caps) {
+      Budget b;
+      if (cap != 0) b.max_work = cap;
+      DetectResult batch, inc;
+      {
+        IncMode off(false);
+        batch = detect_eu(c, *inst.p, *inst.q, width, b);
+      }
+      {
+        IncMode on(true);
+        inc = detect_eu(c, *inst.p, *inst.q, width, b);
+      }
+      const std::string where = "seed " + std::to_string(seed) + " width " +
+                                std::to_string(width) + " cap " +
+                                std::to_string(cap);
+      expect_same_result(batch, inc, where.c_str());
+      // Offline, the incremental state is bound uninstrumented: the new
+      // stats cells must stay zero or goldens/CursorModeParity would split
+      // by mode.
+      EXPECT_EQ(inc.stats.until_inc_evals, 0u) << where;
+      EXPECT_EQ(inc.stats.until_dec_evals, 0u) << where;
+    }
+  }
+}
+
+TEST_P(UntilIncDifferential, OfflineWidthsAgreeWithEachOther) {
+  const std::uint64_t seed = GetParam();
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 10;
+  opt.p_send = 0.35;
+  opt.seed = seed + 5000;
+  const Computation c = generate_random(opt);
+  const EuInstance inst = make_instance(seed + 5000);
+  const DetectResult serial = detect_eu(c, *inst.p, *inst.q, 1);
+  const DetectResult two = detect_eu(c, *inst.p, *inst.q, 2);
+  const DetectResult pool = detect_eu(c, *inst.p, *inst.q, 0);
+  expect_same_result(serial, two, "width 1 vs 2");
+  expect_same_result(serial, pool, "width 1 vs pool");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UntilIncDifferential,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ---- Online: incremental vs batch, streamed ------------------------------------
+
+struct OnlineFire {
+  WatchId watch;
+  Verdict verdict;
+  bool holds;
+  Cut cut;
+  std::string description;
+};
+
+/// Streams `ref` into a monitor with the given evaluator mode and round
+/// budget; returns the accumulated fires. `gc_every` > 0 collects the
+/// prefix periodically.
+std::vector<OnlineFire> stream_until(const Computation& ref, bool inc,
+                                     const Budget* budget,
+                                     std::int64_t gc_every,
+                                     const EuInstance& inst,
+                                     std::int64_t* reclaimed_out = nullptr) {
+  IncMode mode(inc);
+  OnlineMonitor m(ref.num_procs());
+  if (budget != nullptr) m.set_budget(*budget);
+  for (VarId v = 0; v < ref.num_vars(); ++v) m.var(ref.var_name(v));
+  for (ProcId i = 0; i < ref.num_procs(); ++i)
+    for (VarId v = 0; v < ref.num_vars(); ++v)
+      m.set_initial(i, v, ref.value_at(i, v, 0));
+  m.watch_until(inst.p, inst.q);
+
+  std::vector<OnlineFire> fires;
+  const auto drain = [&] {
+    for (WatchFire& f : m.poll())
+      fires.push_back({f.watch, f.verdict, f.holds, f.cut, f.description});
+  };
+  std::vector<MsgId> msgs(static_cast<std::size_t>(ref.num_messages()),
+                          kNoMsg);
+  std::int64_t step = 0;
+  std::int64_t reclaimed = 0;
+  for (const EventId& eid : ref.linearization()) {
+    const Event& ev = ref.event(eid);
+    switch (ev.kind) {
+      case EventKind::kInternal:
+        m.internal(eid.proc);
+        break;
+      case EventKind::kSend:
+        msgs[static_cast<std::size_t>(ev.msg)] = m.send(eid.proc, ev.peer);
+        break;
+      case EventKind::kReceive:
+        m.receive(eid.proc, msgs[static_cast<std::size_t>(ev.msg)]);
+        break;
+    }
+    for (const Assignment& a : ev.writes)
+      m.write(eid.proc, ref.var_name(a.var), a.value);
+    if (gc_every > 0 && ++step % gc_every == 0)
+      reclaimed += m.collect_prefix();
+    drain();
+  }
+  m.finish();
+  drain();
+  if (reclaimed_out != nullptr) *reclaimed_out += reclaimed;
+  return fires;
+}
+
+void expect_same_online(const std::vector<OnlineFire>& a,
+                        const std::vector<OnlineFire>& b, const char* where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].watch, b[i].watch) << where;
+    EXPECT_EQ(a[i].verdict, b[i].verdict) << where;
+    EXPECT_EQ(a[i].holds, b[i].holds) << where;
+    EXPECT_EQ(a[i].cut, b[i].cut) << where;
+    EXPECT_EQ(a[i].description, b[i].description) << where;
+  }
+}
+
+class UntilIncOnline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UntilIncOnline, StreamedVerdictsMatchBatchMode) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 12;
+  opt.p_send = 0.3;
+  opt.seed = GetParam() + 300;
+  const Computation ref = generate_random(opt);
+  const EuInstance inst = make_instance(GetParam() + 300);
+  const auto inc = stream_until(ref, /*inc=*/true, nullptr, 0, inst);
+  const auto batch = stream_until(ref, /*inc=*/false, nullptr, 0, inst);
+  expect_same_online(inc, batch, "unbudgeted inc vs batch");
+  // Cross-check against the offline detector on the full computation. An
+  // until watch whose q-walk exhausts without ever finding I_q closes
+  // silently at finish() (no stable cut to report), which is exactly the
+  // offline kFails-with-no-witness case; when I_q exists the watch must
+  // have fired, and a holds verdict pins the offline witness cut.
+  const DetectResult off = detect_eu(ref, *inst.p, *inst.q);
+  if (off.verdict == Verdict::kHolds) {
+    ASSERT_EQ(inc.size(), 1u) << "I_q exists: the watch must fire";
+    EXPECT_TRUE(inc[0].holds);
+    ASSERT_TRUE(off.witness_cut.has_value());
+    EXPECT_EQ(inc[0].cut, *off.witness_cut);
+  } else if (!inc.empty()) {
+    ASSERT_EQ(inc.size(), 1u);
+    EXPECT_FALSE(inc[0].holds);
+    EXPECT_EQ(off.verdict, Verdict::kFails);
+  } else {
+    EXPECT_EQ(off.verdict, Verdict::kFails) << "silent close requires no I_q";
+  }
+}
+
+TEST_P(UntilIncOnline, SuspensionResumeUnderRoundBudgets) {
+  // Tiny per-round work caps force the feed-time advance, the q-walk and
+  // the decision sweep to suspend and resume across many rounds. A
+  // budgeted run may legitimately end kUnknown (the bound is part of the
+  // semantics, and the amortized feed work shifts where rounds trip), but
+  // whenever a budgeted run *decides*, a resumed walk or table must have
+  // reached exactly the unbudgeted verdict and cut — never a corrupted
+  // one.
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 10;
+  opt.p_send = 0.3;
+  opt.seed = GetParam() + 700;
+  const Computation ref = generate_random(opt);
+  const EuInstance inst = make_instance(GetParam() + 700);
+  const auto free_run = stream_until(ref, /*inc=*/true, nullptr, 0, inst);
+  ASSERT_LE(free_run.size(), 1u);  // empty = q-walk exhausted with no I_q
+  for (const std::uint64_t cap :
+       {std::uint64_t{4}, std::uint64_t{16}, std::uint64_t{64}}) {
+    Budget b;
+    b.max_work = cap;
+    const auto inc = stream_until(ref, /*inc=*/true, &b, 0, inst);
+    const auto batch = stream_until(ref, /*inc=*/false, &b, 0, inst);
+    const std::string where = "cap " + std::to_string(cap);
+    // A budgeted run fires at most once: the decided verdict, the
+    // finish-round give-up (kUnknown), or — when the q-walk exhausted
+    // without finding I_q and the final round stayed under budget — the
+    // same silent close as the free run.
+    ASSERT_LE(inc.size(), 1u) << where;
+    ASSERT_LE(batch.size(), 1u) << where;
+    for (const auto* fires : {&inc, &batch}) {
+      if (fires->empty()) {
+        EXPECT_TRUE(free_run.empty()) << where << ": silent close requires "
+                                                  "an exhausted q-walk";
+        continue;
+      }
+      const OnlineFire& f = (*fires)[0];
+      if (f.verdict == Verdict::kUnknown) continue;
+      ASSERT_EQ(free_run.size(), 1u) << where;
+      EXPECT_EQ(f.verdict, free_run[0].verdict) << where;
+      EXPECT_EQ(f.holds, free_run[0].holds) << where;
+      EXPECT_EQ(f.cut, free_run[0].cut) << where;
+    }
+    // When both modes decide under the same cap they must agree exactly.
+    if (inc.size() == 1 && batch.size() == 1 &&
+        inc[0].verdict != Verdict::kUnknown &&
+        batch[0].verdict != Verdict::kUnknown) {
+      EXPECT_EQ(inc[0].description, batch[0].description) << where;
+      EXPECT_EQ(inc[0].cut, batch[0].cut) << where;
+    }
+  }
+}
+
+TEST_P(UntilIncOnline, GcInvisibleWithIncrementalUntilWatches) {
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 12;
+  opt.p_send = 0.3;
+  opt.seed = GetParam() + 1100;
+  const Computation ref = generate_random(opt);
+  const EuInstance inst = make_instance(GetParam() + 1100);
+  const auto nogc = stream_until(ref, /*inc=*/true, nullptr, 0, inst);
+  const auto gc = stream_until(ref, /*inc=*/true, nullptr, 5, inst);
+  expect_same_online(nogc, gc, "gc on vs off");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UntilIncOnline,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ---- Frontier pin --------------------------------------------------------------
+
+TEST(UntilIncFrontier, BatchModeUntilStillPinsTheWholePrefix) {
+  // The batch decision re-reads the whole sub-computation below I_q, so a
+  // batch-mode watch must keep the conservative pin at 0 (the tighter pin
+  // is only sound for the incremental table, which re-reads nothing).
+  IncMode mode(false);
+  OnlineMonitor m(2);
+  m.var("x");
+  m.watch_until(make_conjunctive({var_cmp(0, "x", Cmp::kLe, 100)}),
+                PredicatePtr(progress_ge(1, 50)));
+  for (int i = 0; i < 20; ++i) m.internal(0);
+  const Cut f = m.min_watch_frontier();
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_EQ(f[i], 0);
+  EXPECT_EQ(m.collect_prefix(), 0);
+}
+
+TEST(UntilIncFrontier, IncrementalPinTracksCandidateAndScanFloor) {
+  // q refutes position-by-position on P0, so the Chase–Garg candidate
+  // advances through the prefix; the incremental pin follows min(cand,
+  // scan floor) and periodic GC reclaims the refuted prefix while the
+  // watch is still undecided — the batch pin would hold it all.
+  OnlineMonitor m(2);
+  m.var("x");
+  m.watch_until(make_conjunctive({var_cmp(0, "x", Cmp::kGe, 0)}),
+                PredicatePtr(var_cmp(0, "x", Cmp::kLt, 0)));
+  m.set_initial(0, m.var("x"), 0);
+  std::int64_t reclaimed = 0;
+  for (int i = 0; i < 200; ++i) {
+    m.internal(0);
+    m.write(0, "x", i + 1);
+    if (i % 16 == 15) reclaimed += m.collect_prefix();
+  }
+  EXPECT_TRUE(m.poll().empty()) << "q never holds: watch must stay pending";
+  EXPECT_GT(reclaimed, 0)
+      << "tighter pin never released the refuted prefix";
+  m.finish();
+  // No I_q exists anywhere, so the q-walk exhausts and the watch closes
+  // silently — the documented no-stable-cut outcome, identical to batch
+  // mode.
+  EXPECT_TRUE(m.poll().empty());
+}
+
+TEST(UntilIncFrontier, PinSoundnessUnderGcDifferential) {
+  // The pin may only release positions the decision provably never reads
+  // again. Aggressive GC every event with an eventually-deciding watch:
+  // verdict and witness cut must match the GC-off run exactly.
+  GenOptions opt;
+  opt.num_procs = 3;
+  opt.events_per_proc = 14;
+  opt.p_send = 0.35;
+  opt.seed = 77;
+  const Computation ref = generate_random(opt);
+  const EuInstance inst = make_instance(77);
+  const auto nogc = stream_until(ref, /*inc=*/true, nullptr, 0, inst);
+  const auto gc = stream_until(ref, /*inc=*/true, nullptr, 1, inst);
+  expect_same_online(nogc, gc, "gc every event");
+}
+
+// ---- State sizing --------------------------------------------------------------
+
+TEST(UntilIncState, WatchStateBytesGrowWithTheTable) {
+  OnlineMonitor m(2);
+  m.var("x");
+  const std::size_t before = m.watch_state_bytes();
+  m.watch_until(make_conjunctive({var_cmp(0, "x", Cmp::kGe, 0)}),
+                PredicatePtr(progress_ge(1, 1'000)));
+  EXPECT_GT(m.watch_state_bytes(), before);
+}
+
+}  // namespace
+}  // namespace hbct

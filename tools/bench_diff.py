@@ -66,6 +66,11 @@ def main():
     # Flight-recorder A/B pairs (rows differing only by a /norec suffix, or
     # a /norec sibling of a /gc row): print the gating overhead measured in
     # the current run — the telemetry layer's always-on claim is <= 2%.
+    # An INVERTED flag means the off-side measured *slower* than the
+    # on-side beyond the noise threshold, which can only be a measurement
+    # problem (cold passes in the sample, uninterleaved A/B, histogram
+    # quantization) — investigate the harness, not the feature.
+    inversions = 0
     for name in sorted(cur):
         if not name.endswith("/norec"):
             continue
@@ -77,9 +82,60 @@ def main():
         on = cur[on_name]["ns"]["median"]
         off = cur[name]["ns"]["median"]
         if off:
+            overhead = (on - off) / off
+            flag = ""
+            if overhead < -args.threshold:
+                flag = "  INVERTED: off-pass slower than on-pass"
+                inversions += 1
             print(f"recorder overhead {on_name} vs {name}: "
-                  f"{(on - off) / off:+.2%}")
+                  f"{overhead:+.2%}{flag}")
+        flag = inverted_latency(cur, on_name, name, args.threshold)
+        if flag:
+            inversions += 1
+            print(flag)
+
+    # Incremental-until A/B pairs (X vs X/batch or X/inc vs X/batch): the
+    # speedup of the amortized feed-time evaluator over the batch decision
+    # walk, in wall clock and (for bench_watch rows) fire-latency p99.
+    for name in sorted(cur):
+        if not name.endswith("/batch"):
+            continue
+        base_name = name[: -len("/batch")]
+        inc_name = next((n for n in (base_name + "/inc", base_name)
+                         if n in cur), None)
+        if inc_name is None:
+            continue
+        inc = cur[inc_name]["ns"]["median"]
+        batch = cur[name]["ns"]["median"]
+        if inc:
+            print(f"until incremental speedup {inc_name} vs {name}: "
+                  f"{batch / inc:.2f}x wall")
+        iw = cur[inc_name].get("watch")
+        bw = cur[name].get("watch")
+        if iw and bw and iw.get("fire_p99_ns"):
+            print(f"until incremental fire p99 {inc_name} vs {name}: "
+                  f"{iw['fire_p99_ns']} ns vs {bw['fire_p99_ns']} ns "
+                  f"({bw['fire_p99_ns'] / iw['fire_p99_ns']:.1f}x)")
+    if inversions:
+        print(f"\n{inversions} inverted A/B pair(s): the measurement is "
+              f"suspect (report-only, not failing the build)")
     return 0
+
+
+def inverted_latency(cur, on_name, off_name, threshold):
+    """Fire-latency inversion check on an A/B pair's watch extensions: the
+    off-side p99 sitting far above the on-side is a harness bug (this is
+    how a 33.5 ms cold-pass p99 shipped in a /norec row)."""
+    on = cur[on_name].get("watch")
+    off = cur[off_name].get("watch")
+    if not on or not off:
+        return None
+    on_p99 = on.get("fire_p99_ns", 0)
+    off_p99 = off.get("fire_p99_ns", 0)
+    if on_p99 and off_p99 > on_p99 * (1 + max(threshold, 0.5)):
+        return (f"  INVERTED: {off_name} fire p99 {off_p99} ns vs "
+                f"{on_name} {on_p99} ns")
+    return None
 
 
 if __name__ == "__main__":

@@ -84,7 +84,10 @@ def check_report(path, doc):
 
 STREAMING_KEYS = {"sessions", "gc_interval_events", "events",
                   "events_per_sec", "resident_peak", "gc_reclaimed_events",
-                  "gc_rounds", "fire_p50_ns", "fire_p99_ns", "recorder"}
+                  "gc_rounds", "fire_p50_ns", "fire_p99_ns", "recorder",
+                  "until_watch", "until_inc", "until_inc_evals",
+                  "until_dec_evals"}
+STREAMING_BOOLS = {"recorder", "until_watch", "until_inc"}
 
 
 def check_streaming(path, name, s):
@@ -92,10 +95,11 @@ def check_streaming(path, name, s):
     if s.keys() != STREAMING_KEYS:
         fail(path, f"row {name!r} streaming keys {sorted(s.keys())} != "
                    f"{sorted(STREAMING_KEYS)}")
-    if not isinstance(s["recorder"], bool):
-        fail(path, f"row {name!r} streaming.recorder is not a bool")
+    for k in STREAMING_BOOLS:
+        if not isinstance(s[k], bool):
+            fail(path, f"row {name!r} streaming.{k} is not a bool")
     for k, v in s.items():
-        if k == "recorder":
+        if k in STREAMING_BOOLS:
             continue
         if not isinstance(v, (int, float)) or isinstance(v, bool):
             fail(path, f"row {name!r} streaming.{k} is not a number")
@@ -103,6 +107,11 @@ def check_streaming(path, name, s):
         fail(path, f"row {name!r} streaming has no sessions/events")
     if not s["fire_p50_ns"] <= s["fire_p99_ns"]:
         fail(path, f"row {name!r} fire-latency percentiles not monotone")
+    if not s["until_watch"] and (s["until_inc_evals"] or s["until_dec_evals"]):
+        fail(path, f"row {name!r} counts until work without until watches")
+    if not s["until_inc"] and s["until_inc_evals"]:
+        fail(path, f"row {name!r} counts feed-time until work with the "
+                   f"incremental evaluator disabled")
     if s["gc_interval_events"] <= 0 and s["gc_rounds"] != 0:
         fail(path, f"row {name!r} reports GC rounds with GC disabled")
     if s["gc_interval_events"] > 0:
@@ -117,22 +126,28 @@ def check_streaming(path, name, s):
 
 WATCH_KEYS = {"class", "sessions", "watches", "events",
               "watch_evals_per_sec", "fires", "fire_p50_ns", "fire_p99_ns",
-              "p99_target_ns", "met_p99", "recorder"}
+              "fire_samples", "p99_target_ns", "met_p99", "recorder",
+              "until_inc"}
 WATCH_CLASSES = {"conjunctive", "disjunctive", "invariant", "stable",
                  "channel", "relational", "until", "mixed"}
 
 
-def check_watch(path, name, s):
-    """The optional per-row extension emitted by bench_watch."""
+def check_watch(path, name, s, require_met=frozenset()):
+    """The optional per-row extension emitted by bench_watch. Percentiles
+    are exact (raw nanosecond samples accumulated across the row's measured
+    passes), not the serve histogram's log2 buckets. `require_met` turns
+    met_p99 into a hard gate for those classes (--require-met-p99); rows
+    that deliberately run with the incremental until evaluator disabled
+    are exempt — they exist to measure the before side."""
     if s.keys() != WATCH_KEYS:
         fail(path, f"row {name!r} watch keys {sorted(s.keys())} != "
                    f"{sorted(WATCH_KEYS)}")
     if s["class"] not in WATCH_CLASSES:
         fail(path, f"row {name!r} unknown watch class {s['class']!r}")
-    for k in ("met_p99", "recorder"):
+    for k in ("met_p99", "recorder", "until_inc"):
         if not isinstance(s[k], bool):
             fail(path, f"row {name!r} watch.{k} is not a bool")
-    for k in WATCH_KEYS - {"class", "met_p99", "recorder"}:
+    for k in WATCH_KEYS - {"class", "met_p99", "recorder", "until_inc"}:
         if not isinstance(s[k], (int, float)) or isinstance(s[k], bool):
             fail(path, f"row {name!r} watch.{k} is not a number")
     if s["sessions"] <= 0 or s["watches"] <= 0 or s["events"] <= 0:
@@ -141,10 +156,16 @@ def check_watch(path, name, s):
         fail(path, f"row {name!r} watch throughput not positive")
     if s["fires"] <= 0:
         fail(path, f"row {name!r} armed watches never fired")
+    if s["fire_samples"] <= 0:
+        fail(path, f"row {name!r} has no raw fire-latency samples")
     if not s["fire_p50_ns"] <= s["fire_p99_ns"]:
         fail(path, f"row {name!r} fire-latency percentiles not monotone")
     if s["met_p99"] != (s["fire_p99_ns"] <= s["p99_target_ns"]):
         fail(path, f"row {name!r} met_p99 inconsistent with percentiles")
+    if (s["class"] in require_met and s["until_inc"] and not s["met_p99"]):
+        fail(path, f"row {name!r} class {s['class']!r} missed the p99 "
+                   f"objective ({s['fire_p99_ns']} > {s['p99_target_ns']} ns)"
+                   f" [--require-met-p99]")
 
 
 INGEST_KEYS = {"format", "events", "input_bytes", "rss_delta_kb",
@@ -177,7 +198,7 @@ def check_ingest(path, name, s):
         fail(path, f"row {name!r} zero-copy load slower than the text parse")
 
 
-def check_bench(path, doc):
+def check_bench(path, doc, require_met=frozenset()):
     if not isinstance(doc.get("rows"), list) or not doc["rows"]:
         fail(path, "no rows")
     for row in doc["rows"]:
@@ -196,7 +217,7 @@ def check_bench(path, doc):
         if "streaming" in row:
             check_streaming(path, row["name"], row["streaming"])
         if "watch" in row:
-            check_watch(path, row["name"], row["watch"])
+            check_watch(path, row["name"], row["watch"], require_met)
         if "ingest" in row:
             check_ingest(path, row["name"], row["ingest"])
     return f"bench ({len(doc['rows'])} rows)"
@@ -302,7 +323,7 @@ def check_exposition(path, text):
     return f"exposition ({len(families)} families, {nsamples} samples)"
 
 
-def check_file(path):
+def check_file(path, require_met=frozenset()):
     with open(path, encoding="utf-8") as f:
         text = f.read()
     try:
@@ -316,18 +337,40 @@ def check_file(path):
     if schema == "hbct.report/1":
         return check_report(path, doc)
     if schema == "hbct.bench/1":
-        return check_bench(path, doc)
+        return check_bench(path, doc, require_met)
     if isinstance(doc, dict) and "traceEvents" in doc:
         return check_chrome(path, doc)
     fail(path, "unrecognized document (no known schema marker)")
 
 
 def main(argv):
-    if len(argv) < 2:
+    # --require-met-p99 CLASS (repeatable): fail any bench_watch row of that
+    # class whose p99 missed the latency objective. Rows measuring the
+    # disabled incremental until evaluator (the "before" side of an A/B
+    # pair) are exempt.
+    require_met = set()
+    paths = []
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--require-met-p99":
+            if not args:
+                print("--require-met-p99 needs a watch class",
+                      file=sys.stderr)
+                return 64
+            cls = args.pop(0)
+            if cls not in WATCH_CLASSES:
+                print(f"--require-met-p99: unknown class {cls!r}",
+                      file=sys.stderr)
+                return 64
+            require_met.add(cls)
+        else:
+            paths.append(a)
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 64
-    for path in argv[1:]:
-        print(f"{path}: ok ({check_file(path)})")
+    for path in paths:
+        print(f"{path}: ok ({check_file(path, frozenset(require_met))})")
     return 0
 
 
